@@ -1,0 +1,57 @@
+//! Betweenness-centrality benchmarks: the Fig. 4 sampling sweep as a
+//! microbenchmark, plus k-betweenness cost growth in k (the paper's
+//! `kcentrality 1/2` script commands) and the per-source memory
+//! trade-off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphct_bench::datasets::build_dataset;
+use graphct_kernels::betweenness::{betweenness_centrality, BetweennessConfig};
+use graphct_kernels::kbetweenness::{k_betweenness_centrality, KBetweennessConfig};
+use graphct_twitter::DatasetProfile;
+use std::hint::black_box;
+
+fn bench_betweenness(c: &mut Criterion) {
+    // A scaled H1N1 graph: heavy-tailed, fragmented, conversation-laced.
+    let stats = build_dataset(DatasetProfile::h1n1(), Some(0.05), 9);
+    let graph = stats.tweet_graph.undirected;
+
+    let mut g = c.benchmark_group("betweenness/sampling");
+    g.sample_size(10);
+    for pct in [10u64, 25, 50, 100] {
+        g.bench_function(format!("fraction_{pct}pct"), |b| {
+            b.iter(|| {
+                let config = BetweennessConfig::fraction(pct as f64 / 100.0, 7);
+                black_box(betweenness_centrality(&graph, &config))
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("betweenness/k");
+    g.sample_size(10);
+    for k in 0..=2usize {
+        g.bench_function(format!("kcentrality_k{k}_64src"), |b| {
+            b.iter(|| {
+                let config = KBetweennessConfig::sampled(k, 64, 5);
+                black_box(k_betweenness_centrality(&graph, &config).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+
+/// Single-core container: short measurement windows keep the full
+/// suite's wall time sane while still averaging over 10 samples.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_betweenness
+}
+criterion_main!(benches);

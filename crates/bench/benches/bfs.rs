@@ -1,0 +1,48 @@
+//! BFS kernel benchmarks: sequential baseline vs the two parallel
+//! frontier representations, on a low-diameter social graph and a
+//! high-diameter path (the frontier-representation ablation of
+//! DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphct_core::builder::build_undirected_simple;
+use graphct_gen::{classic, rmat_edges, RmatConfig};
+use graphct_kernels::bfs::{bfs_levels, parallel_bfs_levels, FrontierKind};
+use std::hint::black_box;
+
+fn bench_bfs(c: &mut Criterion) {
+    let rmat = build_undirected_simple(&rmat_edges(&RmatConfig::paper(13, 8), 1)).unwrap();
+    let path = build_undirected_simple(&classic::path(50_000)).unwrap();
+
+    let mut g = c.benchmark_group("bfs/rmat13");
+    g.bench_function("sequential", |b| b.iter(|| black_box(bfs_levels(&rmat, 0))));
+    g.bench_function("parallel_queue", |b| {
+        b.iter(|| black_box(parallel_bfs_levels(&rmat, 0, FrontierKind::Queue)))
+    });
+    g.bench_function("parallel_bitmap", |b| {
+        b.iter(|| black_box(parallel_bfs_levels(&rmat, 0, FrontierKind::Bitmap)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("bfs/path50k");
+    g.bench_function("sequential", |b| b.iter(|| black_box(bfs_levels(&path, 0))));
+    g.bench_function("parallel_queue", |b| {
+        b.iter(|| black_box(parallel_bfs_levels(&path, 0, FrontierKind::Queue)))
+    });
+    g.finish();
+}
+
+
+/// Single-core container: short measurement windows keep the full
+/// suite's wall time sane while still averaging over 10 samples.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_bfs
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Connected-components benchmarks: the paper's Kahan-style parallel
+//! coloring against a sequential BFS labeling baseline (the CC ablation
+//! of DESIGN.md), on a heavy-tailed R-MAT graph and a fragmented
+//! pair-heavy graph like the H1N1 corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphct_core::builder::build_undirected_simple;
+use graphct_core::EdgeList;
+use graphct_gen::{rmat_edges, RmatConfig};
+use graphct_kernels::components::{connected_components, sequential_components};
+use std::hint::black_box;
+
+fn fragmented_graph() -> graphct_core::CsrGraph {
+    // 30k isolated pairs + one larger R-MAT core: the Table III shape.
+    let mut edges = rmat_edges(&RmatConfig::paper(12, 8), 3).into_pairs();
+    let base = 1u32 << 12;
+    for i in 0..30_000u32 {
+        edges.push((base + 2 * i, base + 2 * i + 1));
+    }
+    build_undirected_simple(&EdgeList::from_pairs(edges)).unwrap()
+}
+
+fn bench_components(c: &mut Criterion) {
+    let rmat = build_undirected_simple(&rmat_edges(&RmatConfig::paper(13, 8), 1)).unwrap();
+    let frag = fragmented_graph();
+
+    let mut g = c.benchmark_group("components/rmat13");
+    g.bench_function("parallel_hook_compress", |b| {
+        b.iter(|| black_box(connected_components(&rmat)))
+    });
+    g.bench_function("sequential_bfs", |b| {
+        b.iter(|| black_box(sequential_components(&rmat)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("components/fragmented");
+    g.bench_function("parallel_hook_compress", |b| {
+        b.iter(|| black_box(connected_components(&frag)))
+    });
+    g.bench_function("sequential_bfs", |b| {
+        b.iter(|| black_box(sequential_components(&frag)))
+    });
+    g.finish();
+}
+
+
+/// Single-core container: short measurement windows keep the full
+/// suite's wall time sane while still averaging over 10 samples.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_components
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Generator throughput: R-MAT (the paper's synthetic workload), the
+//! Erdős–Rényi control, preferential attachment, and the synthetic
+//! tweet stream + graph ingest pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphct_gen::{gnm, preferential_attachment, rmat_edges, RmatConfig};
+use graphct_twitter::{build_tweet_graph, generate_stream, DatasetProfile};
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    c.bench_function("gen/rmat_scale14_ef8", |b| {
+        b.iter(|| black_box(rmat_edges(&RmatConfig::paper(14, 8), 1)))
+    });
+    c.bench_function("gen/gnm_100k_edges", |b| {
+        b.iter(|| black_box(gnm(20_000, 100_000, 1)))
+    });
+    c.bench_function("gen/ba_20k_m3", |b| {
+        b.iter(|| black_box(preferential_attachment(20_000, 3, 1)))
+    });
+
+    let profile = DatasetProfile::atlflood();
+    c.bench_function("tweets/atlflood_stream", |b| {
+        b.iter(|| black_box(generate_stream(&profile.config, 1)))
+    });
+    let (tweets, _) = generate_stream(&profile.config, 1);
+    c.bench_function("tweets/atlflood_ingest", |b| {
+        b.iter(|| black_box(build_tweet_graph(&tweets).unwrap()))
+    });
+}
+
+
+/// Single-core container: short measurement windows keep the full
+/// suite's wall time sane while still averaging over 10 samples.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_generators
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Remaining GraphCT kernels: clustering coefficients, k-core
+//! extraction, diameter estimation, degree statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphct_core::builder::build_undirected_simple;
+use graphct_gen::{rmat_edges, RmatConfig};
+use std::hint::black_box;
+
+fn bench_misc(c: &mut Criterion) {
+    let rmat = build_undirected_simple(&rmat_edges(&RmatConfig::paper(13, 8), 2)).unwrap();
+
+    c.bench_function("clustering/rmat13", |b| {
+        b.iter(|| black_box(graphct_kernels::clustering_coefficients(&rmat).unwrap()))
+    });
+    c.bench_function("kcore/rmat13_core4", |b| {
+        b.iter(|| black_box(graphct_kernels::kcore_subgraph(&rmat, 4).unwrap()))
+    });
+    c.bench_function("core_numbers/rmat13", |b| {
+        b.iter(|| black_box(graphct_kernels::core_numbers(&rmat).unwrap()))
+    });
+    c.bench_function("diameter/rmat13_64src", |b| {
+        b.iter(|| {
+            black_box(graphct_kernels::diameter::estimate_diameter(
+                &rmat, 64, 4, 0,
+            ))
+        })
+    });
+    c.bench_function("degree_stats/rmat13", |b| {
+        b.iter(|| black_box(graphct_kernels::degree_statistics(&rmat)))
+    });
+}
+
+
+/// Single-core container: short measurement windows keep the full
+/// suite's wall time sane while still averaging over 10 samples.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_misc
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Streaming analytics benchmarks: the incremental clustering update
+//! against the naive per-batch recompute it replaces (the trade-off at
+//! the heart of paper ref. [10]).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphct_core::builder::build_undirected_simple;
+use graphct_gen::{rmat_edges, RmatConfig};
+use graphct_stream::{EdgeUpdate, IncrementalClustering, IncrementalComponents, StreamingGraph};
+use std::hint::black_box;
+
+/// Base graph plus a batch of fresh insertions.
+fn workload() -> (StreamingGraph, Vec<EdgeUpdate>) {
+    let base = build_undirected_simple(&rmat_edges(&RmatConfig::paper(12, 8), 1)).unwrap();
+    let sg = StreamingGraph::from_csr(&base).unwrap();
+    let extra = rmat_edges(&RmatConfig::paper(12, 1), 99);
+    let batch: Vec<EdgeUpdate> = extra
+        .as_slice()
+        .iter()
+        .filter(|&&(u, v)| u != v)
+        .map(|&(u, v)| EdgeUpdate::Insert(u, v))
+        .collect();
+    (sg, batch)
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let (sg, batch) = workload();
+
+    c.bench_function("streaming/incremental_clustering_batch", |b| {
+        b.iter(|| {
+            let mut inc = IncrementalClustering::from_graph(sg.clone()).unwrap();
+            inc.apply_batch(black_box(&batch)).unwrap();
+            black_box(inc.global_clustering())
+        })
+    });
+
+    c.bench_function("streaming/recompute_clustering_per_batch", |b| {
+        b.iter(|| {
+            // The naive alternative: apply the batch, then recount from
+            // scratch.
+            let mut g = sg.clone();
+            for &u in &batch {
+                if let EdgeUpdate::Insert(a, b2) = u {
+                    let _ = g.insert_edge(a, b2).unwrap();
+                }
+            }
+            black_box(graphct_kernels::clustering_coefficients(&g.snapshot()).unwrap())
+        })
+    });
+
+    c.bench_function("streaming/incremental_components_union", |b| {
+        b.iter(|| {
+            let mut uf = IncrementalComponents::new(sg.num_vertices());
+            for &u in &batch {
+                if let EdgeUpdate::Insert(a, b2) = u {
+                    uf.union(a, b2);
+                }
+            }
+            black_box(uf.num_components())
+        })
+    });
+}
+
+
+/// Single-core container: short measurement windows keep the full
+/// suite's wall time sane while still averaging over 10 samples.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_streaming
+}
+criterion_main!(benches);

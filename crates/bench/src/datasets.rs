@@ -1,0 +1,105 @@
+//! Dataset construction for the reproduction harness.
+
+use graphct_kernels::components::ComponentSummary;
+use graphct_twitter::{build_tweet_graph, generate_stream, DatasetProfile, TweetGraph};
+use std::collections::HashSet;
+
+/// A built dataset plus its Table III characteristics.
+#[derive(Debug)]
+pub struct DatasetStats {
+    /// The profile that generated it (carries the paper's numbers).
+    pub profile: DatasetProfile,
+    /// The full mention-graph bundle.
+    pub tweet_graph: TweetGraph,
+    /// Component labeling of the undirected graph.
+    pub components: ComponentSummary,
+    /// Users in the largest weakly connected component.
+    pub users_lwcc: usize,
+    /// Unique interactions inside the LWCC.
+    pub interactions_lwcc: usize,
+    /// Tweets with responses whose participants lie inside the LWCC.
+    pub responses_lwcc: usize,
+}
+
+/// Generate a profile's corpus (optionally scaled down by `scale`), build
+/// the mention graph, and measure the Table III quantities.
+pub fn build_dataset(profile: DatasetProfile, scale: Option<f64>, seed: u64) -> DatasetStats {
+    let profile = match scale {
+        Some(s) if s < 1.0 => profile.scaled(s),
+        _ => profile,
+    };
+    let (tweets, _pool) = generate_stream(&profile.config, seed);
+    let tweet_graph = build_tweet_graph(&tweets).expect("tweet graph builds");
+    let components = ComponentSummary::compute(&tweet_graph.undirected);
+
+    let lwcc_label = components.nth_largest(0).map(|(l, _)| l);
+    let in_lwcc: Vec<bool> = components
+        .colors
+        .iter()
+        .map(|&c| Some(c) == lwcc_label)
+        .collect();
+    let users_lwcc = in_lwcc.iter().filter(|&&b| b).count();
+
+    // Interactions whose endpoints are both inside the LWCC.  For a
+    // connected component every edge qualifies, but count explicitly so
+    // the number stays honest if the definition ever changes.
+    let interactions_lwcc = tweet_graph
+        .undirected
+        .iter_arcs()
+        .filter(|&(s, t)| s < t && in_lwcc[s as usize] && in_lwcc[t as usize])
+        .count();
+
+    // Tweets with responses restricted to LWCC members: recompute the
+    // reciprocation test against the directed graph, keeping only arcs
+    // inside the component.
+    let arc_set: HashSet<(u32, u32)> = tweet_graph.directed.iter_arcs().collect();
+    let responses_lwcc = tweets
+        .iter()
+        .filter(|t| {
+            let Some(author) = tweet_graph.labels.get(&t.author) else {
+                return false;
+            };
+            if !in_lwcc[author as usize] {
+                return false;
+            }
+            graphct_twitter::parse::mentions(&t.text).iter().any(|m| {
+                tweet_graph.labels.get(m).is_some_and(|target| {
+                    target != author
+                        && in_lwcc[target as usize]
+                        && arc_set.contains(&(target, author))
+                        && arc_set.contains(&(author, target))
+                })
+            })
+        })
+        .count();
+
+    DatasetStats {
+        profile,
+        tweet_graph,
+        components,
+        users_lwcc,
+        interactions_lwcc,
+        responses_lwcc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atlflood_quick_dataset_is_consistent() {
+        let stats = build_dataset(DatasetProfile::atlflood(), Some(0.5), 7);
+        let g = &stats.tweet_graph.undirected;
+        assert!(g.num_vertices() > 0);
+        assert!(stats.users_lwcc <= g.num_vertices());
+        assert!(stats.interactions_lwcc <= g.num_edges());
+        assert!(stats.responses_lwcc <= stats.tweet_graph.tweets_with_responses);
+        // The LWCC should hold the majority of users (hub audience).
+        assert!(
+            stats.users_lwcc * 2 > stats.components.largest_size(),
+            "lwcc accounting mismatch"
+        );
+        assert_eq!(stats.users_lwcc, stats.components.largest_size());
+    }
+}

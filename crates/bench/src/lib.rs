@@ -1,0 +1,13 @@
+//! # graphct-bench — reproduction harness support
+//!
+//! Shared machinery for the `repro` binary (one subcommand per paper
+//! table/figure) and the criterion kernel benches: dataset construction,
+//! timing with repetitions, and fixed-width table rendering.
+
+pub mod datasets;
+pub mod format;
+pub mod timing;
+
+pub use datasets::{build_dataset, DatasetStats};
+pub use format::Table;
+pub use timing::{time_repeated, TimingSummary};

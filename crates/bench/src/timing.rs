@@ -1,0 +1,98 @@
+//! Repetition timing with summary statistics.
+//!
+//! Fig. 4 reports runtimes "achieving 90 % confidence with the runtime
+//! averaged over 10 realizations"; this module provides the same
+//! mean ± half-width machinery.
+
+use std::time::Instant;
+
+/// Mean, standard deviation, and 90 % confidence half-width of a set of
+/// timed repetitions, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingSummary {
+    /// Number of repetitions.
+    pub reps: usize,
+    /// Mean seconds.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single rep).
+    pub std_dev: f64,
+    /// 90 % normal-approximation confidence half-width.
+    pub ci90: f64,
+}
+
+impl TimingSummary {
+    /// Summarize a list of per-repetition durations (seconds).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let reps = samples.len();
+        assert!(reps > 0, "need at least one sample");
+        let mean = samples.iter().sum::<f64>() / reps as f64;
+        let var = if reps > 1 {
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (reps - 1) as f64
+        } else {
+            0.0
+        };
+        let std_dev = var.sqrt();
+        // z = 1.645 for a two-sided 90 % interval.
+        let ci90 = 1.645 * std_dev / (reps as f64).sqrt();
+        Self {
+            reps,
+            mean,
+            std_dev,
+            ci90,
+        }
+    }
+}
+
+/// Run `op(rep_index)` `reps` times and summarize the wall times.
+pub fn time_repeated<F: FnMut(usize)>(reps: usize, mut op: F) -> TimingSummary {
+    let mut samples = Vec::with_capacity(reps);
+    for r in 0..reps {
+        let start = Instant::now();
+        op(r);
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    TimingSummary::from_samples(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_samples() {
+        let s = TimingSummary::from_samples(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci90, 0.0);
+        assert_eq!(s.reps, 3);
+    }
+
+    #[test]
+    fn summary_of_spread_samples() {
+        let s = TimingSummary::from_samples(&[1.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert!((s.std_dev - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert!(s.ci90 > 0.0);
+    }
+
+    #[test]
+    fn single_sample_has_no_spread() {
+        let s = TimingSummary::from_samples(&[5.0]);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_samples_panic() {
+        TimingSummary::from_samples(&[]);
+    }
+
+    #[test]
+    fn time_repeated_counts_reps() {
+        let mut calls = 0;
+        let s = time_repeated(4, |_| calls += 1);
+        assert_eq!(calls, 4);
+        assert_eq!(s.reps, 4);
+        assert!(s.mean >= 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! `graphct` — command-line front end.
+//!
+//! Mirrors how an analyst drives GraphCT: run an analysis script over a
+//! graph file, generate synthetic graphs or tweet corpora, or fire a
+//! single kernel.  Run `graphct help` for usage.
+
+use graphct_core::builder::build_undirected_simple;
+use graphct_core::{CsrGraph, EdgeList};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "graphct — massive social network analysis toolkit
+
+USAGE:
+  graphct script <file> [--base-dir DIR]       run a GraphCT analysis script
+  graphct gen rmat --scale S [--edge-factor F] [--seed N] --out FILE
+  graphct gen er --vertices N --edges M [--seed N] --out FILE
+  graphct gen ba --vertices N --attach M [--seed N] --out FILE
+  graphct tweets <h1n1|atlflood|sep1> [--scale-pct P] [--seed N] --out FILE
+                                               generate a synthetic tweet
+                                               mention graph (edge list)
+  graphct stats <graph>                        degrees, components, diameter
+  graphct bc <graph> [--samples N] [--seed N] [--top K]
+                                               (approximate) betweenness
+  graphct help
+
+Graph files: *.bin = GraphCT binary CSR, *.gr/*.dimacs = DIMACS,
+anything else = 'src dst' edge-list text.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pull `--flag value` out of an argument list.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+    default: T,
+) -> Result<T, String> {
+    match take_flag(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for {flag}: {v}")),
+    }
+}
+
+fn require_flag<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Result<T, String> {
+    take_flag(args, flag)
+        .ok_or_else(|| format!("missing required flag {flag}"))?
+        .parse()
+        .map_err(|_| format!("invalid value for {flag}"))
+}
+
+fn load_graph(path: &Path) -> Result<CsrGraph, String> {
+    let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let graph = match ext {
+        "bin" => graphct_core::io::binary::load(path).map_err(|e| e.to_string())?,
+        "gr" | "dimacs" => {
+            let parsed = graphct_core::io::dimacs::read_file(path).map_err(|e| e.to_string())?;
+            graphct_core::GraphBuilder::undirected()
+                .num_vertices(parsed.num_vertices)
+                .build(&parsed.edges)
+                .map_err(|e| e.to_string())?
+        }
+        _ => {
+            let edges = graphct_core::io::edges_text::read_file(path).map_err(|e| e.to_string())?;
+            build_undirected_simple(&edges).map_err(|e| e.to_string())?
+        }
+    };
+    Ok(graph)
+}
+
+fn write_edges(path: &Path, edges: &EdgeList) -> Result<(), String> {
+    graphct_core::io::edges_text::write_file(path, edges).map_err(|e| e.to_string())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    if args.is_empty() {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        "script" => {
+            if args.is_empty() {
+                return Err("script needs a file".into());
+            }
+            let file = PathBuf::from(args.remove(0));
+            let base_dir = take_flag(&mut args, "--base-dir")
+                .map(PathBuf::from)
+                .or_else(|| file.parent().map(Path::to_path_buf))
+                .unwrap_or_else(|| PathBuf::from("."));
+            let text = std::fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            let mut engine = graphct_script::Engine::new();
+            engine.base_dir = base_dir;
+            engine.run_script(&text).map_err(|e| e.to_string())?;
+            for line in &engine.output {
+                println!("{line}");
+            }
+            Ok(())
+        }
+        "gen" => {
+            if args.is_empty() {
+                return Err("gen needs a generator (rmat|er|ba)".into());
+            }
+            let kind = args.remove(0);
+            let seed: u64 = parse_flag(&mut args, "--seed", 0)?;
+            let out: PathBuf = require_flag(&mut args, "--out")?;
+            let edges = match kind.as_str() {
+                "rmat" => {
+                    let scale: u32 = require_flag(&mut args, "--scale")?;
+                    let edge_factor: usize = parse_flag(&mut args, "--edge-factor", 16)?;
+                    graphct_gen::rmat_edges(
+                        &graphct_gen::RmatConfig::paper(scale, edge_factor),
+                        seed,
+                    )
+                }
+                "er" => {
+                    let n: usize = require_flag(&mut args, "--vertices")?;
+                    let m: usize = require_flag(&mut args, "--edges")?;
+                    graphct_gen::gnm(n, m, seed)
+                }
+                "ba" => {
+                    let n: usize = require_flag(&mut args, "--vertices")?;
+                    let m: usize = parse_flag(&mut args, "--attach", 2)?;
+                    graphct_gen::preferential_attachment(n, m, seed)
+                }
+                other => return Err(format!("unknown generator '{other}'")),
+            };
+            write_edges(&out, &edges)?;
+            println!("wrote {} edges to {}", edges.len(), out.display());
+            Ok(())
+        }
+        "tweets" => {
+            if args.is_empty() {
+                return Err("tweets needs a profile (h1n1|atlflood|sep1)".into());
+            }
+            let which = args.remove(0);
+            let seed: u64 = parse_flag(&mut args, "--seed", 42)?;
+            let scale_pct: f64 = parse_flag(&mut args, "--scale-pct", 100.0)?;
+            let out: PathBuf = require_flag(&mut args, "--out")?;
+            let profile = match which.as_str() {
+                "h1n1" => graphct_twitter::DatasetProfile::h1n1(),
+                "atlflood" => graphct_twitter::DatasetProfile::atlflood(),
+                "sep1" => graphct_twitter::DatasetProfile::sep1(),
+                other => return Err(format!("unknown profile '{other}'")),
+            };
+            let profile = if scale_pct < 100.0 {
+                profile.scaled(scale_pct / 100.0)
+            } else {
+                profile
+            };
+            let (tweets, _pool) = graphct_twitter::generate_stream(&profile.config, seed);
+            let tg = graphct_twitter::build_tweet_graph(&tweets).map_err(|e| e.to_string())?;
+            let edges: EdgeList = tg.undirected.iter_arcs().filter(|&(s, t)| s < t).collect();
+            write_edges(&out, &edges)?;
+            println!(
+                "profile {}: {} tweets, {} users, {} unique interactions -> {}",
+                profile.name,
+                tg.num_tweets,
+                tg.undirected.num_vertices(),
+                tg.undirected.num_edges(),
+                out.display()
+            );
+            Ok(())
+        }
+        "stats" => {
+            if args.is_empty() {
+                return Err("stats needs a graph file".into());
+            }
+            let graph = load_graph(Path::new(&args[0]))?;
+            let d = graphct_kernels::degree_statistics(&graph);
+            println!(
+                "vertices {}  edges {}  directed {}",
+                graph.num_vertices(),
+                graph.num_edges(),
+                graph.is_directed()
+            );
+            println!(
+                "degrees: mean {:.4} variance {:.4} max {} min {}",
+                d.mean, d.variance, d.max, d.min
+            );
+            let comps = graphct_kernels::components::ComponentSummary::compute(&graph);
+            println!(
+                "components: {} (largest {})",
+                comps.num_components(),
+                comps.largest_size()
+            );
+            let dia = graphct_kernels::diameter::estimate_diameter_default(&graph, 0);
+            println!(
+                "diameter estimate {} (longest distance {} over {} sources)",
+                dia.estimate, dia.max_distance_found, dia.samples
+            );
+            Ok(())
+        }
+        "bc" => {
+            if args.is_empty() {
+                return Err("bc needs a graph file".into());
+            }
+            let path = PathBuf::from(args.remove(0));
+            let samples: usize = parse_flag(&mut args, "--samples", 256)?;
+            let seed: u64 = parse_flag(&mut args, "--seed", 0)?;
+            let top: usize = parse_flag(&mut args, "--top", 15)?;
+            let graph = load_graph(&path)?;
+            let config = graphct_kernels::BetweennessConfig::sampled(samples, seed);
+            let start = std::time::Instant::now();
+            let result = graphct_kernels::betweenness_centrality(&graph, &config);
+            let elapsed = start.elapsed();
+            println!(
+                "betweenness over {} sources in {:.3}s",
+                result.sources.len(),
+                elapsed.as_secs_f64()
+            );
+            for (rank, v) in graphct_metrics::top_k_indices(&result.scores, top)
+                .into_iter()
+                .enumerate()
+            {
+                println!(
+                    "{:>4}  vertex {:>10}  score {:.2}",
+                    rank + 1,
+                    v,
+                    result.scores[v]
+                );
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try 'graphct help')")),
+    }
+}

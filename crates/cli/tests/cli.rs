@@ -1,0 +1,140 @@
+//! End-to-end tests of the `graphct` binary: generate → stats → bc →
+//! script, through the real argv surface.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn graphct() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_graphct"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("graphct_cli_{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = graphct().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("graphct script"));
+}
+
+#[test]
+fn no_args_prints_usage_and_succeeds() {
+    let out = graphct().output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = graphct().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn gen_stats_bc_pipeline() {
+    let dir = temp_dir("pipeline");
+    let edges = dir.join("rmat.txt");
+
+    let out = graphct()
+        .args([
+            "gen",
+            "rmat",
+            "--scale",
+            "8",
+            "--edge-factor",
+            "4",
+            "--seed",
+            "1",
+            "--out",
+        ])
+        .arg(&edges)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(edges.exists());
+
+    let out = graphct().arg("stats").arg(&edges).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("vertices"));
+    assert!(text.contains("components:"));
+    assert!(text.contains("diameter estimate"));
+
+    let out = graphct()
+        .arg("bc")
+        .arg(&edges)
+        .args(["--samples", "16", "--top", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("betweenness over 16 sources"));
+    assert_eq!(text.lines().filter(|l| l.contains("vertex")).count(), 3);
+}
+
+#[test]
+fn tweets_profile_generates_edge_list() {
+    let dir = temp_dir("tweets");
+    let out_file = dir.join("atl.txt");
+    let out = graphct()
+        .args(["tweets", "atlflood", "--scale-pct", "20", "--out"])
+        .arg(&out_file)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("profile #atlflood"));
+    assert!(out_file.exists());
+}
+
+#[test]
+fn script_subcommand_runs_paper_script() {
+    let dir = temp_dir("script");
+    // A small DIMACS file plus a script referencing it relatively.
+    let edges = graphct_core::EdgeList::from_pairs(vec![(0, 1), (1, 2), (3, 4)]);
+    graphct_core::io::dimacs::write_file(dir.join("g.gr"), 5, &edges).unwrap();
+    std::fs::write(
+        dir.join("analysis.gct"),
+        "read dimacs g.gr\nprint components\nextract component 1\nprint degrees\n",
+    )
+    .unwrap();
+
+    let out = graphct()
+        .arg("script")
+        .arg(dir.join("analysis.gct"))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("components: 2 total"));
+    assert!(text.contains("extracted component 1: 3 vertices"));
+}
+
+#[test]
+fn gen_requires_out_flag() {
+    let out = graphct()
+        .args(["gen", "rmat", "--scale", "4"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+}

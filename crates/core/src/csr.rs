@@ -1,0 +1,332 @@
+//! The compressed-sparse-row graph.
+
+use crate::error::{GraphError, Result};
+use crate::types::VertexId;
+use rayon::prelude::*;
+
+/// A static graph in compressed-sparse-row form (paper §IV-A).
+///
+/// `offsets` has `n + 1` entries; the out-neighbors of vertex `v` are
+/// `targets[offsets[v] .. offsets[v + 1]]`, sorted ascending.  Undirected
+/// graphs store each edge in both endpoint lists, so kernels never branch
+/// on directedness — they always walk out-neighborhoods.
+///
+/// The structure is immutable after construction ("the size of the
+/// allocated graph is fixed"), which is what lets every kernel share it
+/// concurrently without locks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+    directed: bool,
+}
+
+impl CsrGraph {
+    /// Assemble a graph from raw CSR arrays.
+    ///
+    /// Invariants checked: `offsets` is non-empty, monotone, starts at 0,
+    /// ends at `targets.len()`, and every target is `< n`.  Adjacency
+    /// lists are **not** required to be sorted here (the builder sorts);
+    /// use [`CsrGraph::is_sorted`] to check.
+    pub fn from_raw_parts(
+        offsets: Vec<usize>,
+        targets: Vec<VertexId>,
+        directed: bool,
+    ) -> Result<Self> {
+        if offsets.is_empty() {
+            return Err(GraphError::Format("offsets array must be non-empty".into()));
+        }
+        if offsets[0] != 0 {
+            return Err(GraphError::Format("offsets must start at zero".into()));
+        }
+        if *offsets.last().unwrap() != targets.len() {
+            return Err(GraphError::Format(format!(
+                "last offset {} does not match target count {}",
+                offsets.last().unwrap(),
+                targets.len()
+            )));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::Format("offsets must be non-decreasing".into()));
+        }
+        let n = offsets.len() - 1;
+        if let Some(&bad) = targets.par_iter().find_any(|&&t| (t as usize) >= n) {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: bad as u64,
+                num_vertices: n as u64,
+            });
+        }
+        Ok(Self {
+            offsets,
+            targets,
+            directed,
+        })
+    }
+
+    /// A graph with `n` vertices and no edges.
+    pub fn empty(n: usize, directed: bool) -> Self {
+        Self {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+            directed,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of *stored* directed arcs.  For an undirected graph this is
+    /// twice the number of undirected edges.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of logical edges: arcs for a directed graph, arc-pairs for
+    /// an undirected one.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        if self.directed {
+            self.targets.len()
+        } else {
+            self.targets.len() / 2
+        }
+    }
+
+    /// `true` if the graph was built as directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The sorted out-neighbor slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// `true` if arc `u → v` exists (binary search; requires sorted
+    /// adjacency, which the builder guarantees).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Every out-degree, computed in parallel.
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.num_vertices())
+            .into_par_iter()
+            .map(|v| self.offsets[v + 1] - self.offsets[v])
+            .collect()
+    }
+
+    /// Iterate all stored arcs as `(source, target)`.
+    pub fn iter_arcs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId)
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&t| (v, t)))
+    }
+
+    /// Borrow the offset array (`n + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Borrow the target array.
+    #[inline]
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// `true` when every adjacency list is sorted ascending.
+    pub fn is_sorted(&self) -> bool {
+        (0..self.num_vertices() as VertexId)
+            .into_par_iter()
+            .all(|v| self.neighbors(v).windows(2).all(|w| w[0] <= w[1]))
+    }
+
+    /// `true` when the stored arcs are symmetric (`u→v` implies `v→u`) —
+    /// the structural invariant of an undirected graph.
+    pub fn is_symmetric(&self) -> bool {
+        (0..self.num_vertices() as VertexId)
+            .into_par_iter()
+            .all(|u| self.neighbors(u).iter().all(|&v| self.has_edge(v, u)))
+    }
+
+    /// Number of self-loop arcs stored.
+    pub fn count_self_loops(&self) -> usize {
+        (0..self.num_vertices() as VertexId)
+            .into_par_iter()
+            .map(|v| self.neighbors(v).iter().filter(|&&t| t == v).count())
+            .sum()
+    }
+
+    /// The transpose (all arcs reversed).  For symmetric graphs this is
+    /// structurally identical.
+    pub fn transpose(&self) -> CsrGraph {
+        let n = self.num_vertices();
+        // Count in-degrees.
+        let in_deg = graphct_mt::AtomicUsizeArray::zeros(n);
+        self.targets.par_iter().for_each(|&t| {
+            in_deg.fetch_add(t as usize, 1);
+        });
+        let (offsets, total) = graphct_mt::prefix::exclusive_prefix_sum(&in_deg.to_vec());
+        debug_assert_eq!(total, self.targets.len());
+        let cursor = graphct_mt::AtomicUsizeArray::from_vec(offsets[..n].to_vec());
+        let mut targets = vec![0 as VertexId; total];
+        {
+            let slots: Vec<std::sync::atomic::AtomicU32> = targets
+                .iter()
+                .map(|_| std::sync::atomic::AtomicU32::new(0))
+                .collect();
+            (0..n as VertexId).into_par_iter().for_each(|u| {
+                for &v in self.neighbors(u) {
+                    let slot = cursor.fetch_add(v as usize, 1);
+                    slots[slot].store(u, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+            targets
+                .par_iter_mut()
+                .zip(slots.par_iter())
+                .for_each(|(t, s)| *t = s.load(std::sync::atomic::Ordering::Relaxed));
+        }
+        // Sort each adjacency list.
+        let mut out = CsrGraph {
+            offsets,
+            targets,
+            directed: self.directed,
+        };
+        out.sort_adjacency();
+        out
+    }
+
+    /// Sort every adjacency list ascending (parallel over vertices).
+    pub(crate) fn sort_adjacency(&mut self) {
+        let offsets = &self.offsets;
+        let n = offsets.len() - 1;
+        // Split `targets` into per-vertex chunks for safe parallel sorting.
+        let mut rest: &mut [VertexId] = &mut self.targets;
+        let mut chunks: Vec<&mut [VertexId]> = Vec::with_capacity(n);
+        let mut consumed = 0usize;
+        for v in 0..n {
+            let len = offsets[v + 1] - offsets[v];
+            let (head, tail) = rest.split_at_mut(len);
+            chunks.push(head);
+            rest = tail;
+            consumed += len;
+        }
+        debug_assert_eq!(consumed, *offsets.last().unwrap());
+        chunks.into_par_iter().for_each(|c| c.sort_unstable());
+    }
+
+    /// Memory footprint of the CSR arrays in bytes (paper §V reports the
+    /// "naive storage format" size of the September 2009 graph).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<VertexId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CsrGraph {
+        // 0-1, 1-2, 0-2 undirected
+        CsrGraph::from_raw_parts(vec![0, 2, 4, 6], vec![1, 2, 0, 2, 0, 1], false).unwrap()
+    }
+
+    #[test]
+    fn raw_parts_validation() {
+        assert!(CsrGraph::from_raw_parts(vec![], vec![], true).is_err());
+        assert!(CsrGraph::from_raw_parts(vec![1, 2], vec![0, 0], true).is_err());
+        assert!(CsrGraph::from_raw_parts(vec![0, 1], vec![], true).is_err());
+        assert!(CsrGraph::from_raw_parts(vec![0, 2, 1], vec![0], true).is_err());
+        // target out of range
+        assert!(matches!(
+            CsrGraph::from_raw_parts(vec![0, 1], vec![5], true),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert_eq!(g.num_edges(), 3);
+        assert!(!g.is_directed());
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.degrees(), vec![2, 2, 2]);
+        assert!(g.is_sorted());
+        assert!(g.is_symmetric());
+        assert_eq!(g.count_self_loops(), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(4, true);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(3), 0);
+        assert!(g.neighbors(0).is_empty());
+        assert_eq!(g.iter_arcs().count(), 0);
+    }
+
+    #[test]
+    fn directed_edge_count_and_asymmetry() {
+        // 0→1, 0→2, 1→2
+        let g = CsrGraph::from_raw_parts(vec![0, 2, 3, 3], vec![1, 2, 2], true).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 3);
+        assert!(!g.is_symmetric());
+        let arcs: Vec<_> = g.iter_arcs().collect();
+        assert_eq!(arcs, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn transpose_reverses_arcs() {
+        let g = CsrGraph::from_raw_parts(vec![0, 2, 3, 3], vec![1, 2, 2], true).unwrap();
+        let t = g.transpose();
+        assert_eq!(t.num_arcs(), 3);
+        assert_eq!(t.neighbors(0), &[] as &[VertexId]);
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(2), &[0, 1]);
+        assert!(t.is_sorted());
+    }
+
+    #[test]
+    fn transpose_of_symmetric_is_identical() {
+        let g = triangle();
+        let t = g.transpose();
+        assert_eq!(g, t);
+    }
+
+    #[test]
+    fn self_loops_counted() {
+        let g = CsrGraph::from_raw_parts(vec![0, 1, 2], vec![0, 1], true).unwrap();
+        assert_eq!(g.count_self_loops(), 2);
+    }
+
+    #[test]
+    fn memory_bytes_positive() {
+        let g = triangle();
+        assert_eq!(
+            g.memory_bytes(),
+            4 * std::mem::size_of::<usize>() + 6 * std::mem::size_of::<VertexId>()
+        );
+    }
+}

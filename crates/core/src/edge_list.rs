@@ -1,0 +1,137 @@
+//! An edge list: the universal ingest format.
+//!
+//! Generators and the Twitter pipeline both hand edges to the
+//! [`GraphBuilder`](crate::GraphBuilder) as an [`EdgeList`]; the DIMACS
+//! and edge-text parsers produce one too.
+
+use crate::types::VertexId;
+use rayon::prelude::*;
+
+/// A growable list of directed `(source, target)` pairs.
+///
+/// The list does not deduplicate or validate; those policies belong to the
+/// [`GraphBuilder`](crate::GraphBuilder).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeList {
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl EdgeList {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty list with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            edges: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Wrap an existing vector of pairs.
+    pub fn from_pairs(edges: Vec<(VertexId, VertexId)>) -> Self {
+        Self { edges }
+    }
+
+    /// Append one edge.
+    #[inline]
+    pub fn push(&mut self, src: VertexId, dst: VertexId) {
+        self.edges.push((src, dst));
+    }
+
+    /// Append all edges from another list.
+    pub fn extend_from(&mut self, other: &EdgeList) {
+        self.edges.extend_from_slice(&other.edges);
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` when the list holds no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Borrow the raw pairs.
+    pub fn as_slice(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// Consume into the raw pairs.
+    pub fn into_pairs(self) -> Vec<(VertexId, VertexId)> {
+        self.edges
+    }
+
+    /// The smallest vertex count that makes every endpoint valid
+    /// (`max endpoint + 1`), computed in parallel. Zero for an empty list.
+    pub fn min_num_vertices(&self) -> usize {
+        self.edges
+            .par_iter()
+            .map(|&(s, t)| s.max(t))
+            .max()
+            .map_or(0, |m| m as usize + 1)
+    }
+
+    /// Number of self-loop edges.
+    pub fn count_self_loops(&self) -> usize {
+        self.edges.par_iter().filter(|&&(s, t)| s == t).count()
+    }
+}
+
+impl FromIterator<(VertexId, VertexId)> for EdgeList {
+    fn from_iter<I: IntoIterator<Item = (VertexId, VertexId)>>(iter: I) -> Self {
+        Self {
+            edges: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a EdgeList {
+    type Item = &'a (VertexId, VertexId);
+    type IntoIter = std::slice::Iter<'a, (VertexId, VertexId)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.edges.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_len() {
+        let mut el = EdgeList::new();
+        assert!(el.is_empty());
+        el.push(0, 1);
+        el.push(1, 2);
+        assert_eq!(el.len(), 2);
+        assert_eq!(el.as_slice(), &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn min_num_vertices() {
+        assert_eq!(EdgeList::new().min_num_vertices(), 0);
+        let el = EdgeList::from_pairs(vec![(0, 5), (2, 3)]);
+        assert_eq!(el.min_num_vertices(), 6);
+    }
+
+    #[test]
+    fn self_loop_count() {
+        let el = EdgeList::from_pairs(vec![(0, 0), (1, 2), (3, 3)]);
+        assert_eq!(el.count_self_loops(), 2);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let a: EdgeList = [(0u32, 1u32), (1, 0)].into_iter().collect();
+        let mut b = EdgeList::with_capacity(4);
+        b.extend_from(&a);
+        b.extend_from(&a);
+        assert_eq!(b.len(), 4);
+        assert_eq!((&b).into_iter().count(), 4);
+        assert_eq!(b.clone().into_pairs().len(), 4);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type shared by graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced by graph construction, validation, and I/O.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An underlying I/O failure (file open, read, write).
+    Io(std::io::Error),
+    /// A text format could not be parsed. Carries line number (1-based)
+    /// and a description.
+    Parse { line: usize, message: String },
+    /// A binary file had the wrong magic bytes or inconsistent headers.
+    Format(String),
+    /// A vertex id referenced outside `0..num_vertices`.
+    VertexOutOfRange { vertex: u64, num_vertices: u64 },
+    /// A request that needs a non-empty graph got an empty one.
+    EmptyGraph,
+    /// An argument was outside its valid domain.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Format(m) => write!(f, "format error: {m}"),
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            GraphError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3: bad token");
+        assert!(GraphError::EmptyGraph.to_string().contains("non-empty"));
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 4,
+        };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&GraphError::EmptyGraph).is_none());
+    }
+}

@@ -1,0 +1,196 @@
+//! GraphCT's internal binary CSR format.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic    8 bytes  "GRAPHCT\x01"
+//! flags    1 byte   bit 0 = directed
+//! n        8 bytes  vertex count (u64)
+//! m        8 bytes  stored-arc count (u64)
+//! offsets  (n + 1) × 8 bytes (u64 each)
+//! targets  m × 4 bytes (u32 each)
+//! ```
+//!
+//! This is the `comp1.bin` of the paper's example script (§IV-B): a graph
+//! or extracted component saved to disk and restored without re-parsing
+//! text.
+
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+use crate::types::VertexId;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"GRAPHCT\x01";
+
+/// Serialize a graph to `writer`.
+pub fn write<W: Write>(graph: &CsrGraph, writer: &mut W) -> Result<()> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&[graph.is_directed() as u8])?;
+    writer.write_all(&(graph.num_vertices() as u64).to_le_bytes())?;
+    writer.write_all(&(graph.num_arcs() as u64).to_le_bytes())?;
+    // Buffered conversion keeps peak extra memory at one chunk.
+    let mut buf = Vec::with_capacity(8 * 4096);
+    for chunk in graph.offsets().chunks(4096) {
+        buf.clear();
+        for &o in chunk {
+            buf.extend_from_slice(&(o as u64).to_le_bytes());
+        }
+        writer.write_all(&buf)?;
+    }
+    for chunk in graph.targets().chunks(8192) {
+        buf.clear();
+        for &t in chunk {
+            buf.extend_from_slice(&t.to_le_bytes());
+        }
+        writer.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Deserialize a graph from `reader`.
+pub fn read<R: Read>(reader: &mut R) -> Result<CsrGraph> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GraphError::Format("bad magic: not a GraphCT binary".into()));
+    }
+    let mut flags = [0u8; 1];
+    reader.read_exact(&mut flags)?;
+    if flags[0] > 1 {
+        return Err(GraphError::Format(format!(
+            "unknown flags byte {}",
+            flags[0]
+        )));
+    }
+    let directed = flags[0] == 1;
+    let mut u64buf = [0u8; 8];
+    reader.read_exact(&mut u64buf)?;
+    let n = u64::from_le_bytes(u64buf) as usize;
+    reader.read_exact(&mut u64buf)?;
+    let m = u64::from_le_bytes(u64buf) as usize;
+
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut raw = vec![0u8; (n + 1) * 8];
+    reader.read_exact(&mut raw)?;
+    for chunk in raw.chunks_exact(8) {
+        offsets.push(u64::from_le_bytes(chunk.try_into().unwrap()) as usize);
+    }
+
+    let mut targets = Vec::with_capacity(m);
+    let mut raw = vec![0u8; m * 4];
+    reader.read_exact(&mut raw)?;
+    for chunk in raw.chunks_exact(4) {
+        targets.push(VertexId::from_le_bytes(chunk.try_into().unwrap()));
+    }
+
+    CsrGraph::from_raw_parts(offsets, targets, directed)
+}
+
+/// Save a graph to a file.
+pub fn save<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    write(graph, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Load a graph from a file.
+pub fn load<P: AsRef<Path>>(path: P) -> Result<CsrGraph> {
+    let file = std::fs::File::open(path)?;
+    let mut r = std::io::BufReader::new(file);
+    read(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_undirected_simple;
+    use crate::edge_list::EdgeList;
+
+    fn sample() -> CsrGraph {
+        build_undirected_simple(&EdgeList::from_pairs(vec![
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 0),
+            (0, 2),
+        ]))
+        .unwrap()
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        let back = read(&mut buf.as_slice()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn directed_flag_roundtrips() {
+        let g = crate::builder::build_directed_simple(&EdgeList::from_pairs(vec![(0, 1), (2, 1)]))
+            .unwrap();
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        let back = read(&mut buf.as_slice()).unwrap();
+        assert!(back.is_directed());
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = CsrGraph::empty(5, false);
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        let back = read(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.num_vertices(), 5);
+        assert_eq!(back.num_edges(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOTAGRPH\x00........".to_vec();
+        assert!(matches!(
+            read(&mut buf.as_slice()),
+            Err(GraphError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn bad_flags_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(9);
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            read(&mut buf.as_slice()),
+            Err(GraphError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("graphct_binary_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        let g = sample();
+        save(&g, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(g, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

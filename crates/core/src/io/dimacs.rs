@@ -1,0 +1,257 @@
+//! DIMACS graph text format.
+//!
+//! The classic DIMACS challenge format (paper ref. [2]):
+//!
+//! ```text
+//! c this is a comment
+//! p sp <num-vertices> <num-edges>
+//! a <src> <dst> <weight>
+//! ```
+//!
+//! Vertices are 1-indexed in the file and shifted to 0-indexed ids on
+//! read.  `e` lines (the unweighted variant) are accepted alongside `a`
+//! lines; weights are parsed for validation but discarded (GraphCT's
+//! kernels are unweighted).
+//!
+//! GraphCT parses large DIMACS files *in parallel* after slurping them
+//! into memory (§IV-C: "We copy the file from disk to the main memory …
+//! and parse the file in parallel"); we do the same with rayon over line
+//! chunks.
+
+use crate::edge_list::EdgeList;
+use crate::error::{GraphError, Result};
+use crate::types::VertexId;
+use rayon::prelude::*;
+use std::io::Write;
+use std::path::Path;
+
+/// Declared sizes from the `p` line plus the parsed edges.
+#[derive(Debug, Clone)]
+pub struct DimacsGraph {
+    /// Vertex count declared on the `p` line.
+    pub num_vertices: usize,
+    /// Edge count declared on the `p` line.
+    pub declared_edges: usize,
+    /// Parsed edges, 0-indexed.
+    pub edges: EdgeList,
+}
+
+/// Parse DIMACS text already in memory (parallel over lines).
+pub fn parse_str(text: &str) -> Result<DimacsGraph> {
+    // Locate the problem line sequentially (it must precede edges and is
+    // near the top in practice).
+    let mut num_vertices = None;
+    let mut declared_edges = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.starts_with('p') {
+            let mut it = line.split_whitespace();
+            let _p = it.next();
+            let _kind = it.next(); // "sp", "edge", … — accepted, unused
+            let n: usize =
+                it.next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| GraphError::Parse {
+                        line: i + 1,
+                        message: "problem line missing vertex count".into(),
+                    })?;
+            let m: usize =
+                it.next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| GraphError::Parse {
+                        line: i + 1,
+                        message: "problem line missing edge count".into(),
+                    })?;
+            num_vertices = Some(n);
+            declared_edges = m;
+            break;
+        } else if line.starts_with('a') || line.starts_with('e') {
+            return Err(GraphError::Parse {
+                line: i + 1,
+                message: "edge line before problem line".into(),
+            });
+        }
+    }
+    let num_vertices = num_vertices.ok_or_else(|| GraphError::Parse {
+        line: 0,
+        message: "no problem ('p') line found".into(),
+    })?;
+
+    // Parallel edge parsing: collect lines once, then fold per-thread
+    // edge vectors. Line numbers are preserved for error reporting.
+    let lines: Vec<(usize, &str)> = text.lines().enumerate().collect();
+    let parsed: std::result::Result<Vec<Vec<(VertexId, VertexId)>>, GraphError> =
+        lines
+            .par_chunks(4096)
+            .map(|chunk| {
+                let mut local = Vec::with_capacity(chunk.len());
+                for &(i, raw) in chunk {
+                    let line = raw.trim();
+                    if line.is_empty() || line.starts_with('c') || line.starts_with('p') {
+                        continue;
+                    }
+                    let mut it = line.split_whitespace();
+                    let tag = it.next().unwrap();
+                    if tag != "a" && tag != "e" {
+                        return Err(GraphError::Parse {
+                            line: i + 1,
+                            message: format!("unknown line tag '{tag}'"),
+                        });
+                    }
+                    let src: u64 = it.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                        GraphError::Parse {
+                            line: i + 1,
+                            message: "missing/invalid source vertex".into(),
+                        }
+                    })?;
+                    let dst: u64 = it.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                        GraphError::Parse {
+                            line: i + 1,
+                            message: "missing/invalid target vertex".into(),
+                        }
+                    })?;
+                    // Optional weight — validated as numeric when present.
+                    if let Some(w) = it.next() {
+                        if w.parse::<f64>().is_err() {
+                            return Err(GraphError::Parse {
+                                line: i + 1,
+                                message: format!("invalid weight '{w}'"),
+                            });
+                        }
+                    }
+                    if src == 0 || dst == 0 {
+                        return Err(GraphError::Parse {
+                            line: i + 1,
+                            message: "DIMACS vertices are 1-indexed; found 0".into(),
+                        });
+                    }
+                    if src as usize > num_vertices || dst as usize > num_vertices {
+                        return Err(GraphError::VertexOutOfRange {
+                            vertex: src.max(dst),
+                            num_vertices: num_vertices as u64,
+                        });
+                    }
+                    local.push(((src - 1) as VertexId, (dst - 1) as VertexId));
+                }
+                Ok(local)
+            })
+            .collect();
+
+    let mut edges = EdgeList::with_capacity(declared_edges);
+    for chunk in parsed? {
+        for (s, t) in chunk {
+            edges.push(s, t);
+        }
+    }
+    Ok(DimacsGraph {
+        num_vertices,
+        declared_edges,
+        edges,
+    })
+}
+
+/// Read and parse a DIMACS file.
+pub fn read_file<P: AsRef<Path>>(path: P) -> Result<DimacsGraph> {
+    let text = std::fs::read_to_string(path)?;
+    parse_str(&text)
+}
+
+/// Write an edge list as DIMACS text (1-indexed, weight 1).
+pub fn write_file<P: AsRef<Path>>(path: P, num_vertices: usize, edges: &EdgeList) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    writeln!(w, "c written by graphct-rs")?;
+    writeln!(w, "p sp {} {}", num_vertices, edges.len())?;
+    for &(s, t) in edges.as_slice() {
+        writeln!(w, "a {} {} 1", s + 1, t + 1)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "c comment line\n\
+                          p sp 4 3\n\
+                          a 1 2 5\n\
+                          a 2 3 1\n\
+                          e 3 4\n";
+
+    #[test]
+    fn parses_sample() {
+        let g = parse_str(SAMPLE).unwrap();
+        assert_eq!(g.num_vertices, 4);
+        assert_eq!(g.declared_edges, 3);
+        assert_eq!(g.edges.as_slice(), &[(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn rejects_missing_problem_line() {
+        assert!(matches!(
+            parse_str("c nothing\n"),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_edge_before_problem_line() {
+        let err = parse_str("a 1 2 1\np sp 2 1\n").unwrap_err();
+        assert!(err.to_string().contains("before problem line"));
+    }
+
+    #[test]
+    fn rejects_zero_indexed_vertex() {
+        let err = parse_str("p sp 2 1\na 0 1 1\n").unwrap_err();
+        assert!(err.to_string().contains("1-indexed"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertex() {
+        let err = parse_str("p sp 2 1\na 1 7 1\n").unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { vertex: 7, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_tag_and_bad_weight() {
+        assert!(parse_str("p sp 2 1\nz 1 2\n").is_err());
+        assert!(parse_str("p sp 2 1\na 1 2 abc\n").is_err());
+    }
+
+    #[test]
+    fn weight_is_optional() {
+        let g = parse_str("p sp 2 1\ne 1 2\n").unwrap();
+        assert_eq!(g.edges.len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join("graphct_dimacs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.gr");
+        let edges = EdgeList::from_pairs(vec![(0, 1), (1, 2), (0, 3)]);
+        write_file(&path, 4, &edges).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.num_vertices, 4);
+        assert_eq!(back.edges, edges);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn large_input_parses_in_parallel() {
+        // Enough lines to exercise multiple parallel chunks.
+        let n = 20_000usize;
+        let mut text = format!("p sp {n} {}\n", n - 1);
+        for i in 1..n {
+            text.push_str(&format!("a {} {} 1\n", i, i + 1));
+        }
+        let g = parse_str(&text).unwrap();
+        assert_eq!(g.edges.len(), n - 1);
+        assert_eq!(g.edges.as_slice()[0], (0, 1));
+        assert_eq!(g.edges.as_slice()[n - 2], ((n - 2) as u32, (n - 1) as u32));
+    }
+}

@@ -1,0 +1,111 @@
+//! Plain `src dst` edge-per-line text format.
+//!
+//! Lines starting with `#` or `%` are comments; blank lines are skipped.
+//! Vertices are 0-indexed (unlike DIMACS).  This is the lingua franca of
+//! published social-network snapshots (SNAP, KONECT, the Kwak et al.
+//! follower-graph release the paper analyzes).
+
+use crate::edge_list::EdgeList;
+use crate::error::{GraphError, Result};
+use crate::types::VertexId;
+use rayon::prelude::*;
+use std::io::Write;
+use std::path::Path;
+
+/// Parse edge-list text already in memory (parallel over line chunks).
+pub fn parse_str(text: &str) -> Result<EdgeList> {
+    let lines: Vec<(usize, &str)> = text.lines().enumerate().collect();
+    let parsed: std::result::Result<Vec<Vec<(VertexId, VertexId)>>, GraphError> = lines
+        .par_chunks(4096)
+        .map(|chunk| {
+            let mut local = Vec::with_capacity(chunk.len());
+            for &(i, raw) in chunk {
+                let line = raw.trim();
+                if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+                    continue;
+                }
+                let mut it = line.split_whitespace();
+                let src: VertexId =
+                    it.next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| GraphError::Parse {
+                            line: i + 1,
+                            message: "missing/invalid source vertex".into(),
+                        })?;
+                let dst: VertexId =
+                    it.next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| GraphError::Parse {
+                            line: i + 1,
+                            message: "missing/invalid target vertex".into(),
+                        })?;
+                local.push((src, dst));
+            }
+            Ok(local)
+        })
+        .collect();
+    let mut edges = EdgeList::new();
+    for chunk in parsed? {
+        for (s, t) in chunk {
+            edges.push(s, t);
+        }
+    }
+    Ok(edges)
+}
+
+/// Read and parse an edge-list file.
+pub fn read_file<P: AsRef<Path>>(path: P) -> Result<EdgeList> {
+    let text = std::fs::read_to_string(path)?;
+    parse_str(&text)
+}
+
+/// Write an edge list as text.
+pub fn write_file<P: AsRef<Path>>(path: P, edges: &EdgeList) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    writeln!(w, "# graphct-rs edge list: {} edges", edges.len())?;
+    for &(s, t) in edges.as_slice() {
+        writeln!(w, "{s} {t}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_with_comments_and_blanks() {
+        let e = parse_str("# header\n0 1\n\n% other comment\n2 3 ignored-extra\n").unwrap();
+        assert_eq!(e.as_slice(), &[(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = parse_str("0 1\nfoo bar\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_missing_target() {
+        assert!(parse_str("5\n").is_err());
+    }
+
+    #[test]
+    fn empty_text_is_empty_list() {
+        assert!(parse_str("").unwrap().is_empty());
+        assert!(parse_str("# only comments\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("graphct_edges_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.txt");
+        let edges = EdgeList::from_pairs(vec![(5, 1), (0, 7)]);
+        write_file(&path, &edges).unwrap();
+        assert_eq!(read_file(&path).unwrap(), edges);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,13 @@
+//! Graph file formats.
+//!
+//! * [`dimacs`] — the DIMACS text format GraphCT ingests ("A large number
+//!   of graph datasets consist of plain text files. One simple example is
+//!   a DIMACS formatted graph", §IV-C), parsed in parallel over chunks.
+//! * [`binary`] — GraphCT's "internal binary compressed sparse row
+//!   format" used by the scripting interface's `save`/`extract … =>
+//!   comp1.bin` commands (§IV-B).
+//! * [`edges_text`] — a minimal `src dst` edge-per-line text format.
+
+pub mod binary;
+pub mod dimacs;
+pub mod edges_text;

@@ -1,0 +1,104 @@
+//! Vertex ↔ name directory.
+//!
+//! Twitter analysis reports ranked *handles* (Table IV lists `@CDCFlu`,
+//! `@ajc`, …), so the tweet-to-graph pipeline interns each screen name to
+//! a dense vertex id and keeps the reverse mapping here.
+
+use crate::types::VertexId;
+use std::collections::HashMap;
+
+/// An interning table mapping string labels to dense vertex ids.
+#[derive(Debug, Clone, Default)]
+pub struct VertexLabels {
+    names: Vec<String>,
+    index: HashMap<String, VertexId>,
+}
+
+impl VertexLabels {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return the id for `name`, interning it if new.
+    pub fn intern(&mut self, name: &str) -> VertexId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as VertexId;
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up an existing name without interning.
+    pub fn get(&self, name: &str) -> Option<VertexId> {
+        self.index.get(name).copied()
+    }
+
+    /// The label of vertex `v`, if assigned.
+    pub fn name(&self, v: VertexId) -> Option<&str> {
+        self.names.get(v as usize).map(String::as_str)
+    }
+
+    /// Number of interned labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when no labels are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as VertexId, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut l = VertexLabels::new();
+        let a = l.intern("@CDCFlu");
+        let b = l.intern("@ajc");
+        assert_eq!(l.intern("@CDCFlu"), a);
+        assert_ne!(a, b);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn lookup_both_directions() {
+        let mut l = VertexLabels::new();
+        let id = l.intern("@nytimes");
+        assert_eq!(l.get("@nytimes"), Some(id));
+        assert_eq!(l.get("@missing"), None);
+        assert_eq!(l.name(id), Some("@nytimes"));
+        assert_eq!(l.name(99), None);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut l = VertexLabels::new();
+        for i in 0..100 {
+            assert_eq!(l.intern(&format!("u{i}")), i as VertexId);
+        }
+        let pairs: Vec<_> = l.iter().collect();
+        assert_eq!(pairs[7], (7, "u7"));
+        assert_eq!(pairs.len(), 100);
+    }
+
+    #[test]
+    fn empty_directory() {
+        let l = VertexLabels::new();
+        assert!(l.is_empty());
+        assert_eq!(l.iter().count(), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # graphct-core — static graph data structures and I/O
+//!
+//! The heart of GraphCT (paper §IV-A): *one* common graph representation
+//! shared by every analysis kernel, so that multiple kernels can run over a
+//! single in-memory graph without conversions.
+//!
+//! * [`CsrGraph`] — the compressed-sparse-row graph ("The graph is stored
+//!   in compressed-sparse row (CSR) format, a common representation for
+//!   sparse matrices").  Static: the number of vertices and edges is fixed
+//!   at ingest.
+//! * [`GraphBuilder`] / [`EdgeList`] — parallel construction from edge
+//!   lists with configurable duplicate-edge and self-loop policies
+//!   (Twitter ingest "throws out duplicate user interactions", §III-B).
+//! * [`subgraph`] — extraction of vertex-induced subgraphs from a coloring
+//!   (the utility GraphCT provides for component analysis, §IV-A).
+//! * [`io`] — DIMACS text parsing (parallel, §IV-C), a binary CSR format
+//!   (the `comp1.bin` of the example script, §IV-B), and a plain edge-list
+//!   format.
+//! * [`labels`] — a vertex ↔ name directory so Twitter handles like
+//!   `@CDCFlu` survive the trip through integer vertex ids (Table IV).
+//!
+//! Vertices are dense `u32` identifiers `0..n`.  Undirected graphs store
+//! each edge in both adjacency lists; every kernel walks out-neighborhoods
+//! only, which makes the undirected case "just work" (paper §I-A: "we
+//! treat the graph as undirected, so an edge from @foo to @bar also
+//! connects @bar back to @foo").
+
+pub mod builder;
+pub mod csr;
+pub mod edge_list;
+pub mod error;
+pub mod io;
+pub mod labels;
+pub mod subgraph;
+pub mod types;
+
+pub use builder::{DuplicatePolicy, GraphBuilder, SelfLoopPolicy};
+pub use csr::CsrGraph;
+pub use edge_list::EdgeList;
+pub use error::{GraphError, Result};
+pub use labels::VertexLabels;
+pub use types::{VertexId, INVALID_VERTEX};

@@ -1,0 +1,181 @@
+//! Vertex-induced subgraph extraction.
+//!
+//! GraphCT's utility functions "extract a subgraph induced by a coloring
+//! function" (paper §IV-A): the connected-components kernel returns a
+//! color per vertex, and analysis proceeds component by component (the
+//! `extract component 1` line of the example script, §IV-B).
+
+use crate::csr::CsrGraph;
+use crate::error::Result;
+use crate::types::VertexId;
+use graphct_mt::prefix;
+use rayon::prelude::*;
+
+/// A subgraph plus the mapping back to the parent graph's vertex ids.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The induced graph over the selected vertices, relabeled `0..k`.
+    pub graph: CsrGraph,
+    /// `orig_of[new] = old`: parent-graph id of each subgraph vertex,
+    /// ascending.
+    pub orig_of: Vec<VertexId>,
+}
+
+impl Subgraph {
+    /// Translate a subgraph vertex id back to the parent graph.
+    #[inline]
+    pub fn to_parent(&self, v: VertexId) -> VertexId {
+        self.orig_of[v as usize]
+    }
+}
+
+/// Extract the subgraph induced by the vertices where `keep[v]` is true.
+///
+/// Edges are kept when **both** endpoints are kept. The result preserves
+/// directedness, sortedness, and (for undirected inputs) symmetry.
+pub fn induced_subgraph(graph: &CsrGraph, keep: &[bool]) -> Result<Subgraph> {
+    assert_eq!(
+        keep.len(),
+        graph.num_vertices(),
+        "mask length must equal vertex count"
+    );
+    let n = graph.num_vertices();
+
+    // Dense relabeling: new id = number of kept vertices before v.
+    let kept_flags: Vec<usize> = keep.par_iter().map(|&k| k as usize).collect();
+    let (rank, k) = prefix::exclusive_prefix_sum(&kept_flags);
+    let orig_of: Vec<VertexId> = (0..n as VertexId)
+        .into_par_iter()
+        .filter(|&v| keep[v as usize])
+        .collect();
+    debug_assert_eq!(orig_of.len(), k);
+
+    // Per-kept-vertex surviving degree.
+    let new_degrees: Vec<usize> = orig_of
+        .par_iter()
+        .map(|&old| {
+            graph
+                .neighbors(old)
+                .iter()
+                .filter(|&&t| keep[t as usize])
+                .count()
+        })
+        .collect();
+    let (offsets, total) = prefix::exclusive_prefix_sum(&new_degrees);
+
+    let mut targets = vec![0 as VertexId; total];
+    // Each kept vertex owns a disjoint slice of `targets`.
+    {
+        let mut rest: &mut [VertexId] = &mut targets;
+        let mut slices = Vec::with_capacity(k);
+        for i in 0..k {
+            let (head, tail) = rest.split_at_mut(offsets[i + 1] - offsets[i]);
+            slices.push(head);
+            rest = tail;
+        }
+        slices
+            .into_par_iter()
+            .zip(orig_of.par_iter())
+            .for_each(|(slice, &old)| {
+                let mut j = 0;
+                for &t in graph.neighbors(old) {
+                    if keep[t as usize] {
+                        slice[j] = rank[t as usize] as VertexId;
+                        j += 1;
+                    }
+                }
+                debug_assert_eq!(j, slice.len());
+            });
+    }
+
+    let graph = CsrGraph::from_raw_parts(offsets, targets, graph.is_directed())?;
+    Ok(Subgraph { graph, orig_of })
+}
+
+/// Extract the subgraph induced by vertices whose color equals `color`.
+pub fn subgraph_by_color(
+    graph: &CsrGraph,
+    colors: &[VertexId],
+    color: VertexId,
+) -> Result<Subgraph> {
+    assert_eq!(colors.len(), graph.num_vertices());
+    let keep: Vec<bool> = colors.par_iter().map(|&c| c == color).collect();
+    induced_subgraph(graph, &keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_undirected_simple;
+    use crate::edge_list::EdgeList;
+
+    fn path5() -> CsrGraph {
+        build_undirected_simple(&EdgeList::from_pairs(vec![(0, 1), (1, 2), (2, 3), (3, 4)]))
+            .unwrap()
+    }
+
+    #[test]
+    fn keep_all_is_identity() {
+        let g = path5();
+        let s = induced_subgraph(&g, &[true; 5]).unwrap();
+        assert_eq!(s.graph, g);
+        assert_eq!(s.orig_of, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn keep_none_is_empty() {
+        let g = path5();
+        let s = induced_subgraph(&g, &[false; 5]).unwrap();
+        assert_eq!(s.graph.num_vertices(), 0);
+        assert_eq!(s.graph.num_edges(), 0);
+        assert!(s.orig_of.is_empty());
+    }
+
+    #[test]
+    fn middle_removal_splits_edges() {
+        let g = path5();
+        // Remove vertex 2: edges (1,2) and (2,3) vanish.
+        let s = induced_subgraph(&g, &[true, true, false, true, true]).unwrap();
+        assert_eq!(s.graph.num_vertices(), 4);
+        assert_eq!(s.graph.num_edges(), 2);
+        assert_eq!(s.orig_of, vec![0, 1, 3, 4]);
+        // New ids: 0→0, 1→1, 3→2, 4→3
+        assert!(s.graph.has_edge(0, 1));
+        assert!(s.graph.has_edge(2, 3));
+        assert!(!s.graph.has_edge(1, 2));
+        assert_eq!(s.to_parent(2), 3);
+        assert!(s.graph.is_symmetric());
+    }
+
+    #[test]
+    fn color_extraction() {
+        let g = path5();
+        let colors = vec![7, 7, 7, 9, 9];
+        let s = subgraph_by_color(&g, &colors, 9).unwrap();
+        assert_eq!(s.graph.num_vertices(), 2);
+        assert_eq!(s.graph.num_edges(), 1);
+        assert_eq!(s.orig_of, vec![3, 4]);
+    }
+
+    #[test]
+    fn directed_subgraph_preserves_orientation() {
+        let g = crate::builder::build_directed_simple(&EdgeList::from_pairs(vec![
+            (0, 1),
+            (1, 2),
+            (2, 0),
+        ]))
+        .unwrap();
+        let s = induced_subgraph(&g, &[true, true, false]).unwrap();
+        assert!(s.graph.is_directed());
+        assert!(s.graph.has_edge(0, 1));
+        assert!(!s.graph.has_edge(1, 0));
+        assert_eq!(s.graph.num_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length")]
+    fn wrong_mask_length_panics() {
+        let g = path5();
+        let _ = induced_subgraph(&g, &[true; 3]);
+    }
+}

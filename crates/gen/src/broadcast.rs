@@ -1,0 +1,144 @@
+//! Broadcast forests — the tree-like news-dissemination shape.
+//!
+//! "Twitter's message connections appear primarily tree-structured as a
+//! news dissemination system … Information flows one way, from the
+//! broadcast hub out to the users" (paper abstract, §III-C).  This
+//! generator plants `hubs` broadcast sources, each with a geometric
+//! cascade of re-broadcasters: a hub reaches first-tier audiences
+//! directly and each member re-broadcasts to a shrinking audience of its
+//! own, yielding the shallow wide trees of Fig. 3's "original" panels.
+
+use graphct_core::{EdgeList, VertexId};
+use graphct_mt::rng::task_rng;
+use rand::RngExt;
+
+/// Configuration for [`broadcast_forest`].
+#[derive(Debug, Clone, Copy)]
+pub struct BroadcastConfig {
+    /// Number of independent broadcast trees.
+    pub hubs: usize,
+    /// Direct audience size of each hub.
+    pub fanout: usize,
+    /// Audience shrink factor per tier (e.g. 0.1: each re-broadcaster
+    /// reaches 10 % of its parent's audience).
+    pub decay: f64,
+    /// Maximum cascade depth.
+    pub max_depth: usize,
+}
+
+impl Default for BroadcastConfig {
+    fn default() -> Self {
+        Self {
+            hubs: 10,
+            fanout: 50,
+            decay: 0.1,
+            max_depth: 4,
+        }
+    }
+}
+
+/// Generate a forest of broadcast trees.  Vertices are numbered densely:
+/// hubs first, then audiences in creation order.  Edges point from the
+/// listener to the broadcaster (the listener *mentions* the source, as
+/// in "in incidental communication, the user will refer to the broadcast
+/// source", §III-C).  Returns `(edges, num_vertices)`.
+pub fn broadcast_forest(config: &BroadcastConfig, seed: u64) -> (EdgeList, usize) {
+    let mut rng = task_rng(seed, 0xb0);
+    let mut edges = EdgeList::new();
+    let mut next_id: VertexId = config.hubs as VertexId;
+    for hub in 0..config.hubs as VertexId {
+        // (broadcaster, audience_budget) frontier per tier.
+        let mut tier: Vec<(VertexId, usize)> = vec![(hub, config.fanout)];
+        for _ in 0..config.max_depth {
+            let mut next_tier = Vec::new();
+            for &(parent, budget) in &tier {
+                for _ in 0..budget {
+                    let listener = next_id;
+                    next_id += 1;
+                    edges.push(listener, parent);
+                    let child_budget = (budget as f64 * config.decay) as usize;
+                    if child_budget > 0 && rng.random::<f64>() < 0.9 {
+                        next_tier.push((listener, child_budget));
+                    }
+                }
+            }
+            if next_tier.is_empty() {
+                break;
+            }
+            tier = next_tier;
+        }
+    }
+    (edges, next_id as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphct_core::builder::build_undirected_simple;
+
+    #[test]
+    fn forest_is_acyclic_and_tree_sized() {
+        let (edges, n) = broadcast_forest(&BroadcastConfig::default(), 1);
+        // A forest over n vertices with h trees has n - h edges.
+        assert_eq!(edges.len(), n - 10);
+        let g = build_undirected_simple(&edges).unwrap();
+        assert_eq!(g.num_edges(), edges.len()); // no duplicates possible
+    }
+
+    #[test]
+    fn hubs_have_high_degree() {
+        let cfg = BroadcastConfig {
+            hubs: 3,
+            fanout: 40,
+            decay: 0.1,
+            max_depth: 3,
+        };
+        let (edges, _) = broadcast_forest(&cfg, 2);
+        let g = build_undirected_simple(&edges).unwrap();
+        for hub in 0..3 {
+            assert!(g.degree(hub) >= 40, "hub {hub} degree {}", g.degree(hub));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = BroadcastConfig::default();
+        assert_eq!(broadcast_forest(&cfg, 3).0, broadcast_forest(&cfg, 3).0);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let cfg = BroadcastConfig {
+            hubs: 1,
+            fanout: 10,
+            decay: 1.0, // no shrink: depth limit is the only stop
+            max_depth: 2,
+        };
+        let (edges, _) = broadcast_forest(&cfg, 4);
+        let g = build_undirected_simple(&edges).unwrap();
+        // BFS from the hub: no vertex deeper than max_depth.
+        let mut depth = vec![u32::MAX; g.num_vertices()];
+        depth[0] = 0;
+        let mut q = std::collections::VecDeque::from([0u32]);
+        while let Some(u) = q.pop_front() {
+            for &v in g.neighbors(u) {
+                if depth[v as usize] == u32::MAX {
+                    depth[v as usize] = depth[u as usize] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        assert!(depth.iter().all(|&d| d <= 2));
+    }
+
+    #[test]
+    fn zero_hubs_is_empty() {
+        let cfg = BroadcastConfig {
+            hubs: 0,
+            ..Default::default()
+        };
+        let (edges, n) = broadcast_forest(&cfg, 0);
+        assert!(edges.is_empty());
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Deterministic reference topologies.
+//!
+//! Known-answer graphs for unit tests, property tests, and bench
+//! baselines: their centralities, components, cores, and clustering
+//! coefficients have closed forms.
+
+use graphct_core::{EdgeList, VertexId};
+
+/// Path graph `0 – 1 – … – (n-1)`.
+pub fn path(n: usize) -> EdgeList {
+    (1..n as VertexId).map(|v| (v - 1, v)).collect()
+}
+
+/// Cycle over `n ≥ 3` vertices.
+///
+/// # Panics
+/// Panics for `n < 3`.
+pub fn cycle(n: usize) -> EdgeList {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    (0..n as VertexId)
+        .map(|v| (v, (v + 1) % n as VertexId))
+        .collect()
+}
+
+/// Star with center `0` and `n - 1` leaves.
+pub fn star(n: usize) -> EdgeList {
+    (1..n as VertexId).map(|v| (0, v)).collect()
+}
+
+/// Complete graph on `n` vertices.
+pub fn complete(n: usize) -> EdgeList {
+    let mut edges = EdgeList::with_capacity(n * (n - 1) / 2);
+    for i in 0..n as VertexId {
+        for j in (i + 1)..n as VertexId {
+            edges.push(i, j);
+        }
+    }
+    edges
+}
+
+/// `rows × cols` grid with 4-neighbor connectivity; vertex `(r, c)` is
+/// `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> EdgeList {
+    let mut edges = EdgeList::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = (r * cols + c) as VertexId;
+            if c + 1 < cols {
+                edges.push(v, v + 1);
+            }
+            if r + 1 < rows {
+                edges.push(v, v + cols as VertexId);
+            }
+        }
+    }
+    edges
+}
+
+/// Complete `arity`-ary tree of the given `depth` (depth 0 = single
+/// root).  Vertices are numbered level by level; returns the edge list.
+pub fn balanced_tree(arity: usize, depth: usize) -> EdgeList {
+    assert!(arity >= 1, "arity must be positive");
+    let mut edges = EdgeList::new();
+    let mut level_start = 0usize;
+    let mut level_size = 1usize;
+    let mut next_id = 1usize;
+    for _ in 0..depth {
+        for p in level_start..level_start + level_size {
+            for _ in 0..arity {
+                edges.push(p as VertexId, next_id as VertexId);
+                next_id += 1;
+            }
+        }
+        level_start += level_size;
+        level_size *= arity;
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphct_core::builder::build_undirected_simple;
+
+    #[test]
+    fn path_shape() {
+        let g = build_undirected_simple(&path(5)).unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert!(path(1).is_empty());
+        assert!(path(0).is_empty());
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = build_undirected_simple(&cycle(6)).unwrap();
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.degrees().iter().all(|&d| d == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_panics() {
+        cycle(2);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = build_undirected_simple(&star(7)).unwrap();
+        assert_eq!(g.degree(0), 6);
+        assert!((1..7).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = build_undirected_simple(&complete(6)).unwrap();
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.degrees().iter().all(|&d| d == 5));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = build_undirected_simple(&grid(3, 4)).unwrap();
+        assert_eq!(g.num_vertices(), 12);
+        // 3×4 grid: 3·3 horizontal + 2·4 vertical = 17 edges.
+        assert_eq!(g.num_edges(), 17);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior (1,1)
+    }
+
+    #[test]
+    fn tree_shape() {
+        let g = build_undirected_simple(&balanced_tree(2, 3)).unwrap();
+        assert_eq!(g.num_vertices(), 15); // 1+2+4+8
+        assert_eq!(g.num_edges(), 14);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(14), 1); // leaf
+        let trivial = balanced_tree(3, 0);
+        assert!(trivial.is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Planted-partition community graphs.
+//!
+//! "Natural clusters form, but the clusters do not partition the graph.
+//! The clusters overlap where communities share members, and some actors
+//! may not join any larger communities." (paper §I-B)  This generator
+//! plants `communities` groups of configurable size; vertices inside a
+//! group link with probability `p_in`, across groups with `p_out`, and a
+//! fraction of members are shared between adjacent groups to create the
+//! overlap the paper describes.
+
+use graphct_core::{EdgeList, VertexId};
+use graphct_mt::rng::task_rng;
+use rand::RngExt;
+use rayon::prelude::*;
+
+/// Configuration for [`planted_communities`].
+#[derive(Debug, Clone, Copy)]
+pub struct CommunityConfig {
+    /// Number of planted groups.
+    pub communities: usize,
+    /// Vertices per group.
+    pub community_size: usize,
+    /// Intra-group edge probability.
+    pub p_in: f64,
+    /// Inter-group edge probability (across all cross pairs).
+    pub p_out: f64,
+    /// Fraction of each group's members shared with the next group
+    /// (0 disables overlap).
+    pub overlap: f64,
+}
+
+impl Default for CommunityConfig {
+    fn default() -> Self {
+        Self {
+            communities: 8,
+            community_size: 32,
+            p_in: 0.3,
+            p_out: 0.002,
+            overlap: 0.1,
+        }
+    }
+}
+
+/// Generate the planted-community edge list. Returns `(edges, membership)`
+/// where `membership[v]` is the primary community of vertex `v`.
+pub fn planted_communities(config: &CommunityConfig, seed: u64) -> (EdgeList, Vec<usize>) {
+    assert!(
+        (0.0..=1.0).contains(&config.p_in),
+        "p_in must be a probability"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.p_out),
+        "p_out must be a probability"
+    );
+    assert!(
+        (0.0..=0.5).contains(&config.overlap),
+        "overlap must be in [0, 0.5]"
+    );
+    let k = config.communities;
+    let size = config.community_size;
+    let n = k * size;
+    let shared = (size as f64 * config.overlap) as usize;
+
+    // Group membership lists: group g owns vertices [g*size, (g+1)*size)
+    // plus the first `shared` vertices of group g+1 (wrapping not applied:
+    // the last group has no borrowed tail).
+    let group_members = |g: usize| -> Vec<VertexId> {
+        let mut v: Vec<VertexId> = (g * size..(g + 1) * size).map(|x| x as VertexId).collect();
+        if g + 1 < k {
+            v.extend(((g + 1) * size..(g + 1) * size + shared).map(|x| x as VertexId));
+        }
+        v
+    };
+
+    // Intra-community edges, parallel over groups.
+    let mut intra: Vec<(VertexId, VertexId)> = (0..k)
+        .into_par_iter()
+        .flat_map_iter(|g| {
+            let members = group_members(g);
+            let mut rng = task_rng(seed, g as u64);
+            let mut local = Vec::new();
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    if rng.random::<f64>() < config.p_in {
+                        local.push((members[i], members[j]));
+                    }
+                }
+            }
+            local
+        })
+        .collect();
+
+    // Sparse background of inter-community edges.
+    let cross_target = (config.p_out * (n * n) as f64 / 2.0) as u64;
+    let cross: Vec<(VertexId, VertexId)> = (0..cross_target)
+        .into_par_iter()
+        .filter_map(|i| {
+            let mut rng = task_rng(seed ^ 0xc405, i);
+            let s = rng.random_range(0..n as VertexId);
+            let t = rng.random_range(0..n as VertexId);
+            (s / size as u32 != t / size as u32).then_some((s, t))
+        })
+        .collect();
+    intra.extend(cross);
+
+    let membership: Vec<usize> = (0..n).map(|v| v / size).collect();
+    (EdgeList::from_pairs(intra), membership)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphct_core::builder::build_undirected_simple;
+
+    #[test]
+    fn sizes_and_membership() {
+        let cfg = CommunityConfig::default();
+        let (edges, membership) = planted_communities(&cfg, 1);
+        assert_eq!(membership.len(), 8 * 32);
+        assert!(!edges.is_empty());
+        assert_eq!(membership[0], 0);
+        assert_eq!(membership[8 * 32 - 1], 7);
+    }
+
+    #[test]
+    fn intra_density_exceeds_inter() {
+        let cfg = CommunityConfig {
+            overlap: 0.0,
+            ..Default::default()
+        };
+        let (edges, membership) = planted_communities(&cfg, 2);
+        let g = build_undirected_simple(&edges).unwrap();
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (s, t) in g.iter_arcs() {
+            if membership[s as usize] == membership[t as usize] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(
+            intra > inter * 5,
+            "communities not dense enough: intra={intra} inter={inter}"
+        );
+    }
+
+    #[test]
+    fn overlap_creates_shared_members() {
+        let cfg = CommunityConfig {
+            communities: 3,
+            community_size: 30,
+            p_in: 0.5,
+            p_out: 0.0,
+            overlap: 0.2,
+        };
+        let (edges, membership) = planted_communities(&cfg, 3);
+        let g = build_undirected_simple(&edges).unwrap();
+        // A vertex at the head of group 1 should have neighbors in both
+        // group 0 and group 1.
+        let probe = 30u32; // first vertex of group 1, borrowed by group 0
+        let groups: std::collections::HashSet<usize> = g
+            .neighbors(probe)
+            .iter()
+            .map(|&u| membership[u as usize])
+            .collect();
+        assert!(groups.contains(&0) && groups.contains(&1));
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = CommunityConfig::default();
+        assert_eq!(
+            planted_communities(&cfg, 9).0,
+            planted_communities(&cfg, 9).0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "p_in")]
+    fn invalid_probability_panics() {
+        let cfg = CommunityConfig {
+            p_in: 1.5,
+            ..Default::default()
+        };
+        planted_communities(&cfg, 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Erdős–Rényi uniform random graphs.
+
+use graphct_core::{EdgeList, VertexId};
+use graphct_mt::rng::task_rng;
+use rand::RngExt;
+use rayon::prelude::*;
+
+/// G(n, m): `m` edges drawn uniformly (with replacement) over ordered
+/// pairs with distinct endpoints.  Deduplicate via the
+/// [`graphct_core::GraphBuilder`] when a simple graph is needed.
+///
+/// # Panics
+/// Panics when `n < 2` and `m > 0` (no valid non-loop pair exists).
+pub fn gnm(n: usize, m: usize, seed: u64) -> EdgeList {
+    assert!(n >= 2 || m == 0, "G(n, m) with m > 0 requires n >= 2");
+    let pairs: Vec<(VertexId, VertexId)> = (0..m as u64)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = task_rng(seed, i);
+            let s = rng.random_range(0..n as VertexId);
+            let mut t = rng.random_range(0..(n - 1) as VertexId);
+            if t >= s {
+                t += 1;
+            }
+            (s, t)
+        })
+        .collect();
+    EdgeList::from_pairs(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphct_core::builder::build_undirected_simple;
+
+    #[test]
+    fn edge_count_and_no_loops() {
+        let e = gnm(100, 500, 1);
+        assert_eq!(e.len(), 500);
+        assert_eq!(e.count_self_loops(), 0);
+        assert!(e.min_num_vertices() <= 100);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(gnm(50, 100, 9), gnm(50, 100, 9));
+        assert_ne!(gnm(50, 100, 9), gnm(50, 100, 10));
+    }
+
+    #[test]
+    fn roughly_uniform_endpoints() {
+        let e = gnm(10, 20_000, 4);
+        let mut counts = [0usize; 10];
+        for &(s, t) in e.as_slice() {
+            counts[s as usize] += 1;
+            counts[t as usize] += 1;
+        }
+        // Each vertex expects 4000 endpoint incidences; allow ±15 %.
+        for (v, &c) in counts.iter().enumerate() {
+            assert!((3400..=4600).contains(&c), "vertex {v} count {c}");
+        }
+    }
+
+    #[test]
+    fn zero_edges_ok() {
+        assert!(gnm(0, 0, 0).is_empty());
+        assert!(gnm(1, 0, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires n >= 2")]
+    fn one_vertex_with_edges_panics() {
+        gnm(1, 5, 0);
+    }
+
+    #[test]
+    fn builds_simple_graph() {
+        let g = build_undirected_simple(&gnm(200, 800, 2)).unwrap();
+        assert!(g.num_edges() <= 800);
+        assert!(g.is_symmetric());
+    }
+}

@@ -1,0 +1,34 @@
+//! # graphct-gen — synthetic graph generators
+//!
+//! The paper evaluates GraphCT on synthetic graphs where real data is
+//! unavailable or insufficiently large: "A scale-29 R-MAT graph of 537
+//! million vertices and 8.6 billion edges emulates such a network"
+//! (§V, Facebook-scale; R-MAT parameters A=0.55, B=C=0.1, D=0.25, edge
+//! factor 16).  This crate provides:
+//!
+//! * [`rmat`] — the recursive-matrix generator (Chakrabarti–Zhan–
+//!   Faloutsos, paper ref. [7]) with the paper's parameterization as a
+//!   preset;
+//! * [`er`] — Erdős–Rényi G(n, m) uniform random graphs;
+//! * [`ba`] — Barabási–Albert preferential attachment (scale-free
+//!   degree law, the structure §III-C observes in tweet graphs);
+//! * [`broadcast`] — hub-and-spoke broadcast forests (the "tree-like
+//!   broadcast patterns" of Twitter news dissemination, §V);
+//! * [`community`] — planted-partition graphs (overlapping conversation
+//!   clusters, §I-B);
+//! * [`classic`] — deterministic reference topologies (path, cycle,
+//!   star, complete, grid, balanced tree) used heavily in tests.
+//!
+//! All randomized generators are deterministic functions of their seed,
+//! independent of thread count.
+
+pub mod ba;
+pub mod broadcast;
+pub mod classic;
+pub mod community;
+pub mod er;
+pub mod rmat;
+
+pub use ba::preferential_attachment;
+pub use er::gnm;
+pub use rmat::{rmat_edges, RmatConfig};

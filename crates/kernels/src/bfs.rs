@@ -1,0 +1,263 @@
+//! Breadth-first search.
+//!
+//! The workhorse traversal: every path-based kernel (betweenness,
+//! diameter estimation, component extraction by script) is built on a
+//! level-synchronous BFS.  Two frontier representations are provided —
+//! a packed queue and a bitmap sweep — because the best choice depends on
+//! frontier density (an ablation the bench crate measures).
+
+use graphct_core::{CsrGraph, VertexId};
+use graphct_mt::{AtomicBitmap, AtomicU32Array};
+use rayon::prelude::*;
+
+/// Level value for vertices not reached by the search.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Frontier representation for [`parallel_bfs_levels`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontierKind {
+    /// Packed vertex queue: work proportional to the frontier (best for
+    /// the sparse frontiers of high-diameter graphs).
+    #[default]
+    Queue,
+    /// Bitmap: each level sweeps all vertices and expands members of the
+    /// frontier bitmap (cheaper bookkeeping on dense frontiers of
+    /// low-diameter social networks).
+    Bitmap,
+}
+
+/// Sequential BFS levels from `source` (`UNREACHED` where not reachable).
+///
+/// The baseline used for verifying the parallel variants and as the
+/// ablation control.
+pub fn bfs_levels(graph: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source vertex out of range");
+    let mut levels = vec![UNREACHED; n];
+    levels[source as usize] = 0;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let next = levels[u as usize] + 1;
+        for &v in graph.neighbors(u) {
+            if levels[v as usize] == UNREACHED {
+                levels[v as usize] = next;
+                queue.push_back(v);
+            }
+        }
+    }
+    levels
+}
+
+/// Parallel level-synchronous BFS from `source`.
+///
+/// Vertices are claimed exactly once through a compare-exchange on the
+/// level array (the atomic-claim idiom standing in for the XMT's
+/// synchronized memory words).  Output is identical to [`bfs_levels`].
+pub fn parallel_bfs_levels(graph: &CsrGraph, source: VertexId, frontier: FrontierKind) -> Vec<u32> {
+    match frontier {
+        FrontierKind::Queue => parallel_bfs_queue(graph, source),
+        FrontierKind::Bitmap => parallel_bfs_bitmap(graph, source),
+    }
+}
+
+fn parallel_bfs_queue(graph: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source vertex out of range");
+    let levels = AtomicU32Array::filled(n, UNREACHED);
+    levels.store(source as usize, 0);
+    let mut frontier = vec![source];
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        let next_depth = depth + 1;
+        let next: Vec<VertexId> = frontier
+            .par_iter()
+            .flat_map_iter(|&u| graph.neighbors(u).iter().copied())
+            .filter(|&v| {
+                levels
+                    .compare_exchange(v as usize, UNREACHED, next_depth)
+                    .is_ok()
+            })
+            .collect();
+        frontier = next;
+        depth = next_depth;
+    }
+    levels.into_vec()
+}
+
+fn parallel_bfs_bitmap(graph: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source vertex out of range");
+    let levels = AtomicU32Array::filled(n, UNREACHED);
+    levels.store(source as usize, 0);
+    let mut current = AtomicBitmap::new(n);
+    current.set(source as usize);
+    let mut depth = 0u32;
+    let mut frontier_size = 1usize;
+    while frontier_size > 0 {
+        let next = AtomicBitmap::new(n);
+        let next_depth = depth + 1;
+        let claimed: usize = (0..n)
+            .into_par_iter()
+            .map(|u| {
+                if !current.get(u) {
+                    return 0usize;
+                }
+                let mut count = 0;
+                for &v in graph.neighbors(u as VertexId) {
+                    if levels
+                        .compare_exchange(v as usize, UNREACHED, next_depth)
+                        .is_ok()
+                    {
+                        next.set(v as usize);
+                        count += 1;
+                    }
+                }
+                count
+            })
+            .sum();
+        current = next;
+        frontier_size = claimed;
+        depth = next_depth;
+    }
+    levels.into_vec()
+}
+
+/// BFS limited to `max_depth` levels — GraphCT's "marking a breadth-first
+/// search from a given vertex of a given length" kernel (paper §IV-A).
+/// Vertices further than `max_depth` stay `UNREACHED`.
+pub fn bfs_levels_bounded(graph: &CsrGraph, source: VertexId, max_depth: u32) -> Vec<u32> {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source vertex out of range");
+    let levels = AtomicU32Array::filled(n, UNREACHED);
+    levels.store(source as usize, 0);
+    let mut frontier = vec![source];
+    let mut depth = 0u32;
+    while !frontier.is_empty() && depth < max_depth {
+        let next_depth = depth + 1;
+        frontier = frontier
+            .par_iter()
+            .flat_map_iter(|&u| graph.neighbors(u).iter().copied())
+            .filter(|&v| {
+                levels
+                    .compare_exchange(v as usize, UNREACHED, next_depth)
+                    .is_ok()
+            })
+            .collect();
+        depth = next_depth;
+    }
+    levels.into_vec()
+}
+
+/// The eccentricity observed by a BFS: the maximum finite level.
+/// Returns 0 for an isolated source.
+pub fn max_level(levels: &[u32]) -> u32 {
+    levels
+        .par_iter()
+        .copied()
+        .filter(|&l| l != UNREACHED)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphct_core::builder::build_undirected_simple;
+    use graphct_core::EdgeList;
+
+    fn graph(edges: &[(u32, u32)]) -> CsrGraph {
+        build_undirected_simple(&EdgeList::from_pairs(edges.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn path_levels() {
+        let g = graph(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(bfs_levels(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_levels(&g, 2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn disconnected_stays_unreached() {
+        let g = graph(&[(0, 1), (2, 3)]);
+        let l = bfs_levels(&g, 0);
+        assert_eq!(l[0], 0);
+        assert_eq!(l[1], 1);
+        assert_eq!(l[2], UNREACHED);
+        assert_eq!(l[3], UNREACHED);
+    }
+
+    #[test]
+    fn parallel_variants_match_sequential() {
+        // A graph with branching, a cycle, and a pendant.
+        let g = graph(&[
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 0),
+            (4, 6),
+            (7, 8),
+        ]);
+        for src in 0..g.num_vertices() as u32 {
+            let seq = bfs_levels(&g, src);
+            assert_eq!(parallel_bfs_levels(&g, src, FrontierKind::Queue), seq);
+            assert_eq!(parallel_bfs_levels(&g, src, FrontierKind::Bitmap), seq);
+        }
+    }
+
+    #[test]
+    fn larger_random_graph_agreement() {
+        // Deterministic LCG edges over 2000 vertices.
+        let mut edges = Vec::new();
+        let mut x = 99u64;
+        for _ in 0..6000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let s = ((x >> 32) % 2000) as u32;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let t = ((x >> 32) % 2000) as u32;
+            edges.push((s, t));
+        }
+        let g = graph(&edges);
+        for src in [0u32, 7, 1234] {
+            let seq = bfs_levels(&g, src);
+            assert_eq!(parallel_bfs_levels(&g, src, FrontierKind::Queue), seq);
+            assert_eq!(parallel_bfs_levels(&g, src, FrontierKind::Bitmap), seq);
+        }
+    }
+
+    #[test]
+    fn bounded_bfs_stops_at_depth() {
+        let g = graph(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let l = bfs_levels_bounded(&g, 0, 2);
+        assert_eq!(l, vec![0, 1, 2, UNREACHED, UNREACHED]);
+        let l = bfs_levels_bounded(&g, 0, 0);
+        assert_eq!(l, vec![0, UNREACHED, UNREACHED, UNREACHED, UNREACHED]);
+    }
+
+    #[test]
+    fn max_level_of_path() {
+        let g = graph(&[(0, 1), (1, 2)]);
+        assert_eq!(max_level(&bfs_levels(&g, 0)), 2);
+        let isolated = graph(&[(0, 1)]);
+        // Vertex 1 exists; bfs from 0 reaches level 1.
+        assert_eq!(max_level(&bfs_levels(&isolated, 0)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_source_panics() {
+        let g = graph(&[(0, 1)]);
+        bfs_levels(&g, 9);
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = CsrGraph::empty(1, false);
+        assert_eq!(bfs_levels(&g, 0), vec![0]);
+        assert_eq!(parallel_bfs_levels(&g, 0, FrontierKind::Queue), vec![0]);
+        assert_eq!(parallel_bfs_levels(&g, 0, FrontierKind::Bitmap), vec![0]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-vertex clustering coefficients.
+//!
+//! One of GraphCT's top-level kernels ("finding the per-vertex clustering
+//! coefficients", paper §IV-A; the streaming variant is the authors'
+//! MTAAP 2010 case study, ref. [10]).  The local clustering coefficient
+//! of `v` is the fraction of its neighbor pairs that are themselves
+//! connected:
+//!
+//! ```text
+//! C(v) = 2 · tri(v) / (deg(v) · (deg(v) − 1))
+//! ```
+//!
+//! Triangles are counted by sorted-adjacency intersection, parallel over
+//! vertices.  Requires an undirected simple graph.
+
+use graphct_core::{CsrGraph, GraphError};
+use rayon::prelude::*;
+
+/// Number of elements common to two ascending-sorted slices.
+fn intersection_size(a: &[u32], b: &[u32]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Triangles incident to each vertex (each triangle counted once per
+/// member vertex).
+pub fn triangle_counts(graph: &CsrGraph) -> Result<Vec<usize>, GraphError> {
+    if graph.is_directed() {
+        return Err(GraphError::InvalidArgument(
+            "triangle counting requires an undirected graph".into(),
+        ));
+    }
+    let n = graph.num_vertices();
+    Ok((0..n as u32)
+        .into_par_iter()
+        .map(|v| {
+            let nv = graph.neighbors(v);
+            // Each triangle v-a-b is found twice (once via a, once via b).
+            let double: usize = nv
+                .iter()
+                .filter(|&&u| u != v)
+                .map(|&u| intersection_size(nv, graph.neighbors(u)))
+                .sum();
+            double / 2
+        })
+        .collect())
+}
+
+/// Per-vertex local clustering coefficients. Vertices of degree < 2 get
+/// coefficient 0.
+pub fn clustering_coefficients(graph: &CsrGraph) -> Result<Vec<f64>, GraphError> {
+    let tri = triangle_counts(graph)?;
+    Ok(tri
+        .into_par_iter()
+        .enumerate()
+        .map(|(v, t)| {
+            let d = graph.degree(v as u32);
+            if d < 2 {
+                0.0
+            } else {
+                2.0 * t as f64 / (d * (d - 1)) as f64
+            }
+        })
+        .collect())
+}
+
+/// Global clustering coefficient (transitivity):
+/// `3 · #triangles / #open-or-closed wedges`.
+pub fn global_clustering(graph: &CsrGraph) -> Result<f64, GraphError> {
+    let tri = triangle_counts(graph)?;
+    // Per-vertex triangle incidences sum to 3 · #triangles.
+    let closed: usize = tri.par_iter().sum();
+    let wedges: usize = (0..graph.num_vertices() as u32)
+        .into_par_iter()
+        .map(|v| {
+            let d = graph.degree(v);
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    Ok(if wedges == 0 {
+        0.0
+    } else {
+        closed as f64 / wedges as f64
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphct_core::builder::build_undirected_simple;
+    use graphct_core::EdgeList;
+
+    fn graph(edges: &[(u32, u32)]) -> CsrGraph {
+        build_undirected_simple(&EdgeList::from_pairs(edges.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn triangle_is_fully_clustered() {
+        let g = graph(&[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(triangle_counts(&g).unwrap(), vec![1, 1, 1]);
+        assert_eq!(clustering_coefficients(&g).unwrap(), vec![1.0, 1.0, 1.0]);
+        assert!((global_clustering(&g).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_has_zero_clustering() {
+        let g = graph(&[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(triangle_counts(&g).unwrap(), vec![0; 4]);
+        assert_eq!(clustering_coefficients(&g).unwrap(), vec![0.0; 4]);
+        assert_eq!(global_clustering(&g).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn complete_graph_k5() {
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let g = graph(&edges);
+        // Each vertex participates in C(4,2) = 6 triangles.
+        assert_eq!(triangle_counts(&g).unwrap(), vec![6; 5]);
+        assert!(clustering_coefficients(&g)
+            .unwrap()
+            .iter()
+            .all(|&c| (c - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn triangle_with_pendant() {
+        // Triangle 0-1-2 + pendant 3 on 0.
+        let g = graph(&[(0, 1), (1, 2), (0, 2), (0, 3)]);
+        let cc = clustering_coefficients(&g).unwrap();
+        assert!((cc[0] - 1.0 / 3.0).abs() < 1e-12); // 1 of 3 pairs linked
+        assert!((cc[1] - 1.0).abs() < 1e-12);
+        assert!((cc[2] - 1.0).abs() < 1e-12);
+        assert_eq!(cc[3], 0.0); // degree 1
+                                // transitivity: 3 triangles-incidences... closed = 3, wedges = 3+1+1+0 = 5
+        assert!((global_clustering(&g).unwrap() - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_has_no_triangles() {
+        let g = graph(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(triangle_counts(&g).unwrap(), vec![0; 4]);
+        assert_eq!(global_clustering(&g).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn directed_rejected() {
+        let d = graphct_core::builder::build_directed_simple(&EdgeList::from_pairs(vec![(0, 1)]))
+            .unwrap();
+        assert!(triangle_counts(&d).is_err());
+        assert!(clustering_coefficients(&d).is_err());
+        assert!(global_clustering(&d).is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(0, false);
+        assert!(triangle_counts(&g).unwrap().is_empty());
+        assert_eq!(global_clustering(&g).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn intersection_helper() {
+        assert_eq!(intersection_size(&[1, 3, 5], &[2, 3, 5, 7]), 2);
+        assert_eq!(intersection_size(&[], &[1]), 0);
+        assert_eq!(intersection_size(&[1, 2], &[3, 4]), 0);
+    }
+}

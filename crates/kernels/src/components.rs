@@ -1,0 +1,345 @@
+//! Connected components.
+//!
+//! GraphCT extracts components "through a technique similar to Kahan's
+//! algorithm" (paper §II-A): greedy parallel neighbor coloring, then
+//! repeated absorption of higher-labeled colors into lower-labeled
+//! neighbors until no collisions remain.  On commodity hardware the same
+//! structure is expressed as parallel label propagation with atomic
+//! `fetch_min` plus pointer-jumping compression — each round every arc
+//! tries to pull its endpoints' labels down, then labels are compressed
+//! toward their roots.  The fixed point assigns every vertex the minimum
+//! vertex id in its component, which makes results deterministic.
+
+use graphct_core::subgraph::{induced_subgraph, Subgraph};
+use graphct_core::{CsrGraph, VertexId};
+use graphct_mt::AtomicU32Array;
+use rayon::prelude::*;
+
+/// Per-vertex component labels: `colors[v]` is the minimum vertex id in
+/// `v`'s (weakly) connected component.
+///
+/// # Examples
+///
+/// ```
+/// use graphct_core::{builder::build_undirected_simple, EdgeList};
+/// use graphct_kernels::components::connected_components;
+///
+/// let g = build_undirected_simple(&EdgeList::from_pairs(vec![(0, 1), (2, 3)])).unwrap();
+/// assert_eq!(connected_components(&g), vec![0, 0, 2, 2]);
+/// ```
+pub fn connected_components(graph: &CsrGraph) -> Vec<VertexId> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let colors = AtomicU32Array::filled(n, 0);
+    (0..n)
+        .into_par_iter()
+        .for_each(|v| colors.store(v, v as u32));
+
+    loop {
+        // Hook: each arc pulls the higher label down to the lower one.
+        let changed: usize = (0..n as VertexId)
+            .into_par_iter()
+            .map(|u| {
+                let mut local_changes = 0usize;
+                let cu = colors.load(u as usize);
+                for &v in graph.neighbors(u) {
+                    let cv = colors.load(v as usize);
+                    if cu < cv {
+                        if colors.fetch_min(v as usize, cu) > cu {
+                            local_changes += 1;
+                        }
+                    } else if cv < cu && colors.fetch_min(u as usize, cv) > cv {
+                        local_changes += 1;
+                    }
+                }
+                local_changes
+            })
+            .sum();
+
+        // Compress: pointer-jump every label to its current root.  This
+        // is the "relabeling the colors downward" pass of the paper,
+        // fused with Kahan's third step.
+        (0..n).into_par_iter().for_each(|v| {
+            let mut c = colors.load(v);
+            loop {
+                let parent = colors.load(c as usize);
+                if parent == c {
+                    break;
+                }
+                c = parent;
+            }
+            colors.store(v, c);
+        });
+
+        if changed == 0 {
+            break;
+        }
+    }
+    colors.into_vec()
+}
+
+/// Sequential BFS labeling — the ablation baseline and test oracle.
+pub fn sequential_components(graph: &CsrGraph) -> Vec<VertexId> {
+    let n = graph.num_vertices();
+    let mut colors = vec![graphct_core::INVALID_VERTEX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n as VertexId {
+        if colors[start as usize] != graphct_core::INVALID_VERTEX {
+            continue;
+        }
+        colors[start as usize] = start;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in graph.neighbors(u) {
+                if colors[v as usize] == graphct_core::INVALID_VERTEX {
+                    colors[v as usize] = start;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    colors
+}
+
+/// Aggregate view of a component labeling.
+#[derive(Debug, Clone)]
+pub struct ComponentSummary {
+    /// Per-vertex labels (minimum vertex id in the component).
+    pub colors: Vec<VertexId>,
+    /// `(label, size)` pairs sorted by size descending, label ascending
+    /// on ties.
+    pub by_size: Vec<(VertexId, usize)>,
+}
+
+impl ComponentSummary {
+    /// Compute the labeling and size table for `graph`.
+    pub fn compute(graph: &CsrGraph) -> Self {
+        let colors = connected_components(graph);
+        Self::from_colors(colors)
+    }
+
+    /// Build the summary from an existing labeling.
+    pub fn from_colors(colors: Vec<VertexId>) -> Self {
+        let mut size_of: std::collections::HashMap<VertexId, usize> =
+            std::collections::HashMap::new();
+        for &c in &colors {
+            *size_of.entry(c).or_insert(0) += 1;
+        }
+        let mut by_size: Vec<(VertexId, usize)> = size_of.into_iter().collect();
+        by_size.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        Self { colors, by_size }
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.by_size.len()
+    }
+
+    /// Label and size of the `rank`-th largest component (0 = largest).
+    pub fn nth_largest(&self, rank: usize) -> Option<(VertexId, usize)> {
+        self.by_size.get(rank).copied()
+    }
+
+    /// Size of the largest component, 0 for an empty graph.
+    pub fn largest_size(&self) -> usize {
+        self.by_size.first().map_or(0, |&(_, s)| s)
+    }
+}
+
+/// Extract the `rank`-th largest component (0 = largest) as a subgraph.
+/// Returns `None` when the graph has fewer components.
+pub fn nth_largest_component(graph: &CsrGraph, rank: usize) -> Option<Subgraph> {
+    let summary = ComponentSummary::compute(graph);
+    let (label, _) = summary.nth_largest(rank)?;
+    let keep: Vec<bool> = summary.colors.par_iter().map(|&c| c == label).collect();
+    Some(induced_subgraph(graph, &keep).expect("mask length matches graph"))
+}
+
+/// Distribution of component sizes: `counts[s]` = number of components
+/// with exactly `s` vertices (index 0 unused).  GraphCT's kernel list
+/// includes "calculating statistical distributions of out-degree and
+/// component sizes" (§IV-A); on Twitter data this shows the
+/// one-giant-component-plus-pair-fringe shape of Table III.
+pub fn component_size_distribution(summary: &ComponentSummary) -> Vec<usize> {
+    let max = summary.largest_size();
+    let mut counts = vec![0usize; max + 1];
+    for &(_, size) in &summary.by_size {
+        counts[size] += 1;
+    }
+    counts
+}
+
+/// Extract every component of at least `min_size` vertices as its own
+/// subgraph, largest first — the paper's "common sequence" of §IV-A:
+/// "Finding all connected components, extracting components according
+/// to their size, and analyzing those components".
+pub fn component_subgraphs(graph: &CsrGraph, min_size: usize) -> Vec<Subgraph> {
+    let summary = ComponentSummary::compute(graph);
+    summary
+        .by_size
+        .iter()
+        .take_while(|&&(_, size)| size >= min_size)
+        .map(|&(label, _)| {
+            let keep: Vec<bool> = summary.colors.par_iter().map(|&c| c == label).collect();
+            induced_subgraph(graph, &keep).expect("mask length matches graph")
+        })
+        .collect()
+}
+
+/// Extract the largest (weakly) connected component — the LWCC of the
+/// paper's Table III.
+pub fn largest_component(graph: &CsrGraph) -> Subgraph {
+    nth_largest_component(graph, 0).unwrap_or(Subgraph {
+        graph: CsrGraph::empty(0, graph.is_directed()),
+        orig_of: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphct_core::builder::build_undirected_simple;
+    use graphct_core::EdgeList;
+
+    fn graph(edges: &[(u32, u32)]) -> CsrGraph {
+        build_undirected_simple(&EdgeList::from_pairs(edges.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn single_component() {
+        let g = graph(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(connected_components(&g), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn two_components_and_isolated() {
+        // vertices 0-1-2 | 3-4 | 5 isolated (via explicit vertex count)
+        let g = graphct_core::GraphBuilder::undirected()
+            .num_vertices(6)
+            .build(&EdgeList::from_pairs(vec![(0, 1), (1, 2), (3, 4)]))
+            .unwrap();
+        let colors = connected_components(&g);
+        assert_eq!(colors, vec![0, 0, 0, 3, 3, 5]);
+        let s = ComponentSummary::from_colors(colors);
+        assert_eq!(s.num_components(), 3);
+        assert_eq!(s.nth_largest(0), Some((0, 3)));
+        assert_eq!(s.nth_largest(1), Some((3, 2)));
+        assert_eq!(s.nth_largest(2), Some((5, 1)));
+        assert_eq!(s.nth_largest(3), None);
+        assert_eq!(s.largest_size(), 3);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_random_graphs() {
+        let mut x = 7u64;
+        for trial in 0..5 {
+            let mut edges = Vec::new();
+            // Sparse: expect many components.
+            for _ in 0..800 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(trial + 1);
+                let s = ((x >> 32) % 1500) as u32;
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(trial + 1);
+                let t = ((x >> 32) % 1500) as u32;
+                edges.push((s, t));
+            }
+            let g = graph(&edges);
+            assert_eq!(
+                connected_components(&g),
+                sequential_components(&g),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_component_minima() {
+        let g = graph(&[(5, 9), (9, 7), (1, 2)]);
+        let colors = connected_components(&g);
+        // Component {5,7,9} labeled 5; {1,2} labeled 1; 0,3,4,6,8 isolated.
+        assert_eq!(colors[5], 5);
+        assert_eq!(colors[7], 5);
+        assert_eq!(colors[9], 5);
+        assert_eq!(colors[1], 1);
+        assert_eq!(colors[2], 1);
+        assert_eq!(colors[0], 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(0, false);
+        assert!(connected_components(&g).is_empty());
+        let s = ComponentSummary::compute(&g);
+        assert_eq!(s.num_components(), 0);
+        assert_eq!(s.largest_size(), 0);
+        let lwcc = largest_component(&g);
+        assert_eq!(lwcc.graph.num_vertices(), 0);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let g = graph(&[(0, 1), (1, 2), (3, 4)]);
+        let lwcc = largest_component(&g);
+        assert_eq!(lwcc.graph.num_vertices(), 3);
+        assert_eq!(lwcc.graph.num_edges(), 2);
+        assert_eq!(lwcc.orig_of, vec![0, 1, 2]);
+        let second = nth_largest_component(&g, 1).unwrap();
+        assert_eq!(second.graph.num_vertices(), 2);
+        assert_eq!(second.orig_of, vec![3, 4]);
+        assert!(nth_largest_component(&g, 2).is_none());
+    }
+
+    #[test]
+    fn size_distribution_counts_components() {
+        let g = graphct_core::GraphBuilder::undirected()
+            .num_vertices(9)
+            .build(&EdgeList::from_pairs(vec![(0, 1), (2, 3), (4, 5), (6, 7)]))
+            .unwrap();
+        let summary = ComponentSummary::compute(&g);
+        let dist = component_size_distribution(&summary);
+        // 4 pairs + 1 isolated vertex.
+        assert_eq!(dist[1], 1);
+        assert_eq!(dist[2], 4);
+        assert_eq!(dist.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn component_subgraphs_ordered_and_filtered() {
+        let g = graph(&[(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (7, 8)]);
+        let subs = component_subgraphs(&g, 3);
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].graph.num_vertices(), 4); // 5-6-7-8
+        assert_eq!(subs[1].graph.num_vertices(), 3); // 0-1-2
+        assert_eq!(subs[0].orig_of, vec![5, 6, 7, 8]);
+        let all = component_subgraphs(&g, 1);
+        assert_eq!(all.len(), 3);
+        assert!(component_subgraphs(&g, 100).is_empty());
+    }
+
+    #[test]
+    fn long_path_converges() {
+        // Pathological case for label propagation: a long path needs the
+        // pointer-jumping compression to converge in few rounds.
+        let edges: Vec<(u32, u32)> = (0..5000).map(|i| (i, i + 1)).collect();
+        let g = graph(&edges);
+        let colors = connected_components(&g);
+        assert!(colors.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn directed_graph_weak_components() {
+        // Weak connectivity on a directed chain: builder keeps arcs
+        // one-way, but our component kernel must still join them when the
+        // graph is built undirected. For the directed graph itself, the
+        // label-prop kernel inspects out-neighbors both ways via the hook
+        // on each arc, yielding weakly connected components.
+        let g = graphct_core::builder::build_directed_simple(&EdgeList::from_pairs(vec![
+            (0, 1),
+            (2, 1),
+        ]))
+        .unwrap();
+        let colors = connected_components(&g);
+        assert_eq!(colors, vec![0, 0, 0]);
+    }
+}

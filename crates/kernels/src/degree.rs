@@ -1,0 +1,112 @@
+//! Degree distribution statistics.
+//!
+//! "Computing degree distributions and histograms is straight-forward.
+//! … The degree statistics are summarized by their mean and variance. A
+//! histogram produces a general characterization of the graph; a few
+//! high degree vertices with many low degree vertices indicates a
+//! similarity to scale-free social networks." (paper §II-A, Fig. 2)
+
+use graphct_core::CsrGraph;
+use graphct_mt::histogram::log_binned_counts;
+use graphct_mt::reduce::par_mean_variance;
+use rayon::prelude::*;
+
+/// Summary statistics of a degree sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Vertex count.
+    pub n: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Population variance of the degrees.
+    pub variance: f64,
+    /// Maximum degree (0 for an empty graph).
+    pub max: usize,
+    /// Minimum degree (0 for an empty graph).
+    pub min: usize,
+}
+
+impl DegreeStats {
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// Compute degree statistics for `graph` (out-degrees; for undirected
+/// graphs these are the vertex degrees).
+pub fn degree_statistics(graph: &CsrGraph) -> DegreeStats {
+    let degrees = graph.degrees();
+    let as_f64: Vec<f64> = degrees.par_iter().map(|&d| d as f64).collect();
+    let (mean, variance) = par_mean_variance(&as_f64);
+    DegreeStats {
+        n: degrees.len(),
+        mean,
+        variance,
+        max: degrees.par_iter().copied().max().unwrap_or(0),
+        min: degrees.par_iter().copied().min().unwrap_or(0),
+    }
+}
+
+/// Exact histogram: `counts[d]` = number of vertices of degree `d`.
+pub fn degree_histogram(graph: &CsrGraph) -> Vec<usize> {
+    let degrees = graph.degrees();
+    let max = degrees.par_iter().copied().max().unwrap_or(0);
+    graphct_mt::histogram::parallel_counts(&degrees, max + 1)
+}
+
+/// Logarithmically binned degree histogram — the series behind the
+/// paper's Fig. 2 log-log plot.  Returns `(bin_lower_edges, counts)`.
+pub fn degree_log_histogram(graph: &CsrGraph, base: f64) -> (Vec<usize>, Vec<usize>) {
+    log_binned_counts(&graph.degrees(), base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphct_core::builder::build_undirected_simple;
+    use graphct_core::EdgeList;
+
+    fn graph(edges: &[(u32, u32)]) -> CsrGraph {
+        build_undirected_simple(&EdgeList::from_pairs(edges.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn path_statistics() {
+        let g = graph(&[(0, 1), (1, 2), (2, 3)]);
+        let s = degree_statistics(&g);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.min, 1);
+        assert!((s.variance - 0.25).abs() < 1e-12);
+        assert!((s.std_dev() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_histogram() {
+        let g = graph(&[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let h = degree_histogram(&g);
+        // degrees: 4,1,1,1,1 → counts[1] = 4, counts[4] = 1
+        assert_eq!(h[1], 4);
+        assert_eq!(h[4], 1);
+        assert_eq!(h[0], 0);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn log_histogram_sums_to_nonzero_vertices() {
+        let g = graph(&[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]);
+        let (_edges, counts) = degree_log_histogram(&g, 2.0);
+        assert_eq!(counts.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn empty_graph_statistics() {
+        let g = CsrGraph::empty(0, false);
+        let s = degree_statistics(&g);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.max, 0);
+    }
+}

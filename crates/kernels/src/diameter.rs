@@ -1,0 +1,159 @@
+//! Graph diameter estimation.
+//!
+//! "After loading the graph into memory and before running any kernel,
+//! the diameter of the graph is estimated by performing a breadth-first
+//! search from 256 randomly selected source vertices. The diameter is
+//! estimated by four times the longest path distance found in those
+//! searches." (paper §IV-A)
+//!
+//! GraphCT uses the estimate to size traversal queues — an overestimate
+//! wastes a little memory, an underestimate would make kernels fail — so
+//! the 4× safety multiplier errs upward.  Users "may specify an alternate
+//! multiplier or number of samples".
+
+use crate::bfs::{max_level, parallel_bfs_levels, FrontierKind};
+use graphct_core::{CsrGraph, VertexId};
+use graphct_mt::rng::task_rng;
+use rand::seq::SliceRandom;
+use rayon::prelude::*;
+
+/// Result of the sampled diameter estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiameterEstimate {
+    /// Longest shortest-path distance observed from any sampled source.
+    pub max_distance_found: u32,
+    /// `max_distance_found × multiplier` — the queue-sizing estimate.
+    pub estimate: u32,
+    /// Number of BFS sources actually sampled.
+    pub samples: usize,
+}
+
+/// Default source-sample count (paper §IV-A).
+pub const DEFAULT_SAMPLES: usize = 256;
+/// Default safety multiplier (paper §IV-A).
+pub const DEFAULT_MULTIPLIER: u32 = 4;
+
+/// Estimate the diameter from `samples` random BFS roots.
+///
+/// Deterministic in `seed`. Sampling is without replacement; when
+/// `samples >= n` every vertex is swept and `max_distance_found` is the
+/// true eccentricity maximum, i.e. the exact diameter of the graph's
+/// largest-eccentricity component.
+///
+/// # Examples
+///
+/// ```
+/// use graphct_core::{builder::build_undirected_simple, EdgeList};
+/// use graphct_kernels::diameter::estimate_diameter;
+///
+/// let g = build_undirected_simple(&EdgeList::from_pairs(vec![(0, 1), (1, 2)])).unwrap();
+/// let d = estimate_diameter(&g, 256, 4, 0); // full sweep: exact
+/// assert_eq!(d.max_distance_found, 2);
+/// assert_eq!(d.estimate, 8); // 4x queue-sizing safety factor
+/// ```
+pub fn estimate_diameter(
+    graph: &CsrGraph,
+    samples: usize,
+    multiplier: u32,
+    seed: u64,
+) -> DiameterEstimate {
+    let n = graph.num_vertices();
+    if n == 0 || samples == 0 {
+        return DiameterEstimate {
+            max_distance_found: 0,
+            estimate: 0,
+            samples: 0,
+        };
+    }
+    let sources: Vec<VertexId> = if samples >= n {
+        (0..n as VertexId).collect()
+    } else {
+        let mut rng = task_rng(seed, 0xd1a);
+        let mut all: Vec<VertexId> = (0..n as VertexId).collect();
+        all.shuffle(&mut rng);
+        all.truncate(samples);
+        all
+    };
+    let max_distance_found = sources
+        .par_iter()
+        .map(|&s| max_level(&parallel_bfs_levels(graph, s, FrontierKind::Queue)))
+        .max()
+        .unwrap_or(0);
+    DiameterEstimate {
+        max_distance_found,
+        estimate: max_distance_found.saturating_mul(multiplier),
+        samples: sources.len(),
+    }
+}
+
+/// Estimate with the paper's defaults (256 sources, multiplier 4).
+pub fn estimate_diameter_default(graph: &CsrGraph, seed: u64) -> DiameterEstimate {
+    estimate_diameter(graph, DEFAULT_SAMPLES, DEFAULT_MULTIPLIER, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphct_core::builder::build_undirected_simple;
+    use graphct_core::EdgeList;
+
+    fn graph(edges: &[(u32, u32)]) -> CsrGraph {
+        build_undirected_simple(&EdgeList::from_pairs(edges.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn full_sweep_finds_exact_diameter() {
+        let g = graph(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let d = estimate_diameter(&g, 100, 1, 0);
+        assert_eq!(d.max_distance_found, 4);
+        assert_eq!(d.estimate, 4);
+        assert_eq!(d.samples, 5);
+    }
+
+    #[test]
+    fn multiplier_applies() {
+        let g = graph(&[(0, 1), (1, 2)]);
+        let d = estimate_diameter_default(&g, 0);
+        assert_eq!(d.max_distance_found, 2);
+        assert_eq!(d.estimate, 8);
+    }
+
+    #[test]
+    fn sampled_estimate_bounded_by_true_diameter() {
+        // Path of 200 vertices: diameter 199. Any sample's max distance
+        // is between 100 (from the midpoint) and 199.
+        let edges: Vec<(u32, u32)> = (0..199u32).map(|i| (i, i + 1)).collect();
+        let g = graph(&edges);
+        let d = estimate_diameter(&g, 5, 4, 123);
+        assert_eq!(d.samples, 5);
+        assert!(d.max_distance_found >= 100);
+        assert!(d.max_distance_found <= 199);
+        assert_eq!(d.estimate, d.max_distance_found * 4);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let edges: Vec<(u32, u32)> = (0..99u32).map(|i| (i, i + 1)).collect();
+        let g = graph(&edges);
+        let a = estimate_diameter(&g, 3, 4, 7);
+        let b = estimate_diameter(&g, 3, 4, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_zero_samples() {
+        let g = CsrGraph::empty(0, false);
+        let d = estimate_diameter(&g, 10, 4, 0);
+        assert_eq!(d.estimate, 0);
+        let g = graph(&[(0, 1)]);
+        let d = estimate_diameter(&g, 0, 4, 0);
+        assert_eq!(d.samples, 0);
+    }
+
+    #[test]
+    fn disconnected_graph_reports_largest_reach() {
+        let g = graph(&[(0, 1), (1, 2), (5, 6)]);
+        let d = estimate_diameter(&g, 100, 1, 0);
+        assert_eq!(d.max_distance_found, 2);
+    }
+}

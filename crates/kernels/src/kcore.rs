@@ -1,0 +1,218 @@
+//! k-core decomposition.
+//!
+//! GraphCT's kernel list includes "extracting k-cores" (paper §IV-A).
+//! The *k-core* is the maximal subgraph in which every vertex has degree
+//! ≥ k; the *core number* of a vertex is the largest k whose k-core
+//! contains it.  Core numbers come from the Batagelj–Zaveršnik bin-sort
+//! peeling (O(m), sequential); k-core extraction uses parallel iterative
+//! peeling with atomic degree counters — the shape that scales on the
+//! multithreaded substrate.
+
+use graphct_core::subgraph::{induced_subgraph, Subgraph};
+use graphct_core::{CsrGraph, GraphError, VertexId};
+use graphct_mt::AtomicUsizeArray;
+use rayon::prelude::*;
+
+/// Per-vertex core numbers via Batagelj–Zaveršnik peeling.
+///
+/// Requires an undirected graph (degree symmetry is what makes peeling
+/// well-defined).
+pub fn core_numbers(graph: &CsrGraph) -> Result<Vec<u32>, GraphError> {
+    if graph.is_directed() {
+        return Err(GraphError::InvalidArgument(
+            "core decomposition requires an undirected graph".into(),
+        ));
+    }
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut degree: Vec<usize> = graph.degrees();
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+
+    // Bin sort vertices by degree.
+    let mut bin = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bin[d] += 1;
+    }
+    let mut start = 0;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0 as VertexId; n];
+    {
+        let mut cursor = bin.clone();
+        for v in 0..n {
+            pos[v] = cursor[degree[v]];
+            vert[pos[v]] = v as VertexId;
+            cursor[degree[v]] += 1;
+        }
+    }
+
+    // Peel in nondecreasing degree order, demoting neighbors in place.
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = vert[i] as usize;
+        core[v] = degree[v] as u32;
+        for &u in graph.neighbors(v as VertexId) {
+            let u = u as usize;
+            if degree[u] > degree[v] {
+                // Swap u toward the front of its bin, then shrink it.
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw] as usize;
+                if u != w {
+                    pos[u] = pw;
+                    pos[w] = pu;
+                    vert[pu] = w as VertexId;
+                    vert[pw] = u as VertexId;
+                }
+                bin[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+    Ok(core)
+}
+
+/// Extract the k-core as a subgraph by parallel iterative peeling:
+/// repeatedly drop every vertex whose surviving degree is below `k`.
+pub fn kcore_subgraph(graph: &CsrGraph, k: usize) -> Result<Subgraph, GraphError> {
+    if graph.is_directed() {
+        return Err(GraphError::InvalidArgument(
+            "core decomposition requires an undirected graph".into(),
+        ));
+    }
+    let n = graph.num_vertices();
+    let alive: Vec<std::sync::atomic::AtomicBool> = (0..n)
+        .map(|_| std::sync::atomic::AtomicBool::new(true))
+        .collect();
+    let degree = AtomicUsizeArray::from_vec(graph.degrees());
+
+    loop {
+        // Collect this round's victims, then remove them all at once so
+        // the sweep is race-free and deterministic.
+        let victims: Vec<VertexId> = (0..n as VertexId)
+            .into_par_iter()
+            .filter(|&v| {
+                alive[v as usize].load(std::sync::atomic::Ordering::Relaxed)
+                    && degree.load(v as usize) < k
+            })
+            .collect();
+        if victims.is_empty() {
+            break;
+        }
+        victims.par_iter().for_each(|&v| {
+            alive[v as usize].store(false, std::sync::atomic::Ordering::Relaxed);
+        });
+        victims.par_iter().for_each(|&v| {
+            for &u in graph.neighbors(v) {
+                if alive[u as usize].load(std::sync::atomic::Ordering::Relaxed) {
+                    degree.fetch_sub(u as usize, 1);
+                }
+            }
+        });
+    }
+
+    let keep: Vec<bool> = alive
+        .par_iter()
+        .map(|a| a.load(std::sync::atomic::Ordering::Relaxed))
+        .collect();
+    induced_subgraph(graph, &keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphct_core::builder::build_undirected_simple;
+    use graphct_core::EdgeList;
+
+    fn graph(edges: &[(u32, u32)]) -> CsrGraph {
+        build_undirected_simple(&EdgeList::from_pairs(edges.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn path_cores_are_one() {
+        let g = graph(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(core_numbers(&g).unwrap(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn clique_cores() {
+        // K4: every vertex has core number 3.
+        let g = graph(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(core_numbers(&g).unwrap(), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn clique_with_pendant() {
+        // Triangle 0-1-2 plus pendant 3 attached to 0.
+        let g = graph(&[(0, 1), (1, 2), (0, 2), (0, 3)]);
+        assert_eq!(core_numbers(&g).unwrap(), vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn core_number_consistency_with_extraction() {
+        // Random graph: the k-core subgraph must contain exactly the
+        // vertices with core number >= k.
+        let mut x = 5u64;
+        let mut edges = Vec::new();
+        for _ in 0..400 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+            let s = ((x >> 32) % 100) as u32;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+            let t = ((x >> 32) % 100) as u32;
+            edges.push((s, t));
+        }
+        let g = graph(&edges);
+        let cores = core_numbers(&g).unwrap();
+        for k in 0..=8usize {
+            let sub = kcore_subgraph(&g, k).unwrap();
+            let mut expected: Vec<u32> = cores
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c as usize >= k)
+                .map(|(v, _)| v as u32)
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(sub.orig_of, expected, "k={k}");
+            // Inside the k-core, every vertex has degree >= k.
+            for v in 0..sub.graph.num_vertices() as u32 {
+                assert!(sub.graph.degree(v) >= k, "k={k} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_core_keeps_everything() {
+        let g = graph(&[(0, 1), (2, 3)]);
+        let sub = kcore_subgraph(&g, 0).unwrap();
+        assert_eq!(sub.graph.num_vertices(), 4);
+    }
+
+    #[test]
+    fn huge_k_empties_graph() {
+        let g = graph(&[(0, 1), (1, 2)]);
+        let sub = kcore_subgraph(&g, 10).unwrap();
+        assert_eq!(sub.graph.num_vertices(), 0);
+    }
+
+    #[test]
+    fn directed_rejected() {
+        let d = graphct_core::builder::build_directed_simple(&EdgeList::from_pairs(vec![(0, 1)]))
+            .unwrap();
+        assert!(core_numbers(&d).is_err());
+        assert!(kcore_subgraph(&d, 1).is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(0, false);
+        assert!(core_numbers(&g).unwrap().is_empty());
+        assert_eq!(kcore_subgraph(&g, 2).unwrap().graph.num_vertices(), 0);
+    }
+}

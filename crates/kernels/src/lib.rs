@@ -1,0 +1,44 @@
+//! # graphct-kernels — parallel analysis kernels
+//!
+//! The analysis kernels GraphCT ships (paper §II-A, §IV-A): breadth-first
+//! search, connected components, betweenness centrality (exact and
+//! source-sampled approximate), k-betweenness centrality, k-core
+//! extraction, per-vertex clustering coefficients, degree statistics, and
+//! graph diameter estimation.
+//!
+//! All kernels share the immutable [`CsrGraph`](graphct_core::CsrGraph)
+//! and exploit two levels of parallelism, mirroring the paper's §II-B:
+//!
+//! * **coarse** — independent source vertices (betweenness runs "across
+//!   every source vertex s … computed independently and in parallel"),
+//!   mapped to rayon tasks with per-task workspaces;
+//! * **fine** — parallel loops over frontiers/edges synchronized only by
+//!   atomic fetch-and-add (the one primitive the paper requires, §II-B),
+//!   mapped to rayon parallel iterators over [`graphct_mt`] atomic arrays.
+//!
+//! Determinism: every sampled kernel takes an explicit seed and derives
+//! per-task RNGs by index, so results are bit-reproducible across runs
+//! and thread counts (floating-point merge order is fixed by reducing in
+//! source order).
+
+pub mod betweenness;
+pub mod bfs;
+pub mod clustering;
+pub mod components;
+pub mod confidence;
+pub mod degree;
+pub mod diameter;
+pub mod kbetweenness;
+pub mod kcore;
+
+pub use betweenness::{
+    betweenness_centrality, BetweennessConfig, BetweennessResult, SamplingStrategy, SourceSelection,
+};
+pub use bfs::{bfs_levels, parallel_bfs_levels, FrontierKind, UNREACHED};
+pub use clustering::{clustering_coefficients, global_clustering, triangle_counts};
+pub use components::{connected_components, ComponentSummary};
+pub use confidence::{betweenness_with_confidence, BetweennessCi};
+pub use degree::{degree_statistics, DegreeStats};
+pub use diameter::{estimate_diameter, DiameterEstimate};
+pub use kbetweenness::{k_betweenness_centrality, KBetweennessConfig};
+pub use kcore::{core_numbers, kcore_subgraph};

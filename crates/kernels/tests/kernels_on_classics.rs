@@ -1,0 +1,173 @@
+//! Kernels against closed-form answers on the classic topologies.
+//!
+//! Every generator in `graphct-gen::classic` has known centralities,
+//! cores, diameters, and clustering coefficients; these tests pin the
+//! kernels to those formulas at sizes large enough to exercise the
+//! parallel paths.
+
+use graphct_core::builder::build_undirected_simple;
+use graphct_gen::classic;
+use graphct_kernels::betweenness::{betweenness_centrality, BetweennessConfig};
+use graphct_kernels::components::ComponentSummary;
+use graphct_kernels::diameter::estimate_diameter;
+use graphct_kernels::kbetweenness::{k_betweenness_centrality, KBetweennessConfig};
+use graphct_kernels::{
+    clustering_coefficients, core_numbers, degree_statistics, global_clustering, kcore_subgraph,
+};
+
+fn build(edges: graphct_core::EdgeList) -> graphct_core::CsrGraph {
+    build_undirected_simple(&edges).unwrap()
+}
+
+#[test]
+fn path_betweenness_formula() {
+    // Ordered-pair BC of vertex i on a path of n vertices: 2·i·(n-1-i).
+    let n = 60usize;
+    let g = build(classic::path(n));
+    let bc = betweenness_centrality(&g, &BetweennessConfig::exact()).scores;
+    for i in 0..n {
+        let expected = 2.0 * i as f64 * (n - 1 - i) as f64;
+        assert!(
+            (bc[i] - expected).abs() < 1e-6,
+            "vertex {i}: {} vs {expected}",
+            bc[i]
+        );
+    }
+}
+
+#[test]
+fn star_betweenness_formula() {
+    // Center of an n-star: 2·C(n-1, 2) ordered pairs; leaves 0.
+    let n = 80usize;
+    let g = build(classic::star(n));
+    let bc = betweenness_centrality(&g, &BetweennessConfig::exact()).scores;
+    let leaves = (n - 1) as f64;
+    assert!((bc[0] - leaves * (leaves - 1.0)).abs() < 1e-6);
+    for leaf in 1..n {
+        assert!(bc[leaf].abs() < 1e-9);
+    }
+}
+
+#[test]
+fn grid_center_beats_corner() {
+    let g = build(classic::grid(9, 9));
+    let bc = betweenness_centrality(&g, &BetweennessConfig::exact()).scores;
+    let center = bc[4 * 9 + 4];
+    let corner = bc[0];
+    assert!(
+        center > 10.0 * corner.max(1.0),
+        "center {center} corner {corner}"
+    );
+}
+
+#[test]
+fn balanced_tree_root_dominates_and_k1_matches_k0() {
+    let g = build(classic::balanced_tree(3, 4)); // 121 vertices
+    let bc = betweenness_centrality(&g, &BetweennessConfig::exact()).scores;
+    let max = bc.iter().cloned().fold(0.0, f64::max);
+    assert!((bc[0] - max).abs() < 1e-9, "root must be most central");
+    // Trees are bipartite: no walk has length d+1, so k=1 == k=0.
+    let k1 = k_betweenness_centrality(&g, &KBetweennessConfig::exact(1))
+        .unwrap()
+        .scores;
+    for v in 0..g.num_vertices() {
+        assert!((bc[v] - k1[v]).abs() < 1e-6, "vertex {v}");
+    }
+}
+
+#[test]
+fn cycle_uniform_centrality_and_diameter() {
+    let n = 50usize;
+    let g = build(classic::cycle(n));
+    let bc = betweenness_centrality(&g, &BetweennessConfig::exact()).scores;
+    for v in 1..n {
+        assert!((bc[v] - bc[0]).abs() < 1e-6, "cycle must be uniform");
+    }
+    let d = estimate_diameter(&g, n, 1, 0);
+    assert_eq!(d.max_distance_found, (n / 2) as u32);
+}
+
+#[test]
+fn complete_graph_properties() {
+    let n = 30usize;
+    let g = build(classic::complete(n));
+    // Zero betweenness, clustering 1, core number n-1, diameter 1.
+    let bc = betweenness_centrality(&g, &BetweennessConfig::exact()).scores;
+    assert!(bc.iter().all(|&s| s.abs() < 1e-9));
+    assert!(clustering_coefficients(&g)
+        .unwrap()
+        .iter()
+        .all(|&c| (c - 1.0).abs() < 1e-12));
+    assert!((global_clustering(&g).unwrap() - 1.0).abs() < 1e-12);
+    assert!(core_numbers(&g)
+        .unwrap()
+        .iter()
+        .all(|&c| c == (n - 1) as u32));
+    assert_eq!(estimate_diameter(&g, n, 1, 0).max_distance_found, 1);
+}
+
+#[test]
+fn grid_cores_and_clustering() {
+    let g = build(classic::grid(10, 10));
+    // Grid has no triangles and every vertex sits in the 2-core.
+    assert_eq!(global_clustering(&g).unwrap(), 0.0);
+    let cores = core_numbers(&g).unwrap();
+    assert!(cores.iter().all(|&c| c == 2));
+    let two_core = kcore_subgraph(&g, 2).unwrap();
+    assert_eq!(two_core.graph.num_vertices(), 100);
+    assert_eq!(kcore_subgraph(&g, 3).unwrap().graph.num_vertices(), 0);
+}
+
+#[test]
+fn path_degree_statistics() {
+    let g = build(classic::path(1000));
+    let s = degree_statistics(&g);
+    assert_eq!(s.max, 2);
+    assert_eq!(s.min, 1);
+    assert!((s.mean - (2.0 * 999.0 / 1000.0)).abs() < 1e-9);
+}
+
+#[test]
+fn forest_of_stars_components() {
+    // Three stars glued into one edge list with disjoint vertex ranges.
+    let mut edges = classic::star(10).into_pairs();
+    edges.extend(
+        classic::star(5)
+            .into_pairs()
+            .iter()
+            .map(|&(a, b)| (a + 10, b + 10)),
+    );
+    edges.extend(
+        classic::star(7)
+            .into_pairs()
+            .iter()
+            .map(|&(a, b)| (a + 15, b + 15)),
+    );
+    let g = build(graphct_core::EdgeList::from_pairs(edges));
+    let summary = ComponentSummary::compute(&g);
+    assert_eq!(summary.num_components(), 3);
+    assert_eq!(summary.nth_largest(0).unwrap().1, 10);
+    assert_eq!(summary.nth_largest(1).unwrap().1, 7);
+    assert_eq!(summary.nth_largest(2).unwrap().1, 5);
+}
+
+#[test]
+fn sampled_bc_on_cycle_has_uniform_expectation() {
+    // On a vertex-transitive graph, averaging sampled estimates over
+    // many seeds converges to the uniform exact score.
+    let n = 24usize;
+    let g = build(classic::cycle(n));
+    let exact = betweenness_centrality(&g, &BetweennessConfig::exact()).scores[0];
+    let mut acc = vec![0.0; n];
+    let trials = 64;
+    for seed in 0..trials {
+        let approx = betweenness_centrality(&g, &BetweennessConfig::sampled(6, seed));
+        for v in 0..n {
+            acc[v] += approx.scores[v] / trials as f64;
+        }
+    }
+    for v in 0..n {
+        let rel = (acc[v] - exact).abs() / exact;
+        assert!(rel < 0.25, "vertex {v}: mean {} vs exact {exact}", acc[v]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Kendall rank correlation.
+
+/// Kendall's tau-b between two equal-length score vectors, comparing how
+/// consistently they order the same items.  Handles ties via the tau-b
+/// normalization.  Returns 0 when either vector is constant.
+///
+/// O(n²) pair enumeration — intended for comparing rankings over the
+/// top slices of score vectors, not whole multi-million-vertex graphs.
+///
+/// # Examples
+///
+/// ```
+/// use graphct_metrics::kendall_tau;
+///
+/// assert_eq!(kendall_tau(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]), 1.0);
+/// assert_eq!(kendall_tau(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]), -1.0);
+/// ```
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "score vectors must have equal length");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_a = 0i64;
+    let mut ties_b = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            if da == 0.0 && db == 0.0 {
+                // tied in both: contributes to neither normalizer
+            } else if da == 0.0 {
+                ties_a += 1;
+            } else if db == 0.0 {
+                ties_b += 1;
+            } else if (da > 0.0) == (db > 0.0) {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let denom = (((concordant + discordant + ties_a) as f64)
+        * ((concordant + discordant + ties_b) as f64))
+        .sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        (concordant - discordant) as f64 / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_order_is_one() {
+        assert!((kendall_tau(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_order_is_minus_one() {
+        assert!((kendall_tau(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_partial_agreement() {
+        // Classic example: one swapped pair among 4 → tau = (5-1)/6 = 2/3.
+        let tau = kendall_tau(&[1.0, 2.0, 3.0, 4.0], &[1.0, 2.0, 4.0, 3.0]);
+        assert!((tau - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_vector_is_zero() {
+        assert_eq!(kendall_tau(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(kendall_tau(&[], &[]), 0.0);
+        assert_eq!(kendall_tau(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn ties_handled_symmetrically() {
+        let tau_ab = kendall_tau(&[1.0, 1.0, 2.0], &[1.0, 2.0, 3.0]);
+        let tau_ba = kendall_tau(&[1.0, 2.0, 3.0], &[1.0, 1.0, 2.0]);
+        assert!((tau_ab - tau_ba).abs() < 1e-12);
+        assert!(tau_ab > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        kendall_tau(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,23 @@
+//! # graphct-metrics — ranking and distribution metrics
+//!
+//! The paper evaluates approximation quality with the "normalized set
+//! Hamming distance … to compare the top N % ranked actors" (§III-D,
+//! refs. [17], [12]) and characterizes graphs through power-law degree
+//! distributions (§III-C).  This crate supplies:
+//!
+//! * [`rank`] — deterministic descending rankings of score vectors;
+//! * [`topk`] — top-k set overlap / normalized set Hamming distance
+//!   (Fig. 5's y-axis) and Jaccard similarity;
+//! * [`kendall`] — Kendall rank correlation between two score vectors;
+//! * [`powerlaw`] — discrete maximum-likelihood power-law exponent and
+//!   Kolmogorov–Smirnov fit distance (Fig. 2's "scale-free" check).
+
+pub mod kendall;
+pub mod powerlaw;
+pub mod rank;
+pub mod topk;
+
+pub use kendall::kendall_tau;
+pub use powerlaw::{fit_power_law, PowerLawFit};
+pub use rank::{top_fraction_indices, top_k_indices};
+pub use topk::{jaccard, normalized_set_hamming, set_overlap, top_k_overlap};

@@ -1,0 +1,137 @@
+//! Power-law (Pareto) fitting for degree distributions.
+//!
+//! §III-C: "So called scale-free networks exhibit power-law
+//! distributions in their degree distributions".  We fit
+//! `P(X = x) ∝ x^(−alpha)` for `x ≥ x_min` with the discrete
+//! maximum-likelihood estimator of Clauset–Shalizi–Newman (the
+//! `0.5`-shifted continuous approximation), and report a
+//! Kolmogorov–Smirnov distance between the empirical and fitted CCDFs
+//! as a goodness-of-fit indicator.
+
+use rayon::prelude::*;
+
+/// Result of [`fit_power_law`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// Fitted exponent alpha.
+    pub alpha: f64,
+    /// The x_min used for the fit.
+    pub x_min: usize,
+    /// Number of samples ≥ x_min.
+    pub tail_samples: usize,
+    /// Kolmogorov–Smirnov distance between empirical and fitted CCDF
+    /// over the tail.
+    pub ks_distance: f64,
+}
+
+/// Fit a discrete power law to positive integer observations (e.g. a
+/// degree sequence), considering only values `>= x_min`.
+///
+/// Returns `None` when fewer than 2 tail samples exist or `x_min == 0`.
+pub fn fit_power_law(values: &[usize], x_min: usize) -> Option<PowerLawFit> {
+    if x_min == 0 {
+        return None;
+    }
+    let tail: Vec<usize> = values.par_iter().copied().filter(|&v| v >= x_min).collect();
+    let n = tail.len();
+    if n < 2 {
+        return None;
+    }
+    let shift = x_min as f64 - 0.5;
+    let log_sum: f64 = tail.par_iter().map(|&v| (v as f64 / shift).ln()).sum();
+    let alpha = 1.0 + n as f64 / log_sum;
+
+    // KS distance between empirical CCDF and the fitted Pareto CCDF
+    // P(X >= x) = (x / x_min)^(1 - alpha), evaluated at observed points.
+    let mut sorted = tail.clone();
+    sorted.par_sort_unstable();
+    let mut ks: f64 = 0.0;
+    let mut i = 0usize;
+    while i < n {
+        let x = sorted[i];
+        // rank of first occurrence → empirical P(X >= x) = (n - i) / n
+        let empirical = (n - i) as f64 / n as f64;
+        let model = (x as f64 / x_min as f64).powf(1.0 - alpha);
+        ks = ks.max((empirical - model).abs());
+        let mut j = i;
+        while j < n && sorted[j] == x {
+            j += 1;
+        }
+        i = j;
+    }
+    Some(PowerLawFit {
+        alpha,
+        x_min,
+        tail_samples: n,
+        ks_distance: ks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sample a discrete power law by inverse-transform on the continuous
+    /// approximation.
+    fn synthetic_power_law(alpha: f64, x_min: usize, n: usize, seed: u64) -> Vec<usize> {
+        let mut out = Vec::with_capacity(n);
+        let mut state = seed.max(1);
+        for _ in 0..n {
+            // xorshift64
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            let x = (x_min as f64 - 0.5) * (1.0 - u).powf(-1.0 / (alpha - 1.0)) + 0.5;
+            out.push(x as usize);
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_known_exponent() {
+        // The 0.5-shifted continuous approximation is accurate for
+        // x_min ≳ 5 (Clauset–Shalizi–Newman §3.5); at x_min = 1 it
+        // carries a known ~0.15 bias, so the test fits the tail.
+        for &alpha in &[2.0f64, 2.5, 3.0] {
+            let samples = synthetic_power_law(alpha, 5, 50_000, 42);
+            let fit = fit_power_law(&samples, 5).unwrap();
+            assert!(
+                (fit.alpha - alpha).abs() < 0.1,
+                "alpha {alpha}: fitted {}",
+                fit.alpha
+            );
+            assert!(fit.ks_distance < 0.05, "poor fit: ks={}", fit.ks_distance);
+        }
+    }
+
+    #[test]
+    fn uniform_data_fits_badly() {
+        let uniform: Vec<usize> = (1..=1000).collect();
+        let fit = fit_power_law(&uniform, 1).unwrap();
+        let pl = fit_power_law(&synthetic_power_law(2.5, 1, 1000, 7), 1).unwrap();
+        assert!(
+            fit.ks_distance > pl.ks_distance,
+            "uniform ks {} should exceed power-law ks {}",
+            fit.ks_distance,
+            pl.ks_distance
+        );
+    }
+
+    #[test]
+    fn x_min_filters_tail() {
+        let samples = vec![1, 1, 1, 5, 10, 20, 40];
+        let fit = fit_power_law(&samples, 5).unwrap();
+        assert_eq!(fit.tail_samples, 4);
+        assert_eq!(fit.x_min, 5);
+        assert!(fit.alpha > 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(fit_power_law(&[], 1).is_none());
+        assert!(fit_power_law(&[5], 1).is_none());
+        assert!(fit_power_law(&[1, 2, 3], 0).is_none());
+        assert!(fit_power_law(&[1, 1], 5).is_none());
+    }
+}

@@ -1,0 +1,120 @@
+//! Top-k set comparison metrics.
+//!
+//! Fig. 5 of the paper reports "the percent of top k actors present in
+//! both exact and approximate BC rankings", i.e. the overlap of the two
+//! top-k sets; the complementary normalized set Hamming distance is the
+//! metric named in §III-D.
+
+use crate::rank::top_fraction_indices;
+use std::collections::HashSet;
+
+/// Overlap of two top-k index sets: `|A ∩ B| / max(|A|, |B|)`.
+/// 1.0 when both sets are empty.
+pub fn set_overlap(a: &[usize], b: &[usize]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa: HashSet<usize> = a.iter().copied().collect();
+    let inter = b.iter().filter(|x| sa.contains(x)).count();
+    inter as f64 / sa.len().max(b.len()) as f64
+}
+
+/// Normalized set Hamming distance between two equal-size top-k sets:
+/// `|A Δ B| / (|A| + |B|)` — 0 for identical sets, 1 for disjoint.
+pub fn normalized_set_hamming(a: &[usize], b: &[usize]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let sa: HashSet<usize> = a.iter().copied().collect();
+    let sb: HashSet<usize> = b.iter().copied().collect();
+    let inter = sa.intersection(&sb).count();
+    let sym_diff = sa.len() + sb.len() - 2 * inter;
+    sym_diff as f64 / (sa.len() + sb.len()) as f64
+}
+
+/// Jaccard similarity `|A ∩ B| / |A ∪ B|` of two index sets.
+/// 1.0 when both are empty.
+pub fn jaccard(a: &[usize], b: &[usize]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa: HashSet<usize> = a.iter().copied().collect();
+    let sb: HashSet<usize> = b.iter().copied().collect();
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Fig. 5's measurement in one call: the fraction of the top `fraction`
+/// of `exact` scores that also appear in the top `fraction` of `approx`
+/// scores.
+///
+/// # Examples
+///
+/// ```
+/// use graphct_metrics::top_k_overlap;
+///
+/// let exact  = [9.0, 7.0, 5.0, 1.0, 0.0];
+/// let approx = [8.5, 7.7, 0.5, 4.0, 0.1]; // top-2 set unchanged
+/// assert_eq!(top_k_overlap(&exact, &approx, 0.4), 1.0);
+/// ```
+pub fn top_k_overlap(exact: &[f64], approx: &[f64], fraction: f64) -> f64 {
+    assert_eq!(
+        exact.len(),
+        approx.len(),
+        "score vectors must cover the same vertices"
+    );
+    let a = top_fraction_indices(exact, fraction);
+    let b = top_fraction_indices(approx, fraction);
+    set_overlap(&a, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets() {
+        assert_eq!(set_overlap(&[1, 2, 3], &[3, 2, 1]), 1.0);
+        assert_eq!(normalized_set_hamming(&[1, 2], &[2, 1]), 0.0);
+        assert_eq!(jaccard(&[1, 2], &[1, 2]), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        assert_eq!(set_overlap(&[1, 2], &[3, 4]), 0.0);
+        assert_eq!(normalized_set_hamming(&[1, 2], &[3, 4]), 1.0);
+        assert_eq!(jaccard(&[1], &[2]), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        assert!((set_overlap(&[1, 2, 3, 4], &[3, 4, 5, 6]) - 0.5).abs() < 1e-12);
+        assert!((normalized_set_hamming(&[1, 2, 3, 4], &[3, 4, 5, 6]) - 0.5).abs() < 1e-12);
+        assert!((jaccard(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets() {
+        assert_eq!(set_overlap(&[], &[]), 1.0);
+        assert_eq!(normalized_set_hamming(&[], &[]), 0.0);
+        assert_eq!(jaccard(&[], &[]), 1.0);
+        assert_eq!(set_overlap(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn top_k_overlap_on_scores() {
+        let exact = [10.0, 9.0, 8.0, 1.0, 0.5, 0.1, 0.0, 0.0, 0.0, 0.0];
+        // approx swaps ranks inside the top set and outside it.
+        let approx = [9.0, 10.0, 7.5, 0.4, 1.2, 0.2, 0.0, 0.0, 0.0, 0.0];
+        assert_eq!(top_k_overlap(&exact, &approx, 0.3), 1.0);
+        // Top 10% (1 element): exact {0}, approx {1} → 0 overlap.
+        assert_eq!(top_k_overlap(&exact, &approx, 0.1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same vertices")]
+    fn mismatched_lengths_panic() {
+        top_k_overlap(&[1.0], &[1.0, 2.0], 0.5);
+    }
+}

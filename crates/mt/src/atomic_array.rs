@@ -1,0 +1,389 @@
+//! Shared atomic arrays with fetch-and-add semantics.
+//!
+//! The Cray XMT exposes every 64-bit memory word as a synchronization
+//! target; GraphCT's kernels lean almost exclusively on atomic
+//! fetch-and-add into large shared arrays (path counts, dependency
+//! accumulators, component labels).  These types provide the same shape on
+//! commodity hardware: a heap array of atomics with relaxed-by-default
+//! ordering, plus cheap conversion back to a plain `Vec` once the parallel
+//! phase is over.
+//!
+//! Orderings: all operations use `Relaxed` unless documented otherwise.
+//! The kernels in this workspace only ever read an array after a rayon
+//! parallel construct has joined, and the join itself provides the
+//! necessary happens-before edge, so relaxed atomics are sufficient and
+//! fastest — the same reasoning the XMT applies by fencing at parallel
+//! region boundaries.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// A fixed-length shared array of `f64` supporting atomic fetch-and-add.
+///
+/// `f64` has no native atomic on stable Rust, so each cell is stored as the
+/// IEEE-754 bit pattern inside an [`AtomicU64`] and fetch-and-add is a
+/// compare-exchange loop.  Contention on betweenness-centrality
+/// accumulators is low (writes are scattered across millions of vertices),
+/// so the loop almost always succeeds on the first try.
+///
+/// # Examples
+///
+/// ```
+/// use graphct_mt::AtomicF64Array;
+/// use rayon::prelude::*;
+///
+/// let acc = AtomicF64Array::zeros(1);
+/// (0..1024).into_par_iter().for_each(|_| { acc.fetch_add(0, 0.5); });
+/// assert_eq!(acc.load(0), 512.0);
+/// ```
+#[derive(Debug)]
+pub struct AtomicF64Array {
+    cells: Vec<AtomicU64>,
+}
+
+impl AtomicF64Array {
+    /// Create an array of `len` cells, all `0.0`.
+    pub fn zeros(len: usize) -> Self {
+        let mut cells = Vec::with_capacity(len);
+        cells.resize_with(len, || AtomicU64::new(0));
+        Self { cells }
+    }
+
+    /// Take ownership of an existing vector of values.
+    pub fn from_vec(values: Vec<f64>) -> Self {
+        let cells = values
+            .into_iter()
+            .map(|v| AtomicU64::new(v.to_bits()))
+            .collect();
+        Self { cells }
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when the array has no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Atomically load cell `i`.
+    #[inline]
+    pub fn load(&self, i: usize) -> f64 {
+        f64::from_bits(self.cells[i].load(Ordering::Relaxed))
+    }
+
+    /// Atomically store `value` into cell `i`.
+    #[inline]
+    pub fn store(&self, i: usize, value: f64) {
+        self.cells[i].store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Atomically add `delta` to cell `i`, returning the previous value.
+    ///
+    /// This is the analog of the XMT's `int_fetch_add` applied to floating
+    /// point accumulators (GraphCT performs the same emulation since the
+    /// XMT's primitive is integer-only).
+    #[inline]
+    pub fn fetch_add(&self, i: usize, delta: f64) -> f64 {
+        let cell = &self.cells[i];
+        let mut current = cell.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(current) + delta).to_bits();
+            match cell.compare_exchange_weak(current, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(prev) => return f64::from_bits(prev),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Reset every cell to `0.0` (sequential; call outside parallel phases).
+    pub fn reset(&mut self) {
+        for cell in &mut self.cells {
+            *cell.get_mut() = 0;
+        }
+    }
+
+    /// Consume the array, returning the plain values.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.cells
+            .into_iter()
+            .map(|c| f64::from_bits(c.into_inner()))
+            .collect()
+    }
+
+    /// Copy the current contents into a plain vector.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.cells
+            .iter()
+            .map(|c| f64::from_bits(c.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+/// A fixed-length shared array of `usize` counters.
+#[derive(Debug)]
+pub struct AtomicUsizeArray {
+    cells: Vec<AtomicUsize>,
+}
+
+impl AtomicUsizeArray {
+    /// Create an array of `len` cells, all zero.
+    pub fn zeros(len: usize) -> Self {
+        let mut cells = Vec::with_capacity(len);
+        cells.resize_with(len, || AtomicUsize::new(0));
+        Self { cells }
+    }
+
+    /// Create an array of `len` cells, all `value`.
+    pub fn filled(len: usize, value: usize) -> Self {
+        let mut cells = Vec::with_capacity(len);
+        cells.resize_with(len, || AtomicUsize::new(value));
+        Self { cells }
+    }
+
+    /// Take ownership of an existing vector of values.
+    pub fn from_vec(values: Vec<usize>) -> Self {
+        Self {
+            cells: values.into_iter().map(AtomicUsize::new).collect(),
+        }
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when the array has no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Atomically load cell `i`.
+    #[inline]
+    pub fn load(&self, i: usize) -> usize {
+        self.cells[i].load(Ordering::Relaxed)
+    }
+
+    /// Atomically store into cell `i`.
+    #[inline]
+    pub fn store(&self, i: usize, value: usize) {
+        self.cells[i].store(value, Ordering::Relaxed);
+    }
+
+    /// Atomic fetch-and-add; returns the previous value.
+    #[inline]
+    pub fn fetch_add(&self, i: usize, delta: usize) -> usize {
+        self.cells[i].fetch_add(delta, Ordering::Relaxed)
+    }
+
+    /// Atomic fetch-and-subtract; returns the previous value.
+    #[inline]
+    pub fn fetch_sub(&self, i: usize, delta: usize) -> usize {
+        self.cells[i].fetch_sub(delta, Ordering::Relaxed)
+    }
+
+    /// Atomically lower cell `i` to `min(current, value)`; returns the
+    /// previous value.  Used by the label-propagation connected-components
+    /// kernel to absorb higher colors into lower ones.
+    #[inline]
+    pub fn fetch_min(&self, i: usize, value: usize) -> usize {
+        self.cells[i].fetch_min(value, Ordering::Relaxed)
+    }
+
+    /// Atomic compare-exchange on cell `i`.
+    #[inline]
+    pub fn compare_exchange(&self, i: usize, current: usize, new: usize) -> Result<usize, usize> {
+        self.cells[i].compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed)
+    }
+
+    /// Consume the array, returning the plain values.
+    pub fn into_vec(self) -> Vec<usize> {
+        self.cells.into_iter().map(|c| c.into_inner()).collect()
+    }
+
+    /// Copy the current contents into a plain vector.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.cells
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// A fixed-length shared array of `u32` values (vertex labels, levels).
+#[derive(Debug)]
+pub struct AtomicU32Array {
+    cells: Vec<AtomicU32>,
+}
+
+impl AtomicU32Array {
+    /// Create an array of `len` cells, all `value`.
+    pub fn filled(len: usize, value: u32) -> Self {
+        let mut cells = Vec::with_capacity(len);
+        cells.resize_with(len, || AtomicU32::new(value));
+        Self { cells }
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when the array has no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Atomically load cell `i`.
+    #[inline]
+    pub fn load(&self, i: usize) -> u32 {
+        self.cells[i].load(Ordering::Relaxed)
+    }
+
+    /// Atomically store into cell `i`.
+    #[inline]
+    pub fn store(&self, i: usize, value: u32) {
+        self.cells[i].store(value, Ordering::Relaxed);
+    }
+
+    /// Atomic compare-exchange on cell `i`; returns `Ok(previous)` on
+    /// success.  BFS uses this to claim unvisited vertices exactly once.
+    #[inline]
+    pub fn compare_exchange(&self, i: usize, current: u32, new: u32) -> Result<u32, u32> {
+        self.cells[i].compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed)
+    }
+
+    /// Atomically lower cell `i` to `min(current, value)`; returns previous.
+    #[inline]
+    pub fn fetch_min(&self, i: usize, value: u32) -> u32 {
+        self.cells[i].fetch_min(value, Ordering::Relaxed)
+    }
+
+    /// Consume the array, returning the plain values.
+    pub fn into_vec(self) -> Vec<u32> {
+        self.cells.into_iter().map(|c| c.into_inner()).collect()
+    }
+
+    /// Copy the current contents into a plain vector.
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.cells
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn f64_zeros_and_len() {
+        let a = AtomicF64Array::zeros(10);
+        assert_eq!(a.len(), 10);
+        assert!(!a.is_empty());
+        assert_eq!(a.load(3), 0.0);
+        assert!(AtomicF64Array::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn f64_store_load_roundtrip() {
+        let a = AtomicF64Array::zeros(4);
+        a.store(2, -3.5);
+        assert_eq!(a.load(2), -3.5);
+        assert_eq!(a.load(0), 0.0);
+    }
+
+    #[test]
+    fn f64_fetch_add_returns_previous() {
+        let a = AtomicF64Array::zeros(1);
+        assert_eq!(a.fetch_add(0, 1.25), 0.0);
+        assert_eq!(a.fetch_add(0, 2.0), 1.25);
+        assert_eq!(a.load(0), 3.25);
+    }
+
+    #[test]
+    fn f64_parallel_fetch_add_sums_exactly() {
+        // Powers of two so floating-point addition is exact regardless of order.
+        let a = AtomicF64Array::zeros(3);
+        (0..4096usize).into_par_iter().for_each(|_| {
+            a.fetch_add(1, 0.5);
+        });
+        assert_eq!(a.load(1), 2048.0);
+        assert_eq!(a.load(0), 0.0);
+        assert_eq!(a.load(2), 0.0);
+    }
+
+    #[test]
+    fn f64_from_vec_into_vec_roundtrip() {
+        let v = vec![1.0, -2.0, 0.25];
+        let a = AtomicF64Array::from_vec(v.clone());
+        assert_eq!(a.to_vec(), v);
+        assert_eq!(a.into_vec(), v);
+    }
+
+    #[test]
+    fn f64_reset_zeroes_all() {
+        let mut a = AtomicF64Array::from_vec(vec![1.0, 2.0]);
+        a.reset();
+        assert_eq!(a.to_vec(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn usize_counters_parallel() {
+        let a = AtomicUsizeArray::zeros(8);
+        (0..8000usize).into_par_iter().for_each(|i| {
+            a.fetch_add(i % 8, 1);
+        });
+        assert_eq!(a.to_vec(), vec![1000; 8]);
+    }
+
+    #[test]
+    fn usize_fetch_min_lowers_only() {
+        let a = AtomicUsizeArray::filled(2, 100);
+        assert_eq!(a.fetch_min(0, 42), 100);
+        assert_eq!(a.load(0), 42);
+        assert_eq!(a.fetch_min(0, 77), 42);
+        assert_eq!(a.load(0), 42);
+        assert_eq!(a.load(1), 100);
+    }
+
+    #[test]
+    fn usize_fetch_sub_and_compare_exchange() {
+        let a = AtomicUsizeArray::from_vec(vec![5]);
+        assert_eq!(a.fetch_sub(0, 2), 5);
+        assert_eq!(a.load(0), 3);
+        assert_eq!(a.compare_exchange(0, 3, 9), Ok(3));
+        assert_eq!(a.compare_exchange(0, 3, 1), Err(9));
+        assert_eq!(a.into_vec(), vec![9]);
+    }
+
+    #[test]
+    fn u32_compare_exchange_claims_once() {
+        const UNCLAIMED: u32 = u32::MAX;
+        let a = AtomicU32Array::filled(1, UNCLAIMED);
+        let winners: usize = (0..64u32)
+            .into_par_iter()
+            .map(|t| a.compare_exchange(0, UNCLAIMED, t).is_ok() as usize)
+            .sum();
+        assert_eq!(winners, 1);
+        assert_ne!(a.load(0), UNCLAIMED);
+    }
+
+    #[test]
+    fn u32_fetch_min_and_vec_roundtrip() {
+        let a = AtomicU32Array::filled(3, 7);
+        a.store(1, 2);
+        assert_eq!(a.fetch_min(1, 5), 2);
+        assert_eq!(a.to_vec(), vec![7, 2, 7]);
+        assert_eq!(a.into_vec(), vec![7, 2, 7]);
+    }
+}

@@ -1,0 +1,157 @@
+//! A concurrent fixed-size bit set.
+//!
+//! Level-synchronous BFS marks vertices visited from many threads at once;
+//! a bitmap of atomic words keeps that state 64× denser than a byte array,
+//! which matters when the frontier sweeps graphs with tens of millions of
+//! vertices (paper §IV-C).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-length concurrent bit set backed by `AtomicU64` words.
+#[derive(Debug)]
+pub struct AtomicBitmap {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitmap {
+    /// Create a bitmap with `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        let nwords = len.div_ceil(64);
+        let mut words = Vec::with_capacity(nwords);
+        words.resize_with(nwords, || AtomicU64::new(0));
+        Self { words, len }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the bitmap has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let word = self.words[i / 64].load(Ordering::Relaxed);
+        word & (1u64 << (i % 64)) != 0
+    }
+
+    /// Atomically set bit `i`, returning `true` if this call changed it
+    /// from clear to set (i.e. the caller "won" the claim).
+    #[inline]
+    pub fn test_and_set(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        let prev = self.words[i / 64].fetch_or(mask, Ordering::Relaxed);
+        prev & mask == 0
+    }
+
+    /// Set bit `i` unconditionally.
+    #[inline]
+    pub fn set(&self, i: usize) {
+        self.test_and_set(i);
+    }
+
+    /// Clear every bit (sequential; call between parallel phases).
+    pub fn clear_all(&mut self) {
+        for w in &mut self.words {
+            *w.get_mut() = 0;
+        }
+    }
+
+    /// Count the set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterate over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, w)| {
+            let mut bits = w.load(Ordering::Relaxed);
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn new_is_all_clear() {
+        let b = AtomicBitmap::new(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert!(!b.get(0));
+        assert!(!b.get(129));
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let b = AtomicBitmap::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn test_and_set_claims_exactly_once() {
+        let b = AtomicBitmap::new(1);
+        assert!(b.test_and_set(0));
+        assert!(!b.test_and_set(0));
+        assert!(b.get(0));
+    }
+
+    #[test]
+    fn parallel_claims_are_unique() {
+        let b = AtomicBitmap::new(1000);
+        // Each bit gets hammered by 16 racers; exactly one should win.
+        let wins: usize = (0..16_000usize)
+            .into_par_iter()
+            .map(|i| b.test_and_set(i % 1000) as usize)
+            .sum();
+        assert_eq!(wins, 1000);
+        assert_eq!(b.count_ones(), 1000);
+    }
+
+    #[test]
+    fn iter_ones_matches_set_bits() {
+        let b = AtomicBitmap::new(200);
+        let expected = [0usize, 5, 63, 64, 65, 127, 128, 199];
+        for &i in &expected {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn clear_all_resets() {
+        let mut b = AtomicBitmap::new(70);
+        b.set(3);
+        b.set(69);
+        b.clear_all();
+        assert_eq!(b.count_ones(), 0);
+        assert!(!b.get(69));
+    }
+}

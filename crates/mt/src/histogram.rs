@@ -1,0 +1,201 @@
+//! Parallel counting and histogram reductions.
+//!
+//! GraphCT's degree and component-size statistics (paper §II-A: "Computing
+//! degree distributions and histograms is straight-forward") reduce to
+//! counting occurrences of small integer keys across huge arrays.  We use
+//! per-thread partial counts merged by rayon's reduce, which avoids the
+//! cache-line ping-pong of a single shared atomic array.
+
+use rayon::prelude::*;
+
+/// Count occurrences of each key in `keys`, where every key is `< nkeys`.
+///
+/// # Panics
+/// Panics (in debug builds via index check) if any key is `>= nkeys`.
+pub fn parallel_counts(keys: &[usize], nkeys: usize) -> Vec<usize> {
+    keys.par_iter()
+        .fold(
+            || vec![0usize; nkeys],
+            |mut local, &k| {
+                local[k] += 1;
+                local
+            },
+        )
+        .reduce(
+            || vec![0usize; nkeys],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+}
+
+/// A fixed-width linear-binned histogram over `f64` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive lower edge of the first bin.
+    pub min: f64,
+    /// Exclusive upper edge of the last bin (samples equal to `max` land
+    /// in the final bin).
+    pub max: f64,
+    /// Per-bin sample counts.
+    pub counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Build a histogram of `samples` with `nbins` equal-width bins
+    /// spanning `[min, max]`.  Out-of-range samples are clamped into the
+    /// first/last bin.
+    ///
+    /// # Panics
+    /// Panics if `nbins == 0` or `max <= min`.
+    pub fn build(samples: &[f64], nbins: usize, min: f64, max: f64) -> Self {
+        assert!(nbins > 0, "histogram needs at least one bin");
+        assert!(max > min, "histogram range must be non-degenerate");
+        let width = (max - min) / nbins as f64;
+        let counts = samples
+            .par_iter()
+            .fold(
+                || vec![0usize; nbins],
+                |mut local, &s| {
+                    let bin = ((s - min) / width).floor();
+                    let bin = (bin.max(0.0) as usize).min(nbins - 1);
+                    local[bin] += 1;
+                    local
+                },
+            )
+            .reduce(
+                || vec![0usize; nbins],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        Self { min, max, counts }
+    }
+
+    /// Total number of samples binned.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// The `(lower, upper)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        (
+            self.min + width * i as f64,
+            self.min + width * (i + 1) as f64,
+        )
+    }
+}
+
+/// Logarithmically binned counts of positive integer observations —
+/// the right presentation for heavy-tailed degree distributions (paper
+/// Fig. 2 is a log-log degree plot).
+///
+/// Bin `i` covers degrees in `[base^i, base^(i+1))`; returns
+/// `(bin_lower_edges, counts)` trimmed to the last non-empty bin.
+pub fn log_binned_counts(values: &[usize], base: f64) -> (Vec<usize>, Vec<usize>) {
+    assert!(base > 1.0, "log binning requires base > 1");
+    let max = values.par_iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let nbins = (max as f64).log(base).floor() as usize + 1;
+    let counts = values
+        .par_iter()
+        .filter(|&&v| v > 0)
+        .fold(
+            || vec![0usize; nbins],
+            |mut local, &v| {
+                let bin = (v as f64).log(base).floor() as usize;
+                local[bin.min(nbins - 1)] += 1;
+                local
+            },
+        )
+        .reduce(
+            || vec![0usize; nbins],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+    let edges = (0..nbins).map(|i| base.powi(i as i32) as usize).collect();
+    (edges, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_small() {
+        assert_eq!(parallel_counts(&[0, 1, 1, 2, 2, 2], 4), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn counts_empty() {
+        assert_eq!(parallel_counts(&[], 3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn counts_large_matches_sequential() {
+        let keys: Vec<usize> = (0..200_000).map(|i| (i * 31) % 17).collect();
+        let par = parallel_counts(&keys, 17);
+        let mut seq = vec![0usize; 17];
+        for &k in &keys {
+            seq[k] += 1;
+        }
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn histogram_basic_binning() {
+        let samples = [0.0, 0.5, 1.0, 1.5, 2.0, 3.9, 4.0];
+        let h = Histogram::build(&samples, 4, 0.0, 4.0);
+        // bins: [0,1) [1,2) [2,3) [3,4]
+        assert_eq!(h.counts, vec![2, 2, 1, 2]);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let h = Histogram::build(&[-5.0, 10.0], 2, 0.0, 1.0);
+        assert_eq!(h.counts, vec![1, 1]);
+    }
+
+    #[test]
+    fn histogram_bin_edges() {
+        let h = Histogram::build(&[], 4, 0.0, 8.0);
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(3), (6.0, 8.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        Histogram::build(&[], 0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn log_binning_powers_of_two() {
+        // values: 1,1,2,3,4,8 with base 2 → bins [1,2)=2, [2,4)=2, [4,8)=1, [8,16)=1
+        let (edges, counts) = log_binned_counts(&[1, 1, 2, 3, 4, 8], 2.0);
+        assert_eq!(edges, vec![1, 2, 4, 8]);
+        assert_eq!(counts, vec![2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn log_binning_ignores_zeros_and_empty() {
+        let (edges, counts) = log_binned_counts(&[0, 0], 2.0);
+        assert!(edges.is_empty() && counts.is_empty());
+        let (_, counts) = log_binned_counts(&[0, 1, 0, 1], 2.0);
+        assert_eq!(counts, vec![2]);
+    }
+}

@@ -1,0 +1,40 @@
+//! # graphct-mt — multithreaded substrate for GraphCT-rs
+//!
+//! The original GraphCT targets the Cray XMT, whose programming model rests
+//! on three pillars (paper §II-B): a globally addressable shared memory,
+//! light-weight hardware threads, and cheap word-level synchronization —
+//! chiefly the atomic *fetch-and-add* and the more exotic *full/empty bit*
+//! primitives.
+//!
+//! This crate is the commodity-multicore analog of that substrate.  It
+//! provides:
+//!
+//! * [`AtomicF64Array`], [`AtomicUsizeArray`], [`AtomicU32Array`] — shared
+//!   arrays with fetch-and-add / fetch-min, the only synchronization the
+//!   paper's kernels require (§II-B: "The only synchronization operation
+//!   required ... is an atomic fetch-and-add").
+//! * [`AtomicBitmap`] — a concurrent bit set used for BFS `visited` flags.
+//! * [`FullEmptyCell`] — an emulation of the XMT's full/empty-bit
+//!   synchronized memory word.
+//! * [`prefix`] — parallel prefix sums used when packing frontiers and
+//!   building CSR offsets.
+//! * [`histogram`] — parallel counting/histogram reductions.
+//! * [`rng`] — deterministic splittable seeding so that parallel runs are
+//!   reproducible regardless of thread schedule.
+//! * [`reduce`] — small parallel reduction helpers (sum/max/argmax).
+//!
+//! Everything here is independent of the graph data structures; the kernels
+//! crate composes these primitives with rayon parallel loops, mirroring how
+//! GraphCT composes XMT compiler pragmas with fetch-and-add.
+
+pub mod atomic_array;
+pub mod bitmap;
+pub mod full_empty;
+pub mod histogram;
+pub mod prefix;
+pub mod reduce;
+pub mod rng;
+
+pub use atomic_array::{AtomicF64Array, AtomicU32Array, AtomicUsizeArray};
+pub use bitmap::AtomicBitmap;
+pub use full_empty::FullEmptyCell;

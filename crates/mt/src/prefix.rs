@@ -1,0 +1,114 @@
+//! Parallel prefix sums.
+//!
+//! CSR construction and frontier packing both reduce to an exclusive scan
+//! over per-vertex counts.  We use the classic two-pass chunked scan:
+//! parallel partial sums per chunk, a short sequential scan over chunk
+//! totals, then a parallel sweep writing final offsets.
+
+use rayon::prelude::*;
+
+/// Minimum input length before the parallel path is worth the overhead.
+const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Exclusive prefix sum: `out[i] = counts[0] + … + counts[i-1]`.
+///
+/// Returns `(offsets, total)` where `offsets.len() == counts.len() + 1`
+/// and `offsets[counts.len()] == total` — exactly the CSR offset shape.
+pub fn exclusive_prefix_sum(counts: &[usize]) -> (Vec<usize>, usize) {
+    let n = counts.len();
+    if n < PAR_THRESHOLD {
+        let mut out = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        for &c in counts {
+            out.push(acc);
+            acc += c;
+        }
+        out.push(acc);
+        return (out, acc);
+    }
+
+    let nchunks = rayon::current_num_threads().max(1) * 4;
+    let chunk = n.div_ceil(nchunks);
+    let chunk_sums: Vec<usize> = counts.par_chunks(chunk).map(|c| c.iter().sum()).collect();
+
+    // Sequential scan over the (small) chunk totals.
+    let mut chunk_offsets = Vec::with_capacity(chunk_sums.len());
+    let mut acc = 0usize;
+    for &s in &chunk_sums {
+        chunk_offsets.push(acc);
+        acc += s;
+    }
+    let total = acc;
+
+    let mut out = vec![0usize; n + 1];
+    out[n] = total;
+    // Fill each chunk's offsets in parallel starting from its base.
+    out[..n]
+        .par_chunks_mut(chunk)
+        .zip(counts.par_chunks(chunk))
+        .zip(chunk_offsets.par_iter())
+        .for_each(|((out_chunk, counts_chunk), &base)| {
+            let mut acc = base;
+            for (o, &c) in out_chunk.iter_mut().zip(counts_chunk) {
+                *o = acc;
+                acc += c;
+            }
+        });
+    (out, total)
+}
+
+/// Inclusive prefix sum: `out[i] = counts[0] + … + counts[i]`.
+pub fn inclusive_prefix_sum(counts: &[usize]) -> Vec<usize> {
+    // exclusive[i+1] equals inclusive[i], so dropping the leading zero of
+    // the exclusive scan yields the inclusive scan.
+    let (mut ex, _total) = exclusive_prefix_sum(counts);
+    ex.remove(0);
+    ex
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        let (offsets, total) = exclusive_prefix_sum(&[]);
+        assert_eq!(offsets, vec![0]);
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn small_sequential_case() {
+        let (offsets, total) = exclusive_prefix_sum(&[3, 0, 2, 5]);
+        assert_eq!(offsets, vec![0, 3, 3, 5, 10]);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn inclusive_matches_manual() {
+        assert_eq!(inclusive_prefix_sum(&[1, 2, 3]), vec![1, 3, 6]);
+        assert_eq!(inclusive_prefix_sum(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn large_parallel_matches_sequential() {
+        let counts: Vec<usize> = (0..100_000).map(|i| (i * 7 + 3) % 11).collect();
+        let (par, total) = exclusive_prefix_sum(&counts);
+        let mut acc = 0usize;
+        for (i, &c) in counts.iter().enumerate() {
+            assert_eq!(par[i], acc, "mismatch at {i}");
+            acc += c;
+        }
+        assert_eq!(par[counts.len()], acc);
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn all_zeros() {
+        let counts = vec![0usize; 50_000];
+        let (offsets, total) = exclusive_prefix_sum(&counts);
+        assert_eq!(total, 0);
+        assert!(offsets.iter().all(|&o| o == 0));
+        assert_eq!(offsets.len(), 50_001);
+    }
+}

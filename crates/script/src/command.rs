@@ -1,0 +1,412 @@
+//! Script parsing.
+
+use std::path::PathBuf;
+
+/// What a `print` line reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrintTarget {
+    /// `print diameter [percent]` — estimated diameter, optionally from
+    /// BFS roots at `percent` % of the vertices (default: 256 roots).
+    Diameter { percent: Option<u32> },
+    /// `print degrees` — mean/variance/max/min of the degrees.
+    Degrees,
+    /// `print components` — component count and largest sizes.
+    Components,
+    /// `print graph` — vertex/edge counts and memory footprint.
+    Graph,
+}
+
+/// One parsed script line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `read dimacs <file>` | `read binary <file>` | `read edges <file>`
+    Read { format: String, path: PathBuf },
+    /// `print …`
+    Print(PrintTarget),
+    /// `save graph` — push the current graph onto the stack.
+    SaveGraph,
+    /// `restore graph` — pop the stack into the current graph.
+    RestoreGraph,
+    /// `extract component <rank>` (1-indexed by size), optional binary
+    /// dump of the extracted component.
+    ExtractComponent {
+        rank: usize,
+        save_to: Option<PathBuf>,
+    },
+    /// `kcentrality <k> <sources>`, optional per-vertex score file.
+    KCentrality {
+        k: usize,
+        sources: usize,
+        save_to: Option<PathBuf>,
+    },
+    /// `kcores <k>` — replace the current graph by its k-core.
+    KCores { k: usize },
+    /// `clustering` — per-vertex clustering coefficients, optional file.
+    Clustering { save_to: Option<PathBuf> },
+    /// `bfs <source> <depth>` — bounded BFS marking, reporting reach.
+    Bfs { source: u32, depth: u32 },
+    /// `seed <n>` — set the RNG seed used by sampled kernels.
+    Seed(u64),
+    /// `repeat <n>` … `end` — run the body `n` times.  The original
+    /// GraphCT "contains no loop constructs"; the paper lists "simple
+    /// loop structures" as future work (§IV-B), implemented here.
+    Repeat {
+        /// Iteration count.
+        count: usize,
+        /// Body commands with their source line numbers.
+        body: Vec<(usize, Command)>,
+    },
+}
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based script line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "script line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Split a `=> file` redirect off the end of a token list.
+fn split_redirect<'a>(
+    tokens: &'a [&'a str],
+    line: usize,
+) -> Result<(&'a [&'a str], Option<PathBuf>), ParseError> {
+    if let Some(pos) = tokens.iter().position(|&t| t == "=>") {
+        if pos + 1 != tokens.len() - 1 {
+            return Err(err(line, "'=>' must be followed by exactly one file name"));
+        }
+        Ok((&tokens[..pos], Some(PathBuf::from(tokens[pos + 1]))))
+    } else {
+        Ok((tokens, None))
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(
+    token: Option<&&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, ParseError> {
+    token
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| err(line, format!("expected {what}")))
+}
+
+/// Parse one line; `Ok(None)` for blanks and `#` comments.
+pub fn parse_line(raw: &str, line: usize) -> Result<Option<Command>, ParseError> {
+    let text = raw.trim();
+    if text.is_empty() || text.starts_with('#') {
+        return Ok(None);
+    }
+    let tokens: Vec<&str> = text.split_whitespace().collect();
+    let cmd = match tokens[0] {
+        "read" => {
+            let format = *tokens
+                .get(1)
+                .ok_or_else(|| err(line, "read needs a format"))?;
+            if !matches!(format, "dimacs" | "binary" | "edges") {
+                return Err(err(line, format!("unknown read format '{format}'")));
+            }
+            let path = tokens
+                .get(2)
+                .ok_or_else(|| err(line, "read needs a file"))?;
+            if tokens.len() > 3 {
+                return Err(err(line, "trailing tokens after read"));
+            }
+            Command::Read {
+                format: format.to_string(),
+                path: PathBuf::from(path),
+            }
+        }
+        "print" => {
+            let what = *tokens
+                .get(1)
+                .ok_or_else(|| err(line, "print needs a subject"))?;
+            match what {
+                "diameter" => {
+                    let percent = match tokens.get(2) {
+                        None => None,
+                        Some(t) => Some(
+                            t.parse()
+                                .map_err(|_| err(line, "diameter percent must be an integer"))?,
+                        ),
+                    };
+                    if let Some(p) = percent {
+                        if p == 0 || p > 100 {
+                            return Err(err(line, "diameter percent must be in 1..=100"));
+                        }
+                    }
+                    Command::Print(PrintTarget::Diameter { percent })
+                }
+                "degrees" => Command::Print(PrintTarget::Degrees),
+                "components" => Command::Print(PrintTarget::Components),
+                "graph" => Command::Print(PrintTarget::Graph),
+                other => return Err(err(line, format!("unknown print subject '{other}'"))),
+            }
+        }
+        "save" if tokens.get(1) == Some(&"graph") => Command::SaveGraph,
+        "restore" if tokens.get(1) == Some(&"graph") => Command::RestoreGraph,
+        "extract" if tokens.get(1) == Some(&"component") => {
+            let (args, save_to) = split_redirect(&tokens, line)?;
+            let rank: usize = parse_num(args.get(2), line, "a component rank")?;
+            if rank == 0 {
+                return Err(err(line, "component ranks are 1-indexed"));
+            }
+            Command::ExtractComponent { rank, save_to }
+        }
+        "kcentrality" => {
+            let (args, save_to) = split_redirect(&tokens, line)?;
+            let k = parse_num(args.get(1), line, "k")?;
+            let sources = parse_num(args.get(2), line, "a source count")?;
+            Command::KCentrality {
+                k,
+                sources,
+                save_to,
+            }
+        }
+        "kcores" => Command::KCores {
+            k: parse_num(tokens.get(1), line, "k")?,
+        },
+        "clustering" => {
+            let (_args, save_to) = split_redirect(&tokens, line)?;
+            Command::Clustering { save_to }
+        }
+        "bfs" => Command::Bfs {
+            source: parse_num(tokens.get(1), line, "a source vertex")?,
+            depth: parse_num(tokens.get(2), line, "a depth")?,
+        },
+        "seed" => Command::Seed(parse_num(tokens.get(1), line, "a seed")?),
+        "repeat" => {
+            let count: usize = parse_num(tokens.get(1), line, "an iteration count")?;
+            // Body is attached by parse_script; a bare marker here.
+            Command::Repeat {
+                count,
+                body: Vec::new(),
+            }
+        }
+        "end" => return Err(err(line, "'end' without a matching 'repeat'")),
+        other => return Err(err(line, format!("unknown command '{other}'"))),
+    };
+    Ok(Some(cmd))
+}
+
+/// Parse a whole script into `(line_number, command)` pairs, folding
+/// `repeat … end` blocks (which may nest) into [`Command::Repeat`].
+pub fn parse_script(text: &str) -> Result<Vec<(usize, Command)>, ParseError> {
+    /// An open `repeat` block: its source line, count, collected body.
+    struct OpenBlock {
+        line: usize,
+        count: usize,
+        body: Vec<(usize, Command)>,
+    }
+    let mut stack: Vec<OpenBlock> = Vec::new();
+    let mut top: Vec<(usize, Command)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let trimmed = raw.trim();
+        if trimmed == "end" {
+            let block = stack.pop().ok_or_else(|| ParseError {
+                line,
+                message: "'end' without a matching 'repeat'".into(),
+            })?;
+            let cmd = (
+                block.line,
+                Command::Repeat {
+                    count: block.count,
+                    body: block.body,
+                },
+            );
+            match stack.last_mut() {
+                Some(outer) => outer.body.push(cmd),
+                None => top.push(cmd),
+            }
+            continue;
+        }
+        let Some(cmd) = parse_line(raw, line)? else {
+            continue;
+        };
+        if let Command::Repeat { count, .. } = cmd {
+            stack.push(OpenBlock {
+                line,
+                count,
+                body: Vec::new(),
+            });
+            continue;
+        }
+        match stack.last_mut() {
+            Some(block) => block.body.push((line, cmd)),
+            None => top.push((line, cmd)),
+        }
+    }
+    if let Some(block) = stack.pop() {
+        return Err(ParseError {
+            line: block.line,
+            message: "'repeat' without a matching 'end'".into(),
+        });
+    }
+    Ok(top)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example() {
+        let script = "read dimacs patents.txt\n\
+                      print diameter 10\n\
+                      save graph\n\
+                      extract component 1 => comp1.bin\n\
+                      print degrees\n\
+                      kcentrality 1 256 => k1scores.txt\n\
+                      kcentrality 2 256 => k2scores.txt\n\
+                      restore graph\n\
+                      extract component 2\n\
+                      print degrees\n";
+        let cmds = parse_script(script).unwrap();
+        assert_eq!(cmds.len(), 10);
+        assert_eq!(
+            cmds[0].1,
+            Command::Read {
+                format: "dimacs".into(),
+                path: PathBuf::from("patents.txt")
+            }
+        );
+        assert_eq!(
+            cmds[1].1,
+            Command::Print(PrintTarget::Diameter { percent: Some(10) })
+        );
+        assert_eq!(
+            cmds[3].1,
+            Command::ExtractComponent {
+                rank: 1,
+                save_to: Some(PathBuf::from("comp1.bin"))
+            }
+        );
+        assert_eq!(
+            cmds[5].1,
+            Command::KCentrality {
+                k: 1,
+                sources: 256,
+                save_to: Some(PathBuf::from("k1scores.txt"))
+            }
+        );
+        assert_eq!(cmds[7].1, Command::RestoreGraph);
+        assert_eq!(
+            cmds[8].1,
+            Command::ExtractComponent {
+                rank: 2,
+                save_to: None
+            }
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let cmds = parse_script("# a comment\n\n  \nprint degrees\n").unwrap();
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].0, 4);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_script("print degrees\nfrobnicate\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_line("read dimacs", 1).is_err());
+        assert!(parse_line("read cassette tape.txt", 1).is_err());
+        assert!(parse_line("print", 1).is_err());
+        assert!(parse_line("print nonsense", 1).is_err());
+        assert!(parse_line("extract component 0", 1).is_err());
+        assert!(parse_line("extract component one", 1).is_err());
+        assert!(parse_line("kcentrality 1", 1).is_err());
+        assert!(parse_line("kcentrality 1 256 => a b", 1).is_err());
+        assert!(parse_line("print diameter 0", 1).is_err());
+        assert!(parse_line("print diameter 200", 1).is_err());
+        assert!(parse_line("bfs 3", 1).is_err());
+        assert!(parse_line("seed x", 1).is_err());
+        assert!(parse_line("read dimacs a.txt extra", 1).is_err());
+    }
+
+    #[test]
+    fn repeat_blocks_fold() {
+        let cmds = parse_script("repeat 3\nprint degrees\nend\nprint graph\n").unwrap();
+        assert_eq!(cmds.len(), 2);
+        match &cmds[0].1 {
+            Command::Repeat { count, body } => {
+                assert_eq!(*count, 3);
+                assert_eq!(body.len(), 1);
+                assert_eq!(body[0].1, Command::Print(PrintTarget::Degrees));
+            }
+            other => panic!("expected repeat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeat_blocks_nest() {
+        let cmds =
+            parse_script("repeat 2\nrepeat 3\nprint degrees\nend\nprint graph\nend\n").unwrap();
+        assert_eq!(cmds.len(), 1);
+        let Command::Repeat { count: 2, body } = &cmds[0].1 else {
+            panic!("outer repeat missing");
+        };
+        assert_eq!(body.len(), 2);
+        assert!(matches!(body[0].1, Command::Repeat { count: 3, .. }));
+    }
+
+    #[test]
+    fn unbalanced_blocks_rejected() {
+        let e = parse_script("repeat 2\nprint degrees\n").unwrap_err();
+        assert!(e.to_string().contains("without a matching 'end'"));
+        let e = parse_script("print degrees\nend\n").unwrap_err();
+        assert!(e.to_string().contains("without a matching 'repeat'"));
+    }
+
+    #[test]
+    fn misc_commands() {
+        assert_eq!(
+            parse_line("kcores 3", 1).unwrap().unwrap(),
+            Command::KCores { k: 3 }
+        );
+        assert_eq!(
+            parse_line("clustering => cc.txt", 1).unwrap().unwrap(),
+            Command::Clustering {
+                save_to: Some(PathBuf::from("cc.txt"))
+            }
+        );
+        assert_eq!(
+            parse_line("bfs 7 3", 1).unwrap().unwrap(),
+            Command::Bfs {
+                source: 7,
+                depth: 3
+            }
+        );
+        assert_eq!(
+            parse_line("seed 99", 1).unwrap().unwrap(),
+            Command::Seed(99)
+        );
+        assert_eq!(
+            parse_line("print diameter", 1).unwrap().unwrap(),
+            Command::Print(PrintTarget::Diameter { percent: None })
+        );
+    }
+}

@@ -1,0 +1,519 @@
+//! The script interpreter.
+
+use crate::command::{parse_script, Command, ParseError, PrintTarget};
+use graphct_core::builder::build_undirected_simple;
+use graphct_core::{CsrGraph, GraphError};
+use graphct_kernels::betweenness::SourceSelection;
+use graphct_kernels::components::ComponentSummary;
+use graphct_kernels::kbetweenness::{k_betweenness_centrality, KBetweennessConfig};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Execution failure: parse error, kernel error, or state misuse, tagged
+/// with the offending line.
+#[derive(Debug)]
+pub enum ScriptError {
+    /// The script text failed to parse.
+    Parse(ParseError),
+    /// A kernel or I/O operation failed at `line`.
+    Graph { line: usize, source: GraphError },
+    /// A command needed a loaded graph and none was present, or the
+    /// graph stack was empty on `restore graph`.
+    State { line: usize, message: String },
+}
+
+impl std::fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScriptError::Parse(e) => write!(f, "{e}"),
+            ScriptError::Graph { line, source } => write!(f, "script line {line}: {source}"),
+            ScriptError::State { line, message } => write!(f, "script line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// The interpreter: a current graph, the save/restore stack, an output
+/// log, and the seed driving sampled kernels.
+pub struct Engine {
+    current: Option<CsrGraph>,
+    stack: Vec<CsrGraph>,
+    /// Lines the script printed "to the screen".
+    pub output: Vec<String>,
+    /// Directory against which relative script paths resolve.
+    pub base_dir: PathBuf,
+    /// Seed for sampled kernels (`seed <n>` changes it mid-script).
+    pub seed: u64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// A fresh engine with no graph loaded, seed 0, paths relative to
+    /// the working directory.
+    pub fn new() -> Self {
+        Self {
+            current: None,
+            stack: Vec::new(),
+            output: Vec::new(),
+            base_dir: PathBuf::from("."),
+            seed: 0,
+        }
+    }
+
+    /// Preload a graph, as if a `read` had run.
+    pub fn with_graph(graph: CsrGraph) -> Self {
+        let mut e = Self::new();
+        e.current = Some(graph);
+        e
+    }
+
+    /// The currently loaded graph, if any.
+    pub fn current_graph(&self) -> Option<&CsrGraph> {
+        self.current.as_ref()
+    }
+
+    /// Depth of the save/restore stack.
+    pub fn stack_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn resolve(&self, p: &Path) -> PathBuf {
+        if p.is_absolute() {
+            p.to_owned()
+        } else {
+            self.base_dir.join(p)
+        }
+    }
+
+    fn need_graph(&self, line: usize) -> Result<&CsrGraph, ScriptError> {
+        self.current.as_ref().ok_or_else(|| ScriptError::State {
+            line,
+            message: "no graph loaded (missing 'read'?)".into(),
+        })
+    }
+
+    fn say(&mut self, s: String) {
+        self.output.push(s);
+    }
+
+    /// Parse and execute a whole script.
+    pub fn run_script(&mut self, text: &str) -> Result<(), ScriptError> {
+        let commands = parse_script(text).map_err(ScriptError::Parse)?;
+        for (line, cmd) in commands {
+            self.execute(line, &cmd)?;
+        }
+        Ok(())
+    }
+
+    /// Execute one command (GraphCT "reads the script line-by-line").
+    pub fn execute(&mut self, line: usize, cmd: &Command) -> Result<(), ScriptError> {
+        let gerr = |source| ScriptError::Graph { line, source };
+        match cmd {
+            Command::Read { format, path } => {
+                let path = self.resolve(path);
+                let graph = match format.as_str() {
+                    "dimacs" => {
+                        let parsed = graphct_core::io::dimacs::read_file(&path).map_err(gerr)?;
+                        graphct_core::GraphBuilder::undirected()
+                            .num_vertices(parsed.num_vertices)
+                            .build(&parsed.edges)
+                            .map_err(gerr)?
+                    }
+                    "binary" => graphct_core::io::binary::load(&path).map_err(gerr)?,
+                    "edges" => {
+                        let edges = graphct_core::io::edges_text::read_file(&path).map_err(gerr)?;
+                        build_undirected_simple(&edges).map_err(gerr)?
+                    }
+                    other => unreachable!("parser admits no format {other}"),
+                };
+                self.say(format!(
+                    "loaded {} vertices, {} edges from {}",
+                    graph.num_vertices(),
+                    graph.num_edges(),
+                    path.display()
+                ));
+                self.current = Some(graph);
+            }
+            Command::Print(target) => self.print(line, target)?,
+            Command::SaveGraph => {
+                let g = self.need_graph(line)?.clone();
+                self.stack.push(g);
+                self.say(format!("graph saved (stack depth {})", self.stack.len()));
+            }
+            Command::RestoreGraph => {
+                let g = self.stack.pop().ok_or_else(|| ScriptError::State {
+                    line,
+                    message: "restore graph: stack is empty".into(),
+                })?;
+                self.say(format!(
+                    "graph restored ({} vertices, stack depth {})",
+                    g.num_vertices(),
+                    self.stack.len()
+                ));
+                self.current = Some(g);
+            }
+            Command::ExtractComponent { rank, save_to } => {
+                let g = self.need_graph(line)?;
+                let sub = graphct_kernels::components::nth_largest_component(g, rank - 1)
+                    .ok_or_else(|| ScriptError::State {
+                        line,
+                        message: format!("graph has fewer than {rank} components"),
+                    })?;
+                if let Some(path) = save_to {
+                    let path = self.resolve(path);
+                    graphct_core::io::binary::save(&sub.graph, &path).map_err(gerr)?;
+                    self.say(format!("component {rank} written to {}", path.display()));
+                }
+                self.say(format!(
+                    "extracted component {rank}: {} vertices, {} edges",
+                    sub.graph.num_vertices(),
+                    sub.graph.num_edges()
+                ));
+                self.current = Some(sub.graph);
+            }
+            Command::KCentrality {
+                k,
+                sources,
+                save_to,
+            } => {
+                let seed = self.seed;
+                let g = self.need_graph(line)?;
+                let config = KBetweennessConfig {
+                    selection: SourceSelection::Count(*sources),
+                    ..KBetweennessConfig::exact(*k)
+                };
+                let config = KBetweennessConfig { seed, ..config };
+                let result = k_betweenness_centrality(g, &config).map_err(gerr)?;
+                if let Some(path) = save_to {
+                    let path = self.resolve(path);
+                    write_scores(&path, &result.scores).map_err(gerr)?;
+                    self.say(format!(
+                        "k={k} centrality ({} sources) written to {}",
+                        result.sources.len(),
+                        path.display()
+                    ));
+                } else {
+                    let top = graphct_metrics_top(&result.scores, 5);
+                    self.say(format!(
+                        "k={k} centrality ({} sources), top vertices: {:?}",
+                        result.sources.len(),
+                        top
+                    ));
+                }
+            }
+            Command::KCores { k } => {
+                let g = self.need_graph(line)?;
+                let sub = graphct_kernels::kcore::kcore_subgraph(g, *k).map_err(gerr)?;
+                self.say(format!(
+                    "{k}-core: {} vertices, {} edges",
+                    sub.graph.num_vertices(),
+                    sub.graph.num_edges()
+                ));
+                self.current = Some(sub.graph);
+            }
+            Command::Clustering { save_to } => {
+                let g = self.need_graph(line)?;
+                let cc = graphct_kernels::clustering::clustering_coefficients(g).map_err(gerr)?;
+                let mean = if cc.is_empty() {
+                    0.0
+                } else {
+                    cc.iter().sum::<f64>() / cc.len() as f64
+                };
+                if let Some(path) = save_to {
+                    let path = self.resolve(path);
+                    write_scores(&path, &cc).map_err(gerr)?;
+                    self.say(format!(
+                        "clustering coefficients written to {}",
+                        path.display()
+                    ));
+                }
+                self.say(format!("mean clustering coefficient {mean:.6}"));
+            }
+            Command::Bfs { source, depth } => {
+                let g = self.need_graph(line)?;
+                if *source as usize >= g.num_vertices() {
+                    return Err(ScriptError::State {
+                        line,
+                        message: format!("bfs source {source} out of range"),
+                    });
+                }
+                let levels = graphct_kernels::bfs::bfs_levels_bounded(g, *source, *depth);
+                let reached = levels
+                    .iter()
+                    .filter(|&&l| l != graphct_kernels::UNREACHED)
+                    .count();
+                self.say(format!(
+                    "bfs from {source} to depth {depth}: reached {reached} vertices"
+                ));
+            }
+            Command::Seed(s) => {
+                self.seed = *s;
+                self.say(format!("seed set to {s}"));
+            }
+            Command::Repeat { count, body } => {
+                for iteration in 0..*count {
+                    // Vary the seed per iteration so repeated sampled
+                    // kernels give independent realizations — the use
+                    // case for loops in §III-E's "averaged over 10
+                    // realizations" methodology.
+                    self.seed = self.seed.wrapping_add(u64::from(iteration > 0));
+                    for (body_line, cmd) in body {
+                        self.execute(*body_line, cmd)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn print(&mut self, line: usize, target: &PrintTarget) -> Result<(), ScriptError> {
+        let seed = self.seed;
+        let g = self.need_graph(line)?;
+        let msg = match target {
+            PrintTarget::Diameter { percent } => {
+                let samples = match percent {
+                    None => graphct_kernels::diameter::DEFAULT_SAMPLES,
+                    Some(p) => {
+                        ((g.num_vertices() as f64 * *p as f64 / 100.0).round() as usize).max(1)
+                    }
+                };
+                let est = graphct_kernels::diameter::estimate_diameter(
+                    g,
+                    samples,
+                    graphct_kernels::diameter::DEFAULT_MULTIPLIER,
+                    seed,
+                );
+                format!(
+                    "diameter estimate {} (longest distance {} over {} sources)",
+                    est.estimate, est.max_distance_found, est.samples
+                )
+            }
+            PrintTarget::Degrees => {
+                let s = graphct_kernels::degree::degree_statistics(g);
+                format!(
+                    "degrees: n {} mean {:.4} variance {:.4} max {} min {}",
+                    s.n, s.mean, s.variance, s.max, s.min
+                )
+            }
+            PrintTarget::Components => {
+                let summary = ComponentSummary::compute(g);
+                let top: Vec<usize> = summary.by_size.iter().take(5).map(|&(_, s)| s).collect();
+                format!(
+                    "components: {} total, largest sizes {:?}",
+                    summary.num_components(),
+                    top
+                )
+            }
+            PrintTarget::Graph => format!(
+                "graph: {} vertices, {} edges, {} bytes CSR",
+                g.num_vertices(),
+                g.num_edges(),
+                g.memory_bytes()
+            ),
+        };
+        self.say(msg);
+        Ok(())
+    }
+}
+
+/// Indices of the top-k scores (small helper; the metrics crate is not a
+/// dependency here to keep the script crate light).
+fn graphct_metrics_top(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+fn write_scores(path: &Path, scores: &[f64]) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    for (v, s) in scores.iter().enumerate() {
+        writeln!(w, "{v} {s}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphct_core::EdgeList;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("graphct_script_{tag}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn two_component_graph() -> CsrGraph {
+        // Component A: path 0-1-2-3 (4 vertices), component B: 4-5.
+        build_undirected_simple(&EdgeList::from_pairs(vec![(0, 1), (1, 2), (2, 3), (4, 5)]))
+            .unwrap()
+    }
+
+    #[test]
+    fn runs_paper_style_script_end_to_end() {
+        let dir = temp_dir("paper");
+        // Write a DIMACS file for the two-component graph.
+        let dimacs = dir.join("g.gr");
+        graphct_core::io::dimacs::write_file(
+            &dimacs,
+            6,
+            &EdgeList::from_pairs(vec![(0, 1), (1, 2), (2, 3), (4, 5)]),
+        )
+        .unwrap();
+
+        let script = format!(
+            "read dimacs {}\n\
+             print diameter 100\n\
+             save graph\n\
+             extract component 1 => comp1.bin\n\
+             print degrees\n\
+             kcentrality 1 4 => k1scores.txt\n\
+             kcentrality 2 4 => k2scores.txt\n\
+             restore graph\n\
+             extract component 2\n\
+             print degrees\n",
+            dimacs.display()
+        );
+        let mut engine = Engine::new();
+        engine.base_dir = dir.clone();
+        engine.run_script(&script).unwrap();
+
+        // Component 1 = the 4-vertex path; component 2 = the pair.
+        assert_eq!(engine.current_graph().unwrap().num_vertices(), 2);
+        assert!(dir.join("comp1.bin").exists());
+        assert!(dir.join("k1scores.txt").exists());
+        assert!(dir.join("k2scores.txt").exists());
+        // The component written to disk round-trips.
+        let comp1 = graphct_core::io::binary::load(dir.join("comp1.bin")).unwrap();
+        assert_eq!(comp1.num_vertices(), 4);
+        // Output mentions the diameter estimate of the full graph
+        // (longest distance 3, ×4 = 12).
+        assert!(engine
+            .output
+            .iter()
+            .any(|l| l.contains("diameter estimate 12")));
+    }
+
+    #[test]
+    fn save_restore_stack_discipline() {
+        let mut e = Engine::with_graph(two_component_graph());
+        e.run_script("save graph\nextract component 2\nsave graph\nkcores 1\n")
+            .unwrap();
+        assert_eq!(e.stack_depth(), 2);
+        e.run_script("restore graph\n").unwrap();
+        assert_eq!(e.current_graph().unwrap().num_vertices(), 2);
+        e.run_script("restore graph\n").unwrap();
+        assert_eq!(e.current_graph().unwrap().num_vertices(), 6);
+        let err = e.run_script("restore graph\n").unwrap_err();
+        assert!(matches!(err, ScriptError::State { .. }));
+    }
+
+    #[test]
+    fn command_without_graph_fails() {
+        let mut e = Engine::new();
+        let err = e.run_script("print degrees\n").unwrap_err();
+        assert!(err.to_string().contains("no graph loaded"));
+    }
+
+    #[test]
+    fn extract_missing_component_fails() {
+        let mut e = Engine::with_graph(two_component_graph());
+        let err = e.run_script("extract component 5\n").unwrap_err();
+        assert!(err.to_string().contains("fewer than 5"));
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        let mut e = Engine::new();
+        assert!(matches!(
+            e.run_script("nonsense\n").unwrap_err(),
+            ScriptError::Parse(_)
+        ));
+    }
+
+    #[test]
+    fn kcores_and_bfs_and_components() {
+        let mut e = Engine::with_graph(two_component_graph());
+        e.run_script("print components\nbfs 0 1\nkcores 2\nprint graph\n")
+            .unwrap();
+        assert!(e.output.iter().any(|l| l.contains("components: 2 total")));
+        assert!(e.output.iter().any(|l| l.contains("reached 2 vertices")));
+        // 2-core of a forest is empty.
+        assert_eq!(e.current_graph().unwrap().num_vertices(), 0);
+    }
+
+    #[test]
+    fn seed_command_changes_sampling() {
+        let mut e = Engine::with_graph(two_component_graph());
+        e.run_script("seed 7\n").unwrap();
+        assert_eq!(e.seed, 7);
+    }
+
+    #[test]
+    fn repeat_runs_body_n_times() {
+        let mut e = Engine::with_graph(two_component_graph());
+        e.run_script("repeat 4\nprint degrees\nend\n").unwrap();
+        let count = e
+            .output
+            .iter()
+            .filter(|l| l.starts_with("degrees:"))
+            .count();
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn repeat_varies_seed_across_iterations() {
+        // The §III-E methodology: each realization of a sampled kernel
+        // should see a different seed.
+        let mut e = Engine::with_graph(two_component_graph());
+        let seed_before = e.seed;
+        e.run_script("repeat 3\nkcentrality 0 2\nend\n").unwrap();
+        assert_eq!(e.seed, seed_before + 2);
+    }
+
+    #[test]
+    fn clustering_reports_mean() {
+        let g =
+            build_undirected_simple(&EdgeList::from_pairs(vec![(0, 1), (1, 2), (0, 2)])).unwrap();
+        let mut e = Engine::with_graph(g);
+        e.run_script("clustering\n").unwrap();
+        assert!(e
+            .output
+            .iter()
+            .any(|l| l.contains("mean clustering coefficient 1.0")));
+    }
+
+    #[test]
+    fn edges_and_binary_read_paths() {
+        let dir = temp_dir("formats");
+        let edges_path = dir.join("e.txt");
+        graphct_core::io::edges_text::write_file(
+            &edges_path,
+            &EdgeList::from_pairs(vec![(0, 1), (1, 2)]),
+        )
+        .unwrap();
+        let mut e = Engine::new();
+        e.base_dir = dir.clone();
+        e.run_script("read edges e.txt\nprint graph\n").unwrap();
+        assert_eq!(e.current_graph().unwrap().num_vertices(), 3);
+
+        let bin_path = dir.join("g.bin");
+        graphct_core::io::binary::save(e.current_graph().unwrap(), &bin_path).unwrap();
+        e.run_script("read binary g.bin\n").unwrap();
+        assert_eq!(e.current_graph().unwrap().num_edges(), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! # graphct-script — the GraphCT scripting interface
+//!
+//! "Not every analyst is a C language application developer. To make
+//! GraphCT usable by domain scientists … GraphCT contains a prototype
+//! scripting interface to the various analytics." (paper §IV-B)
+//!
+//! A script is executed line by line: the first `read` line loads a
+//! graph, each following line runs one kernel.  Kernels that produce
+//! per-vertex data can redirect output to files with `=> file`; all other
+//! kernels print to the screen.  A stack-based memory (`save graph` /
+//! `restore graph`) lets a script descend into subgraphs and come back —
+//! "similar to that of a basic calculator".
+//!
+//! The paper's example script runs unchanged:
+//!
+//! ```text
+//! read dimacs patents.txt
+//! print diameter 10
+//! save graph
+//! extract component 1 => comp1.bin
+//! print degrees
+//! kcentrality 1 256 => k1scores.txt
+//! kcentrality 2 256 => k2scores.txt
+//! restore graph
+//! extract component 2
+//! print degrees
+//! ```
+//!
+//! Like the original, the interpreter has "no loop constructs or
+//! feedback mechanisms"; an external process can monitor results and
+//! drive execution.
+
+mod command;
+mod engine;
+
+pub use command::{parse_line, parse_script, Command, PrintTarget};
+pub use engine::{Engine, ScriptError};

@@ -1,0 +1,265 @@
+//! Incremental clustering coefficients (paper ref. [10]).
+//!
+//! Inserting edge `(u, v)` creates one new triangle for every common
+//! neighbor `w ∈ N(u) ∩ N(v)`: triangle counts of `u`, `v`, and each
+//! such `w` all rise by one.  Deletion is symmetric.  Each update costs
+//! O(deg(u) + deg(v)) — the sorted-adjacency merge — instead of a full
+//! O(Σ deg²) recount, which is the entire point of the streaming
+//! formulation: "massive streaming data analytics" recomputes *deltas*,
+//! not snapshots.
+
+use crate::graph::{EdgeUpdate, StreamingGraph};
+use graphct_core::{GraphError, VertexId};
+
+/// Exact per-vertex triangle counts maintained under edge updates.
+///
+/// # Examples
+///
+/// ```
+/// use graphct_stream::{EdgeUpdate, IncrementalClustering};
+///
+/// let mut inc = IncrementalClustering::new(3);
+/// inc.apply(EdgeUpdate::Insert(0, 1)).unwrap();
+/// inc.apply(EdgeUpdate::Insert(1, 2)).unwrap();
+/// assert_eq!(inc.triangles(1), 0);
+/// inc.apply(EdgeUpdate::Insert(0, 2)).unwrap(); // closes the triangle
+/// assert_eq!(inc.triangles(1), 1);
+/// assert_eq!(inc.clustering_coefficient(1), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalClustering {
+    graph: StreamingGraph,
+    triangles: Vec<u64>,
+}
+
+fn sorted_intersection(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    out.clear();
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+impl IncrementalClustering {
+    /// Start from an empty graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            graph: StreamingGraph::new(n),
+            triangles: vec![0; n],
+        }
+    }
+
+    /// Start from an existing streaming graph, counting its triangles
+    /// once.
+    pub fn from_graph(graph: StreamingGraph) -> Result<Self, GraphError> {
+        let snapshot = graph.snapshot();
+        let counts = graphct_kernels::triangle_counts(&snapshot)?;
+        Ok(Self {
+            triangles: counts.into_iter().map(|c| c as u64).collect(),
+            graph,
+        })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &StreamingGraph {
+        &self.graph
+    }
+
+    /// Triangles incident to `v` right now.
+    pub fn triangles(&self, v: VertexId) -> u64 {
+        self.triangles[v as usize]
+    }
+
+    /// All triangle counts.
+    pub fn triangle_counts(&self) -> &[u64] {
+        &self.triangles
+    }
+
+    /// Local clustering coefficient of `v` right now.
+    pub fn clustering_coefficient(&self, v: VertexId) -> f64 {
+        let d = self.graph.degree(v);
+        if d < 2 {
+            0.0
+        } else {
+            2.0 * self.triangles[v as usize] as f64 / (d * (d - 1)) as f64
+        }
+    }
+
+    /// Global clustering coefficient (transitivity) right now.
+    pub fn global_clustering(&self) -> f64 {
+        let closed: u64 = self.triangles.iter().sum();
+        let wedges: u64 = (0..self.graph.num_vertices() as VertexId)
+            .map(|v| {
+                let d = self.graph.degree(v) as u64;
+                d * d.saturating_sub(1) / 2
+            })
+            .sum();
+        if wedges == 0 {
+            0.0
+        } else {
+            closed as f64 / wedges as f64
+        }
+    }
+
+    /// Apply one update; returns `true` when the structure changed
+    /// (i.e. the edge was actually inserted / deleted).
+    pub fn apply(&mut self, update: EdgeUpdate) -> Result<bool, GraphError> {
+        let mut common = Vec::new();
+        match update {
+            EdgeUpdate::Insert(u, v) => {
+                if !self.graph.insert_edge(u, v)? {
+                    return Ok(false);
+                }
+                // N(u) ∩ N(v) after insertion equals the common
+                // neighbors: without self-loops the new edge cannot put
+                // u or v into the intersection.
+                sorted_intersection(
+                    self.graph.neighbors(u),
+                    self.graph.neighbors(v),
+                    &mut common,
+                );
+                for &w in &common {
+                    self.triangles[w as usize] += 1;
+                }
+                self.triangles[u as usize] += common.len() as u64;
+                self.triangles[v as usize] += common.len() as u64;
+                Ok(true)
+            }
+            EdgeUpdate::Delete(u, v) => {
+                if !self.graph.delete_edge(u, v)? {
+                    return Ok(false);
+                }
+                sorted_intersection(
+                    self.graph.neighbors(u),
+                    self.graph.neighbors(v),
+                    &mut common,
+                );
+                for &w in &common {
+                    self.triangles[w as usize] -= 1;
+                }
+                self.triangles[u as usize] -= common.len() as u64;
+                self.triangles[v as usize] -= common.len() as u64;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Apply a whole batch, returning how many updates changed the
+    /// structure (ref. [10]'s update model feeds edges in batches).
+    pub fn apply_batch(&mut self, batch: &[EdgeUpdate]) -> Result<usize, GraphError> {
+        let mut changed = 0;
+        for &u in batch {
+            changed += self.apply(u)? as usize;
+        }
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use EdgeUpdate::{Delete, Insert};
+
+    fn assert_matches_static(inc: &IncrementalClustering) {
+        let snapshot = inc.graph().snapshot();
+        let expected = graphct_kernels::triangle_counts(&snapshot).unwrap();
+        let got: Vec<usize> = inc.triangle_counts().iter().map(|&c| c as usize).collect();
+        assert_eq!(got, expected);
+        let cc = graphct_kernels::clustering_coefficients(&snapshot).unwrap();
+        for v in 0..snapshot.num_vertices() as u32 {
+            assert!((inc.clustering_coefficient(v) - cc[v as usize]).abs() < 1e-12);
+        }
+        let g = graphct_kernels::global_clustering(&snapshot).unwrap();
+        assert!((inc.global_clustering() - g).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_forms_and_dissolves() {
+        let mut inc = IncrementalClustering::new(3);
+        inc.apply(Insert(0, 1)).unwrap();
+        inc.apply(Insert(1, 2)).unwrap();
+        assert_eq!(inc.triangles(0), 0);
+        inc.apply(Insert(0, 2)).unwrap();
+        assert_eq!(inc.triangle_counts(), &[1, 1, 1]);
+        assert_eq!(inc.clustering_coefficient(0), 1.0);
+        inc.apply(Delete(1, 2)).unwrap();
+        assert_eq!(inc.triangle_counts(), &[0, 0, 0]);
+        assert_matches_static(&inc);
+    }
+
+    #[test]
+    fn duplicate_insert_and_missing_delete_are_noops() {
+        let mut inc = IncrementalClustering::new(3);
+        assert!(inc.apply(Insert(0, 1)).unwrap());
+        assert!(!inc.apply(Insert(0, 1)).unwrap());
+        assert!(!inc.apply(Delete(1, 2)).unwrap());
+        assert_eq!(inc.graph().num_edges(), 1);
+        assert_matches_static(&inc);
+    }
+
+    #[test]
+    fn random_update_stream_matches_recompute() {
+        // Deterministic LCG stream of mixed inserts/deletes.
+        let n = 40;
+        let mut inc = IncrementalClustering::new(n);
+        let mut x = 11u64;
+        let mut step = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as u32
+        };
+        for i in 0..2000 {
+            let u = step() % n as u32;
+            let v = step() % n as u32;
+            if u == v {
+                continue;
+            }
+            let update = if step() % 4 == 0 {
+                Delete(u, v)
+            } else {
+                Insert(u, v)
+            };
+            inc.apply(update).unwrap();
+            if i % 250 == 0 {
+                assert_matches_static(&inc);
+            }
+        }
+        assert_matches_static(&inc);
+    }
+
+    #[test]
+    fn batch_counts_changes() {
+        let mut inc = IncrementalClustering::new(4);
+        let changed = inc
+            .apply_batch(&[Insert(0, 1), Insert(0, 1), Insert(1, 2), Delete(3, 0)])
+            .unwrap();
+        assert_eq!(changed, 2);
+    }
+
+    #[test]
+    fn from_existing_graph_counts_once() {
+        let mut g = StreamingGraph::new(4);
+        for &(u, v) in &[(0u32, 1u32), (1, 2), (0, 2), (2, 3)] {
+            g.insert_edge(u, v).unwrap();
+        }
+        let inc = IncrementalClustering::from_graph(g).unwrap();
+        assert_eq!(inc.triangle_counts(), &[1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let mut inc = IncrementalClustering::new(2);
+        assert!(inc.apply(Insert(0, 0)).is_err());
+        assert!(inc.apply(Insert(0, 5)).is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! The dynamic undirected graph under batched updates.
+
+use graphct_core::{CsrGraph, EdgeList, GraphError, VertexId};
+
+/// One edge update in a stream batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeUpdate {
+    /// Insert the undirected edge `(u, v)`.
+    Insert(VertexId, VertexId),
+    /// Delete the undirected edge `(u, v)`.
+    Delete(VertexId, VertexId),
+}
+
+/// An undirected simple dynamic graph.
+///
+/// Adjacency lists are kept **sorted**, so neighbor intersection — the
+/// primitive behind incremental triangle counting — stays a linear
+/// merge, and a [`CsrGraph`] snapshot is a flat copy.  Self-loops and
+/// duplicate edges are rejected at the update level (the static
+/// builder's `Dedup`/`Drop` policies, enforced incrementally).
+#[derive(Debug, Clone, Default)]
+pub struct StreamingGraph {
+    adjacency: Vec<Vec<VertexId>>,
+    num_edges: usize,
+}
+
+impl StreamingGraph {
+    /// An empty graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adjacency: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Start from a static snapshot.
+    pub fn from_csr(graph: &CsrGraph) -> Result<Self, GraphError> {
+        if graph.is_directed() {
+            return Err(GraphError::InvalidArgument(
+                "streaming graph is undirected".into(),
+            ));
+        }
+        let n = graph.num_vertices();
+        let adjacency: Vec<Vec<VertexId>> = (0..n as VertexId)
+            .map(|v| graph.neighbors(v).to_vec())
+            .collect();
+        Ok(Self {
+            adjacency,
+            num_edges: graph.num_edges(),
+        })
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adjacency[v as usize].len()
+    }
+
+    /// Sorted neighbors of `v`.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adjacency[v as usize]
+    }
+
+    /// `true` if the edge exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.adjacency
+            .get(u as usize)
+            .is_some_and(|nb| nb.binary_search(&v).is_ok())
+    }
+
+    /// Grow the vertex set to at least `n`.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        if n > self.adjacency.len() {
+            self.adjacency.resize(n, Vec::new());
+        }
+    }
+
+    fn check(&self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        let n = self.adjacency.len() as u64;
+        if (u as u64) >= n || (v as u64) >= n {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u.max(v) as u64,
+                num_vertices: n,
+            });
+        }
+        if u == v {
+            return Err(GraphError::InvalidArgument(
+                "self-loops are not allowed in the streaming graph".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Insert edge `(u, v)`.  Returns `Ok(true)` if the edge was new,
+    /// `Ok(false)` if it already existed (a duplicate mention — ignored,
+    /// like the static ingest's dedup).
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> Result<bool, GraphError> {
+        self.check(u, v)?;
+        match self.adjacency[u as usize].binary_search(&v) {
+            Ok(_) => Ok(false),
+            Err(pos_u) => {
+                self.adjacency[u as usize].insert(pos_u, v);
+                let pos_v = self.adjacency[v as usize]
+                    .binary_search(&u)
+                    .expect_err("adjacency must be consistent");
+                self.adjacency[v as usize].insert(pos_v, u);
+                self.num_edges += 1;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Delete edge `(u, v)`.  Returns `Ok(true)` if it was present.
+    pub fn delete_edge(&mut self, u: VertexId, v: VertexId) -> Result<bool, GraphError> {
+        self.check(u, v)?;
+        match self.adjacency[u as usize].binary_search(&v) {
+            Err(_) => Ok(false),
+            Ok(pos_u) => {
+                self.adjacency[u as usize].remove(pos_u);
+                let pos_v = self.adjacency[v as usize]
+                    .binary_search(&u)
+                    .expect("adjacency must be consistent");
+                self.adjacency[v as usize].remove(pos_v);
+                self.num_edges -= 1;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Snapshot the current structure as a static [`CsrGraph`].
+    pub fn snapshot(&self) -> CsrGraph {
+        let mut offsets = Vec::with_capacity(self.adjacency.len() + 1);
+        let mut targets = Vec::with_capacity(2 * self.num_edges);
+        offsets.push(0);
+        for nb in &self.adjacency {
+            targets.extend_from_slice(nb);
+            offsets.push(targets.len());
+        }
+        CsrGraph::from_raw_parts(offsets, targets, false).expect("invariants hold by construction")
+    }
+
+    /// Snapshot as an edge list (`u < v` canonical orientation).
+    pub fn edge_list(&self) -> EdgeList {
+        let mut edges = EdgeList::with_capacity(self.num_edges);
+        for (u, nb) in self.adjacency.iter().enumerate() {
+            for &v in nb {
+                if (u as VertexId) < v {
+                    edges.push(u as VertexId, v);
+                }
+            }
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphct_core::builder::build_undirected_simple;
+
+    #[test]
+    fn insert_delete_roundtrip() {
+        let mut g = StreamingGraph::new(4);
+        assert!(g.insert_edge(0, 1).unwrap());
+        assert!(g.insert_edge(1, 2).unwrap());
+        assert!(!g.insert_edge(0, 1).unwrap(), "duplicate ignored");
+        assert!(!g.insert_edge(1, 0).unwrap(), "reverse duplicate ignored");
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(g.delete_edge(0, 1).unwrap());
+        assert!(!g.delete_edge(0, 1).unwrap());
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn rejects_loops_and_out_of_range() {
+        let mut g = StreamingGraph::new(3);
+        assert!(g.insert_edge(1, 1).is_err());
+        assert!(g.insert_edge(0, 9).is_err());
+        assert!(g.delete_edge(9, 0).is_err());
+    }
+
+    #[test]
+    fn adjacency_stays_sorted() {
+        let mut g = StreamingGraph::new(10);
+        for &v in &[7u32, 2, 9, 4, 1] {
+            g.insert_edge(0, v).unwrap();
+        }
+        assert_eq!(g.neighbors(0), &[1, 2, 4, 7, 9]);
+        g.delete_edge(0, 4).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 7, 9]);
+    }
+
+    #[test]
+    fn snapshot_matches_static_builder() {
+        let pairs = vec![(0u32, 1u32), (1, 2), (2, 3), (0, 3), (1, 3)];
+        let mut g = StreamingGraph::new(4);
+        for &(u, v) in &pairs {
+            g.insert_edge(u, v).unwrap();
+        }
+        let snap = g.snapshot();
+        let built = build_undirected_simple(&EdgeList::from_pairs(pairs)).unwrap();
+        assert_eq!(snap, built);
+        assert_eq!(g.edge_list().len(), 5);
+    }
+
+    #[test]
+    fn from_csr_and_back() {
+        let built = build_undirected_simple(&EdgeList::from_pairs(vec![(0, 1), (1, 2)])).unwrap();
+        let g = StreamingGraph::from_csr(&built).unwrap();
+        assert_eq!(g.snapshot(), built);
+        let directed =
+            graphct_core::builder::build_directed_simple(&EdgeList::from_pairs(vec![(0, 1)]))
+                .unwrap();
+        assert!(StreamingGraph::from_csr(&directed).is_err());
+    }
+
+    #[test]
+    fn ensure_vertices_grows() {
+        let mut g = StreamingGraph::new(1);
+        g.ensure_vertices(5);
+        assert_eq!(g.num_vertices(), 5);
+        g.insert_edge(0, 4).unwrap();
+        g.ensure_vertices(2); // no shrink
+        assert_eq!(g.num_vertices(), 5);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests: the streaming structures must agree with from-scratch
+//! static computation after any sequence of updates.
+
+use graphct_stream::{EdgeUpdate, IncrementalClustering, IncrementalComponents, StreamingGraph};
+use proptest::prelude::*;
+
+/// A random update sequence over `n` vertices: mostly inserts, some
+/// deletes, arbitrary interleaving.
+fn update_seq(n: u32, len: usize) -> impl Strategy<Value = Vec<EdgeUpdate>> {
+    prop::collection::vec(
+        (0..n, 0..n, 0u8..4).prop_filter_map("loops excluded", |(u, v, kind)| {
+            (u != v).then(|| {
+                if kind == 0 {
+                    EdgeUpdate::Delete(u, v)
+                } else {
+                    EdgeUpdate::Insert(u, v)
+                }
+            })
+        }),
+        0..len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_clustering_equals_static(updates in update_seq(30, 250)) {
+        let mut inc = IncrementalClustering::new(30);
+        for &u in &updates {
+            inc.apply(u).unwrap();
+        }
+        let snapshot = inc.graph().snapshot();
+        let expected = graphct_kernels::triangle_counts(&snapshot).unwrap();
+        let got: Vec<usize> = inc.triangle_counts().iter().map(|&c| c as usize).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn graph_state_equals_replayed_set(updates in update_seq(40, 300)) {
+        let mut g = StreamingGraph::new(40);
+        let mut oracle: std::collections::HashSet<(u32, u32)> = Default::default();
+        for &u in &updates {
+            match u {
+                EdgeUpdate::Insert(a, b) => {
+                    g.insert_edge(a, b).unwrap();
+                    oracle.insert((a.min(b), a.max(b)));
+                }
+                EdgeUpdate::Delete(a, b) => {
+                    g.delete_edge(a, b).unwrap();
+                    oracle.remove(&(a.min(b), a.max(b)));
+                }
+            }
+        }
+        prop_assert_eq!(g.num_edges(), oracle.len());
+        for &(a, b) in &oracle {
+            prop_assert!(g.has_edge(a, b) && g.has_edge(b, a));
+        }
+        // Snapshot is symmetric + sorted by construction.
+        let snap = g.snapshot();
+        prop_assert!(snap.is_sorted());
+        prop_assert!(snap.is_symmetric());
+        prop_assert_eq!(snap.num_edges(), oracle.len());
+    }
+
+    #[test]
+    fn union_find_matches_static_components(inserts in prop::collection::vec((0u32..50, 0u32..50), 0..200)) {
+        let mut uf = IncrementalComponents::new(50);
+        let mut g = StreamingGraph::new(50);
+        for &(a, b) in &inserts {
+            if a != b {
+                g.insert_edge(a, b).unwrap();
+                uf.union(a, b);
+            }
+        }
+        let snapshot = g.snapshot();
+        prop_assert_eq!(uf.labels(), graphct_kernels::connected_components(&snapshot));
+    }
+}

@@ -1,0 +1,193 @@
+//! Mutual-mention conversation filtering (paper §III-C, Fig. 3).
+//!
+//! "To examine this question, we looked for subgraphs in the data that
+//! exhibited many-to-many attributes. We used a straight-forward approach
+//! to identify subgraphs. We retained only pairs of vertices that
+//! referred to one-another through `@` tags. This lead to dramatic
+//! reductions in the size of the networks" — up to two orders of
+//! magnitude (Table III discussion).
+
+use graphct_core::builder::GraphBuilder;
+use graphct_core::{CsrGraph, EdgeList, GraphError, VertexId};
+use rayon::prelude::*;
+
+/// Outcome of the mutual-mention filter.
+#[derive(Debug, Clone)]
+pub struct ConversationStats {
+    /// Vertices in the original graph.
+    pub original_vertices: usize,
+    /// Edges in the original directed graph (unique arcs).
+    pub original_arcs: usize,
+    /// Vertices incident to at least one reciprocated edge.
+    pub conversation_vertices: usize,
+    /// Reciprocated (mutual) undirected edges.
+    pub mutual_edges: usize,
+    /// `original_vertices / conversation_vertices` (∞-safe: 0 when no
+    /// conversations exist).
+    pub reduction_factor: f64,
+}
+
+/// The conversation subgraph: only reciprocated edges survive, restricted
+/// to the vertices that keep at least one edge.
+#[derive(Debug, Clone)]
+pub struct ConversationSubgraph {
+    /// Undirected graph over conversation participants, relabeled densely.
+    pub graph: CsrGraph,
+    /// Original vertex id of each subgraph vertex.
+    pub orig_of: Vec<VertexId>,
+    /// Summary numbers (Fig. 3's panels).
+    pub stats: ConversationStats,
+}
+
+/// Apply the mutual-mention filter to a *directed* mention graph.
+pub fn mutual_mention_filter(directed: &CsrGraph) -> Result<ConversationSubgraph, GraphError> {
+    if !directed.is_directed() {
+        return Err(GraphError::InvalidArgument(
+            "mutual-mention filtering needs the directed mention graph".into(),
+        ));
+    }
+    let n = directed.num_vertices();
+
+    // An undirected conversation edge (u, v) exists iff u→v and v→u.
+    let mutual_pairs: Vec<(VertexId, VertexId)> = (0..n as VertexId)
+        .into_par_iter()
+        .flat_map_iter(|u| {
+            directed
+                .neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v && directed.has_edge(v, u))
+                .map(move |v| (u, v))
+        })
+        .collect();
+
+    let keep: Vec<bool> = {
+        let mut k = vec![false; n];
+        for &(u, v) in &mutual_pairs {
+            k[u as usize] = true;
+            k[v as usize] = true;
+        }
+        k
+    };
+    let orig_of: Vec<VertexId> = (0..n as VertexId).filter(|&v| keep[v as usize]).collect();
+    let rank: Vec<VertexId> = {
+        let mut r = vec![0 as VertexId; n];
+        for (new, &old) in orig_of.iter().enumerate() {
+            r[old as usize] = new as VertexId;
+        }
+        r
+    };
+    let relabeled: EdgeList = mutual_pairs
+        .iter()
+        .map(|&(u, v)| (rank[u as usize], rank[v as usize]))
+        .collect();
+    let graph = GraphBuilder::undirected()
+        .num_vertices(orig_of.len())
+        .build(&relabeled)?;
+
+    let conversation_vertices = orig_of.len();
+    let stats = ConversationStats {
+        original_vertices: n,
+        original_arcs: directed.num_arcs(),
+        conversation_vertices,
+        mutual_edges: mutual_pairs.len(),
+        reduction_factor: if conversation_vertices == 0 {
+            0.0
+        } else {
+            n as f64 / conversation_vertices as f64
+        },
+    };
+    Ok(ConversationSubgraph {
+        graph,
+        orig_of,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::build_tweet_graph;
+    use crate::model::Tweet;
+    use graphct_core::builder::build_directed_simple;
+
+    #[test]
+    fn keeps_only_reciprocated_edges() {
+        // 0→1, 1→0 (mutual); 0→2 (one-way); 3→1 (one-way).
+        let d = build_directed_simple(&EdgeList::from_pairs(vec![(0, 1), (1, 0), (0, 2), (3, 1)]))
+            .unwrap();
+        let c = mutual_mention_filter(&d).unwrap();
+        assert_eq!(c.stats.mutual_edges, 1);
+        assert_eq!(c.stats.conversation_vertices, 2);
+        assert_eq!(c.orig_of, vec![0, 1]);
+        assert_eq!(c.graph.num_edges(), 1);
+        assert!(c.graph.has_edge(0, 1));
+        assert_eq!(c.stats.original_vertices, 4);
+        assert_eq!(c.stats.reduction_factor, 2.0);
+    }
+
+    #[test]
+    fn no_conversations_yields_empty() {
+        let d = build_directed_simple(&EdgeList::from_pairs(vec![(0, 1), (1, 2)])).unwrap();
+        let c = mutual_mention_filter(&d).unwrap();
+        assert_eq!(c.stats.conversation_vertices, 0);
+        assert_eq!(c.graph.num_vertices(), 0);
+        assert_eq!(c.stats.reduction_factor, 0.0);
+    }
+
+    #[test]
+    fn undirected_input_rejected() {
+        let u = graphct_core::builder::build_undirected_simple(&EdgeList::from_pairs(vec![(0, 1)]))
+            .unwrap();
+        assert!(mutual_mention_filter(&u).is_err());
+    }
+
+    #[test]
+    fn end_to_end_from_tweets() {
+        let tweets = vec![
+            // conversation: a↔b
+            Tweet::new("a", "@b thoughts?"),
+            Tweet::new("b", "@a agreed"),
+            // broadcast: c,d,e all mention hub (one-way)
+            Tweet::new("c", "news via @hub"),
+            Tweet::new("d", "RT @hub: update"),
+            Tweet::new("e", "@hub great reporting"),
+        ];
+        let tg = build_tweet_graph(&tweets).unwrap();
+        let c = mutual_mention_filter(&tg.directed).unwrap();
+        assert_eq!(c.stats.original_vertices, 6);
+        assert_eq!(c.stats.conversation_vertices, 2);
+        let names: Vec<&str> = c
+            .orig_of
+            .iter()
+            .map(|&v| tg.labels.name(v).unwrap())
+            .collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn generated_stream_shrinks_by_orders_of_magnitude() {
+        let cfg = crate::stream::StreamConfig {
+            audience_size: 500,
+            broadcast_tweets: 1000,
+            pair_exchanges: 200,
+            pair_reply_prob: 0.0, // pairs never mutual here
+            conversation_groups: 4,
+            conversation_size: (3, 5),
+            self_reference_tweets: 0,
+            spammers: 0,
+            ..Default::default()
+        };
+        let (tweets, _) = crate::stream::generate_stream(&cfg, 13);
+        let tg = build_tweet_graph(&tweets).unwrap();
+        let c = mutual_mention_filter(&tg.directed).unwrap();
+        // Only conversation members (≤ 4 × 5 = 20) survive out of ~1400+.
+        assert!(c.stats.conversation_vertices <= 20);
+        assert!(c.stats.conversation_vertices >= 3 * 4);
+        assert!(
+            c.stats.reduction_factor > 50.0,
+            "reduction factor only {:.1}",
+            c.stats.reduction_factor
+        );
+    }
+}

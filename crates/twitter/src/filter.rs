@@ -1,0 +1,123 @@
+//! Corpus harvesting filters.
+//!
+//! The paper's datasets are keyword harvests from a firehose: "a harvest
+//! of all public tweets published during an arbitrary timeframe …
+//! containing the keywords flu, h1n1, influenza and swine flu is
+//! aggregated into one data set" (§III-A-1), and `#atlflood` is a
+//! hashtag harvest (§III-A-2).  These filters reproduce that ingest step
+//! over any tweet stream.
+
+use crate::model::Tweet;
+use crate::parse::hashtags;
+use rayon::prelude::*;
+
+/// Keep tweets whose text contains any of `keywords`
+/// (case-insensitive substring match, like the paper's keyword harvest).
+pub fn filter_by_keywords<'a>(tweets: &'a [Tweet], keywords: &[&str]) -> Vec<&'a Tweet> {
+    let lowered: Vec<String> = keywords.iter().map(|k| k.to_lowercase()).collect();
+    tweets
+        .par_iter()
+        .filter(|t| {
+            let text = t.text.to_lowercase();
+            lowered.iter().any(|k| text.contains(k))
+        })
+        .collect()
+}
+
+/// Keep tweets carrying the given hashtag (without `#`,
+/// case-insensitive), matching whole tags only — `#atl` must not match
+/// `#atlflood`.
+pub fn filter_by_hashtag<'a>(tweets: &'a [Tweet], tag: &str) -> Vec<&'a Tweet> {
+    let wanted = tag.to_lowercase();
+    tweets
+        .par_iter()
+        .filter(|t| hashtags(&t.text).iter().any(|h| h.to_lowercase() == wanted))
+        .collect()
+}
+
+/// Drop tweets from known-spam authors (the paper's corpora are
+/// "English, non-spam"; this is the structural analog given a spam
+/// predicate).
+pub fn drop_spam<'a, F: Fn(&str) -> bool + Sync>(
+    tweets: &'a [Tweet],
+    is_spammer: F,
+) -> Vec<&'a Tweet> {
+    tweets
+        .par_iter()
+        .filter(|t| !is_spammer(&t.author))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Tweet> {
+        vec![
+            Tweet::new("a", "worried about Swine Flu this fall"),
+            Tweet::new("b", "beautiful morning, no news"),
+            Tweet::new("c", "H1N1 vaccine rollout starts #h1n1"),
+            Tweet::new("d", "flooding on the highway #atlflood"),
+            Tweet::new("e", "atlanta rain again #ATLFLOOD"),
+            Tweet::new("spam1", "free flu cure click here"),
+        ]
+    }
+
+    #[test]
+    fn keyword_harvest_is_case_insensitive() {
+        let tweets = corpus();
+        let hits = filter_by_keywords(&tweets, &["flu", "h1n1"]);
+        let authors: Vec<&str> = hits.iter().map(|t| t.author.as_str()).collect();
+        assert_eq!(authors, vec!["a", "c", "spam1"]);
+    }
+
+    #[test]
+    fn hashtag_harvest_matches_whole_tags() {
+        let tweets = corpus();
+        let hits = filter_by_hashtag(&tweets, "atlflood");
+        assert_eq!(hits.len(), 2);
+        // Prefix does not match.
+        assert!(filter_by_hashtag(&tweets, "atl").is_empty());
+    }
+
+    #[test]
+    fn spam_dropped_by_predicate() {
+        let tweets = corpus();
+        let clean = drop_spam(&tweets, |author| author.starts_with("spam"));
+        assert_eq!(clean.len(), 5);
+        assert!(clean.iter().all(|t| !t.author.starts_with("spam")));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(filter_by_keywords(&[], &["x"]).is_empty());
+        let tweets = corpus();
+        assert!(filter_by_keywords(&tweets, &[]).is_empty());
+        assert!(filter_by_hashtag(&[], "t").is_empty());
+    }
+
+    #[test]
+    fn harvest_from_generated_stream_recovers_topic_subset() {
+        // Generate an H1N1-flavored stream and harvest it by its own
+        // keywords: broadcast/pair/conversation tweets mention the topic
+        // terms, so the harvest keeps a large, on-topic subset.
+        let cfg = crate::stream::StreamConfig {
+            audience_size: 200,
+            broadcast_tweets: 300,
+            pair_exchanges: 40,
+            conversation_groups: 3,
+            ..Default::default()
+        };
+        let (tweets, _) = crate::stream::generate_stream(&cfg, 5);
+        let harvest = filter_by_keywords(&tweets, &["flu", "h1n1", "influenza", "swine"]);
+        assert!(
+            harvest.len() * 2 > tweets.len() / 2,
+            "harvest too small: {} of {}",
+            harvest.len(),
+            tweets.len()
+        );
+        // And the hashtag harvest matches the profile's tag.
+        let tagged = filter_by_hashtag(&tweets, "h1n1");
+        assert!(!tagged.is_empty());
+    }
+}

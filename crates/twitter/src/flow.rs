@@ -1,0 +1,185 @@
+//! Directed information-flow analysis.
+//!
+//! The paper models interactions as undirected for its metrics but notes
+//! (§I-A): "A directed model connecting only @foo to @bar could model
+//! directed flow and is of future interest."  This module supplies that
+//! model over the directed mention graph: who *emits* attention
+//! (mentioners), who *receives* it (broadcast sources), how asymmetric
+//! the network is, and how reciprocal — the quantitative backbone behind
+//! §III-C's "Information flows one way, from the broadcast hub out to
+//! the users".
+
+use graphct_core::{CsrGraph, GraphError, VertexId};
+use rayon::prelude::*;
+
+/// Summary of directed mention flow.
+#[derive(Debug, Clone)]
+pub struct FlowStats {
+    /// Mentions received per user (in-degree of the mention graph).
+    pub in_degree: Vec<usize>,
+    /// Mentions made per user (out-degree).
+    pub out_degree: Vec<usize>,
+    /// Fraction of arcs whose reverse arc also exists, in `[0, 1]`.
+    /// Pure broadcast → 0; pure conversation → 1.
+    pub reciprocity: f64,
+    /// Share of all mention arcs received by the top 1 % most-mentioned
+    /// users — the "disproportionate influence of relatively few
+    /// elements" (§III-C) as a single number.
+    pub top1pct_in_share: f64,
+}
+
+/// Per-vertex broadcast score: `in / (in + out)`.
+///
+/// 1.0 = pure source (only receives mentions, like `@CDCFlu`);
+/// 0.0 = pure mentioner; 0.5 = balanced conversational account.
+/// Vertices with no arcs get 0.5 (no evidence either way).
+pub fn broadcast_scores(in_degree: &[usize], out_degree: &[usize]) -> Vec<f64> {
+    assert_eq!(
+        in_degree.len(),
+        out_degree.len(),
+        "degree vectors must align"
+    );
+    in_degree
+        .par_iter()
+        .zip(out_degree.par_iter())
+        .map(|(&i, &o)| {
+            if i + o == 0 {
+                0.5
+            } else {
+                i as f64 / (i + o) as f64
+            }
+        })
+        .collect()
+}
+
+/// Analyze the directed mention graph.
+///
+/// # Errors
+/// [`GraphError::InvalidArgument`] when given an undirected graph.
+pub fn flow_stats(directed: &CsrGraph) -> Result<FlowStats, GraphError> {
+    if !directed.is_directed() {
+        return Err(GraphError::InvalidArgument(
+            "flow analysis needs the directed mention graph".into(),
+        ));
+    }
+    let n = directed.num_vertices();
+    let out_degree = directed.degrees();
+    let transpose = directed.transpose();
+    let in_degree = transpose.degrees();
+
+    let total_arcs = directed.num_arcs();
+    let reciprocal_arcs: usize = (0..n as VertexId)
+        .into_par_iter()
+        .map(|u| {
+            directed
+                .neighbors(u)
+                .iter()
+                .filter(|&&v| directed.has_edge(v, u))
+                .count()
+        })
+        .sum();
+    let reciprocity = if total_arcs == 0 {
+        0.0
+    } else {
+        reciprocal_arcs as f64 / total_arcs as f64
+    };
+
+    // Share of incoming mentions captured by the top 1 % of receivers.
+    let top1pct_in_share = if total_arcs == 0 || n == 0 {
+        0.0
+    } else {
+        let mut sorted = in_degree.clone();
+        sorted.par_sort_unstable_by(|a, b| b.cmp(a));
+        let k = (n as f64 * 0.01).ceil() as usize;
+        let top: usize = sorted[..k.min(n)].iter().sum();
+        top as f64 / total_arcs as f64
+    };
+
+    Ok(FlowStats {
+        in_degree,
+        out_degree,
+        reciprocity,
+        top1pct_in_share,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::build_tweet_graph;
+    use crate::model::Tweet;
+    use graphct_core::builder::build_directed_simple;
+    use graphct_core::EdgeList;
+
+    #[test]
+    fn star_broadcast_shape() {
+        // Everyone mentions vertex 0; nobody replies.
+        let d = build_directed_simple(&EdgeList::from_pairs(vec![(1, 0), (2, 0), (3, 0), (4, 0)]))
+            .unwrap();
+        let s = flow_stats(&d).unwrap();
+        assert_eq!(s.in_degree, vec![4, 0, 0, 0, 0]);
+        assert_eq!(s.out_degree, vec![0, 1, 1, 1, 1]);
+        assert_eq!(s.reciprocity, 0.0);
+        assert_eq!(s.top1pct_in_share, 1.0);
+        let b = broadcast_scores(&s.in_degree, &s.out_degree);
+        assert_eq!(b[0], 1.0);
+        assert_eq!(b[1], 0.0);
+    }
+
+    #[test]
+    fn conversation_is_fully_reciprocal() {
+        let d = build_directed_simple(&EdgeList::from_pairs(vec![(0, 1), (1, 0), (1, 2), (2, 1)]))
+            .unwrap();
+        let s = flow_stats(&d).unwrap();
+        assert_eq!(s.reciprocity, 1.0);
+        let b = broadcast_scores(&s.in_degree, &s.out_degree);
+        for v in 0..3 {
+            assert!((b[v] - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mixed_reciprocity_counts_arcs() {
+        // 0→1 reciprocated, 0→2 not: 2 of 3 arcs have a reverse.
+        let d = build_directed_simple(&EdgeList::from_pairs(vec![(0, 1), (1, 0), (0, 2)])).unwrap();
+        let s = flow_stats(&d).unwrap();
+        assert!((s.reciprocity - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_vertices_score_half() {
+        let b = broadcast_scores(&[0, 3], &[0, 1]);
+        assert_eq!(b[0], 0.5);
+        assert!((b[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undirected_rejected_and_empty_ok() {
+        let u = graphct_core::builder::build_undirected_simple(&EdgeList::from_pairs(vec![(0, 1)]))
+            .unwrap();
+        assert!(flow_stats(&u).is_err());
+        let empty = CsrGraph::empty(0, true);
+        let s = flow_stats(&empty).unwrap();
+        assert_eq!(s.reciprocity, 0.0);
+        assert_eq!(s.top1pct_in_share, 0.0);
+    }
+
+    #[test]
+    fn tweet_stream_is_broadcast_dominated() {
+        // A hub-heavy corpus: low reciprocity, concentrated in-share.
+        let tweets = vec![
+            Tweet::new("a", "news via @hub"),
+            Tweet::new("b", "RT @hub: update"),
+            Tweet::new("c", "@hub thanks"),
+            Tweet::new("d", "@hub wow"),
+            Tweet::new("x", "@y chatting"),
+            Tweet::new("y", "@x replying"),
+        ];
+        let tg = build_tweet_graph(&tweets).unwrap();
+        let s = flow_stats(&tg.directed).unwrap();
+        assert!(s.reciprocity < 0.5, "reciprocity {}", s.reciprocity);
+        let b = broadcast_scores(&s.in_degree, &s.out_degree);
+        let hub = tg.labels.get("hub").unwrap() as usize;
+        assert_eq!(b[hub], 1.0);
+    }
+}

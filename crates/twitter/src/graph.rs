@@ -1,0 +1,185 @@
+//! Tweets → user-interaction graph.
+//!
+//! "User interaction graphs are created by adding an edge into the graph
+//! for every mention (denoted by the prefix @) of a user by the tweet
+//! author. Duplicate user interactions are thrown out so that only
+//! unique user-interactions are represented in the graph." (§III-B)
+
+use crate::model::Tweet;
+use crate::parse::mentions;
+use graphct_core::builder::GraphBuilder;
+use graphct_core::{CsrGraph, EdgeList, GraphError, VertexLabels};
+use std::collections::HashSet;
+
+/// The mention graph plus ingest statistics — the quantities of
+/// Table III.
+#[derive(Debug, Clone)]
+pub struct TweetGraph {
+    /// Undirected simple interaction graph (duplicates and self-loops
+    /// removed) — the representation all §III metrics run on.
+    pub undirected: CsrGraph,
+    /// Directed mention graph (deduplicated arcs, self-loops removed) —
+    /// used by the mutual-mention conversation filter.
+    pub directed: CsrGraph,
+    /// Vertex ↔ screen-name directory.
+    pub labels: VertexLabels,
+    /// Tweets ingested.
+    pub num_tweets: usize,
+    /// Tweets containing at least one (non-self) mention.
+    pub tweets_with_mentions: usize,
+    /// Tweets that are part of a reciprocated interaction: the author
+    /// mentions a user who (somewhere in the corpus) mentions the author
+    /// back — Table III's "tweets with responses".
+    pub tweets_with_responses: usize,
+    /// Tweets whose author mentions themselves (§III-C's echo-chamber
+    /// artifact).
+    pub self_reference_tweets: usize,
+}
+
+/// Ingest a tweet corpus into interaction graphs.
+pub fn build_tweet_graph(tweets: &[Tweet]) -> Result<TweetGraph, GraphError> {
+    let mut labels = VertexLabels::new();
+    let mut arcs = EdgeList::new();
+    // (author, mentioned) per tweet, for the response statistics.
+    let mut tweet_arcs: Vec<Vec<(u32, u32)>> = Vec::with_capacity(tweets.len());
+    let mut tweets_with_mentions = 0usize;
+    let mut self_reference_tweets = 0usize;
+
+    for t in tweets {
+        let author = labels.intern(&t.author);
+        let ms = mentions(&t.text);
+        let mut this_tweet = Vec::with_capacity(ms.len());
+        let mut has_real_mention = false;
+        let mut has_self = false;
+        for m in ms {
+            let target = labels.intern(m);
+            if target == author {
+                has_self = true;
+            } else {
+                has_real_mention = true;
+                this_tweet.push((author, target));
+            }
+            arcs.push(author, target);
+        }
+        tweets_with_mentions += has_real_mention as usize;
+        self_reference_tweets += has_self as usize;
+        tweet_arcs.push(this_tweet);
+    }
+
+    let n = labels.len();
+    let directed = GraphBuilder::directed().num_vertices(n).build(&arcs)?;
+    let undirected = GraphBuilder::undirected().num_vertices(n).build(&arcs)?;
+
+    // A tweet "has a response" when one of its author→target arcs is
+    // reciprocated by a target→author arc anywhere in the corpus.
+    let arc_set: HashSet<(u32, u32)> = directed.iter_arcs().collect();
+    let tweets_with_responses = tweet_arcs
+        .iter()
+        .filter(|arcs| arcs.iter().any(|&(a, m)| arc_set.contains(&(m, a))))
+        .count();
+
+    Ok(TweetGraph {
+        undirected,
+        directed,
+        labels,
+        num_tweets: tweets.len(),
+        tweets_with_mentions,
+        tweets_with_responses,
+        self_reference_tweets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tw(author: &str, text: &str) -> Tweet {
+        Tweet::new(author, text)
+    }
+
+    #[test]
+    fn basic_ingest() {
+        let tweets = vec![
+            tw("alice", "hello @bob"),
+            tw("bob", "hey @alice, and @carol too"),
+            tw("carol", "quiet day"),
+        ];
+        let g = build_tweet_graph(&tweets).unwrap();
+        assert_eq!(g.num_tweets, 3);
+        assert_eq!(g.tweets_with_mentions, 2);
+        assert_eq!(g.labels.len(), 3);
+        // Undirected edges: alice-bob (deduped), bob-carol.
+        assert_eq!(g.undirected.num_edges(), 2);
+        // Directed arcs: alice→bob, bob→alice, bob→carol.
+        assert_eq!(g.directed.num_arcs(), 3);
+    }
+
+    #[test]
+    fn duplicates_thrown_out() {
+        let tweets = vec![
+            tw("a", "@b once"),
+            tw("a", "@b twice"),
+            tw("a", "@b thrice"),
+        ];
+        let g = build_tweet_graph(&tweets).unwrap();
+        assert_eq!(g.undirected.num_edges(), 1);
+        assert_eq!(g.directed.num_arcs(), 1);
+    }
+
+    #[test]
+    fn responses_counted_both_ways() {
+        let tweets = vec![
+            tw("a", "@b question?"),
+            tw("b", "@a answer!"),
+            tw("c", "@a unanswered"),
+        ];
+        let g = build_tweet_graph(&tweets).unwrap();
+        // a↔b reciprocated: both their tweets count; c's does not.
+        assert_eq!(g.tweets_with_responses, 2);
+    }
+
+    #[test]
+    fn self_references_tracked_but_not_edges() {
+        let tweets = vec![tw("a", "@a note to self"), tw("a", "@b real mention")];
+        let g = build_tweet_graph(&tweets).unwrap();
+        assert_eq!(g.self_reference_tweets, 1);
+        assert_eq!(g.undirected.count_self_loops(), 0);
+        assert_eq!(g.undirected.num_edges(), 1);
+    }
+
+    #[test]
+    fn mention_only_users_become_vertices() {
+        let tweets = vec![tw("a", "@ghost are you there")];
+        let g = build_tweet_graph(&tweets).unwrap();
+        assert_eq!(g.labels.len(), 2);
+        assert_eq!(g.labels.get("ghost"), Some(1));
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let g = build_tweet_graph(&[]).unwrap();
+        assert_eq!(g.num_tweets, 0);
+        assert_eq!(g.undirected.num_vertices(), 0);
+        assert_eq!(g.tweets_with_responses, 0);
+    }
+
+    #[test]
+    fn generated_stream_builds_consistent_graph() {
+        let cfg = crate::stream::StreamConfig {
+            audience_size: 200,
+            broadcast_tweets: 400,
+            pair_exchanges: 50,
+            conversation_groups: 4,
+            conversation_size: (3, 5),
+            ..Default::default()
+        };
+        let (tweets, _pool) = crate::stream::generate_stream(&cfg, 11);
+        let g = build_tweet_graph(&tweets).unwrap();
+        assert!(g.undirected.is_symmetric());
+        assert_eq!(g.num_tweets, tweets.len());
+        assert!(g.tweets_with_responses > 0, "conversations must respond");
+        assert!(g.self_reference_tweets >= cfg.self_reference_tweets);
+        // Vertices = interned users; every edge endpoint has a label.
+        assert_eq!(g.undirected.num_vertices(), g.labels.len());
+    }
+}

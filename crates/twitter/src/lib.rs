@@ -1,0 +1,46 @@
+//! # graphct-twitter — tweet streams and the tweet-to-graph pipeline
+//!
+//! The paper analyzes "Twitter updates aggregated by Spinn3r" (§III-A):
+//! three crisis datasets — H1N1-keyword tweets, `#atlflood` tweets, and
+//! every public tweet from 1 Sep 2009.  That corpus is proprietary, so
+//! this crate ships a **synthetic stream generator** calibrated to the
+//! published structure (Table III sizes, Fig. 2 degree law, Fig. 3
+//! conversation subcommunities, Table IV hub dominance):
+//!
+//! * [`model`] / [`parse`] — the tweet data model and the `@mention` /
+//!   `#hashtag` / `RT` syntax of Table I, extracted from raw text exactly
+//!   as the original ingest would;
+//! * [`users`] — account pools: media/government broadcast hubs (the
+//!   paper identifies the top-ranked vertices as "major media outlets and
+//!   government organizations"), regular users, spammers;
+//! * [`stream`] — the generator: hub-centric broadcast mentions, planted
+//!   reply conversations, one-off exchanges, self-references ("Tweeters
+//!   whose updates reference themselves", §III-C), and spam;
+//! * [`profiles`] — per-dataset presets (`h1n1`, `atlflood`, `sep1`)
+//!   with Table III's published numbers attached for comparison;
+//! * [`graph`] — tweets → user-interaction graph ("adding an edge into
+//!   the graph for every mention … duplicate user interactions are
+//!   thrown out", §III-B);
+//! * [`conversations`] — the mutual-mention filter of §III-C ("we
+//!   retained only pairs of vertices that referred to one-another"),
+//!   reproducing Fig. 3's order-of-magnitude reductions;
+//! * [`volume`] — the weekly H1N1 article-volume model behind Table II.
+
+pub mod conversations;
+pub mod filter;
+pub mod flow;
+pub mod graph;
+pub mod model;
+pub mod parse;
+pub mod profiles;
+pub mod stream;
+pub mod users;
+pub mod volume;
+
+pub use conversations::{mutual_mention_filter, ConversationStats};
+pub use filter::{drop_spam, filter_by_hashtag, filter_by_keywords};
+pub use flow::{broadcast_scores, flow_stats, FlowStats};
+pub use graph::{build_tweet_graph, TweetGraph};
+pub use model::Tweet;
+pub use profiles::DatasetProfile;
+pub use stream::{generate_stream, StreamConfig};

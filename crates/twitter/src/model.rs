@@ -1,0 +1,35 @@
+//! The tweet data model.
+
+/// A single public tweet: author plus raw 140-character-style text.
+/// Mentions and hashtags live *in the text* (Table I syntax) and are
+/// recovered by [`crate::parse`], so the graph pipeline exercises the
+/// same extraction path real data would.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tweet {
+    /// Author's screen name, without the `@` sigil.
+    pub author: String,
+    /// Raw message text.
+    pub text: String,
+}
+
+impl Tweet {
+    /// Construct a tweet.
+    pub fn new(author: impl Into<String>, text: impl Into<String>) -> Self {
+        Self {
+            author: author.into(),
+            text: text.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let t = Tweet::new("jaketapper", "every yr 36,000 die from regular flu");
+        assert_eq!(t.author, "jaketapper");
+        assert!(t.text.contains("regular flu"));
+    }
+}

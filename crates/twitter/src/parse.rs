@@ -1,0 +1,156 @@
+//! Microblogging syntax extraction (paper Table I).
+//!
+//! `@foo` addresses user *foo*; `#tag` marks a topic; a leading
+//! `RT @foo:` marks a re-broadcast.  Handles follow Twitter's rules:
+//! ASCII letters, digits, and underscore, 1–15 characters.
+
+/// Maximum Twitter handle length.
+const MAX_HANDLE: usize = 15;
+
+fn is_handle_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn is_hashtag_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Extract the screen names mentioned in `text` (without `@`), in order
+/// of appearance, duplicates preserved.
+///
+/// # Examples
+///
+/// ```
+/// use graphct_twitter::parse::mentions;
+///
+/// let tweet = "RT @jaketapper @Slate: Sanjay Gupta has swine flu";
+/// assert_eq!(mentions(tweet), vec!["jaketapper", "Slate"]);
+/// assert!(mentions("no handles here").is_empty());
+/// ```
+pub fn mentions(text: &str) -> Vec<&str> {
+    sigil_tokens(text, '@', is_handle_char, MAX_HANDLE)
+}
+
+/// Extract hashtags (without `#`), in order of appearance.
+pub fn hashtags(text: &str) -> Vec<&str> {
+    sigil_tokens(text, '#', is_hashtag_char, 100)
+}
+
+fn sigil_tokens(text: &str, sigil: char, valid: fn(char) -> bool, max_len: usize) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = text.char_indices().collect::<Vec<_>>();
+    let mut i = 0;
+    while i < bytes.len() {
+        let (pos, c) = bytes[i];
+        if c == sigil {
+            // A sigil must not be glued to a preceding word character
+            // (local@host is not a mention).
+            let preceded_by_word = i > 0 && is_handle_char(bytes[i - 1].1);
+            if !preceded_by_word {
+                let start = pos + c.len_utf8();
+                let mut end = start;
+                let mut count = 0;
+                let mut j = i + 1;
+                while j < bytes.len() && count < max_len && valid(bytes[j].1) {
+                    end = bytes[j].0 + bytes[j].1.len_utf8();
+                    count += 1;
+                    j += 1;
+                }
+                if count > 0 {
+                    out.push(&text[start..end]);
+                    i = j;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `Some(original_author)` when the text is a classic retweet
+/// (`RT @user …`), else `None`.
+pub fn retweet_source(text: &str) -> Option<&str> {
+    let trimmed = text.trim_start();
+    let rest = trimmed
+        .strip_prefix("RT ")
+        .or_else(|| trimmed.strip_prefix("rt "))?;
+    let rest = rest.trim_start();
+    if rest.starts_with('@') {
+        mentions(rest).into_iter().next()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_mentions_in_order() {
+        let text = "@EdMorrissey asserting that @dancharles is wrong about H1N1";
+        assert_eq!(mentions(text), vec!["EdMorrissey", "dancharles"]);
+    }
+
+    #[test]
+    fn handles_punctuation_boundaries() {
+        assert_eq!(mentions("thanks @foo, and @bar!"), vec!["foo", "bar"]);
+        assert_eq!(mentions("(@a_b2)"), vec!["a_b2"]);
+    }
+
+    #[test]
+    fn rejects_bare_and_embedded_sigils() {
+        assert!(mentions("email me @ home").is_empty());
+        assert!(mentions("price@ $5").is_empty());
+        assert!(
+            mentions("user@example.com").is_empty(),
+            "email is not a mention"
+        );
+    }
+
+    #[test]
+    fn duplicates_preserved() {
+        assert_eq!(mentions("@a hi @a again"), vec!["a", "a"]);
+    }
+
+    #[test]
+    fn handle_length_capped_at_15() {
+        let long = "@abcdefghijklmnopqrst";
+        assert_eq!(mentions(long), vec!["abcdefghijklmno"]);
+    }
+
+    #[test]
+    fn hashtags_extracted() {
+        assert_eq!(
+            hashtags("flooding on I-85 #atlflood #atlanta"),
+            vec!["atlflood", "atlanta"]
+        );
+        assert!(hashtags("nothing here").is_empty());
+    }
+
+    #[test]
+    fn retweet_detection() {
+        assert_eq!(
+            retweet_source("RT @jaketapper @Slate: Sanjay Gupta has swine flu"),
+            Some("jaketapper")
+        );
+        assert_eq!(retweet_source("rt @foo hello"), Some("foo"));
+        assert_eq!(retweet_source("hello RT-ish"), None);
+        assert_eq!(retweet_source("RT without handle"), None);
+    }
+
+    #[test]
+    fn paper_example_tweet() {
+        // From Fig. 1 of the paper.
+        let t = "@dancharles as someone with a pregnant wife i will clearly \
+                 take issue with that craziness. they are more vulnerable to H1N1";
+        assert_eq!(mentions(t), vec!["dancharles"]);
+    }
+
+    #[test]
+    fn unicode_text_safe() {
+        assert_eq!(mentions("café @foo ☂ #rain"), vec!["foo"]);
+        assert_eq!(hashtags("café @foo ☂ #rain"), vec!["rain"]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Dataset presets calibrated to the paper's Table III.
+//!
+//! Each profile pairs a [`StreamConfig`] with the published numbers for
+//! that dataset, so the reproduction harness can print *paper vs.
+//! measured* side by side.  Calibration targets structure, not identity:
+//! user counts, interaction counts, LWCC share, and response counts
+//! should land in the same regime as the published measurements.
+
+use crate::stream::StreamConfig;
+use crate::users::{ATLFLOOD_HUBS, H1N1_HUBS};
+
+/// The published Table III measurements for one dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperNumbers {
+    /// Users (graph vertices), full graph.
+    pub users: usize,
+    /// Users in the largest weakly connected component.
+    pub users_lwcc: usize,
+    /// Unique user interactions (edges), full graph.
+    pub interactions: usize,
+    /// Unique user interactions in the LWCC.
+    pub interactions_lwcc: usize,
+    /// Tweets with responses, full graph.
+    pub responses: usize,
+    /// Tweets with responses within the LWCC.
+    pub responses_lwcc: usize,
+}
+
+/// A named dataset preset.
+#[derive(Debug, Clone)]
+pub struct DatasetProfile {
+    /// Dataset name as the paper labels it.
+    pub name: &'static str,
+    /// Generator configuration approximating the dataset.
+    pub config: StreamConfig,
+    /// The published Table III numbers.
+    pub paper: PaperNumbers,
+}
+
+impl DatasetProfile {
+    /// September 2009 H1N1 keyword tweets (§III-A-1).
+    pub fn h1n1() -> Self {
+        Self {
+            name: "H1N1",
+            config: StreamConfig {
+                seeded_hubs: H1N1_HUBS.iter().map(|s| s.to_string()).collect(),
+                num_hubs: 215,
+                audience_size: 13_000,
+                broadcast_tweets: 14_200,
+                multi_hub_prob: 0.06,
+                retweet_prob: 0.35,
+                pair_exchanges: 16_620,
+                pair_reply_prob: 0.05,
+                conversation_groups: 150,
+                conversation_size: (3, 8),
+                conversation_rounds: 1,
+                conversation_extra_mentions: 1,
+                self_reference_tweets: 400,
+                spammers: 20,
+                spam_tweets_per_spammer: 25,
+                hashtag: "h1n1".into(),
+                keywords: vec![
+                    "flu".into(),
+                    "h1n1".into(),
+                    "influenza".into(),
+                    "swine flu".into(),
+                ],
+                zipf: 1.1,
+            },
+            paper: PaperNumbers {
+                users: 46_457,
+                users_lwcc: 13_200,
+                interactions: 36_886,
+                interactions_lwcc: 16_541,
+                responses: 3_444,
+                responses_lwcc: 1_772,
+            },
+        }
+    }
+
+    /// 20–25 September 2009 `#atlflood` tweets (§III-A-2).
+    pub fn atlflood() -> Self {
+        Self {
+            name: "#atlflood",
+            config: StreamConfig {
+                seeded_hubs: ATLFLOOD_HUBS.iter().map(|s| s.to_string()).collect(),
+                num_hubs: 40,
+                audience_size: 1_448,
+                broadcast_tweets: 2_200,
+                multi_hub_prob: 0.08,
+                retweet_prob: 0.4,
+                pair_exchanges: 397,
+                pair_reply_prob: 0.04,
+                conversation_groups: 8,
+                conversation_size: (3, 6),
+                conversation_rounds: 3,
+                conversation_extra_mentions: 1,
+                self_reference_tweets: 30,
+                spammers: 3,
+                spam_tweets_per_spammer: 10,
+                hashtag: "atlflood".into(),
+                keywords: vec!["flood".into(), "rain".into(), "atlanta".into()],
+                zipf: 1.0,
+            },
+            paper: PaperNumbers {
+                users: 2_283,
+                users_lwcc: 1_488,
+                interactions: 2_774,
+                interactions_lwcc: 2_267,
+                responses: 279,
+                responses_lwcc: 247,
+            },
+        }
+    }
+
+    /// Every public tweet of 1 September 2009 (§III-A-3).
+    pub fn sep1() -> Self {
+        Self {
+            name: "1 Sep 2009 all",
+            config: StreamConfig {
+                seeded_hubs: H1N1_HUBS.iter().map(|s| s.to_string()).collect(),
+                num_hubs: 2_000,
+                audience_size: 510_000,
+                broadcast_tweets: 700_000,
+                multi_hub_prob: 0.05,
+                retweet_prob: 0.35,
+                pair_exchanges: 111_700,
+                pair_reply_prob: 0.10,
+                conversation_groups: 12_000,
+                conversation_size: (3, 8),
+                conversation_rounds: 1,
+                conversation_extra_mentions: 1,
+                self_reference_tweets: 8_000,
+                spammers: 200,
+                spam_tweets_per_spammer: 30,
+                hashtag: "news".into(),
+                keywords: vec!["news".into(), "today".into(), "breaking".into()],
+                zipf: 1.05,
+            },
+            paper: PaperNumbers {
+                users: 735_465,
+                users_lwcc: 512_010,
+                interactions: 1_020_671,
+                interactions_lwcc: 879_621,
+                responses: 171_512,
+                responses_lwcc: 148_708,
+            },
+        }
+    }
+
+    /// All three presets, smallest first.
+    pub fn all() -> Vec<Self> {
+        vec![Self::atlflood(), Self::h1n1(), Self::sep1()]
+    }
+
+    /// Shrink every volume knob by `factor` (for tests and smoke runs),
+    /// keeping the structural ratios.  `factor` must be in `(0, 1]`.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "scale factor must be in (0, 1]"
+        );
+        let s = |x: usize| ((x as f64 * factor).round() as usize).max(1);
+        let c = &mut self.config;
+        c.num_hubs = s(c.num_hubs).max(c.seeded_hubs.len());
+        c.audience_size = s(c.audience_size).max(c.conversation_groups * c.conversation_size.1);
+        c.broadcast_tweets = s(c.broadcast_tweets);
+        c.pair_exchanges = s(c.pair_exchanges);
+        c.conversation_groups = s(c.conversation_groups);
+        c.self_reference_tweets = s(c.self_reference_tweets);
+        c.spammers = s(c.spammers);
+        // Re-check the audience can still host the conversations.
+        c.audience_size = c
+            .audience_size
+            .max(c.conversation_groups * c.conversation_size.1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conversations::mutual_mention_filter;
+    use crate::graph::build_tweet_graph;
+    use crate::stream::generate_stream;
+    use graphct_kernels::components::ComponentSummary;
+
+    #[test]
+    fn profiles_are_constructible() {
+        for p in DatasetProfile::all() {
+            assert!(!p.name.is_empty());
+            assert!(p.config.num_hubs >= p.config.seeded_hubs.len());
+            assert!(p.paper.users >= p.paper.users_lwcc);
+        }
+    }
+
+    #[test]
+    fn scaled_profile_preserves_validity() {
+        let p = DatasetProfile::sep1().scaled(0.01);
+        let (tweets, _) = generate_stream(&p.config, 1);
+        assert!(!tweets.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn bad_scale_panics() {
+        let _ = DatasetProfile::h1n1().scaled(0.0);
+    }
+
+    /// The structural shape test: a (scaled) atlflood corpus must show
+    /// Table III's qualitative profile — an LWCC holding most users,
+    /// plus a fringe of small components — and Fig. 3's conversation
+    /// shrinkage.
+    #[test]
+    fn atlflood_full_profile_matches_paper_shape() {
+        let p = DatasetProfile::atlflood();
+        let (tweets, _) = generate_stream(&p.config, 42);
+        let tg = build_tweet_graph(&tweets).unwrap();
+
+        let users = tg.undirected.num_vertices();
+        let interactions = tg.undirected.num_edges();
+        // Within 25 % of the published counts.
+        let close =
+            |got: usize, want: usize| ((got as f64 - want as f64).abs() / want as f64) < 0.25;
+        assert!(
+            close(users, p.paper.users),
+            "users {users} vs {}",
+            p.paper.users
+        );
+        assert!(
+            close(interactions, p.paper.interactions),
+            "interactions {interactions} vs {}",
+            p.paper.interactions
+        );
+
+        let summary = ComponentSummary::compute(&tg.undirected);
+        let lwcc = summary.largest_size();
+        assert!(
+            close(lwcc, p.paper.users_lwcc),
+            "lwcc {lwcc} vs {}",
+            p.paper.users_lwcc
+        );
+
+        // Fig. 3: conversation filtering shrinks by > 10×.
+        let conv = mutual_mention_filter(&tg.directed).unwrap();
+        assert!(conv.stats.conversation_vertices > 0);
+        assert!(
+            conv.stats.reduction_factor > 10.0,
+            "reduction {:.1}",
+            conv.stats.reduction_factor
+        );
+
+        // Responses in the same regime (within 2× — these are the
+        // noisiest counts).
+        let r = tg.tweets_with_responses as f64 / p.paper.responses as f64;
+        assert!((0.5..2.0).contains(&r), "responses ratio {r:.2}");
+    }
+}

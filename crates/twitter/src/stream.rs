@@ -1,0 +1,422 @@
+//! The synthetic tweet-stream generator.
+//!
+//! Reproduces the *structure* the paper reports in its Twitter data:
+//!
+//! * most traffic is broadcast-shaped — regular users mention a few
+//!   Zipf-popular hubs ("Users track topics of interest from major
+//!   sources and occasionally re-broadcast that information", §III-C);
+//! * a long tail of one-off exchanges between pairs of users, giving
+//!   Table III's many small components (the H1N1 graph has fewer unique
+//!   interactions than users);
+//! * small planted *conversations* whose members reply to one another in
+//!   both directions — the mutual-mention subcommunities of Fig. 3;
+//! * self-referring tweets ("Twitter mimics an echo chamber", §III-C)
+//!   and spam accounts that mention many users.
+//!
+//! Every category is generated deterministically from `(seed, index)`
+//! RNGs, so a profile + seed pins the entire corpus.
+
+use crate::model::Tweet;
+use crate::users::UserPool;
+use graphct_mt::rng::task_rng;
+use rand::seq::SliceRandom;
+use rand::RngExt;
+use rayon::prelude::*;
+
+/// Knobs for [`generate_stream`].  See the module docs for what each
+/// traffic category models.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Named hubs occupying the top popularity ranks (e.g. Table IV's
+    /// handles).
+    pub seeded_hubs: Vec<String>,
+    /// Total hub accounts (≥ seeded).
+    pub num_hubs: usize,
+    /// Regular users who participate in hub-centric traffic; together
+    /// with the hubs they form the intended largest component.
+    pub audience_size: usize,
+    /// Hub-mention tweets.  Authors cycle through the audience so every
+    /// audience member appears at least once when
+    /// `broadcast_tweets >= audience_size`.
+    pub broadcast_tweets: usize,
+    /// Probability a broadcast tweet mentions a second hub (stitches the
+    /// hub trees into one component).
+    pub multi_hub_prob: f64,
+    /// Probability a broadcast tweet is an `RT @hub: …` re-broadcast.
+    pub retweet_prob: f64,
+    /// One-off exchanges between fresh user pairs (each spawns a
+    /// 2-vertex component).
+    pub pair_exchanges: usize,
+    /// Probability the second user of a pair replies, making the pair
+    /// mutual.
+    pub pair_reply_prob: f64,
+    /// Planted conversation groups (members drawn from the audience).
+    pub conversation_groups: usize,
+    /// Inclusive `(min, max)` conversation size.
+    pub conversation_size: (usize, usize),
+    /// How many times each conversation replays its mutual reply ring —
+    /// more rounds means more response *tweets* over the same members
+    /// (the #atlflood shape: 247 response tweets among ~37 conversants).
+    pub conversation_rounds: usize,
+    /// Extra random in-group mentions per member beyond the mutual ring.
+    pub conversation_extra_mentions: usize,
+    /// Tweets in which a user mentions themselves.
+    pub self_reference_tweets: usize,
+    /// Spam accounts.
+    pub spammers: usize,
+    /// Mentions sprayed by each spam account.
+    pub spam_tweets_per_spammer: usize,
+    /// Topic hashtag appended to a share of tweets.
+    pub hashtag: String,
+    /// Topic keywords woven into tweet text.
+    pub keywords: Vec<String>,
+    /// Zipf exponent of hub popularity.
+    pub zipf: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            seeded_hubs: crate::users::H1N1_HUBS
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            num_hubs: 50,
+            audience_size: 2_000,
+            broadcast_tweets: 3_000,
+            multi_hub_prob: 0.05,
+            retweet_prob: 0.3,
+            pair_exchanges: 1_000,
+            pair_reply_prob: 0.15,
+            conversation_groups: 30,
+            conversation_size: (3, 8),
+            conversation_rounds: 1,
+            conversation_extra_mentions: 1,
+            self_reference_tweets: 50,
+            spammers: 5,
+            spam_tweets_per_spammer: 20,
+            hashtag: "h1n1".into(),
+            keywords: vec!["flu".into(), "h1n1".into(), "swine flu".into()],
+            zipf: 1.0,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Regular accounts the pool must contain:
+    /// audience + two fresh users per pair exchange.
+    pub fn num_regular(&self) -> usize {
+        self.audience_size + 2 * self.pair_exchanges
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.num_hubs >= self.seeded_hubs.len(),
+            "hub count below seeded hubs"
+        );
+        assert!(self.num_hubs > 0, "need at least one hub");
+        assert!(self.audience_size > 0, "audience must be non-empty");
+        assert!(
+            self.conversation_size.0 >= 2 && self.conversation_size.1 >= self.conversation_size.0,
+            "conversation size range invalid"
+        );
+        assert!(
+            self.conversation_groups * self.conversation_size.1 <= self.audience_size,
+            "conversations cannot exceed the audience"
+        );
+        for p in [self.multi_hub_prob, self.retweet_prob, self.pair_reply_prob] {
+            assert!((0.0..=1.0).contains(&p), "probability out of range");
+        }
+    }
+}
+
+fn keyword<'a>(config: &'a StreamConfig, rng: &mut impl rand::Rng) -> &'a str {
+    if config.keywords.is_empty() {
+        "news"
+    } else {
+        &config.keywords[rng.random_range(0..config.keywords.len())]
+    }
+}
+
+/// Generate the full tweet corpus for `config`.  Returns the tweets and
+/// the account pool that produced them.
+pub fn generate_stream(config: &StreamConfig, seed: u64) -> (Vec<Tweet>, UserPool) {
+    config.validate();
+    let seeded: Vec<&str> = config.seeded_hubs.iter().map(String::as_str).collect();
+    let pool = UserPool::new(
+        &seeded,
+        config.num_hubs,
+        config.num_regular(),
+        config.spammers,
+        config.zipf,
+    );
+
+    // Deterministically shuffled audience; conversations claim the head,
+    // broadcast authorship cycles over everyone.
+    let audience: Vec<usize> = {
+        let mut a: Vec<usize> = (pool.regular_range().start
+            ..pool.regular_range().start + config.audience_size)
+            .collect();
+        a.shuffle(&mut task_rng(seed, 0xa0d1));
+        a
+    };
+
+    // --- broadcast traffic (parallel over tweets)
+    let broadcast: Vec<Tweet> = (0..config.broadcast_tweets as u64)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = task_rng(seed, 0x10_0000 + i);
+            let author = audience[i as usize % audience.len()];
+            let hub = pool.pick_hub(&mut rng);
+            let kw = keyword(config, &mut rng);
+            let tag = &config.hashtag;
+            let text = if rng.random::<f64>() < config.multi_hub_prob && pool.num_hubs() > 1 {
+                let mut other = pool.pick_hub(&mut rng);
+                if other == hub {
+                    other = (hub + 1) % pool.num_hubs();
+                }
+                format!(
+                    "@{} and @{} both covering the {kw} situation #{tag}",
+                    pool.name(hub),
+                    pool.name(other)
+                )
+            } else if rng.random::<f64>() < config.retweet_prob {
+                format!("RT @{}: latest {kw} update #{tag}", pool.name(hub))
+            } else {
+                format!("just saw @{} report on {kw} #{tag}", pool.name(hub))
+            };
+            Tweet::new(pool.name(author), text)
+        })
+        .collect();
+
+    // --- one-off pair exchanges (parallel over pairs)
+    let pair_base = pool.regular_range().start + config.audience_size;
+    let pairs: Vec<Tweet> = (0..config.pair_exchanges as u64)
+        .into_par_iter()
+        .flat_map_iter(|i| {
+            let mut rng = task_rng(seed, 0x20_0000 + i);
+            let a = pair_base + 2 * i as usize;
+            let b = a + 1;
+            let kw = keyword(config, &mut rng);
+            let mut out = vec![Tweet::new(
+                pool.name(a),
+                format!("@{} did you see the {kw} news?", pool.name(b)),
+            )];
+            if rng.random::<f64>() < config.pair_reply_prob {
+                out.push(Tweet::new(
+                    pool.name(b),
+                    format!(
+                        "@{} yes, stay safe out there #{}",
+                        pool.name(a),
+                        config.hashtag
+                    ),
+                ));
+            }
+            out
+        })
+        .collect();
+
+    // --- planted conversations (parallel over groups)
+    let conversations: Vec<Tweet> = (0..config.conversation_groups as u64)
+        .into_par_iter()
+        .flat_map_iter(|g| {
+            let mut rng = task_rng(seed, 0x30_0000 + g);
+            let size = rng.random_range(config.conversation_size.0..=config.conversation_size.1);
+            let start = g as usize * config.conversation_size.1;
+            let members: Vec<usize> = audience[start..start + size].to_vec();
+            let mut out = Vec::new();
+            // Mutual ring: guarantees every member has a reciprocated
+            // edge, which is what the Fig. 3 filter keeps.  Replaying
+            // the ring multiplies response tweets without adding
+            // vertices — the paper's small-but-chatty subcommunities.
+            for round in 0..config.conversation_rounds.max(1) {
+                for w in 0..size {
+                    let u = members[w];
+                    let v = members[(w + 1) % size];
+                    let kw = keyword(config, &mut rng);
+                    out.push(Tweet::new(
+                        pool.name(u),
+                        format!(
+                            "@{} what do you make of the {kw} reports? ({round})",
+                            pool.name(v)
+                        ),
+                    ));
+                    out.push(Tweet::new(
+                        pool.name(v),
+                        format!(
+                            "@{} honestly worried, comparing notes helps ({round})",
+                            pool.name(u)
+                        ),
+                    ));
+                }
+            }
+            for &u in &members {
+                for _ in 0..config.conversation_extra_mentions {
+                    let v = members[rng.random_range(0..size)];
+                    if v != u {
+                        out.push(Tweet::new(
+                            pool.name(u),
+                            format!("@{} also check the thread above", pool.name(v)),
+                        ));
+                    }
+                }
+            }
+            out
+        })
+        .collect();
+
+    // --- self references
+    let self_refs: Vec<Tweet> = (0..config.self_reference_tweets as u64)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = task_rng(seed, 0x40_0000 + i);
+            let author = audience[rng.random_range(0..audience.len())];
+            Tweet::new(
+                pool.name(author),
+                format!("@{} reminder to self: thread continues", pool.name(author)),
+            )
+        })
+        .collect();
+
+    // --- spam
+    let spam: Vec<Tweet> = pool
+        .spammer_range()
+        .into_par_iter()
+        .flat_map_iter(|s| {
+            let mut rng = task_rng(seed, 0x50_0000 + s as u64);
+            (0..config.spam_tweets_per_spammer)
+                .map(|_| {
+                    // Spam sprays the active audience; keeping it off the
+                    // one-off pair users preserves their 2-vertex
+                    // components (Table III's fringe).
+                    let target = audience[rng.random_range(0..audience.len())];
+                    Tweet::new(
+                        pool.name(s),
+                        format!(
+                            "@{} incredible {} cure, click now!!!",
+                            pool.name(target),
+                            config.hashtag
+                        ),
+                    )
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut tweets = broadcast;
+    tweets.extend(pairs);
+    tweets.extend(conversations);
+    tweets.extend(self_refs);
+    tweets.extend(spam);
+    (tweets, pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::mentions;
+
+    fn small_config() -> StreamConfig {
+        StreamConfig {
+            num_hubs: 20,
+            audience_size: 300,
+            broadcast_tweets: 500,
+            pair_exchanges: 100,
+            conversation_groups: 5,
+            conversation_size: (3, 6),
+            self_reference_tweets: 10,
+            spammers: 2,
+            spam_tweets_per_spammer: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = small_config();
+        let (a, _) = generate_stream(&cfg, 7);
+        let (b, _) = generate_stream(&cfg, 7);
+        assert_eq!(a, b);
+        let (c, _) = generate_stream(&cfg, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_tweet_has_a_mention() {
+        let (tweets, _) = generate_stream(&small_config(), 1);
+        assert!(!tweets.is_empty());
+        for t in &tweets {
+            assert!(!mentions(&t.text).is_empty(), "no mention in: {}", t.text);
+        }
+    }
+
+    #[test]
+    fn broadcast_targets_are_hubs() {
+        let cfg = small_config();
+        let (tweets, pool) = generate_stream(&cfg, 2);
+        // The first broadcast_tweets tweets target hubs.
+        let hub_names: std::collections::HashSet<&str> =
+            (0..pool.num_hubs()).map(|h| pool.name(h)).collect();
+        for t in tweets.iter().take(cfg.broadcast_tweets) {
+            let m = mentions(&t.text);
+            assert!(
+                m.iter().all(|name| hub_names.contains(name)),
+                "broadcast mention not a hub: {}",
+                t.text
+            );
+        }
+    }
+
+    #[test]
+    fn audience_coverage_when_enough_tweets() {
+        let cfg = small_config(); // 500 broadcast >= 300 audience
+        let (tweets, pool) = generate_stream(&cfg, 3);
+        let authors: std::collections::HashSet<&str> = tweets
+            .iter()
+            .take(cfg.broadcast_tweets)
+            .map(|t| t.author.as_str())
+            .collect();
+        for r in pool.regular_range().take(cfg.audience_size) {
+            assert!(
+                authors.contains(pool.name(r)),
+                "missing audience author {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn self_references_mention_author() {
+        let cfg = small_config();
+        let (tweets, _) = generate_stream(&cfg, 4);
+        let selfs: Vec<&Tweet> = tweets
+            .iter()
+            .filter(|t| mentions(&t.text).first() == Some(&t.author.as_str()))
+            .collect();
+        assert!(selfs.len() >= cfg.self_reference_tweets);
+    }
+
+    #[test]
+    fn spam_volume() {
+        let cfg = small_config();
+        let (tweets, pool) = generate_stream(&cfg, 5);
+        let spam_names: std::collections::HashSet<&str> =
+            pool.spammer_range().map(|s| pool.name(s)).collect();
+        let spam_count = tweets
+            .iter()
+            .filter(|t| spam_names.contains(t.author.as_str()))
+            .count();
+        assert_eq!(spam_count, cfg.spammers * cfg.spam_tweets_per_spammer);
+    }
+
+    #[test]
+    #[should_panic(expected = "conversations cannot exceed")]
+    fn oversized_conversations_panic() {
+        let cfg = StreamConfig {
+            audience_size: 10,
+            conversation_groups: 5,
+            conversation_size: (3, 6),
+            ..Default::default()
+        };
+        generate_stream(&cfg, 0);
+    }
+}

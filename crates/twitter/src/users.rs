@@ -1,0 +1,251 @@
+//! Account pools for the stream generator.
+//!
+//! §III-C footnote 2: "the authors were able to identify the
+//! high-referenced vertices as media and government outlets" — so the
+//! simulator seeds named broadcast hubs (the actual Table IV handles)
+//! whose Zipf-weighted popularity concentrates mentions, plus anonymous
+//! regular users and spammers.
+
+use graphct_mt::rng::task_rng;
+use rand::RngExt;
+
+/// Broad class of a synthetic account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccountKind {
+    /// High-popularity broadcast source (media / government / celebrity).
+    Hub,
+    /// Ordinary participant.
+    Regular,
+    /// High out-degree noise account.
+    Spammer,
+}
+
+/// The Table IV H1N1 top-15 handles, used as seeded hubs.
+pub const H1N1_HUBS: [&str; 15] = [
+    "CDCFlu",
+    "addthis",
+    "Official_PAX",
+    "FluGov",
+    "nytimes",
+    "tweetmeme",
+    "mercola",
+    "CNN",
+    "backstreetboys",
+    "EllieSmith_x",
+    "TIME",
+    "CDCemergency",
+    "CDC_eHealth",
+    "perezhilton",
+    "billmaher",
+];
+
+/// The Table IV #atlflood top-15 handles, used as seeded hubs.
+pub const ATLFLOOD_HUBS: [&str; 15] = [
+    "ajc",
+    "driveafastercar",
+    "ATLCheap",
+    "TWCi",
+    "HelloNorthGA",
+    "11AliveNews",
+    "WSB_TV",
+    "shaunking",
+    "Carl",
+    "SpaceyG",
+    "ATLINtownPaper",
+    "TJsDJs",
+    "ATLien",
+    "MarshallRamsey",
+    "Kanye",
+];
+
+/// A generated population of accounts.
+///
+/// Layout: hubs first (seeded names, then generated `hub{i}`), regulars
+/// (`user{i}`), spammers (`spam{i}`).  Hub popularity weights follow a
+/// Zipf law over hub rank so the seeded handles dominate mention traffic,
+/// which is what pushes them to the top of the centrality rankings
+/// (Table IV).
+#[derive(Debug, Clone)]
+pub struct UserPool {
+    names: Vec<String>,
+    num_hubs: usize,
+    num_regular: usize,
+    num_spammers: usize,
+    /// Cumulative Zipf weights over hubs for O(log h) popularity draws.
+    hub_cumweights: Vec<f64>,
+}
+
+impl UserPool {
+    /// Build a pool. `seeded_hubs` occupy the first hub ranks; the
+    /// remaining `num_hubs - seeded` are generated.  `zipf` controls how
+    /// steeply popularity decays with rank (1.0 is classic Zipf).
+    pub fn new(
+        seeded_hubs: &[&str],
+        num_hubs: usize,
+        num_regular: usize,
+        num_spammers: usize,
+        zipf: f64,
+    ) -> Self {
+        assert!(
+            num_hubs >= seeded_hubs.len(),
+            "hub count below seeded hub count"
+        );
+        assert!(zipf > 0.0, "zipf exponent must be positive");
+        let mut names = Vec::with_capacity(num_hubs + num_regular + num_spammers);
+        for &h in seeded_hubs {
+            names.push(h.to_owned());
+        }
+        for i in seeded_hubs.len()..num_hubs {
+            names.push(format!("hub{i}"));
+        }
+        for i in 0..num_regular {
+            names.push(format!("user{i}"));
+        }
+        for i in 0..num_spammers {
+            names.push(format!("spam{i}"));
+        }
+        let mut hub_cumweights = Vec::with_capacity(num_hubs);
+        let mut acc = 0.0;
+        for rank in 0..num_hubs {
+            acc += 1.0 / ((rank + 1) as f64).powf(zipf);
+            hub_cumweights.push(acc);
+        }
+        Self {
+            names,
+            num_hubs,
+            num_regular,
+            num_spammers,
+            hub_cumweights,
+        }
+    }
+
+    /// Total accounts.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when the pool has no accounts.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Screen name of account `i`.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Kind of account `i`.
+    pub fn kind(&self, i: usize) -> AccountKind {
+        if i < self.num_hubs {
+            AccountKind::Hub
+        } else if i < self.num_hubs + self.num_regular {
+            AccountKind::Regular
+        } else {
+            AccountKind::Spammer
+        }
+    }
+
+    /// Number of hub accounts.
+    pub fn num_hubs(&self) -> usize {
+        self.num_hubs
+    }
+
+    /// Number of regular accounts.
+    pub fn num_regular(&self) -> usize {
+        self.num_regular
+    }
+
+    /// Number of spammer accounts.
+    pub fn num_spammers(&self) -> usize {
+        self.num_spammers
+    }
+
+    /// Index range of regular accounts.
+    pub fn regular_range(&self) -> std::ops::Range<usize> {
+        self.num_hubs..self.num_hubs + self.num_regular
+    }
+
+    /// Index range of spammer accounts.
+    pub fn spammer_range(&self) -> std::ops::Range<usize> {
+        self.num_hubs + self.num_regular..self.len()
+    }
+
+    /// Draw a hub index Zipf-proportionally to popularity.
+    pub fn pick_hub<R: rand::Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.hub_cumweights.last().expect("pool has hubs");
+        let r = rng.random::<f64>() * total;
+        self.hub_cumweights
+            .partition_point(|&w| w < r)
+            .min(self.num_hubs - 1)
+    }
+
+    /// Draw a uniformly random regular account index.
+    pub fn pick_regular<R: rand::Rng>(&self, rng: &mut R) -> usize {
+        self.num_hubs + rng.random_range(0..self.num_regular)
+    }
+
+    /// A deterministic RNG tied to this pool for standalone draws.
+    pub fn rng(seed: u64, stream: u64) -> impl rand::Rng {
+        task_rng(seed, stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> UserPool {
+        UserPool::new(&H1N1_HUBS, 50, 1000, 10, 1.0)
+    }
+
+    #[test]
+    fn layout_and_kinds() {
+        let p = pool();
+        assert_eq!(p.len(), 1060);
+        assert_eq!(p.name(0), "CDCFlu");
+        assert_eq!(p.name(14), "billmaher");
+        assert_eq!(p.name(15), "hub15");
+        assert_eq!(p.name(50), "user0");
+        assert_eq!(p.name(1050), "spam0");
+        assert_eq!(p.kind(3), AccountKind::Hub);
+        assert_eq!(p.kind(500), AccountKind::Regular);
+        assert_eq!(p.kind(1055), AccountKind::Spammer);
+        assert_eq!(p.regular_range(), 50..1050);
+        assert_eq!(p.spammer_range(), 1050..1060);
+    }
+
+    #[test]
+    fn zipf_draws_favor_top_ranks() {
+        let p = pool();
+        let mut rng = UserPool::rng(42, 0);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            counts[p.pick_hub(&mut rng)] += 1;
+        }
+        // Rank 0 should be drawn far more than rank 40.
+        assert!(
+            counts[0] > counts[40] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[40]
+        );
+        // And every draw must be a valid hub.
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn regular_draws_in_range() {
+        let p = pool();
+        let mut rng = UserPool::rng(1, 2);
+        for _ in 0..1000 {
+            let r = p.pick_regular(&mut rng);
+            assert!(p.regular_range().contains(&r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hub count")]
+    fn too_few_hubs_panics() {
+        UserPool::new(&H1N1_HUBS, 5, 10, 0, 1.0);
+    }
+}

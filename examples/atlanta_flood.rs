@@ -1,0 +1,52 @@
+//! The #atlflood workflow (§III-A-2): the September 2009 Atlanta flood
+//! as seen through Twitter.  Exercises the sampling accuracy trade-off
+//! of Figs. 4–5 on the full-size (2.3 k user) dataset: exact betweenness
+//! vs 10 % / 25 % / 50 % source sampling, scored with the paper's top-k%
+//! overlap metric.
+//!
+//! ```sh
+//! cargo run --release --example atlanta_flood
+//! ```
+
+use graphct::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let profile = DatasetProfile::atlflood();
+    let (tweets, _pool) = generate_stream(&profile.config, 42);
+    let tg = build_tweet_graph(&tweets).unwrap();
+    let g = &tg.undirected;
+    println!(
+        "#atlflood graph: {} users, {} interactions (paper: {} users, {} interactions)",
+        g.num_vertices(),
+        g.num_edges(),
+        profile.paper.users,
+        profile.paper.interactions
+    );
+
+    let start = Instant::now();
+    let exact = betweenness_centrality(g, &BetweennessConfig::exact());
+    let exact_time = start.elapsed().as_secs_f64();
+    println!("exact betweenness: {exact_time:.3}s");
+
+    println!("\nsampling%  time(s)  speedup  top1%  top5%  top10%");
+    for pct in [10u32, 25, 50] {
+        let start = Instant::now();
+        let approx = betweenness_centrality(g, &BetweennessConfig::fraction(pct as f64 / 100.0, 7));
+        let t = start.elapsed().as_secs_f64();
+        let acc = |frac| top_k_overlap(&exact.scores, &approx.scores, frac);
+        println!(
+            "{pct:>8}  {t:>7.3}  {:>6.1}x  {:>5.2}  {:>5.2}  {:>6.2}",
+            exact_time / t,
+            acc(0.01),
+            acc(0.05),
+            acc(0.10),
+        );
+    }
+
+    println!("\ntop 10 actors by exact betweenness (cf. Table IV — Atlanta media):");
+    for (rank, v) in top_k_indices(&exact.scores, 10).into_iter().enumerate() {
+        let handle = tg.labels.name(v as u32).unwrap_or("<unknown>");
+        println!("{:>3}  @{handle}", rank + 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: build a graph and run every GraphCT kernel on it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use graphct::prelude::*;
+
+fn main() {
+    // A small social graph: two hubs, a conversation triangle, a pendant
+    // chain.
+    let edges = EdgeList::from_pairs(vec![
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (4, 1),
+        (4, 5),
+        (4, 6),
+        (1, 2),
+        (2, 3),
+        (6, 7),
+        (7, 8),
+    ]);
+    let graph = build_undirected_simple(&edges).unwrap();
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // Degree statistics (paper §II-A).
+    let d = degree_statistics(&graph);
+    println!(
+        "degrees: mean {:.2}, variance {:.2}, max {}",
+        d.mean, d.variance, d.max
+    );
+
+    // Connected components (§II-A, Kahan-style parallel coloring).
+    let comps = ComponentSummary::compute(&graph);
+    println!(
+        "components: {} (largest {})",
+        comps.num_components(),
+        comps.largest_size()
+    );
+
+    // Diameter estimate (§IV-A: sampled BFS, 4x safety multiplier).
+    let dia = estimate_diameter(&graph, 256, 4, 0);
+    println!(
+        "diameter estimate {} (longest BFS distance {})",
+        dia.estimate, dia.max_distance_found
+    );
+
+    // Exact betweenness centrality (§II-A).
+    let bc = betweenness_centrality(&graph, &BetweennessConfig::exact());
+    for v in top_k_indices(&bc.scores, 3) {
+        println!("top BC: vertex {v} score {:.1}", bc.scores[v]);
+    }
+
+    // k-betweenness centrality: robust against single-edge changes
+    // (§II-A; k = 1 also credits paths one longer than shortest).
+    let kbc = k_betweenness_centrality(&graph, &KBetweennessConfig::exact(1)).unwrap();
+    for v in top_k_indices(&kbc.scores, 3) {
+        println!("top k=1 BC: vertex {v} score {:.1}", kbc.scores[v]);
+    }
+
+    // Clustering coefficients and k-cores (§IV-A kernel list).
+    let cc = clustering_coefficients(&graph).unwrap();
+    println!(
+        "mean clustering coefficient {:.3}",
+        cc.iter().sum::<f64>() / cc.len() as f64
+    );
+    let core = kcore_subgraph(&graph, 2).unwrap();
+    println!(
+        "2-core: {} vertices ({:?})",
+        core.graph.num_vertices(),
+        core.orig_of
+    );
+}

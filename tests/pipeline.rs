@@ -1,0 +1,123 @@
+//! End-to-end integration: the full paper workflow across every crate —
+//! stream generation → parsing → graph construction → components →
+//! conversations → centrality → ranking metrics → script engine.
+
+use graphct::prelude::*;
+use graphct_kernels::components::ComponentSummary;
+
+fn small_h1n1() -> (Vec<Tweet>, graphct_twitter::TweetGraph) {
+    let profile = DatasetProfile::h1n1().scaled(0.05);
+    let (tweets, _pool) = generate_stream(&profile.config, 42);
+    let tg = build_tweet_graph(&tweets).unwrap();
+    (tweets, tg)
+}
+
+#[test]
+fn full_crisis_analysis_pipeline() {
+    let (tweets, tg) = small_h1n1();
+    assert!(!tweets.is_empty());
+    let g = &tg.undirected;
+    assert!(g.num_vertices() > 100);
+    assert!(g.is_symmetric());
+
+    // Components: hub-centric LWCC plus a fringe of small components.
+    let comps = ComponentSummary::compute(g);
+    assert!(comps.num_components() > 10);
+    let lwcc = comps.largest_size();
+    assert!(lwcc * 10 > g.num_vertices(), "LWCC unexpectedly tiny");
+    assert!(lwcc < g.num_vertices(), "graph should not be connected");
+
+    // Conversations shrink the graph dramatically (Fig. 3).
+    let conv = mutual_mention_filter(&tg.directed).unwrap();
+    assert!(conv.stats.conversation_vertices > 0);
+    assert!(conv.stats.reduction_factor > 5.0);
+
+    // Centrality ranks hubs on top (Table IV).
+    let bc = betweenness_centrality(g, &BetweennessConfig::sampled(128, 7));
+    let top = top_k_indices(&bc.scores, 5);
+    let hubbish = top
+        .iter()
+        .filter(|&&v| {
+            let name = tg.labels.name(v as u32).unwrap();
+            graphct_twitter::users::H1N1_HUBS.contains(&name) || name.starts_with("hub")
+        })
+        .count();
+    assert!(hubbish >= 3, "only {hubbish}/5 top actors are hubs");
+}
+
+#[test]
+fn approximation_accuracy_holds_at_small_scale() {
+    // Fig. 5's claim at reduced scale: 25 % sampling keeps top-5 %
+    // overlap high.
+    let (_tweets, tg) = small_h1n1();
+    let g = &tg.undirected;
+    let exact = betweenness_centrality(g, &BetweennessConfig::exact()).scores;
+    let approx = betweenness_centrality(g, &BetweennessConfig::fraction(0.25, 3)).scores;
+    let acc = top_k_overlap(&exact, &approx, 0.05);
+    assert!(acc > 0.6, "top-5% overlap only {acc:.2}");
+}
+
+#[test]
+fn binary_roundtrip_through_script_engine() {
+    let (_tweets, tg) = small_h1n1();
+    let dir = std::env::temp_dir().join("graphct_integration_script");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bin = dir.join("h1n1.bin");
+    graphct::core::io::binary::save(&tg.undirected, &bin).unwrap();
+
+    let mut engine = Engine::new();
+    engine.base_dir = dir;
+    engine
+        .run_script(
+            "read binary h1n1.bin\nprint components\nextract component 1\nprint degrees\nkcentrality 1 64\n",
+        )
+        .unwrap();
+    assert!(engine.output.iter().any(|l| l.contains("components:")));
+    assert!(engine.output.iter().any(|l| l.contains("k=1 centrality")));
+    // After extraction the current graph is the LWCC.
+    let lwcc = ComponentSummary::compute(&tg.undirected).largest_size();
+    assert_eq!(engine.current_graph().unwrap().num_vertices(), lwcc);
+}
+
+#[test]
+fn degree_distribution_is_heavy_tailed() {
+    // Fig. 2 at small scale: the max degree dwarfs the mean, and a
+    // power-law fit on the tail converges.
+    let (_tweets, tg) = small_h1n1();
+    let stats = degree_statistics(&tg.undirected);
+    assert!(
+        stats.max as f64 > 20.0 * stats.mean,
+        "max {} vs mean {:.2}",
+        stats.max,
+        stats.mean
+    );
+    let fit = fit_power_law(&tg.undirected.degrees(), 2).unwrap();
+    assert!(fit.alpha > 1.2 && fit.alpha < 5.0, "alpha {:.2}", fit.alpha);
+}
+
+#[test]
+fn generators_compose_with_kernels() {
+    // R-MAT → builder → every kernel, checking invariants rather than
+    // values.
+    let cfg = graphct::gen::RmatConfig::paper(10, 8);
+    let g = build_undirected_simple(&graphct::gen::rmat_edges(&cfg, 5)).unwrap();
+    let n = g.num_vertices();
+
+    let colors = connected_components(&g);
+    assert_eq!(colors.len(), n);
+    // Every edge joins same-colored endpoints.
+    for (u, v) in g.iter_arcs() {
+        assert_eq!(colors[u as usize], colors[v as usize]);
+    }
+
+    let bc = betweenness_centrality(&g, &BetweennessConfig::sampled(32, 1));
+    assert!(bc.scores.iter().all(|&s| s >= 0.0 && s.is_finite()));
+
+    let cores = core_numbers(&g).unwrap();
+    for v in 0..n as u32 {
+        assert!(cores[v as usize] as usize <= g.degree(v));
+    }
+
+    let cc = clustering_coefficients(&g).unwrap();
+    assert!(cc.iter().all(|&c| (0.0..=1.0).contains(&c)));
+}

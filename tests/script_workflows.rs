@@ -1,0 +1,124 @@
+//! Multi-step analyst workflows through the script engine, including
+//! the repeat-loop extension, on generated datasets.
+
+use graphct::gen::{rmat_edges, RmatConfig};
+use graphct::prelude::*;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("graphct_workflows_{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn component_by_component_analysis() {
+    // The §IV-A "common sequence": components → per-component analysis,
+    // driven entirely from script.
+    let dir = temp_dir("components");
+    let edges = EdgeList::from_pairs(vec![
+        // Component A: a 5-clique-ish cluster.
+        (0, 1),
+        (0, 2),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (4, 0),
+        // Component B: a path.
+        (10, 11),
+        (11, 12),
+        // Component C: a pair.
+        (20, 21),
+    ]);
+    graphct::core::io::dimacs::write_file(dir.join("g.gr"), 22, &edges).unwrap();
+
+    let mut engine = Engine::new();
+    engine.base_dir = dir.clone();
+    engine
+        .run_script(
+            "read dimacs g.gr\n\
+             print components\n\
+             save graph\n\
+             extract component 1 => big.bin\n\
+             print degrees\n\
+             clustering\n\
+             restore graph\n\
+             extract component 2\n\
+             print graph\n",
+        )
+        .unwrap();
+
+    assert!(engine.output.iter().any(|l| l.contains("components:")));
+    // Component 2 is the 3-vertex path.
+    assert_eq!(engine.current_graph().unwrap().num_vertices(), 3);
+    // Saved component reloads and matches the 5-vertex cluster.
+    let big = graphct::core::io::binary::load(dir.join("big.bin")).unwrap();
+    assert_eq!(big.num_vertices(), 5);
+}
+
+#[test]
+fn repeat_loop_produces_multiple_realizations() {
+    // §III-E methodology in script form: 5 sampled-centrality
+    // realizations over the same graph, distinct seeds per iteration.
+    let dir = temp_dir("repeat");
+    let cfg = RmatConfig::paper(9, 8);
+    graphct::core::io::dimacs::write_file(
+        dir.join("rmat.gr"),
+        cfg.num_vertices(),
+        &rmat_edges(&cfg, 3),
+    )
+    .unwrap();
+
+    let mut engine = Engine::new();
+    engine.base_dir = dir;
+    engine
+        .run_script(
+            "read dimacs rmat.gr\n\
+             seed 7\n\
+             repeat 5\n\
+             kcentrality 0 32\n\
+             end\n",
+        )
+        .unwrap();
+    let runs: Vec<&String> = engine
+        .output
+        .iter()
+        .filter(|l| l.contains("k=0 centrality"))
+        .collect();
+    assert_eq!(runs.len(), 5);
+}
+
+#[test]
+fn kcores_then_centrality_pipeline() {
+    // Densify analysis to the 2-core before ranking, as an analyst
+    // peeling off pendant noise would.
+    let g = graphct::core::builder::build_undirected_simple(&EdgeList::from_pairs(vec![
+        (0, 1),
+        (1, 2),
+        (0, 2), // triangle = 2-core
+        (2, 3),
+        (3, 4), // pendant chain peeled away
+    ]))
+    .unwrap();
+    let mut engine = Engine::with_graph(g);
+    engine.run_script("kcores 2\nkcentrality 0 3\n").unwrap();
+    assert_eq!(engine.current_graph().unwrap().num_vertices(), 3);
+    assert!(engine
+        .output
+        .iter()
+        .any(|l| l.contains("2-core: 3 vertices")));
+}
+
+#[test]
+fn errors_abort_mid_script_preserving_state() {
+    let g = graphct::core::builder::build_undirected_simple(&EdgeList::from_pairs(vec![(0, 1)]))
+        .unwrap();
+    let mut engine = Engine::with_graph(g);
+    let err = engine
+        .run_script("save graph\nextract component 9\nprint degrees\n")
+        .unwrap_err();
+    assert!(err.to_string().contains("fewer than 9"));
+    // The failing line did not clobber the loaded graph or the stack.
+    assert_eq!(engine.current_graph().unwrap().num_vertices(), 2);
+    assert_eq!(engine.stack_depth(), 1);
+}
