@@ -40,7 +40,6 @@ fn bench_betweenness(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Single-core container: short measurement windows keep the full
 /// suite's wall time sane while still averaging over 10 samples.
 fn fast() -> Criterion {

@@ -1,6 +1,6 @@
-//! BFS kernel benchmarks: sequential baseline vs the two parallel
-//! frontier representations, on a low-diameter social graph and a
-//! high-diameter path (the frontier-representation ablation of
+//! BFS kernel benchmarks: sequential baseline vs the frontier
+//! representations and BFS directions, on a low-diameter social graph
+//! and a high-diameter path (the direction-optimization ablation of
 //! DESIGN.md).
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -15,22 +15,28 @@ fn bench_bfs(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("bfs/rmat13");
     g.bench_function("sequential", |b| b.iter(|| black_box(bfs_levels(&rmat, 0))));
-    g.bench_function("parallel_queue", |b| {
-        b.iter(|| black_box(parallel_bfs_levels(&rmat, 0, FrontierKind::Queue)))
-    });
-    g.bench_function("parallel_bitmap", |b| {
-        b.iter(|| black_box(parallel_bfs_levels(&rmat, 0, FrontierKind::Bitmap)))
-    });
+    for kind in [
+        FrontierKind::Queue,
+        FrontierKind::Bitmap,
+        FrontierKind::Push,
+        FrontierKind::Pull,
+        FrontierKind::Hybrid,
+    ] {
+        g.bench_function(format!("parallel_{kind:?}").to_lowercase(), |b| {
+            b.iter(|| black_box(parallel_bfs_levels(&rmat, 0, kind)))
+        });
+    }
     g.finish();
 
     let mut g = c.benchmark_group("bfs/path50k");
     g.bench_function("sequential", |b| b.iter(|| black_box(bfs_levels(&path, 0))));
-    g.bench_function("parallel_queue", |b| {
-        b.iter(|| black_box(parallel_bfs_levels(&path, 0, FrontierKind::Queue)))
-    });
+    for kind in [FrontierKind::Queue, FrontierKind::Hybrid] {
+        g.bench_function(format!("parallel_{kind:?}").to_lowercase(), |b| {
+            b.iter(|| black_box(parallel_bfs_levels(&path, 0, kind)))
+        });
+    }
     g.finish();
 }
-
 
 /// Single-core container: short measurement windows keep the full
 /// suite's wall time sane while still averaging over 10 samples.

@@ -43,7 +43,6 @@ fn bench_components(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Single-core container: short measurement windows keep the full
 /// suite's wall time sane while still averaging over 10 samples.
 fn fast() -> Criterion {

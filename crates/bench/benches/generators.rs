@@ -28,7 +28,6 @@ fn bench_generators(c: &mut Criterion) {
     });
 }
 
-
 /// Single-core container: short measurement windows keep the full
 /// suite's wall time sane while still averaging over 10 samples.
 fn fast() -> Criterion {

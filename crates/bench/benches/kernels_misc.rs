@@ -30,7 +30,6 @@ fn bench_misc(c: &mut Criterion) {
     });
 }
 
-
 /// Single-core container: short measurement windows keep the full
 /// suite's wall time sane while still averaging over 10 samples.
 fn fast() -> Criterion {

@@ -570,45 +570,111 @@ fn ablation_cc(opts: Options) {
 
 // ---------------------------------------------------------- Ablation: BFS
 
+/// Direction-optimizing BFS ablation: queue baseline vs forced push,
+/// forced pull, and the adaptive hybrid, on the low-diameter social
+/// shapes (R-MAT, broadcast forest) and a high-diameter path control.
+/// Results land in `BENCH_BFS_DIRECTION.json` in the working directory.
 fn ablation_bfs(opts: Options) {
-    banner("Ablation — BFS frontier representation (queue vs bitmap)");
+    use graphct_kernels::bfs::{BfsConfig, FrontierKind, HybridBfs};
+
+    banner("Ablation — BFS direction optimization (queue vs push vs pull vs hybrid)");
     let scale = if opts.quick { 12 } else { 16 };
     let cfg = graphct_gen::RmatConfig::paper(scale, 16);
-    let g = build_undirected_simple(&graphct_gen::rmat_edges(&cfg, opts.seed)).unwrap();
-    let mut t = Table::new(&["graph", "frontier", "mean s", "ci90 s"]);
-    for (gname, graph) in [(format!("R-MAT scale {scale} (low diameter)"), &g)] {
-        for kind in [
-            graphct_kernels::FrontierKind::Queue,
-            graphct_kernels::FrontierKind::Bitmap,
-        ] {
-            let summary = time_repeated(opts.reps.min(5), |r| {
+    let rmat = build_undirected_simple(&graphct_gen::rmat_edges(&cfg, opts.seed)).unwrap();
+    // One giant broadcast tree: BFS benchmarks traverse the component
+    // under test (the forest's other trees are correctness territory,
+    // covered by the equivalence suite, not timing territory).
+    let hub_cfg = graphct_gen::broadcast::BroadcastConfig {
+        hubs: 1,
+        fanout: if opts.quick { 2_000 } else { 20_000 },
+        decay: 0.001,
+        max_depth: 4,
+    };
+    let (hub_edges, _) = graphct_gen::broadcast::broadcast_forest(&hub_cfg, opts.seed);
+    let hub = build_undirected_simple(&hub_edges).unwrap();
+    let path_n = if opts.quick { 50_000 } else { 200_000 };
+    let path = build_undirected_simple(&graphct_gen::classic::path(path_n)).unwrap();
+
+    let graphs: [(&str, &CsrGraph); 3] = [
+        ("rmat (low diameter)", &rmat),
+        ("broadcast-hub (low diameter)", &hub),
+        ("path (high diameter)", &path),
+    ];
+    let kinds = [
+        FrontierKind::Queue,
+        FrontierKind::Push,
+        FrontierKind::Pull,
+        FrontierKind::Hybrid,
+    ];
+
+    let mut t = Table::new(&["graph", "frontier", "mean s", "ci90 s", "edges inspected"]);
+    let mut entries = Vec::new();
+    let mut means: Vec<(String, FrontierKind, f64)> = Vec::new();
+    for (gname, graph) in graphs {
+        for kind in kinds {
+            let engine = HybridBfs::with_config(graph, BfsConfig::from_kind(kind));
+            // Pull-only on the high-diameter path is the designed-in
+            // pathological cell (O(n) levels, each scanning every
+            // unvisited vertex) — one repetition makes the point.
+            let reps = if kind == FrontierKind::Pull && gname.contains("high") {
+                1
+            } else {
+                opts.reps.min(5)
+            };
+            let summary = time_repeated(reps, |r| {
                 let src = (r as u32 * 37) % graph.num_vertices() as u32;
-                std::hint::black_box(graphct_kernels::parallel_bfs_levels(graph, src, kind));
+                std::hint::black_box(engine.levels(src));
             });
+            let inspected = engine.run(0).edges_inspected;
             t.row(&[
-                gname.clone(),
+                gname.into(),
                 format!("{kind:?}"),
                 f(summary.mean, 4),
                 f(summary.ci90, 4),
+                n(inspected),
             ]);
+            entries.push(format!(
+                "    {{\"graph\": \"{gname}\", \"vertices\": {}, \"edges\": {}, \"frontier\": \"{kind:?}\", \"reps\": {reps}, \"mean_s\": {:.6}, \"ci90_s\": {:.6}, \"edges_inspected\": {inspected}}}",
+                graph.num_vertices(),
+                graph.num_edges(),
+                summary.mean,
+                summary.ci90,
+            ));
+            means.push((gname.to_string(), kind, summary.mean));
         }
     }
-    // High-diameter control: a long path.
-    let path = build_undirected_simple(&graphct_gen::classic::path(200_000)).unwrap();
-    for kind in [
-        graphct_kernels::FrontierKind::Queue,
-        graphct_kernels::FrontierKind::Bitmap,
-    ] {
-        let summary = time_repeated(opts.reps.min(3), |_| {
-            std::hint::black_box(graphct_kernels::parallel_bfs_levels(&path, 0, kind));
-        });
-        t.row(&[
-            "path n=200k (high diameter)".into(),
-            format!("{kind:?}"),
-            f(summary.mean, 4),
-            f(summary.ci90, 4),
-        ]);
-    }
     t.print();
-    let _ = opts;
+
+    // Headline ratios: adaptive hybrid vs the legacy queue sweep.
+    let mut speedups = Vec::new();
+    for (gname, _) in graphs {
+        let time_of = |k: FrontierKind| {
+            means
+                .iter()
+                .find(|(g, kind, _)| g == gname && *kind == k)
+                .map(|(_, _, m)| *m)
+                .unwrap()
+        };
+        let ratio = time_of(FrontierKind::Queue) / time_of(FrontierKind::Hybrid).max(1e-12);
+        println!("{gname}: hybrid is {ratio:.2}x the queue baseline");
+        speedups.push(format!(
+            "    {{\"graph\": \"{gname}\", \"hybrid_vs_queue\": {ratio:.4}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"bfs_direction_ablation\",\n  \"alpha\": {},\n  \"beta\": {},\n  \"reps\": {},\n  \"quick\": {},\n  \"seed\": {},\n  \"results\": [\n{}\n  ],\n  \"speedups\": [\n{}\n  ]\n}}\n",
+        graphct_kernels::bfs::DEFAULT_ALPHA,
+        graphct_kernels::bfs::DEFAULT_BETA,
+        opts.reps.min(5),
+        opts.quick,
+        opts.seed,
+        entries.join(",\n"),
+        speedups.join(",\n"),
+    );
+    let out = "BENCH_BFS_DIRECTION.json";
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
 }

@@ -19,10 +19,17 @@ USAGE:
   graphct tweets <h1n1|atlflood|sep1> [--scale-pct P] [--seed N] --out FILE
                                                generate a synthetic tweet
                                                mention graph (edge list)
-  graphct stats <graph>                        degrees, components, diameter
+  graphct stats <graph> [--frontier KIND] [--alpha A] [--beta B]
+                                               degrees, components, diameter
   graphct bc <graph> [--samples N] [--seed N] [--top K]
+              [--frontier KIND] [--alpha A] [--beta B]
                                                (approximate) betweenness
   graphct help
+
+BFS tuning (stats, bc): --frontier is one of queue|bitmap|push|pull|hybrid
+(default hybrid); --alpha / --beta set the direction-optimizing switch
+thresholds (push->pull when frontier edges exceed unexplored/alpha,
+pull->push when the frontier shrinks below vertices/beta).
 
 Graph files: *.bin = GraphCT binary CSR, *.gr/*.dimacs = DIMACS,
 anything else = 'src dst' edge-list text.";
@@ -38,15 +45,18 @@ fn main() -> ExitCode {
     }
 }
 
-/// Pull `--flag value` out of an argument list.
-fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
-    let pos = args.iter().position(|a| a == flag)?;
+/// Pull `--flag value` out of an argument list. A flag present without
+/// a following value is an error, not an absent flag.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
     if pos + 1 >= args.len() {
-        return None;
+        return Err(format!("{flag} requires a value"));
     }
     let value = args.remove(pos + 1);
     args.remove(pos);
-    Some(value)
+    Ok(Some(value))
 }
 
 fn parse_flag<T: std::str::FromStr>(
@@ -54,7 +64,7 @@ fn parse_flag<T: std::str::FromStr>(
     flag: &str,
     default: T,
 ) -> Result<T, String> {
-    match take_flag(args, flag) {
+    match take_flag(args, flag)? {
         None => Ok(default),
         Some(v) => v
             .parse()
@@ -63,10 +73,24 @@ fn parse_flag<T: std::str::FromStr>(
 }
 
 fn require_flag<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Result<T, String> {
-    take_flag(args, flag)
+    take_flag(args, flag)?
         .ok_or_else(|| format!("missing required flag {flag}"))?
         .parse()
         .map_err(|_| format!("invalid value for {flag}"))
+}
+
+/// Parse the shared BFS direction-optimization flags
+/// (`--frontier`, `--alpha`, `--beta`) into a [`BfsConfig`].
+fn parse_bfs_flags(args: &mut Vec<String>) -> Result<graphct_kernels::BfsConfig, String> {
+    let kind: graphct_kernels::FrontierKind =
+        parse_flag(args, "--frontier", graphct_kernels::FrontierKind::Hybrid)?;
+    let mut config = graphct_kernels::BfsConfig::from_kind(kind);
+    config.alpha = parse_flag(args, "--alpha", config.alpha)?;
+    config.beta = parse_flag(args, "--beta", config.beta)?;
+    if config.alpha <= 0.0 || config.beta <= 0.0 {
+        return Err("--alpha and --beta must be positive".into());
+    }
+    Ok(config)
 }
 
 fn load_graph(path: &Path) -> Result<CsrGraph, String> {
@@ -109,7 +133,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Err("script needs a file".into());
             }
             let file = PathBuf::from(args.remove(0));
-            let base_dir = take_flag(&mut args, "--base-dir")
+            let base_dir = take_flag(&mut args, "--base-dir")?
                 .map(PathBuf::from)
                 .or_else(|| file.parent().map(Path::to_path_buf))
                 .unwrap_or_else(|| PathBuf::from("."));
@@ -192,7 +216,9 @@ fn run(args: &[String]) -> Result<(), String> {
             if args.is_empty() {
                 return Err("stats needs a graph file".into());
             }
-            let graph = load_graph(Path::new(&args[0]))?;
+            let path = PathBuf::from(args.remove(0));
+            let bfs = parse_bfs_flags(&mut args)?;
+            let graph = load_graph(&path)?;
             let d = graphct_kernels::degree_statistics(&graph);
             println!(
                 "vertices {}  edges {}  directed {}",
@@ -210,10 +236,16 @@ fn run(args: &[String]) -> Result<(), String> {
                 comps.num_components(),
                 comps.largest_size()
             );
-            let dia = graphct_kernels::diameter::estimate_diameter_default(&graph, 0);
+            let dia = graphct_kernels::diameter::estimate_diameter_with(
+                &graph,
+                graphct_kernels::diameter::DEFAULT_SAMPLES,
+                graphct_kernels::diameter::DEFAULT_MULTIPLIER,
+                0,
+                &bfs,
+            );
             println!(
-                "diameter estimate {} (longest distance {} over {} sources)",
-                dia.estimate, dia.max_distance_found, dia.samples
+                "diameter estimate {} (longest distance {} over {} sources, {:?} frontier)",
+                dia.estimate, dia.max_distance_found, dia.samples, bfs.frontier
             );
             Ok(())
         }
@@ -225,8 +257,10 @@ fn run(args: &[String]) -> Result<(), String> {
             let samples: usize = parse_flag(&mut args, "--samples", 256)?;
             let seed: u64 = parse_flag(&mut args, "--seed", 0)?;
             let top: usize = parse_flag(&mut args, "--top", 15)?;
+            let bfs = parse_bfs_flags(&mut args)?;
             let graph = load_graph(&path)?;
-            let config = graphct_kernels::BetweennessConfig::sampled(samples, seed);
+            let mut config = graphct_kernels::BetweennessConfig::sampled(samples, seed);
+            config.bfs = bfs;
             let start = std::time::Instant::now();
             let result = graphct_kernels::betweenness_centrality(&graph, &config);
             let elapsed = start.elapsed();

@@ -17,6 +17,7 @@
 //! [`SamplingStrategy::ComponentStratified`] implements the guided
 //! alternative and the bench crate measures the difference.
 
+use crate::bfs::{next_direction, BfsConfig, Direction};
 use crate::components::ComponentSummary;
 use graphct_core::{CsrGraph, VertexId};
 use graphct_mt::rng::task_rng;
@@ -61,6 +62,9 @@ pub struct BetweennessConfig {
     /// Count each unordered pair once by halving undirected scores
     /// (off by default: raw Brandes totals, like GraphCT).
     pub halve_undirected: bool,
+    /// Direction-optimization tuning for the per-source forward BFS
+    /// (hybrid by default; force push/pull for ablation).
+    pub bfs: BfsConfig,
 }
 
 impl Default for BetweennessConfig {
@@ -71,6 +75,7 @@ impl Default for BetweennessConfig {
             seed: 0,
             rescale: true,
             halve_undirected: false,
+            bfs: BfsConfig::default(),
         }
     }
 }
@@ -116,7 +121,10 @@ struct Workspace {
     sigma: Vec<f64>,
     delta: Vec<f64>,
     order: Vec<VertexId>,
-    queue_start: usize,
+    /// Scratch for bottom-up levels: the not-yet-reached vertices,
+    /// compacted lazily (built the first time a source's forward pass
+    /// pulls, filtered before each subsequent pull level).
+    unvisited: Vec<VertexId>,
 }
 
 impl Workspace {
@@ -126,7 +134,7 @@ impl Workspace {
             sigma: vec![0.0; n],
             delta: vec![0.0; n],
             order: Vec::with_capacity(n),
-            queue_start: 0,
+            unvisited: Vec::new(),
         }
     }
 
@@ -139,45 +147,110 @@ impl Workspace {
             self.delta[v as usize] = 0.0;
         }
         self.order.clear();
-        self.queue_start = 0;
+        self.unvisited.clear();
     }
 }
 
-/// One Brandes source iteration: BFS shortest-path counting + backward
-/// dependency accumulation into `scores`.
+/// One Brandes source iteration: level-synchronous direction-optimizing
+/// BFS with shortest-path counting, then backward dependency
+/// accumulation into `scores`.
 ///
-/// `predecessors` supplies in-neighborhoods for the backward pass: the
-/// graph itself when symmetric (undirected), its transpose otherwise.
+/// `predecessors` supplies in-neighborhoods for pull levels and the
+/// backward pass: the graph itself when symmetric (undirected), its
+/// transpose otherwise.  `degrees` caches `graph.degrees()`.
+///
+/// Sigma counting is direction-agnostic because the pass is
+/// level-synchronous: when level `d` expands, every level-`d` sigma is
+/// final, so a push level adds `sigma[u]` into each out-neighbor at
+/// `d + 1` while a pull level has each unreached vertex sum the sigmas
+/// of *all* its level-`d` in-neighbors in one scan (no early exit —
+/// unlike a plain reachability pull, path counting must see every
+/// parent).  Both orders accumulate the same sums.
 fn accumulate_source(
     graph: &CsrGraph,
     predecessors: &CsrGraph,
     source: VertexId,
+    bfs: &BfsConfig,
+    degrees: &[usize],
     ws: &mut Workspace,
     scores: &mut [f64],
 ) {
+    let n = graph.num_vertices();
     ws.reset_touched();
     ws.dist[source as usize] = 0;
     ws.sigma[source as usize] = 1.0;
     ws.order.push(source);
 
-    // Forward: BFS in visitation order; `order` doubles as the queue.
-    while ws.queue_start < ws.order.len() {
-        let u = ws.order[ws.queue_start];
-        ws.queue_start += 1;
-        let du = ws.dist[u as usize];
-        for &v in graph.neighbors(u) {
-            let dv = &mut ws.dist[v as usize];
-            if *dv == u32::MAX {
-                *dv = du + 1;
-                ws.order.push(v);
+    // Forward: expand `order` one level at a time, choosing push or pull
+    // per level with the same heuristic as `HybridBfs`.
+    let mut level_start = 0usize;
+    let mut depth = 0u32;
+    let mut frontier_edges = degrees[source as usize];
+    let mut unexplored_edges = graph.num_arcs().saturating_sub(frontier_edges);
+    let mut direction = Direction::Push;
+    let mut unvisited_built = false;
+    while level_start < ws.order.len() {
+        let level_end = ws.order.len();
+        direction = next_direction(
+            bfs,
+            direction,
+            level_end - level_start,
+            frontier_edges,
+            unexplored_edges,
+            n,
+        );
+        match direction {
+            Direction::Push => {
+                for i in level_start..level_end {
+                    let u = ws.order[i];
+                    for &v in graph.neighbors(u) {
+                        let dv = &mut ws.dist[v as usize];
+                        if *dv == u32::MAX {
+                            *dv = depth + 1;
+                            ws.order.push(v);
+                        }
+                        if ws.dist[v as usize] == depth + 1 {
+                            ws.sigma[v as usize] += ws.sigma[u as usize];
+                        }
+                    }
+                }
             }
-            if ws.dist[v as usize] == du + 1 {
-                ws.sigma[v as usize] += ws.sigma[u as usize];
+            Direction::Pull => {
+                if unvisited_built {
+                    let dist = &ws.dist;
+                    ws.unvisited.retain(|&v| dist[v as usize] == u32::MAX);
+                } else {
+                    ws.unvisited = (0..n as VertexId)
+                        .filter(|&v| ws.dist[v as usize] == u32::MAX)
+                        .collect();
+                    unvisited_built = true;
+                }
+                for idx in 0..ws.unvisited.len() {
+                    let v = ws.unvisited[idx];
+                    for &u in predecessors.neighbors(v) {
+                        if ws.dist[u as usize] == depth {
+                            if ws.dist[v as usize] == u32::MAX {
+                                ws.dist[v as usize] = depth + 1;
+                                ws.order.push(v);
+                            }
+                            ws.sigma[v as usize] += ws.sigma[u as usize];
+                        }
+                    }
+                }
             }
         }
+        frontier_edges = ws.order[level_end..]
+            .iter()
+            .map(|&v| degrees[v as usize])
+            .sum();
+        unexplored_edges = unexplored_edges.saturating_sub(frontier_edges);
+        level_start = level_end;
+        depth += 1;
     }
 
-    // Backward: reverse BFS order guarantees all successors are final.
+    // Backward: reverse BFS order guarantees all successors are final
+    // (`order` is appended level by level, so reversing it visits
+    // non-increasing distances even when levels mixed push and pull).
     for &w in ws.order.iter().rev() {
         let dw = ws.dist[w as usize];
         let coeff = (1.0 + ws.delta[w as usize]) / ws.sigma[w as usize];
@@ -294,10 +367,19 @@ pub(crate) fn accumulate_for_sources(graph: &CsrGraph, sources: &[VertexId]) -> 
     } else {
         graph
     };
+    let degrees = graph.degrees();
     let mut ws = Workspace::new(n);
     let mut scores = vec![0.0; n];
     for &s in sources {
-        accumulate_source(graph, predecessors, s, &mut ws, &mut scores);
+        accumulate_source(
+            graph,
+            predecessors,
+            s,
+            &BfsConfig::default(),
+            &degrees,
+            &mut ws,
+            &mut scores,
+        );
     }
     scores
 }
@@ -343,6 +425,7 @@ pub fn betweenness_centrality(graph: &CsrGraph, config: &BetweennessConfig) -> B
 
     // Chunk the sources so each rayon task amortizes one workspace over
     // many Brandes iterations.
+    let degrees = graph.degrees();
     let chunk = (sources.len() / (rayon::current_num_threads() * 4).max(1)).max(1);
     let mut scores = sources
         .par_chunks(chunk)
@@ -350,7 +433,15 @@ pub fn betweenness_centrality(graph: &CsrGraph, config: &BetweennessConfig) -> B
             let mut ws = Workspace::new(n);
             let mut local = vec![0.0f64; n];
             for &s in chunk_sources {
-                accumulate_source(graph, predecessors, s, &mut ws, &mut local);
+                accumulate_source(
+                    graph,
+                    predecessors,
+                    s,
+                    &config.bfs,
+                    &degrees,
+                    &mut ws,
+                    &mut local,
+                );
             }
             local
         })
@@ -443,6 +534,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn star_center_carries_all_pairs() {
         // Star with center 0 and 4 leaves: center BC = 2·C(4,2) = 12.
         let g = graph(&[(0, 1), (0, 2), (0, 3), (0, 4)]);
@@ -500,6 +592,63 @@ mod tests {
     }
 
     #[test]
+    fn forward_pass_directions_agree() {
+        // The hybrid forward pass must count shortest paths identically
+        // whether levels push, pull, or mix — on undirected and directed
+        // graphs alike.
+        let mut x = 17u64;
+        let mut edges = Vec::new();
+        for _ in 0..150 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(5);
+            let s = ((x >> 32) % 40) as u32;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(5);
+            let t = ((x >> 32) % 40) as u32;
+            edges.push((s, t));
+        }
+        let configs = [
+            BfsConfig::push_only(),
+            BfsConfig::pull_only(),
+            BfsConfig::hybrid(),
+            BfsConfig::hybrid().with_alpha(1e12).with_beta(1e12),
+        ];
+        let undirected = graph(&edges);
+        let directed = graphct_core::builder::build_directed_simple(&EdgeList::from_pairs(
+            edges.iter().filter(|&&(s, t)| s != t).copied().collect(),
+        ))
+        .unwrap();
+        for g in [&undirected, &directed] {
+            let baseline = betweenness_centrality(
+                g,
+                &BetweennessConfig {
+                    bfs: BfsConfig::push_only(),
+                    ..BetweennessConfig::exact()
+                },
+            )
+            .scores;
+            for cfg in &configs {
+                let got = betweenness_centrality(
+                    g,
+                    &BetweennessConfig {
+                        bfs: *cfg,
+                        ..BetweennessConfig::exact()
+                    },
+                )
+                .scores;
+                for v in 0..g.num_vertices() {
+                    assert!(
+                        (got[v] - baseline[v]).abs() < 1e-9,
+                        "directed={} {:?} vertex {v}: {} vs {}",
+                        g.is_directed(),
+                        cfg.frontier,
+                        got[v],
+                        baseline[v]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn disconnected_components_accumulate_independently() {
         // Two paths: 0-1-2 and 3-4-5. Middle vertices get BC 2.
         let g = graph(&[(0, 1), (1, 2), (3, 4), (4, 5)]);
@@ -508,6 +657,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn sampling_all_vertices_equals_exact() {
         let g = graph(&[(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)]);
         let exact_scores = exact(&g);
@@ -538,11 +688,20 @@ mod tests {
         let n = g.num_vertices();
         let exact_scores = exact(&g);
         let mut sum = vec![0.0; n];
+        let degrees = g.degrees();
         for s in 0..n as u32 {
             let ws_scores = {
                 let mut ws = Workspace::new(n);
                 let mut local = vec![0.0; n];
-                accumulate_source(&g, &g, s, &mut ws, &mut local);
+                accumulate_source(
+                    &g,
+                    &g,
+                    s,
+                    &BfsConfig::default(),
+                    &degrees,
+                    &mut ws,
+                    &mut local,
+                );
                 local
             };
             for v in 0..n {

@@ -2,28 +2,196 @@
 //!
 //! The workhorse traversal: every path-based kernel (betweenness,
 //! diameter estimation, component extraction by script) is built on a
-//! level-synchronous BFS.  Two frontier representations are provided —
-//! a packed queue and a bitmap sweep — because the best choice depends on
-//! frontier density (an ablation the bench crate measures).
+//! level-synchronous BFS.  The engine is *direction-optimizing* (Beamer
+//! et al., SC'12): sparse frontiers expand top-down ("push"), dense
+//! frontiers are absorbed bottom-up ("pull"), and [`HybridBfs`] switches
+//! per level based on how many edges each step would inspect.  The
+//! legacy push-only queue and bitmap sweeps remain available as forced
+//! modes for ablation (the bench crate measures all three).
 
 use graphct_core::{CsrGraph, VertexId};
-use graphct_mt::{AtomicBitmap, AtomicU32Array};
+use graphct_mt::{AtomicBitmap, AtomicU32Array, Frontier};
 use rayon::prelude::*;
 
 /// Level value for vertices not reached by the search.
 pub const UNREACHED: u32 = u32::MAX;
 
-/// Frontier representation for [`parallel_bfs_levels`].
+/// Default push→pull threshold: switch to bottom-up when the frontier's
+/// incident edges exceed `1/alpha` of the edges incident to unexplored
+/// vertices.
+pub const DEFAULT_ALPHA: f64 = 15.0;
+
+/// Default pull→push threshold: switch back to top-down when the
+/// frontier shrinks below `1/beta` of all vertices.
+pub const DEFAULT_BETA: f64 = 18.0;
+
+/// Frontier / direction policy for [`parallel_bfs_levels`].
+///
+/// A level-synchronous BFS can expand a level two ways:
+///
+/// * **push** (top-down): scan the out-edges of every frontier vertex and
+///   claim unvisited targets — work proportional to the edges incident to
+///   the frontier, ideal while the frontier is sparse;
+/// * **pull** (bottom-up): scan the in-edges of every *unvisited* vertex
+///   and stop at the first neighbor on the frontier — cheaper once the
+///   frontier is dense, because most unvisited vertices find a frontier
+///   parent within a few probes and claimed vertices need no atomics.
+///
+/// [`FrontierKind::Hybrid`] switches per level using the
+/// edges-in-frontier vs. unexplored-edges heuristic documented on
+/// [`BfsConfig`]; the other variants force a single strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FrontierKind {
-    /// Packed vertex queue: work proportional to the frontier (best for
-    /// the sparse frontiers of high-diameter graphs).
-    #[default]
+    /// Push-only with a packed vertex queue (work proportional to the
+    /// frontier; best for the persistently sparse frontiers of
+    /// high-diameter graphs, and the classic GraphCT formulation).
     Queue,
-    /// Bitmap: each level sweeps all vertices and expands members of the
-    /// frontier bitmap (cheaper bookkeeping on dense frontiers of
-    /// low-diameter social networks).
+    /// Push-only driven by a full-vertex bitmap sweep: each level scans
+    /// all vertices and expands members of the frontier bitmap (legacy
+    /// mode kept for ablation; superseded by `Pull` on dense frontiers).
     Bitmap,
+    /// Force top-down expansion on every level (alias of `Queue`
+    /// semantics inside the hybrid engine).
+    Push,
+    /// Force bottom-up expansion on every level.  Requires in-neighbors:
+    /// on directed graphs [`HybridBfs`] materializes the transpose.
+    Pull,
+    /// Direction-optimizing: start pushing, switch to pull when the
+    /// frontier becomes edge-dense, switch back when it thins out.
+    #[default]
+    Hybrid,
+}
+
+impl std::str::FromStr for FrontierKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "queue" => Ok(FrontierKind::Queue),
+            "bitmap" => Ok(FrontierKind::Bitmap),
+            "push" => Ok(FrontierKind::Push),
+            "pull" => Ok(FrontierKind::Pull),
+            "hybrid" => Ok(FrontierKind::Hybrid),
+            other => Err(format!(
+                "unknown frontier kind `{other}` (expected queue|bitmap|push|pull|hybrid)"
+            )),
+        }
+    }
+}
+
+/// Tuning for the direction-optimizing BFS.
+///
+/// With `m_f` = edges incident to the current frontier, `m_u` = edges
+/// incident to still-unexplored vertices, `n_f` = frontier vertex count
+/// and `n` = total vertices, the per-level switch criterion is:
+///
+/// * push → pull when `m_f > m_u / alpha` — the frontier is about to
+///   inspect a large share of the remaining edges, so probing unvisited
+///   vertices bottom-up (with early exit at the first frontier parent)
+///   inspects fewer;
+/// * pull → push when `n_f < n / beta` — the frontier has thinned to the
+///   point that sweeping every unvisited vertex costs more than pushing
+///   the few frontier edges directly.
+///
+/// `alpha`/`beta` default to [`DEFAULT_ALPHA`]/[`DEFAULT_BETA`] (the
+/// values from Beamer's GAP reference implementation).  Larger `alpha`
+/// lowers the edge threshold and switches to pull *sooner*; larger
+/// `beta` lowers the vertex threshold and keeps pulling *longer*.  A
+/// level with no unexplored edges left always pushes (the remaining
+/// frontier edges are cheaper than any bottom-up sweep).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BfsConfig {
+    /// Direction policy (forced push/pull/legacy, or per-level hybrid).
+    pub frontier: FrontierKind,
+    /// Push→pull threshold on the edge ratio `m_f / m_u`.
+    pub alpha: f64,
+    /// Pull→push threshold on the vertex ratio `n / n_f`.
+    pub beta: f64,
+}
+
+impl Default for BfsConfig {
+    fn default() -> Self {
+        Self {
+            frontier: FrontierKind::default(),
+            alpha: DEFAULT_ALPHA,
+            beta: DEFAULT_BETA,
+        }
+    }
+}
+
+impl BfsConfig {
+    /// Direction-optimizing config with default thresholds.
+    pub fn hybrid() -> Self {
+        Self::default()
+    }
+
+    /// Force top-down (push) expansion on every level.
+    pub fn push_only() -> Self {
+        Self {
+            frontier: FrontierKind::Push,
+            ..Self::default()
+        }
+    }
+
+    /// Force bottom-up (pull) expansion on every level.
+    pub fn pull_only() -> Self {
+        Self {
+            frontier: FrontierKind::Pull,
+            ..Self::default()
+        }
+    }
+
+    /// Config equivalent to a bare [`FrontierKind`] with default
+    /// thresholds.
+    pub fn from_kind(kind: FrontierKind) -> Self {
+        Self {
+            frontier: kind,
+            ..Self::default()
+        }
+    }
+
+    /// Replace the push→pull threshold.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Replace the pull→push threshold.
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        assert!(beta > 0.0, "beta must be positive");
+        self.beta = beta;
+        self
+    }
+
+    /// `true` when this config can ever take a bottom-up step (and thus
+    /// needs in-neighbor access).
+    pub fn may_pull(&self) -> bool {
+        matches!(self.frontier, FrontierKind::Pull | FrontierKind::Hybrid)
+    }
+}
+
+/// Expansion direction a level was (or will be) processed with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Top-down: frontier vertices push to unvisited out-neighbors.
+    Push,
+    /// Bottom-up: unvisited vertices pull from frontier in-neighbors.
+    Pull,
+}
+
+/// Result of [`HybridBfs::run`]: levels plus per-level traversal stats.
+#[derive(Debug, Clone)]
+pub struct BfsRun {
+    /// Level of each vertex (`UNREACHED` where not reachable).
+    pub levels: Vec<u32>,
+    /// Direction chosen for each executed level.
+    pub directions: Vec<Direction>,
+    /// Edge inspections performed across the whole traversal — the work
+    /// metric the direction switch optimizes (push levels inspect every
+    /// frontier edge; pull levels stop early at the first frontier
+    /// parent).
+    pub edges_inspected: usize,
 }
 
 /// Sequential BFS levels from `source` (`UNREACHED` where not reachable).
@@ -49,78 +217,282 @@ pub fn bfs_levels(graph: &CsrGraph, source: VertexId) -> Vec<u32> {
     levels
 }
 
-/// Parallel level-synchronous BFS from `source`.
+/// Reusable direction-optimizing BFS engine.
 ///
-/// Vertices are claimed exactly once through a compare-exchange on the
-/// level array (the atomic-claim idiom standing in for the XMT's
-/// synchronized memory words).  Output is identical to [`bfs_levels`].
-pub fn parallel_bfs_levels(graph: &CsrGraph, source: VertexId, frontier: FrontierKind) -> Vec<u32> {
-    match frontier {
-        FrontierKind::Queue => parallel_bfs_queue(graph, source),
-        FrontierKind::Bitmap => parallel_bfs_bitmap(graph, source),
-    }
+/// Construction caches the degree table and, for directed graphs under a
+/// pull-capable config, the transpose (in-neighbor CSR) — so callers
+/// that run many searches over one graph (diameter sampling, betweenness
+/// source loops) pay those costs once.  On undirected graphs the
+/// symmetric adjacency serves both directions and no transpose is built.
+pub struct HybridBfs<'g> {
+    graph: &'g CsrGraph,
+    /// In-neighbor view for directed graphs; `None` when `graph` is its
+    /// own transpose (undirected) or the config never pulls.
+    transpose: Option<CsrGraph>,
+    degrees: Vec<usize>,
+    config: BfsConfig,
 }
 
-fn parallel_bfs_queue(graph: &CsrGraph, source: VertexId) -> Vec<u32> {
-    let n = graph.num_vertices();
-    assert!((source as usize) < n, "source vertex out of range");
-    let levels = AtomicU32Array::filled(n, UNREACHED);
-    levels.store(source as usize, 0);
-    let mut frontier = vec![source];
-    let mut depth = 0u32;
-    while !frontier.is_empty() {
-        let next_depth = depth + 1;
-        let next: Vec<VertexId> = frontier
-            .par_iter()
-            .flat_map_iter(|&u| graph.neighbors(u).iter().copied())
-            .filter(|&v| {
-                levels
-                    .compare_exchange(v as usize, UNREACHED, next_depth)
-                    .is_ok()
-            })
-            .collect();
-        frontier = next;
-        depth = next_depth;
+impl<'g> HybridBfs<'g> {
+    /// Engine with the default (hybrid) config.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        Self::with_config(graph, BfsConfig::default())
     }
-    levels.into_vec()
-}
 
-fn parallel_bfs_bitmap(graph: &CsrGraph, source: VertexId) -> Vec<u32> {
-    let n = graph.num_vertices();
-    assert!((source as usize) < n, "source vertex out of range");
-    let levels = AtomicU32Array::filled(n, UNREACHED);
-    levels.store(source as usize, 0);
-    let mut current = AtomicBitmap::new(n);
-    current.set(source as usize);
-    let mut depth = 0u32;
-    let mut frontier_size = 1usize;
-    while frontier_size > 0 {
-        let next = AtomicBitmap::new(n);
-        let next_depth = depth + 1;
-        let claimed: usize = (0..n)
-            .into_par_iter()
-            .map(|u| {
-                if !current.get(u) {
-                    return 0usize;
+    /// Engine with an explicit config.
+    pub fn with_config(graph: &'g CsrGraph, config: BfsConfig) -> Self {
+        let transpose = (graph.is_directed() && config.may_pull()).then(|| graph.transpose());
+        Self {
+            graph,
+            transpose,
+            degrees: graph.degrees(),
+            config,
+        }
+    }
+
+    /// The engine's config.
+    pub fn config(&self) -> &BfsConfig {
+        &self.config
+    }
+
+    #[inline]
+    fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.transpose.as_ref().unwrap_or(self.graph).neighbors(v)
+    }
+
+    /// BFS levels from `source`; identical output to [`bfs_levels`].
+    pub fn levels(&self, source: VertexId) -> Vec<u32> {
+        self.run(source).levels
+    }
+
+    /// BFS from `source` with per-level direction and work statistics.
+    pub fn run(&self, source: VertexId) -> BfsRun {
+        let n = self.graph.num_vertices();
+        assert!((source as usize) < n, "source vertex out of range");
+        if self.config.frontier == FrontierKind::Bitmap {
+            return self.run_bitmap_sweep(source);
+        }
+        let levels = AtomicU32Array::filled(n, UNREACHED);
+        levels.store(source as usize, 0);
+        let mut frontier = Frontier::sparse(vec![source]);
+        let mut depth = 0u32;
+        // Beamer bookkeeping: edges incident to the frontier vs. edges
+        // incident to unexplored vertices.
+        let mut frontier_edges = self.degrees[source as usize];
+        let mut unexplored_edges = self.graph.num_arcs().saturating_sub(frontier_edges);
+        let mut direction = Direction::Push;
+        let mut directions = Vec::new();
+        let mut edges_inspected = 0usize;
+        // Unvisited-vertex list for pull levels, built lazily at the
+        // first bottom-up step and shrunk before each later one (claims
+        // made by intervening push levels are filtered out by the same
+        // retain, so the list never goes stale).
+        let mut unvisited: Vec<VertexId> = Vec::new();
+        let mut unvisited_built = false;
+        while !frontier.is_empty() {
+            direction = self.choose_direction(
+                direction,
+                frontier.len(),
+                frontier_edges,
+                unexplored_edges,
+                n,
+            );
+            directions.push(direction);
+            let next = match direction {
+                Direction::Push => {
+                    edges_inspected += frontier_edges;
+                    push_level(self.graph, &frontier.into_sparse(), &levels, depth + 1)
                 }
-                let mut count = 0;
-                for &v in graph.neighbors(u as VertexId) {
-                    if levels
-                        .compare_exchange(v as usize, UNREACHED, next_depth)
-                        .is_ok()
-                    {
+                Direction::Pull => {
+                    if unvisited_built {
+                        unvisited.retain(|&v| levels.load(v as usize) == UNREACHED);
+                    } else {
+                        unvisited = (0..n as VertexId)
+                            .filter(|&v| levels.load(v as usize) == UNREACHED)
+                            .collect();
+                        unvisited_built = true;
+                    }
+                    let (next, inspected) = self.pull_level(&levels, depth, &unvisited);
+                    edges_inspected += inspected;
+                    next
+                }
+            };
+            frontier_edges = next.edge_weight(&self.degrees);
+            unexplored_edges = unexplored_edges.saturating_sub(frontier_edges);
+            frontier = next;
+            depth += 1;
+        }
+        BfsRun {
+            levels: levels.into_vec(),
+            directions,
+            edges_inspected,
+        }
+    }
+
+    /// Per-level direction decision (see [`BfsConfig`] for the
+    /// criterion).
+    fn choose_direction(
+        &self,
+        current: Direction,
+        frontier_vertices: usize,
+        frontier_edges: usize,
+        unexplored_edges: usize,
+        num_vertices: usize,
+    ) -> Direction {
+        next_direction(
+            &self.config,
+            current,
+            frontier_vertices,
+            frontier_edges,
+            unexplored_edges,
+            num_vertices,
+        )
+    }
+
+    /// Bottom-up step: every vertex in `unvisited` probes its
+    /// in-neighbors for a parent on the `depth` frontier, stopping at
+    /// the first hit.  Only the probing task writes a given vertex's
+    /// level, so a plain store suffices (no claim contention, unlike
+    /// push).  The caller guarantees `unvisited` holds exactly the
+    /// vertices with no level yet.
+    fn pull_level(
+        &self,
+        levels: &AtomicU32Array,
+        depth: u32,
+        unvisited: &[VertexId],
+    ) -> (Frontier, usize) {
+        let n = self.graph.num_vertices();
+        let next = AtomicBitmap::new(n);
+        let (claimed, inspected) = unvisited
+            .par_iter()
+            .map(|&v| {
+                let mut probes = 0usize;
+                for &u in self.in_neighbors(v) {
+                    probes += 1;
+                    if levels.load(u as usize) == depth {
+                        levels.store(v as usize, depth + 1);
                         next.set(v as usize);
-                        count += 1;
+                        return (1usize, probes);
                     }
                 }
-                count
+                (0, probes)
             })
-            .sum();
-        current = next;
-        frontier_size = claimed;
-        depth = next_depth;
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        (Frontier::dense(next, claimed), inspected)
     }
-    levels.into_vec()
+
+    /// Legacy full-vertex bitmap sweep (push work discovered by scanning
+    /// all vertices each level), kept for ablation comparisons.
+    fn run_bitmap_sweep(&self, source: VertexId) -> BfsRun {
+        let n = self.graph.num_vertices();
+        let levels = AtomicU32Array::filled(n, UNREACHED);
+        levels.store(source as usize, 0);
+        let mut current = AtomicBitmap::new(n);
+        current.set(source as usize);
+        let mut depth = 0u32;
+        let mut frontier_size = 1usize;
+        let mut directions = Vec::new();
+        let mut edges_inspected = 0usize;
+        while frontier_size > 0 {
+            directions.push(Direction::Push);
+            let next = AtomicBitmap::new(n);
+            let next_depth = depth + 1;
+            let (claimed, inspected) = (0..n)
+                .into_par_iter()
+                .map(|u| {
+                    if !current.get(u) {
+                        return (0usize, 0usize);
+                    }
+                    let mut count = 0;
+                    for &v in self.graph.neighbors(u as VertexId) {
+                        if levels
+                            .compare_exchange(v as usize, UNREACHED, next_depth)
+                            .is_ok()
+                        {
+                            next.set(v as usize);
+                            count += 1;
+                        }
+                    }
+                    (count, self.degrees[u])
+                })
+                .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+            current = next;
+            frontier_size = claimed;
+            depth = next_depth;
+            edges_inspected += inspected;
+        }
+        BfsRun {
+            levels: levels.into_vec(),
+            directions,
+            edges_inspected,
+        }
+    }
+}
+
+/// The per-level direction decision shared by [`HybridBfs`] and the
+/// level-synchronous forward passes of the betweenness kernels (see
+/// [`BfsConfig`] for the criterion).
+pub(crate) fn next_direction(
+    config: &BfsConfig,
+    current: Direction,
+    frontier_vertices: usize,
+    frontier_edges: usize,
+    unexplored_edges: usize,
+    num_vertices: usize,
+) -> Direction {
+    match config.frontier {
+        FrontierKind::Queue | FrontierKind::Bitmap | FrontierKind::Push => Direction::Push,
+        FrontierKind::Pull => Direction::Pull,
+        FrontierKind::Hybrid => match current {
+            Direction::Push
+                if unexplored_edges > 0
+                    && frontier_edges as f64 > unexplored_edges as f64 / config.alpha =>
+            {
+                Direction::Pull
+            }
+            Direction::Pull if (frontier_vertices as f64) < num_vertices as f64 / config.beta => {
+                Direction::Push
+            }
+            unchanged => unchanged,
+        },
+    }
+}
+
+/// Top-down step: frontier vertices claim unvisited out-neighbors via
+/// compare-exchange on the level array (the atomic-claim idiom standing
+/// in for the XMT's synchronized memory words).
+fn push_level(
+    graph: &CsrGraph,
+    frontier: &[VertexId],
+    levels: &AtomicU32Array,
+    next_depth: u32,
+) -> Frontier {
+    let next: Vec<VertexId> = frontier
+        .par_iter()
+        .flat_map_iter(|&u| graph.neighbors(u).iter().copied())
+        .filter(|&v| {
+            levels
+                .compare_exchange(v as usize, UNREACHED, next_depth)
+                .is_ok()
+        })
+        .collect();
+    Frontier::sparse(next)
+}
+
+/// Parallel level-synchronous BFS from `source`.
+///
+/// Output is identical to [`bfs_levels`] for every [`FrontierKind`];
+/// the kind only changes how each level is expanded.  Callers running
+/// many searches over one graph should construct a [`HybridBfs`] once
+/// instead (this convenience rebuilds the degree table — and, for
+/// directed graphs under pull-capable kinds, the transpose — per call).
+pub fn parallel_bfs_levels(graph: &CsrGraph, source: VertexId, frontier: FrontierKind) -> Vec<u32> {
+    HybridBfs::with_config(graph, BfsConfig::from_kind(frontier)).levels(source)
+}
+
+/// Parallel BFS with explicit direction-optimization tuning.
+pub fn parallel_bfs_with(graph: &CsrGraph, source: VertexId, config: &BfsConfig) -> Vec<u32> {
+    HybridBfs::with_config(graph, *config).levels(source)
 }
 
 /// BFS limited to `max_depth` levels — GraphCT's "marking a breadth-first
@@ -163,8 +535,16 @@ pub fn max_level(levels: &[u32]) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphct_core::builder::build_undirected_simple;
+    use graphct_core::builder::{build_directed_simple, build_undirected_simple};
     use graphct_core::EdgeList;
+
+    const ALL_KINDS: [FrontierKind; 5] = [
+        FrontierKind::Queue,
+        FrontierKind::Bitmap,
+        FrontierKind::Push,
+        FrontierKind::Pull,
+        FrontierKind::Hybrid,
+    ];
 
     fn graph(edges: &[(u32, u32)]) -> CsrGraph {
         build_undirected_simple(&EdgeList::from_pairs(edges.to_vec())).unwrap()
@@ -203,8 +583,9 @@ mod tests {
         ]);
         for src in 0..g.num_vertices() as u32 {
             let seq = bfs_levels(&g, src);
-            assert_eq!(parallel_bfs_levels(&g, src, FrontierKind::Queue), seq);
-            assert_eq!(parallel_bfs_levels(&g, src, FrontierKind::Bitmap), seq);
+            for kind in ALL_KINDS {
+                assert_eq!(parallel_bfs_levels(&g, src, kind), seq, "{kind:?}");
+            }
         }
     }
 
@@ -223,9 +604,97 @@ mod tests {
         let g = graph(&edges);
         for src in [0u32, 7, 1234] {
             let seq = bfs_levels(&g, src);
-            assert_eq!(parallel_bfs_levels(&g, src, FrontierKind::Queue), seq);
-            assert_eq!(parallel_bfs_levels(&g, src, FrontierKind::Bitmap), seq);
+            for kind in ALL_KINDS {
+                assert_eq!(parallel_bfs_levels(&g, src, kind), seq, "{kind:?}");
+            }
         }
+    }
+
+    #[test]
+    fn directed_pull_uses_transpose() {
+        // Directed chain plus a shortcut; in-neighbors differ from
+        // out-neighbors, so pull correctness depends on the transpose.
+        let g = build_directed_simple(&EdgeList::from_pairs(vec![
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (0, 3),
+            (3, 4),
+        ]))
+        .unwrap();
+        let seq = bfs_levels(&g, 0);
+        for kind in ALL_KINDS {
+            assert_eq!(parallel_bfs_levels(&g, 0, kind), seq, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn hybrid_switches_directions_on_a_hub() {
+        // A broadcast hub: level 1 holds nearly every vertex, so the
+        // default thresholds must trigger at least one pull level.
+        let n = 4000u32;
+        let edges: Vec<(u32, u32)> = (1..n).map(|v| (0, v)).collect();
+        let g = graph(&edges);
+        let engine = HybridBfs::new(&g);
+        let run = engine.run(0);
+        assert_eq!(run.levels, bfs_levels(&g, 0));
+        assert!(
+            run.directions.contains(&Direction::Pull),
+            "expected a pull level, got {:?}",
+            run.directions
+        );
+        // Forced push never pulls.
+        let push = HybridBfs::with_config(&g, BfsConfig::push_only()).run(0);
+        assert!(push.directions.iter().all(|&d| d == Direction::Push));
+        // Forced pull never pushes.
+        let pull = HybridBfs::with_config(&g, BfsConfig::pull_only()).run(0);
+        assert!(pull.directions.iter().all(|&d| d == Direction::Pull));
+    }
+
+    #[test]
+    fn hybrid_inspects_fewer_edges_on_dense_frontiers() {
+        // On the hub graph the single dense level dominates: pull stops
+        // at the first frontier parent while push scans every edge twice
+        // (the undirected hub has all arcs incident to the frontier).
+        let n = 4000u32;
+        let edges: Vec<(u32, u32)> = (1..n).map(|v| (0, v)).collect();
+        let g = graph(&edges);
+        let hybrid = HybridBfs::new(&g).run(0);
+        let push = HybridBfs::with_config(&g, BfsConfig::push_only()).run(0);
+        assert!(
+            hybrid.edges_inspected < push.edges_inspected,
+            "hybrid {} vs push {}",
+            hybrid.edges_inspected,
+            push.edges_inspected
+        );
+    }
+
+    #[test]
+    fn extreme_thresholds_force_each_direction() {
+        let g = graph(&[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        // Tiny alpha (huge edge threshold): pulling is never profitable.
+        let cfg = BfsConfig::hybrid().with_alpha(1e-12);
+        let run = HybridBfs::with_config(&g, cfg).run(0);
+        assert!(run.directions.iter().all(|&d| d == Direction::Push));
+        // Huge alpha + huge beta: switch to pull immediately and stay.
+        let cfg = BfsConfig::hybrid().with_alpha(1e12).with_beta(1e12);
+        let run = HybridBfs::with_config(&g, cfg).run(0);
+        assert_eq!(run.levels, bfs_levels(&g, 0));
+        assert!(run.directions.iter().all(|&d| d == Direction::Pull));
+    }
+
+    #[test]
+    fn frontier_kind_parses() {
+        for (text, kind) in [
+            ("queue", FrontierKind::Queue),
+            ("Bitmap", FrontierKind::Bitmap),
+            ("PUSH", FrontierKind::Push),
+            ("pull", FrontierKind::Pull),
+            ("hybrid", FrontierKind::Hybrid),
+        ] {
+            assert_eq!(text.parse::<FrontierKind>().unwrap(), kind);
+        }
+        assert!("dfs".parse::<FrontierKind>().is_err());
     }
 
     #[test]
@@ -257,7 +726,8 @@ mod tests {
     fn single_vertex_graph() {
         let g = CsrGraph::empty(1, false);
         assert_eq!(bfs_levels(&g, 0), vec![0]);
-        assert_eq!(parallel_bfs_levels(&g, 0, FrontierKind::Queue), vec![0]);
-        assert_eq!(parallel_bfs_levels(&g, 0, FrontierKind::Bitmap), vec![0]);
+        for kind in ALL_KINDS {
+            assert_eq!(parallel_bfs_levels(&g, 0, kind), vec![0], "{kind:?}");
+        }
     }
 }

@@ -10,6 +10,7 @@
 //! toward their roots.  The fixed point assigns every vertex the minimum
 //! vertex id in its component, which makes results deterministic.
 
+use crate::bfs::{parallel_bfs_with, BfsConfig, UNREACHED};
 use graphct_core::subgraph::{induced_subgraph, Subgraph};
 use graphct_core::{CsrGraph, VertexId};
 use graphct_mt::AtomicU32Array;
@@ -148,13 +149,47 @@ impl ComponentSummary {
     }
 }
 
+/// Extract the component containing `seed` as a subgraph, discovering
+/// membership with a direction-optimizing BFS instead of full label
+/// propagation — the fast path when only one component is wanted (for
+/// the giant component of a social network the BFS saturates in two or
+/// three pull levels).  Undirected graphs only: on a directed graph a
+/// single BFS yields reachability, not the weak component.
+pub fn component_of(graph: &CsrGraph, seed: VertexId, bfs: &BfsConfig) -> Subgraph {
+    assert!(
+        !graph.is_directed(),
+        "component_of requires an undirected graph"
+    );
+    let levels = parallel_bfs_with(graph, seed, bfs);
+    let keep: Vec<bool> = levels.par_iter().map(|&l| l != UNREACHED).collect();
+    induced_subgraph(graph, &keep).expect("mask length matches graph")
+}
+
 /// Extract the `rank`-th largest component (0 = largest) as a subgraph.
 /// Returns `None` when the graph has fewer components.
 pub fn nth_largest_component(graph: &CsrGraph, rank: usize) -> Option<Subgraph> {
+    nth_largest_component_with(graph, rank, &BfsConfig::default())
+}
+
+/// [`nth_largest_component`] with explicit BFS tuning.  On undirected
+/// graphs membership is rediscovered by a [`component_of`] BFS from the
+/// component's labeling representative (its minimum vertex id);
+/// directed graphs fall back to the label mask.
+pub fn nth_largest_component_with(
+    graph: &CsrGraph,
+    rank: usize,
+    bfs: &BfsConfig,
+) -> Option<Subgraph> {
     let summary = ComponentSummary::compute(graph);
     let (label, _) = summary.nth_largest(rank)?;
-    let keep: Vec<bool> = summary.colors.par_iter().map(|&c| c == label).collect();
-    Some(induced_subgraph(graph, &keep).expect("mask length matches graph"))
+    if graph.is_directed() {
+        let keep: Vec<bool> = summary.colors.par_iter().map(|&c| c == label).collect();
+        Some(induced_subgraph(graph, &keep).expect("mask length matches graph"))
+    } else {
+        // The label is the minimum vertex id of the component, so it is
+        // itself a member and serves as the BFS seed.
+        Some(component_of(graph, label, bfs))
+    }
 }
 
 /// Distribution of component sizes: `counts[s]` = number of components
@@ -315,6 +350,30 @@ mod tests {
         let all = component_subgraphs(&g, 1);
         assert_eq!(all.len(), 3);
         assert!(component_subgraphs(&g, 100).is_empty());
+    }
+
+    #[test]
+    fn component_of_matches_label_mask_for_all_bfs_modes() {
+        let g = graph(&[(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (7, 8)]);
+        for cfg in [
+            BfsConfig::push_only(),
+            BfsConfig::pull_only(),
+            BfsConfig::hybrid(),
+        ] {
+            let sub = component_of(&g, 6, &cfg);
+            assert_eq!(sub.orig_of, vec![5, 6, 7, 8]);
+            assert_eq!(sub.graph.num_edges(), 3);
+            let nth = nth_largest_component_with(&g, 1, &cfg).unwrap();
+            assert_eq!(nth.orig_of, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undirected")]
+    fn component_of_rejects_directed() {
+        let g = graphct_core::builder::build_directed_simple(&EdgeList::from_pairs(vec![(0, 1)]))
+            .unwrap();
+        component_of(&g, 0, &BfsConfig::default());
     }
 
     #[test]

@@ -85,7 +85,7 @@ pub fn betweenness_with_confidence(
         strategy: SamplingStrategy::Uniform,
         seed,
         rescale: false,
-        halve_undirected: false,
+        ..BetweennessConfig::default()
     };
     let sources = select_sources(graph, &shim);
     let sources_used = sources.len();
@@ -155,6 +155,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn full_sampling_has_zero_error() {
         let g = test_graph();
         let n = g.num_vertices();

@@ -11,7 +11,7 @@
 //! the 4× safety multiplier errs upward.  Users "may specify an alternate
 //! multiplier or number of samples".
 
-use crate::bfs::{max_level, parallel_bfs_levels, FrontierKind};
+use crate::bfs::{max_level, BfsConfig, HybridBfs};
 use graphct_core::{CsrGraph, VertexId};
 use graphct_mt::rng::task_rng;
 use rand::seq::SliceRandom;
@@ -57,6 +57,19 @@ pub fn estimate_diameter(
     multiplier: u32,
     seed: u64,
 ) -> DiameterEstimate {
+    estimate_diameter_with(graph, samples, multiplier, seed, &BfsConfig::default())
+}
+
+/// [`estimate_diameter`] with explicit BFS direction-optimization
+/// tuning.  The [`HybridBfs`] engine is built once and shared by all
+/// sampled sources, so transpose/degree setup is amortized.
+pub fn estimate_diameter_with(
+    graph: &CsrGraph,
+    samples: usize,
+    multiplier: u32,
+    seed: u64,
+    bfs: &BfsConfig,
+) -> DiameterEstimate {
     let n = graph.num_vertices();
     if n == 0 || samples == 0 {
         return DiameterEstimate {
@@ -74,9 +87,10 @@ pub fn estimate_diameter(
         all.truncate(samples);
         all
     };
+    let engine = HybridBfs::with_config(graph, *bfs);
     let max_distance_found = sources
         .par_iter()
-        .map(|&s| max_level(&parallel_bfs_levels(graph, s, FrontierKind::Queue)))
+        .map(|&s| max_level(&engine.levels(s)))
         .max()
         .unwrap_or(0);
     DiameterEstimate {
@@ -148,6 +162,21 @@ mod tests {
         let g = graph(&[(0, 1)]);
         let d = estimate_diameter(&g, 0, 4, 0);
         assert_eq!(d.samples, 0);
+    }
+
+    #[test]
+    fn all_bfs_configs_agree() {
+        let mut edges: Vec<(u32, u32)> = (0..49u32).map(|i| (i, i + 1)).collect();
+        edges.extend((50..80u32).map(|v| (0, v))); // hub fan-out off one end
+        let g = graph(&edges);
+        let baseline = estimate_diameter(&g, 16, 4, 9);
+        for cfg in [
+            BfsConfig::push_only(),
+            BfsConfig::pull_only(),
+            BfsConfig::hybrid(),
+        ] {
+            assert_eq!(estimate_diameter_with(&g, 16, 4, 9, &cfg), baseline);
+        }
     }
 
     #[test]

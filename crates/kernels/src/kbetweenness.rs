@@ -54,6 +54,7 @@
 use crate::betweenness::{
     select_sources, BetweennessConfig, BetweennessResult, SamplingStrategy, SourceSelection,
 };
+use crate::bfs::{next_direction, BfsConfig, Direction};
 use graphct_core::{CsrGraph, GraphError, VertexId};
 use rayon::prelude::*;
 
@@ -73,6 +74,9 @@ pub struct KBetweennessConfig {
     pub seed: u64,
     /// Scale sampled scores by `n / |sample|`.
     pub rescale: bool,
+    /// Direction-optimization tuning for the per-source level BFS
+    /// (step 1 of the algorithm).
+    pub bfs: BfsConfig,
 }
 
 impl KBetweennessConfig {
@@ -84,6 +88,7 @@ impl KBetweennessConfig {
             strategy: SamplingStrategy::Uniform,
             seed: 0,
             rescale: true,
+            bfs: BfsConfig::default(),
         }
     }
 
@@ -114,6 +119,8 @@ struct KWorkspace {
     sigma: Vec<f64>,     // [v * k1 + j]
     sigma_hat: Vec<f64>, // [v]
     f: Vec<f64>,         // [v * k1 + c]
+    /// Scratch for bottom-up BFS levels (see `betweenness::Workspace`).
+    unvisited: Vec<VertexId>,
 }
 
 impl KWorkspace {
@@ -127,6 +134,7 @@ impl KWorkspace {
             sigma: vec![0.0; n * k1],
             sigma_hat: vec![0.0; n],
             f: vec![0.0; n * k1],
+            unvisited: Vec::new(),
         }
     }
 
@@ -142,6 +150,7 @@ impl KWorkspace {
         }
         self.order.clear();
         self.level_start.clear();
+        self.unvisited.clear();
     }
 }
 
@@ -149,29 +158,74 @@ fn accumulate_source_kbc(
     graph: &CsrGraph,
     source: VertexId,
     k: usize,
+    bfs: &BfsConfig,
     ws: &mut KWorkspace,
     scores: &mut [f64],
 ) {
+    let n = graph.num_vertices();
     ws.reset_touched();
     let k1 = k + 1;
 
-    // --- 1. BFS building level-grouped visitation order.
+    // --- 1. Direction-optimizing BFS building level-grouped visitation
+    // order.  The graph is undirected (checked by the caller), so pull
+    // levels scan the same adjacency and may stop at the first frontier
+    // parent — only levels are needed here; the σ sweeps follow in
+    // steps 2–3.
     ws.dist[source as usize] = 0;
     ws.order.push(source);
     ws.level_start.push(0);
     let mut level_begin = 0usize;
     let mut depth = 0u32;
+    let mut frontier_edges = graph.degree(source);
+    let mut unexplored_edges = graph.num_arcs().saturating_sub(frontier_edges);
+    let mut direction = Direction::Push;
+    let mut unvisited_built = false;
     while level_begin < ws.order.len() {
         let level_end = ws.order.len();
-        for i in level_begin..level_end {
-            let u = ws.order[i];
-            for &v in graph.neighbors(u) {
-                if ws.dist[v as usize] == u32::MAX {
-                    ws.dist[v as usize] = depth + 1;
-                    ws.order.push(v);
+        direction = next_direction(
+            bfs,
+            direction,
+            level_end - level_begin,
+            frontier_edges,
+            unexplored_edges,
+            n,
+        );
+        match direction {
+            Direction::Push => {
+                for i in level_begin..level_end {
+                    let u = ws.order[i];
+                    for &v in graph.neighbors(u) {
+                        if ws.dist[v as usize] == u32::MAX {
+                            ws.dist[v as usize] = depth + 1;
+                            ws.order.push(v);
+                        }
+                    }
+                }
+            }
+            Direction::Pull => {
+                if unvisited_built {
+                    let dist = &ws.dist;
+                    ws.unvisited.retain(|&v| dist[v as usize] == u32::MAX);
+                } else {
+                    ws.unvisited = (0..n as VertexId)
+                        .filter(|&v| ws.dist[v as usize] == u32::MAX)
+                        .collect();
+                    unvisited_built = true;
+                }
+                for idx in 0..ws.unvisited.len() {
+                    let v = ws.unvisited[idx];
+                    for &u in graph.neighbors(v) {
+                        if ws.dist[u as usize] == depth {
+                            ws.dist[v as usize] = depth + 1;
+                            ws.order.push(v);
+                            break;
+                        }
+                    }
                 }
             }
         }
+        frontier_edges = ws.order[level_end..].iter().map(|&v| graph.degree(v)).sum();
+        unexplored_edges = unexplored_edges.saturating_sub(frontier_edges);
         level_begin = level_end;
         depth += 1;
         if level_begin < ws.order.len() {
@@ -291,6 +345,7 @@ pub fn k_betweenness_centrality(
         seed: config.seed,
         rescale: config.rescale,
         halve_undirected: false,
+        bfs: config.bfs,
     };
     let sources = select_sources(graph, &bc_shim);
     if n == 0 || sources.is_empty() {
@@ -307,7 +362,7 @@ pub fn k_betweenness_centrality(
             let mut ws = KWorkspace::new(n, config.k);
             let mut local = vec![0.0f64; n];
             for &s in chunk_sources {
-                accumulate_source_kbc(graph, s, config.k, &mut ws, &mut local);
+                accumulate_source_kbc(graph, s, config.k, &config.bfs, &mut ws, &mut local);
             }
             local
         })
@@ -346,6 +401,7 @@ mod tests {
     /// Independent oracle via walk-count dynamic programming
     /// ("matrix powers"): W[l][v] = number of walks of length l from a
     /// fixed start.  Directly evaluates the module-doc definition.
+    #[allow(clippy::needless_range_loop)]
     fn oracle_kbc(g: &CsrGraph, k: usize) -> Vec<f64> {
         let n = g.num_vertices();
         let mut bc = vec![0.0; n];
@@ -507,6 +563,43 @@ mod tests {
         let oracle2 = oracle_kbc(&g, 2);
         for v in 0..5 {
             assert!((k2[v] - oracle2[v]).abs() < 1e-9, "v={v}");
+        }
+    }
+
+    #[test]
+    fn level_bfs_directions_agree() {
+        let mut x = 31u64;
+        let mut edges = Vec::new();
+        for _ in 0..80 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(13);
+            let s = ((x >> 32) % 20) as u32;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(13);
+            let t = ((x >> 32) % 20) as u32;
+            if s != t {
+                edges.push((s, t));
+            }
+        }
+        let g = graph(&edges);
+        for k in 0..=2 {
+            let baseline = {
+                let mut cfg = KBetweennessConfig::exact(k);
+                cfg.bfs = BfsConfig::push_only();
+                k_betweenness_centrality(&g, &cfg).unwrap().scores
+            };
+            for bfs in [BfsConfig::pull_only(), BfsConfig::hybrid()] {
+                let mut cfg = KBetweennessConfig::exact(k);
+                cfg.bfs = bfs;
+                let got = k_betweenness_centrality(&g, &cfg).unwrap().scores;
+                for v in 0..g.num_vertices() {
+                    assert!(
+                        (got[v] - baseline[v]).abs() < 1e-9,
+                        "k={k} {:?} v={v}: {} vs {}",
+                        bfs.frontier,
+                        got[v],
+                        baseline[v]
+                    );
+                }
+            }
         }
     }
 

@@ -34,7 +34,10 @@ pub mod kcore;
 pub use betweenness::{
     betweenness_centrality, BetweennessConfig, BetweennessResult, SamplingStrategy, SourceSelection,
 };
-pub use bfs::{bfs_levels, parallel_bfs_levels, FrontierKind, UNREACHED};
+pub use bfs::{
+    bfs_levels, parallel_bfs_levels, parallel_bfs_with, BfsConfig, FrontierKind, HybridBfs,
+    UNREACHED,
+};
 pub use clustering::{clustering_coefficients, global_clustering, triangle_counts};
 pub use components::{connected_components, ComponentSummary};
 pub use confidence::{betweenness_with_confidence, BetweennessCi};

@@ -5,6 +5,8 @@
 //! kernels to those formulas at sizes large enough to exercise the
 //! parallel paths.
 
+#![allow(clippy::needless_range_loop)] // index-based loops mirror the formulas under test
+
 use graphct_core::builder::build_undirected_simple;
 use graphct_gen::classic;
 use graphct_kernels::betweenness::{betweenness_centrality, BetweennessConfig};

@@ -21,6 +21,9 @@ pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
     if n < 2 {
         return 0.0;
     }
+    // Textbook tau-b: tau = (C - D) / sqrt((n0 - T_a)(n0 - T_b)) where
+    // n0 = n(n-1)/2 and T_a / T_b count ALL pairs tied in a / in b —
+    // a pair tied in both vectors contributes to both totals.
     let mut concordant = 0i64;
     let mut discordant = 0i64;
     let mut ties_a = 0i64;
@@ -29,22 +32,23 @@ pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
         for j in (i + 1)..n {
             let da = a[i] - a[j];
             let db = b[i] - b[j];
-            if da == 0.0 && db == 0.0 {
-                // tied in both: contributes to neither normalizer
-            } else if da == 0.0 {
+            if da == 0.0 {
                 ties_a += 1;
-            } else if db == 0.0 {
+            }
+            if db == 0.0 {
                 ties_b += 1;
-            } else if (da > 0.0) == (db > 0.0) {
-                concordant += 1;
-            } else {
-                discordant += 1;
+            }
+            if da != 0.0 && db != 0.0 {
+                if (da > 0.0) == (db > 0.0) {
+                    concordant += 1;
+                } else {
+                    discordant += 1;
+                }
             }
         }
     }
-    let denom = (((concordant + discordant + ties_a) as f64)
-        * ((concordant + discordant + ties_b) as f64))
-        .sqrt();
+    let n0 = (n as i64) * (n as i64 - 1) / 2;
+    let denom = (((n0 - ties_a) as f64) * ((n0 - ties_b) as f64)).sqrt();
     if denom == 0.0 {
         0.0
     } else {
@@ -86,6 +90,41 @@ mod tests {
         let tau_ba = kendall_tau(&[1.0, 2.0, 3.0], &[1.0, 1.0, 2.0]);
         assert!((tau_ab - tau_ba).abs() < 1e-12);
         assert!(tau_ab > 0.0);
+    }
+
+    #[test]
+    fn joint_ties_give_perfect_agreement() {
+        // a = [1,1,2], b = [1,1,3]: pair (0,1) is tied in BOTH vectors,
+        // pairs (0,2) and (1,2) are concordant.  n0 = 3, T_a = T_b = 1,
+        // so tau-b = (2 - 0) / sqrt((3-1)(3-1)) = 1: the two vectors
+        // induce identical orderings.
+        let tau = kendall_tau(&[1.0, 1.0, 2.0], &[1.0, 1.0, 3.0]);
+        assert!((tau - 1.0).abs() < 1e-12, "tau = {tau}");
+    }
+
+    #[test]
+    fn joint_ties_hand_computed_partial() {
+        // a = [1,1,2,3], b = [1,1,3,2]: n0 = 6.
+        // (0,1): tied in both -> T_a += 1, T_b += 1.
+        // (0,2),(0,3),(1,2),(1,3): concordant (C = 4).
+        // (2,3): discordant (D = 1).
+        // tau-b = (4-1)/sqrt((6-1)(6-1)) = 3/5.
+        let tau = kendall_tau(&[1.0, 1.0, 2.0, 3.0], &[1.0, 1.0, 3.0, 2.0]);
+        assert!((tau - 0.6).abs() < 1e-12, "tau = {tau}");
+    }
+
+    #[test]
+    fn one_sided_tie_hand_computed() {
+        // a = [1,1,2], b = [1,2,3]: n0 = 3, T_a = 1, T_b = 0, C = 2,
+        // D = 0 -> tau-b = 2/sqrt(2*3) = sqrt(2/3).
+        let tau = kendall_tau(&[1.0, 1.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert!((tau - (2.0 / 3.0f64).sqrt()).abs() < 1e-12, "tau = {tau}");
+    }
+
+    #[test]
+    fn all_joint_ties_is_zero() {
+        // Both vectors constant: every pair is tied, denominator is 0.
+        assert_eq!(kendall_tau(&[2.0, 2.0, 2.0], &[5.0, 5.0, 5.0]), 0.0);
     }
 
     #[test]

@@ -89,6 +89,51 @@ impl AtomicBitmap {
             })
         })
     }
+
+    /// Repack the set bits into a packed vertex queue, in ascending order.
+    ///
+    /// This is the dense→sparse frontier conversion of a
+    /// direction-optimizing BFS: after a bottom-up (pull) level tracked in
+    /// a bitmap, the traversal switches back to top-down and needs the
+    /// frontier as a compact queue.  Each chunk of words is counted in
+    /// parallel, an exclusive prefix sum assigns output offsets, and the
+    /// chunks scatter their indices independently — the classic XMT
+    /// count/prefix/scatter packing idiom (paper §II-B).
+    pub fn to_queue(&self) -> Vec<u32> {
+        use crate::atomic_array::AtomicU32Array;
+        use rayon::prelude::*;
+
+        const WORDS_PER_CHUNK: usize = 256;
+        let counts: Vec<usize> = self
+            .words
+            .par_chunks(WORDS_PER_CHUNK)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+                    .sum()
+            })
+            .collect();
+        let (offsets, total) = crate::prefix::exclusive_prefix_sum(&counts);
+        let out = AtomicU32Array::filled(total, 0);
+        self.words
+            .par_chunks(WORDS_PER_CHUNK)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let mut pos = offsets[ci];
+                for (wi, w) in chunk.iter().enumerate() {
+                    let base = (ci * WORDS_PER_CHUNK + wi) * 64;
+                    let mut bits = w.load(Ordering::Relaxed);
+                    while bits != 0 {
+                        let tz = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        out.store(pos, (base + tz) as u32);
+                        pos += 1;
+                    }
+                }
+            });
+        out.into_vec()
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +188,21 @@ mod tests {
         }
         let got: Vec<usize> = b.iter_ones().collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn to_queue_matches_iter_ones() {
+        let b = AtomicBitmap::new(40_000);
+        // A spread of bits crossing word and chunk boundaries.
+        let expected: Vec<usize> = (0..40_000)
+            .filter(|i| i % 7 == 0 || i % 4093 == 0)
+            .collect();
+        for &i in &expected {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.to_queue().into_iter().map(|v| v as usize).collect();
+        assert_eq!(got, expected);
+        assert_eq!(AtomicBitmap::new(100).to_queue(), Vec::<u32>::new());
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   paper's kernels require (§II-B: "The only synchronization operation
 //!   required ... is an atomic fetch-and-add").
 //! * [`AtomicBitmap`] — a concurrent bit set used for BFS `visited` flags.
+//! * [`Frontier`] — sparse/dense BFS frontier with degree-weighted size
+//!   tracking and queue↔bitmap repacking for direction-optimizing
+//!   traversal.
 //! * [`FullEmptyCell`] — an emulation of the XMT's full/empty-bit
 //!   synchronized memory word.
 //! * [`prefix`] — parallel prefix sums used when packing frontiers and
@@ -29,6 +32,7 @@
 
 pub mod atomic_array;
 pub mod bitmap;
+pub mod frontier;
 pub mod full_empty;
 pub mod histogram;
 pub mod prefix;
@@ -37,4 +41,5 @@ pub mod rng;
 
 pub use atomic_array::{AtomicF64Array, AtomicU32Array, AtomicUsizeArray};
 pub use bitmap::AtomicBitmap;
+pub use frontier::Frontier;
 pub use full_empty::FullEmptyCell;

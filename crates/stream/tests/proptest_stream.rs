@@ -9,7 +9,7 @@ use proptest::prelude::*;
 fn update_seq(n: u32, len: usize) -> impl Strategy<Value = Vec<EdgeUpdate>> {
     prop::collection::vec(
         (0..n, 0..n, 0u8..4).prop_filter_map("loops excluded", |(u, v, kind)| {
-            (u != v).then(|| {
+            (u != v).then_some({
                 if kind == 0 {
                     EdgeUpdate::Delete(u, v)
                 } else {

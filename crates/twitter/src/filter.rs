@@ -38,10 +38,7 @@ pub fn filter_by_hashtag<'a>(tweets: &'a [Tweet], tag: &str) -> Vec<&'a Tweet> {
 /// Drop tweets from known-spam authors (the paper's corpora are
 /// "English, non-spam"; this is the structural analog given a spam
 /// predicate).
-pub fn drop_spam<'a, F: Fn(&str) -> bool + Sync>(
-    tweets: &'a [Tweet],
-    is_spammer: F,
-) -> Vec<&'a Tweet> {
+pub fn drop_spam<F: Fn(&str) -> bool + Sync>(tweets: &[Tweet], is_spammer: F) -> Vec<&Tweet> {
     tweets
         .par_iter()
         .filter(|t| !is_spammer(&t.author))

@@ -127,6 +127,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn conversation_is_fully_reciprocal() {
         let d = build_directed_simple(&EdgeList::from_pairs(vec![(0, 1), (1, 0), (1, 2), (2, 1)]))
             .unwrap();

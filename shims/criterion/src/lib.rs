@@ -1,0 +1,289 @@
+//! Offline stand-in for the `criterion` benchmarking API surface this
+//! workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate vendors
+//! the interface the `[[bench]]` targets rely on: `Criterion`,
+//! `benchmark_group`/`bench_function`/`iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: per benchmark, run a short warm-up, then
+//! `sample_size` samples where each sample times enough iterations to
+//! fill `measurement_time / sample_size`; report min / median / max
+//! per-iteration time.  No statistical analysis, plots, or baselines —
+//! numbers print to stdout in a fixed-width table row.
+//!
+//! Like upstream criterion, running the bench binary without the
+//! `--bench` argument (as `cargo test` does for bench targets) executes
+//! a single-iteration smoke pass of every benchmark so `cargo test`
+//! stays fast while still exercising the bench code paths.
+
+use std::time::{Duration, Instant};
+
+/// Re-export used by some call sites; prefer `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    /// Smoke mode: run each benchmark body once, skip timing loops.
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 10,
+            smoke: false,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Force single-iteration smoke mode (used when not run via
+    /// `cargo bench`).
+    pub fn smoke_mode(mut self, smoke: bool) -> Self {
+        self.smoke = smoke;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.clone();
+        run_one(&config, name, f);
+        self
+    }
+
+    /// Upstream parses CLI args here; the shim's main macro handles that.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Final summary hook (upstream prints reports; nothing to do here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut config = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            config.sample_size = n;
+        }
+        let full = format!("{}/{}", self.name, name);
+        run_one(&config, &full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    mode: BenchMode,
+    samples_ns: Vec<f64>,
+}
+
+enum BenchMode {
+    /// Run the routine exactly once (smoke pass under `cargo test`).
+    Smoke,
+    /// sample_count samples of sample_duration each.
+    Timed {
+        warm_up: Duration,
+        sample_duration: Duration,
+        sample_count: usize,
+    },
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            BenchMode::Smoke => {
+                black_box(routine());
+            }
+            BenchMode::Timed {
+                warm_up,
+                sample_duration,
+                sample_count,
+            } => {
+                // Warm-up: also estimates the per-iteration cost.
+                let warm_start = Instant::now();
+                let mut warm_iters = 0u64;
+                while warm_start.elapsed() < warm_up || warm_iters == 0 {
+                    black_box(routine());
+                    warm_iters += 1;
+                }
+                let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+                let iters_per_sample =
+                    ((sample_duration.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64).max(1);
+                for _ in 0..sample_count {
+                    let t = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        black_box(routine());
+                    }
+                    self.samples_ns
+                        .push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+                }
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &Criterion, name: &str, mut f: F) {
+    let mode = if config.smoke {
+        BenchMode::Smoke
+    } else {
+        BenchMode::Timed {
+            warm_up: config.warm_up_time,
+            sample_duration: config.measurement_time / config.sample_size as u32,
+            sample_count: config.sample_size,
+        }
+    };
+    let mut bencher = Bencher {
+        mode,
+        samples_ns: Vec::new(),
+    };
+    f(&mut bencher);
+    if config.smoke {
+        println!("{name:<50} smoke ok");
+        return;
+    }
+    let mut s = bencher.samples_ns;
+    if s.is_empty() {
+        println!("{name:<50} no samples (b.iter never called)");
+        return;
+    }
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let fmt = |ns: f64| -> String {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.0} ns")
+        }
+    };
+    println!(
+        "{name:<50} [{} {} {}]",
+        fmt(s[0]),
+        fmt(s[s.len() / 2]),
+        fmt(s[s.len() - 1])
+    );
+}
+
+/// `true` when the binary was invoked by `cargo bench` (which passes
+/// `--bench`); `cargo test` runs bench targets without it.
+pub fn invoked_as_bench() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let base: $crate::Criterion = $config;
+            $(
+                let mut c = base.clone().smoke_mode(!$crate::invoked_as_bench());
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets without `--bench`; keep that
+            // a fast smoke pass (handled per-group via smoke_mode).
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut calls = 0usize;
+        let mut c = Criterion::default().smoke_mode(true);
+        c.bench_function("unit/smoke", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn timed_mode_collects_samples() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3)
+            .smoke_mode(false);
+        let mut g = c.benchmark_group("unit");
+        g.bench_function("timed", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

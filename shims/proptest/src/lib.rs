@@ -1,0 +1,494 @@
+//! Offline stand-in for the `proptest` property-testing API surface this
+//! workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate vendors
+//! the slice of proptest the test suites rely on: the [`proptest!`]
+//! macro, [`Strategy`] with range / tuple / collection / `any` /
+//! `prop_filter(_map)` strategies, `prop_assert!`/`prop_assert_eq!`, and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * No shrinking: a failing case reports the generated inputs verbatim.
+//! * Cases are generated from a fixed deterministic seed sequence, so
+//!   failures always reproduce.
+//! * String strategies support the `\PC{lo,hi}` pattern used in this
+//!   workspace (arbitrary printable chars); other patterns fall back to
+//!   printable ASCII of length 0–64.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The RNG handed to strategies during generation.
+pub type TestRng = StdRng;
+
+/// How a property test runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of values of type `Value`.
+///
+/// Upstream proptest separates strategies from value trees to support
+/// shrinking; without shrinking a strategy is simply a seeded generator.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Keep only values satisfying `pred` (regenerates on rejection).
+    fn prop_filter<P>(self, reason: &'static str, pred: P) -> Filter<Self, P>
+    where
+        Self: Sized,
+        P: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Filter and transform in one step (regenerates on `None`).
+    fn prop_filter_map<F, T>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<T>,
+    {
+        FilterMap {
+            inner: self,
+            reason,
+            f,
+        }
+    }
+
+    /// Transform generated values.
+    fn prop_map<F, T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Cap on rejection-sampling retries in filters.
+const MAX_REJECTS: usize = 10_000;
+
+pub struct Filter<S, P> {
+    inner: S,
+    reason: &'static str,
+    pred: P,
+}
+
+impl<S: Strategy, P: Fn(&S::Value) -> bool> Strategy for Filter<S, P> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_REJECTS {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({:?}) rejected {MAX_REJECTS} candidates",
+            self.reason
+        );
+    }
+}
+
+pub struct FilterMap<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> Option<T>> Strategy for FilterMap<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        for _ in 0..MAX_REJECTS {
+            if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter_map({:?}) rejected {MAX_REJECTS} candidates",
+            self.reason
+        );
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// String pattern strategy: supports the `\PC{lo,hi}` form (printable
+/// chars, length within bounds); any other pattern yields printable
+/// ASCII of length 0–64.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_pc_bounds(self).unwrap_or((0, 64));
+        let len = rng.random_range(lo..=hi);
+        // Mix of ASCII (heavy on the parser-relevant @ # _ chars) and a
+        // few multibyte code points to exercise UTF-8 handling.
+        const EXTRA: &[char] = &['@', '#', '_', ' ', '.', ',', '!', 'é', 'λ', '中', '🌊'];
+        (0..len)
+            .map(|_| {
+                if rng.random_bool(0.25) {
+                    EXTRA[rng.random_range(0..EXTRA.len())]
+                } else {
+                    rng.random_range(0x20u32..0x7f) as u8 as char
+                }
+            })
+            .collect()
+    }
+}
+
+/// Parse the `\PC{lo,hi}` pattern this workspace uses.
+fn parse_pc_bounds(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix("\\PC{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// Types with a canonical "arbitrary" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.random()
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary_value(rng: &mut TestRng) -> u8 {
+        rng.random::<u64>() as u8
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary_value(rng: &mut TestRng) -> u32 {
+        rng.random::<u64>() as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary_value(rng: &mut TestRng) -> u64 {
+        rng.random()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary_value(rng: &mut TestRng) -> usize {
+        rng.random::<u64>() as usize
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mag = rng.random::<f64>() * 1e9;
+        if rng.random() {
+            mag
+        } else {
+            -mag
+        }
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// Length specifications accepted by [`vec`]: a range or an exact
+    /// length, mirroring upstream's `IntoSizeRange`.
+    pub trait IntoLenRange {
+        fn into_len_range(self) -> std::ops::Range<usize>;
+    }
+
+    impl IntoLenRange for std::ops::Range<usize> {
+        fn into_len_range(self) -> std::ops::Range<usize> {
+            self
+        }
+    }
+
+    impl IntoLenRange for std::ops::RangeInclusive<usize> {
+        fn into_len_range(self) -> std::ops::Range<usize> {
+            *self.start()..*self.end() + 1
+        }
+    }
+
+    impl IntoLenRange for usize {
+        fn into_len_range(self) -> std::ops::Range<usize> {
+            self..self + 1
+        }
+    }
+
+    /// `Vec` strategy: element strategy plus a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.random_range(self.len.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy, L: IntoLenRange>(element: S, len: L) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into_len_range(),
+        }
+    }
+}
+
+/// Per-case seeding: deterministic, decorrelated across (test, case).
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// Assert inside a property test (no shrinking, so plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The proptest entry macro: expands each `fn name(arg in strategy, …)`
+/// into a `#[test]` that runs `config.cases` generated cases.  On panic
+/// the failing case's inputs are printed before the panic propagates.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $(
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::case_rng(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let debug_repr = format!(
+                    concat!($("  ", stringify!($arg), " = {:?}\n",)*),
+                    $(&$arg,)*
+                );
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || { $body }
+                ));
+                if let Err(cause) = outcome {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed with inputs:\n{}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        debug_repr
+                    );
+                    ::std::panic::resume_unwind(cause);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+
+    /// Upstream proptest re-exports the crate as `prop` in its prelude so
+    /// `prop::collection::vec` works; mirror that.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::case_rng("t", 0);
+        for _ in 0..100 {
+            let (a, b): (u32, u8) = (3u32..9, 0u8..4).generate(&mut rng);
+            assert!((3..9).contains(&a));
+            assert!(b < 4);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut rng = crate::case_rng("v", 1);
+        for _ in 0..50 {
+            let v = prop::collection::vec(0usize..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn filter_map_excludes_rejected() {
+        let mut rng = crate::case_rng("f", 2);
+        let s = (0u32..10).prop_filter_map("odd only", |x| (x % 2 == 1).then_some(x));
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut rng) % 2, 1);
+        }
+    }
+
+    #[test]
+    fn pc_string_pattern_parses() {
+        let mut rng = crate::case_rng("s", 3);
+        let s: String = Strategy::generate(&"\\PC{0,200}", &mut rng);
+        assert!(s.chars().count() <= 200);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_smoke(x in 0u32..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            let _ = flip;
+        }
+    }
+}

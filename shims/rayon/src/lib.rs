@@ -1,0 +1,425 @@
+//! Offline stand-in for the `rayon` parallel-iterator API.
+//!
+//! The build environment for this workspace has no network access to
+//! crates.io, so this crate vendors the *interface* of rayon that the
+//! workspace uses — `par_iter`/`into_par_iter`/`par_chunks`/parallel
+//! sorts plus the combinator and terminal methods on parallel iterators —
+//! executed sequentially on the calling thread.
+//!
+//! Design notes:
+//!
+//! * Every `par_*` entry point returns a [`ParIter`] wrapper around the
+//!   corresponding `std` iterator.  `ParIter` implements [`Iterator`], so
+//!   all of `std`'s terminal operations (`sum`, `collect`, `max`, `all`,
+//!   …) work unchanged.
+//! * Combinators whose rayon signature differs from `std` (`reduce` and
+//!   `fold` take an identity closure; `flat_map_iter`, `find_any`, …)
+//!   are provided as *inherent* methods on `ParIter`, which take
+//!   precedence over the `Iterator` trait methods of the same name.
+//!   Combinators shared with `std` (`map`, `filter`, …) are re-wrapped so
+//!   the rayon-only methods remain reachable after chaining.
+//! * Determinism: kernels in this workspace already derive per-task RNGs
+//!   from logical indices, so sequential execution produces the same
+//!   results a parallel schedule would.
+//!
+//! Swapping the real rayon back in later only requires restoring the
+//! crates-io dependency; no workspace code changes.
+
+/// Sequential stand-in for a rayon parallel iterator.
+///
+/// Wraps a `std` iterator and forwards to it, adding rayon's
+/// identity-based `reduce`/`fold` and the `*_any` probing methods.
+#[derive(Debug, Clone)]
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+
+    #[inline]
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Wrap an arbitrary iterator (used by the entry-point traits).
+    #[inline]
+    pub fn from_iter_seq(inner: I) -> Self {
+        ParIter(inner)
+    }
+
+    #[inline]
+    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    #[inline]
+    pub fn filter<P>(self, p: P) -> ParIter<std::iter::Filter<I, P>>
+    where
+        P: FnMut(&I::Item) -> bool,
+    {
+        ParIter(self.0.filter(p))
+    }
+
+    #[inline]
+    pub fn filter_map<F, R>(self, f: F) -> ParIter<std::iter::FilterMap<I, F>>
+    where
+        F: FnMut(I::Item) -> Option<R>,
+    {
+        ParIter(self.0.filter_map(f))
+    }
+
+    #[inline]
+    pub fn flat_map<F, U>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// rayon's cheap flat-map over serial sub-iterators; identical to
+    /// `flat_map` when execution is sequential.
+    #[inline]
+    pub fn flat_map_iter<F, U>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter(self.0.flat_map(f))
+    }
+
+    #[inline]
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    #[inline]
+    pub fn zip<J>(self, other: J) -> ParIter<std::iter::Zip<I, J::IntoIter>>
+    where
+        J: IntoIterator,
+    {
+        ParIter(self.0.zip(other))
+    }
+
+    #[inline]
+    pub fn inspect<F>(self, f: F) -> ParIter<std::iter::Inspect<I, F>>
+    where
+        F: FnMut(&I::Item),
+    {
+        ParIter(self.0.inspect(f))
+    }
+
+    #[inline]
+    pub fn chain<J>(self, other: J) -> ParIter<std::iter::Chain<I, J::IntoIter>>
+    where
+        J: IntoIterator<Item = I::Item>,
+    {
+        ParIter(self.0.chain(other))
+    }
+
+    /// rayon signature: fold every item into `identity()` with `op`.
+    #[inline]
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: FnOnce() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// rayon signature: reduce without an identity; `None` when empty.
+    #[inline]
+    pub fn reduce_with<OP>(self, op: OP) -> Option<I::Item>
+    where
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        Iterator::reduce(self.0, op)
+    }
+
+    /// rayon signature: per-split folds that are then combined with
+    /// [`ParIter::reduce`].  Sequentially there is exactly one split.
+    #[inline]
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: FnOnce() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        ParIter(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// Find *some* item matching the predicate (sequentially: the first).
+    #[inline]
+    pub fn find_any<P>(mut self, p: P) -> Option<I::Item>
+    where
+        P: FnMut(&I::Item) -> bool,
+    {
+        self.0.find(p)
+    }
+
+    /// Find the first item matching the predicate.
+    #[inline]
+    pub fn find_first<P>(mut self, p: P) -> Option<I::Item>
+    where
+        P: FnMut(&I::Item) -> bool,
+    {
+        self.0.find(p)
+    }
+
+    /// Splitting-granularity hint; a no-op without real work splitting.
+    #[inline]
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Splitting-granularity hint; a no-op without real work splitting.
+    #[inline]
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+}
+
+impl<'a, T, I> ParIter<I>
+where
+    T: 'a + Copy,
+    I: Iterator<Item = &'a T>,
+{
+    #[inline]
+    pub fn copied(self) -> ParIter<std::iter::Copied<I>> {
+        ParIter(self.0.copied())
+    }
+}
+
+impl<'a, T, I> ParIter<I>
+where
+    T: 'a + Clone,
+    I: Iterator<Item = &'a T>,
+{
+    #[inline]
+    pub fn cloned(self) -> ParIter<std::iter::Cloned<I>> {
+        ParIter(self.0.cloned())
+    }
+}
+
+/// `into_par_iter()` for any owned collection or range.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {}
+
+/// `par_iter()` for anything iterable by shared reference.
+pub trait IntoParallelRefIterator<'data> {
+    type SeqIter: Iterator;
+    fn par_iter(&'data self) -> ParIter<Self::SeqIter>;
+}
+
+impl<'data, C: ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+    C: 'data,
+{
+    type SeqIter = <&'data C as IntoIterator>::IntoIter;
+
+    #[inline]
+    fn par_iter(&'data self) -> ParIter<Self::SeqIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `par_iter_mut()` for anything iterable by exclusive reference.
+pub trait IntoParallelRefMutIterator<'data> {
+    type SeqIter: Iterator;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::SeqIter>;
+}
+
+impl<'data, C: ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+    C: 'data,
+{
+    type SeqIter = <&'data mut C as IntoIterator>::IntoIter;
+
+    #[inline]
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::SeqIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Chunked views of shared slices.
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+    fn par_windows(&self, window_size: usize) -> ParIter<std::slice::Windows<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    #[inline]
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+
+    #[inline]
+    fn par_windows(&self, window_size: usize) -> ParIter<std::slice::Windows<'_, T>> {
+        ParIter(self.windows(window_size))
+    }
+}
+
+/// Chunked views and in-place sorts of exclusive slices.
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_by<F>(&mut self, compare: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering;
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering;
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: FnMut(&T) -> K;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    #[inline]
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+
+    #[inline]
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+
+    #[inline]
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    #[inline]
+    fn par_sort_by<F>(&mut self, compare: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering,
+    {
+        self.sort_by(compare);
+    }
+
+    #[inline]
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering,
+    {
+        self.sort_unstable_by(compare);
+    }
+
+    #[inline]
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: FnMut(&T) -> K,
+    {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+/// Number of threads rayon would use; callers only use this to pick a
+/// chunking granularity, so report the machine's parallelism.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run two closures "in parallel" (sequentially here) and return both
+/// results — rayon's fork-join primitive.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_sequential() {
+        let v = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        assert_eq!(v.par_iter().copied().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let s: usize = (0..100usize).into_par_iter().filter(|x| x % 2 == 0).count();
+        assert_eq!(s, 50);
+    }
+
+    #[test]
+    fn rayon_style_fold_reduce() {
+        let v = vec![1.0f64, 2.0, 3.0];
+        let (sum, sq) = v
+            .par_iter()
+            .fold(|| (0.0, 0.0), |(s, q), &x| (s + x, q + x * x))
+            .reduce(|| (0.0, 0.0), |(a, b), (c, d)| (a + c, b + d));
+        assert_eq!(sum, 6.0);
+        assert_eq!(sq, 14.0);
+    }
+
+    #[test]
+    fn chunked_and_sorted() {
+        let mut v = vec![5, 3, 1, 4, 2];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+        let sums: Vec<i32> = v.par_chunks(2).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 7, 5]);
+        v.par_chunks_mut(2).for_each(|c| c.reverse());
+        assert_eq!(v, vec![2, 1, 4, 3, 5]);
+    }
+
+    #[test]
+    fn find_any_and_flat_map_iter() {
+        let v = vec![vec![1, 2], vec![3, 4]];
+        let flat: Vec<i32> = v.par_iter().flat_map_iter(|c| c.iter().copied()).collect();
+        assert_eq!(flat, vec![1, 2, 3, 4]);
+        assert_eq!(flat.par_iter().find_any(|&&x| x > 2), Some(&3));
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = crate::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}

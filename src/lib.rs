@@ -58,8 +58,9 @@ pub mod prelude {
     pub use graphct_kernels::{
         betweenness_centrality, bfs_levels, clustering_coefficients, connected_components,
         core_numbers, degree_statistics, estimate_diameter, k_betweenness_centrality,
-        kcore_subgraph, parallel_bfs_levels, BetweennessConfig, ComponentSummary, FrontierKind,
-        KBetweennessConfig, SamplingStrategy, SourceSelection,
+        kcore_subgraph, parallel_bfs_levels, parallel_bfs_with, BetweennessConfig, BfsConfig,
+        ComponentSummary, FrontierKind, HybridBfs, KBetweennessConfig, SamplingStrategy,
+        SourceSelection,
     };
     pub use graphct_metrics::{fit_power_law, kendall_tau, top_k_indices, top_k_overlap};
     pub use graphct_script::Engine;

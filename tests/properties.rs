@@ -71,8 +71,34 @@ proptest! {
             .build(&EdgeList::from_pairs(edges))
             .unwrap();
         let seq = bfs_levels(&g, src);
-        prop_assert_eq!(&parallel_bfs_levels(&g, src, FrontierKind::Queue), &seq);
-        prop_assert_eq!(&parallel_bfs_levels(&g, src, FrontierKind::Bitmap), &seq);
+        for kind in [
+            FrontierKind::Queue,
+            FrontierKind::Bitmap,
+            FrontierKind::Push,
+            FrontierKind::Pull,
+            FrontierKind::Hybrid,
+        ] {
+            prop_assert_eq!(&parallel_bfs_levels(&g, src, kind), &seq, "kind {:?}", kind);
+        }
+    }
+
+    #[test]
+    fn hybrid_bfs_matches_sequential_at_any_thresholds(
+        edges in edge_lists(60, 140),
+        src in 0u32..60,
+        directed in any::<bool>(),
+        alpha in 0.01f64..100.0,
+        beta in 0.01f64..100.0,
+    ) {
+        let el = EdgeList::from_pairs(edges);
+        let g = if directed {
+            GraphBuilder::directed().num_vertices(60).build(&el).unwrap()
+        } else {
+            GraphBuilder::undirected().num_vertices(60).build(&el).unwrap()
+        };
+        let seq = bfs_levels(&g, src);
+        let config = BfsConfig::hybrid().with_alpha(alpha).with_beta(beta);
+        prop_assert_eq!(&parallel_bfs_with(&g, src, &config), &seq);
     }
 
     #[test]
