@@ -10,6 +10,9 @@
 //! repro all [--quick] [--seed N]
 //! repro table2 | table3 | table4 | fig2 | fig3 | fig4 | fig5 | fig6
 //! repro ablation-sampling | ablation-cc | ablation-bfs
+//! repro trace-bfs            # ablation-bfs with per-level telemetry +
+//!                            # disabled-overhead proof (BENCH_TRACE_OVERHEAD.json)
+//! repro trace-validate FILE  # check a JSON-lines trace against the schema
 //! ```
 //!
 //! `--quick` shrinks the synthetic datasets and repetition counts for a
@@ -73,7 +76,7 @@ impl Options {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <all|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|ablation-sampling|ablation-cc|ablation-bfs> [--quick] [--full] [--seed N] [--reps N]");
+        eprintln!("usage: repro <all|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|ablation-sampling|ablation-cc|ablation-bfs|trace-bfs|trace-validate FILE> [--quick] [--full] [--seed N] [--reps N]");
         std::process::exit(2);
     }
     let cmd = args.remove(0);
@@ -105,6 +108,8 @@ fn main() {
         "ablation-sampling" => ablation_sampling(opts),
         "ablation-cc" => ablation_cc(opts),
         "ablation-bfs" => ablation_bfs(opts),
+        "trace-bfs" => trace_bfs(opts),
+        "trace-validate" => trace_validate(&args),
         "all" => {
             table2(opts);
             table3(opts);
@@ -634,10 +639,11 @@ fn ablation_bfs(opts: Options) {
                 n(inspected),
             ]);
             entries.push(format!(
-                "    {{\"graph\": \"{gname}\", \"vertices\": {}, \"edges\": {}, \"frontier\": \"{kind:?}\", \"reps\": {reps}, \"mean_s\": {:.6}, \"ci90_s\": {:.6}, \"edges_inspected\": {inspected}}}",
+                "    {{\"graph\": \"{gname}\", \"vertices\": {}, \"edges\": {}, \"frontier\": \"{kind:?}\", \"reps\": {reps}, \"mean_s\": {:.6}, \"std_dev_s\": {:.6}, \"ci90_s\": {:.6}, \"edges_inspected\": {inspected}}}",
                 graph.num_vertices(),
                 graph.num_edges(),
                 summary.mean,
+                summary.std_dev,
                 summary.ci90,
             ));
             means.push((gname.to_string(), kind, summary.mean));
@@ -676,5 +682,312 @@ fn ablation_bfs(opts: Options) {
     match std::fs::write(out, &json) {
         Ok(()) => println!("wrote {out}"),
         Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+}
+
+// -------------------------------------------------------- Trace: BFS
+
+/// Outcome of one interleaved A/B instrumentation ablation.
+struct AbOverhead {
+    seed: graphct_bench::timing::TimingSummary,
+    inst: graphct_bench::timing::TimingSummary,
+    seed_min: f64,
+    inst_min: f64,
+    /// Headline: median of the paired per-rep ratios, as a percentage.
+    overhead_pct: f64,
+    min_overhead_pct: f64,
+    mean_overhead_pct: f64,
+    reps: usize,
+}
+
+/// Time `seed_arm` against `inst_arm` over `reps` interleaved pairs.
+///
+/// The two arms of a pair run back to back, alternating which goes
+/// first, so scheduler and frequency drift hit both and cancel in the
+/// per-pair ratio; the median ratio throws away the bursts that corrupt
+/// a mean (or, when a burst spans a whole arm, even a min).  Min and
+/// mean comparisons are computed alongside for the report.
+fn ab_overhead(reps: usize, seed_arm: &mut dyn FnMut(), inst_arm: &mut dyn FnMut()) -> AbOverhead {
+    use graphct_bench::timing::TimingSummary;
+    use std::time::Instant;
+
+    let time_one = |run: &mut dyn FnMut()| {
+        let t = Instant::now();
+        run();
+        t.elapsed().as_secs_f64()
+    };
+    let mut seed_samples = Vec::with_capacity(reps);
+    let mut inst_samples = Vec::with_capacity(reps);
+    for r in 0..reps {
+        if r % 2 == 0 {
+            seed_samples.push(time_one(seed_arm));
+            inst_samples.push(time_one(inst_arm));
+        } else {
+            inst_samples.push(time_one(inst_arm));
+            seed_samples.push(time_one(seed_arm));
+        }
+    }
+    let seed = TimingSummary::from_samples(&seed_samples);
+    let inst = TimingSummary::from_samples(&inst_samples);
+    let min_of = |s: &[f64]| s.iter().copied().fold(f64::INFINITY, f64::min);
+    let seed_min = min_of(&seed_samples);
+    let inst_min = min_of(&inst_samples);
+    let mut ratios: Vec<f64> = seed_samples
+        .iter()
+        .zip(&inst_samples)
+        .map(|(s, i)| i / s)
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_ratio = ratios[ratios.len() / 2];
+    AbOverhead {
+        overhead_pct: (median_ratio - 1.0) * 100.0,
+        min_overhead_pct: (inst_min / seed_min - 1.0) * 100.0,
+        mean_overhead_pct: (inst.mean / seed.mean - 1.0) * 100.0,
+        seed,
+        inst,
+        seed_min,
+        inst_min,
+        reps,
+    }
+}
+
+/// Print one kernel's A/B table + verdict line and return its JSON
+/// record for `BENCH_TRACE_OVERHEAD.json`.
+fn report_ab(kernel: &str, ab: &AbOverhead, budget_pct: f64) -> String {
+    let mut t = Table::new(&["kernel", "min s", "mean s", "std dev s", "ci90 s"]);
+    t.row(&[
+        format!("{kernel}: seed (uninstrumented)"),
+        f(ab.seed_min, 6),
+        f(ab.seed.mean, 6),
+        f(ab.seed.std_dev, 6),
+        f(ab.seed.ci90, 6),
+    ]);
+    t.row(&[
+        format!("{kernel}: instrumented, tracing off"),
+        f(ab.inst_min, 6),
+        f(ab.inst.mean, 6),
+        f(ab.inst.std_dev, 6),
+        f(ab.inst.ci90, 6),
+    ]);
+    t.print();
+    println!(
+        "{kernel} disabled-path overhead: {:+.2}% median-of-paired-ratios \
+         ({:+.2}% min-vs-min, {:+.2}% mean-vs-mean; budget {budget_pct}%) \
+         over {} interleaved reps\n",
+        ab.overhead_pct, ab.min_overhead_pct, ab.mean_overhead_pct, ab.reps
+    );
+    format!(
+        "    {{\n      \"kernel\": \"{kernel}\",\n      \"reps\": {},\n      \"seed_kernel\": {{\"min_s\": {:.6}, \"mean_s\": {:.6}, \"std_dev_s\": {:.6}, \"ci90_s\": {:.6}}},\n      \"instrumented_disabled\": {{\"min_s\": {:.6}, \"mean_s\": {:.6}, \"std_dev_s\": {:.6}, \"ci90_s\": {:.6}}},\n      \"overhead_pct\": {:.4},\n      \"min_overhead_pct\": {:.4},\n      \"mean_overhead_pct\": {:.4},\n      \"within_budget\": {}\n    }}",
+        ab.reps,
+        ab.seed_min,
+        ab.seed.mean,
+        ab.seed.std_dev,
+        ab.seed.ci90,
+        ab.inst_min,
+        ab.inst.mean,
+        ab.inst.std_dev,
+        ab.inst.ci90,
+        ab.overhead_pct,
+        ab.min_overhead_pct,
+        ab.mean_overhead_pct,
+        ab.overhead_pct <= budget_pct,
+    )
+}
+
+/// The PR 1 BFS ablation re-run with telemetry enabled (per-level
+/// records land in `TRACE_BFS.jsonl`), followed by the disabled-path
+/// overhead proof against the uninstrumented seed kernels — hybrid BFS
+/// and sampled betweenness — (`BENCH_TRACE_OVERHEAD.json`, budget
+/// ≤ 2 %).
+fn trace_bfs(opts: Options) {
+    use graphct_bench::seed_baseline::{seed_betweenness, SeedHybridBfs};
+    use graphct_kernels::bfs::{BfsConfig, FrontierKind, HybridBfs};
+    use std::sync::Arc;
+
+    banner("Trace — BFS ablation with per-level telemetry + disabled-overhead proof");
+    let scale = if opts.quick { 12 } else { 16 };
+    let cfg = graphct_gen::RmatConfig::paper(scale, 16);
+    let rmat = build_undirected_simple(&graphct_gen::rmat_edges(&cfg, opts.seed)).unwrap();
+    let hub_cfg = graphct_gen::broadcast::BroadcastConfig {
+        hubs: 1,
+        fanout: if opts.quick { 2_000 } else { 20_000 },
+        decay: 0.001,
+        max_depth: 4,
+    };
+    let (hub_edges, _) = graphct_gen::broadcast::broadcast_forest(&hub_cfg, opts.seed);
+    let hub = build_undirected_simple(&hub_edges).unwrap();
+    let path_n = if opts.quick { 50_000 } else { 200_000 };
+    let path = build_undirected_simple(&graphct_gen::classic::path(path_n)).unwrap();
+    let graphs: [(&str, &CsrGraph); 3] = [
+        ("rmat (low diameter)", &rmat),
+        ("broadcast-hub (low diameter)", &hub),
+        ("path (high diameter)", &path),
+    ];
+    let kinds = [
+        FrontierKind::Queue,
+        FrontierKind::Push,
+        FrontierKind::Pull,
+        FrontierKind::Hybrid,
+    ];
+
+    // -- Part 1: run every ablation cell once under a JSON-lines session.
+    let trace_out = "TRACE_BFS.jsonl";
+    let sink = match graphct_trace::JsonLinesSink::create(std::path::Path::new(trace_out)) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("could not create {trace_out}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let session = graphct_trace::Session::start(sink);
+    let mut hybrid_records = Vec::new();
+    for (gname, graph) in graphs {
+        for kind in kinds {
+            if kind == FrontierKind::Pull && gname.contains("high") {
+                // O(n) pull levels on the path graph would swamp the
+                // trace with hundreds of thousands of records; the
+                // timing ablation already documents that cell.
+                println!("{gname} / {kind:?}: skipped in the trace pass (pathological cell)");
+                continue;
+            }
+            let engine = HybridBfs::with_config(graph, BfsConfig::from_kind(kind));
+            let run = engine.run(0);
+            println!(
+                "{gname} / {kind:?}: {} levels, {} edges inspected",
+                run.level_records.len(),
+                run.edges_inspected
+            );
+            if kind == FrontierKind::Hybrid && gname.starts_with("rmat") {
+                hybrid_records = run.level_records.clone();
+            }
+        }
+    }
+    session.finish();
+
+    // The per-level records carry the exact decide_direction inputs, so
+    // the alpha/beta heuristic replays offline.  Show it for the
+    // rmat/hybrid cell.
+    println!("\nrmat hybrid per-level records (direction decision inputs):");
+    println!("level  dir   n_f      m_f      m_u      inspected");
+    for r in &hybrid_records {
+        println!(
+            "{:>5}  {:<4}  {:>7}  {:>7}  {:>7}  {:>9}",
+            r.level,
+            r.direction.as_str(),
+            r.frontier_vertices,
+            r.frontier_edges,
+            r.unexplored_edges,
+            r.edges_inspected
+        );
+    }
+
+    match std::fs::read_to_string(trace_out) {
+        Ok(text) => match graphct_trace::schema::validate_jsonl(&text) {
+            Ok(count) => println!("\n{trace_out}: {count} records, all schema-valid"),
+            Err((line, msg)) => {
+                eprintln!("{trace_out}:{line}: schema violation: {msg}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("could not re-read {trace_out}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // -- Part 2: interleaved A/B overhead measurements, tracing disabled.
+    assert!(
+        !graphct_trace::enabled(),
+        "session must be finished before the overhead measurement"
+    );
+    let budget_pct = 2.0;
+
+    // BFS arm.  Each sample batches several sources so per-sample work
+    // dwarfs the timer quantum.
+    let config = BfsConfig::hybrid();
+    let seed_engine = SeedHybridBfs::with_config(&rmat, config);
+    let inst_engine = HybridBfs::with_config(&rmat, config);
+    let n = rmat.num_vertices() as u32;
+    // Warm both paths before timing.
+    std::hint::black_box(seed_engine.levels(0));
+    std::hint::black_box(inst_engine.levels(0));
+    let reps = opts.reps.max(50);
+    const BATCH: u32 = 8;
+    let bfs_ab = ab_overhead(
+        reps,
+        &mut || {
+            for s in 0..BATCH {
+                std::hint::black_box(seed_engine.levels((s * 37 + 11) % n));
+            }
+        },
+        &mut || {
+            for s in 0..BATCH {
+                std::hint::black_box(inst_engine.levels((s * 37 + 11) % n));
+            }
+        },
+    );
+    let bfs_record = report_ab("bfs_hybrid", &bfs_ab, budget_pct);
+
+    // Betweenness arm: sampled Brandes on the same graph, one full call
+    // per sample (each call already batches its sources).
+    let bc_config = graphct_kernels::betweenness::BetweennessConfig {
+        selection: graphct_kernels::betweenness::SourceSelection::Count(16),
+        seed: opts.seed,
+        bfs: config,
+        ..graphct_kernels::betweenness::BetweennessConfig::exact()
+    };
+    std::hint::black_box(seed_betweenness(&rmat, &bc_config).scores);
+    std::hint::black_box(
+        graphct_kernels::betweenness::betweenness_centrality(&rmat, &bc_config).scores,
+    );
+    let bc_reps = opts.reps.max(30);
+    let bc_ab = ab_overhead(
+        bc_reps,
+        &mut || {
+            std::hint::black_box(seed_betweenness(&rmat, &bc_config).scores);
+        },
+        &mut || {
+            std::hint::black_box(
+                graphct_kernels::betweenness::betweenness_centrality(&rmat, &bc_config).scores,
+            );
+        },
+    );
+    let bc_record = report_ab("bc_sampled_16src", &bc_ab, budget_pct);
+
+    let within_budget = bfs_ab.overhead_pct <= budget_pct && bc_ab.overhead_pct <= budget_pct;
+    let json = format!(
+        "{{\n  \"bench\": \"trace_overhead\",\n  \"graph\": \"rmat scale {scale}\",\n  \"vertices\": {},\n  \"edges\": {},\n  \"frontier\": \"Hybrid\",\n  \"overhead_metric\": \"median_of_paired_ratios\",\n  \"budget_pct\": {budget_pct},\n  \"results\": [\n{},\n{}\n  ],\n  \"within_budget\": {within_budget}\n}}\n",
+        rmat.num_vertices(),
+        rmat.num_edges(),
+        bfs_record,
+        bc_record,
+    );
+    let out = "BENCH_TRACE_OVERHEAD.json";
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+}
+
+/// Validate a JSON-lines trace file against the documented event schema
+/// (exit 1 on the first violating record).
+fn trace_validate(args: &[String]) {
+    let Some(path) = args.first() else {
+        eprintln!("usage: repro trace-validate FILE");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match graphct_trace::schema::validate_jsonl(&text) {
+        Ok(count) => println!("{path}: {count} records, all schema-valid"),
+        Err((line, msg)) => {
+            eprintln!("{path}:{line}: schema violation: {msg}");
+            std::process::exit(1);
+        }
     }
 }

@@ -16,8 +16,27 @@ pub struct TimingSummary {
     pub mean: f64,
     /// Sample standard deviation (0 for a single rep).
     pub std_dev: f64,
-    /// 90 % normal-approximation confidence half-width.
+    /// 90 % Student-t confidence half-width (normal approximation only
+    /// beyond 30 reps).
     pub ci90: f64,
+}
+
+/// Two-sided 90 % Student-t critical value for `dof` degrees of
+/// freedom.  At the paper's 10 realizations (9 dof) this is 1.833, not
+/// the asymptotic z = 1.645 — the normal approximation understates the
+/// half-width by ~11 % at that n.  Beyond 29 dof the difference is
+/// under 3 % and we fall back to z.
+fn t90(dof: usize) -> f64 {
+    const TABLE: [f64; 29] = [
+        6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796, 1.782, 1.771,
+        1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706,
+        1.703, 1.701, 1.699,
+    ];
+    match dof {
+        0 => 0.0,
+        d if d <= TABLE.len() => TABLE[d - 1],
+        _ => 1.645,
+    }
 }
 
 impl TimingSummary {
@@ -32,8 +51,7 @@ impl TimingSummary {
             0.0
         };
         let std_dev = var.sqrt();
-        // z = 1.645 for a two-sided 90 % interval.
-        let ci90 = 1.645 * std_dev / (reps as f64).sqrt();
+        let ci90 = t90(reps.saturating_sub(1)) * std_dev / (reps as f64).sqrt();
         Self {
             reps,
             mean,
@@ -85,6 +103,42 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn empty_samples_panic() {
         TimingSummary::from_samples(&[]);
+    }
+
+    #[test]
+    fn ci90_uses_student_t_at_ten_reps() {
+        // The paper's Fig. 4 protocol: 10 realizations.  With 9 dof the
+        // two-sided 90 % critical value is 1.833; pin the exact
+        // half-width for a unit-variance sample.
+        let samples = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let s = TimingSummary::from_samples(&samples);
+        assert_eq!(s.reps, 10);
+        let expected_sd = (samples.iter().map(|x| (x - 4.5f64).powi(2)).sum::<f64>() / 9.0).sqrt();
+        assert!((s.std_dev - expected_sd).abs() < 1e-12);
+        let expected = 1.833 * expected_sd / 10f64.sqrt();
+        assert!(
+            (s.ci90 - expected).abs() < 1e-12,
+            "ci90 {} != Student-t half-width {expected}",
+            s.ci90
+        );
+        // And it must be wider than the old normal-approximation value.
+        assert!(s.ci90 > 1.645 * expected_sd / 10f64.sqrt());
+    }
+
+    #[test]
+    fn ci90_falls_back_to_z_for_large_n() {
+        let samples: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let s = TimingSummary::from_samples(&samples);
+        let expected = 1.645 * s.std_dev / 40f64.sqrt();
+        assert!((s.ci90 - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_samples_use_first_t_row() {
+        // dof = 1 -> t = 6.314.
+        let s = TimingSummary::from_samples(&[1.0, 3.0]);
+        let expected = 6.314 * s.std_dev / 2f64.sqrt();
+        assert!((s.ci90 - expected).abs() < 1e-12);
     }
 
     #[test]

@@ -8,6 +8,12 @@ use graphct_core::builder::build_undirected_simple;
 use graphct_core::{CsrGraph, EdgeList};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Counting allocator so traced runs report peak live bytes
+/// (`peak_live_bytes` gauge in every metrics export).
+#[global_allocator]
+static ALLOC: graphct_trace::CountingAllocator = graphct_trace::CountingAllocator;
 
 const USAGE: &str = "graphct — massive social network analysis toolkit
 
@@ -21,6 +27,7 @@ USAGE:
                                                mention graph (edge list)
   graphct stats <graph> [--frontier KIND] [--alpha A] [--beta B]
                                                degrees, components, diameter
+  graphct components <graph> [--top K]         connected components summary
   graphct bc <graph> [--samples N] [--seed N] [--top K]
               [--frontier KIND] [--alpha A] [--beta B]
                                                (approximate) betweenness
@@ -30,6 +37,12 @@ BFS tuning (stats, bc): --frontier is one of queue|bitmap|push|pull|hybrid
 (default hybrid); --alpha / --beta set the direction-optimizing switch
 thresholds (push->pull when frontier edges exceed unexplored/alpha,
 pull->push when the frontier shrinks below vertices/beta).
+
+Telemetry (any command): --trace turns on kernel telemetry and prints a
+hierarchical timing summary to stderr at exit; --trace-out FILE streams
+JSON-lines events to FILE; --metrics-format json|prom|summary selects
+the export (json requires --trace-out; prom writes Prometheus text to
+--trace-out or stdout).
 
 Graph files: *.bin = GraphCT binary CSR, *.gr/*.dimacs = DIMACS,
 anything else = 'src dst' edge-list text.";
@@ -93,6 +106,65 @@ fn parse_bfs_flags(args: &mut Vec<String>) -> Result<graphct_kernels::BfsConfig,
     Ok(config)
 }
 
+/// Consume the telemetry flags (`--trace`, `--trace-out`,
+/// `--metrics-format`) and start a [`graphct_trace::Session`] when any
+/// of them asks for one.  The returned guard flushes the chosen sink on
+/// drop, after the command has produced its output.
+fn start_trace(args: &mut Vec<String>) -> Result<Option<graphct_trace::Session>, String> {
+    let trace = if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let trace_out = take_flag(args, "--trace-out")?.map(PathBuf::from);
+    let format = take_flag(args, "--metrics-format")?;
+    if !trace && trace_out.is_none() && format.is_none() {
+        return Ok(None);
+    }
+    // --trace-out with no explicit format means JSON-lines; bare --trace
+    // means the human-readable summary.
+    let format = format.unwrap_or_else(|| {
+        if trace_out.is_some() {
+            "json".to_string()
+        } else {
+            "summary".to_string()
+        }
+    });
+    let sink: Arc<dyn graphct_trace::Sink> = match format.as_str() {
+        "json" => {
+            let path = trace_out
+                .as_ref()
+                .ok_or("--metrics-format json requires --trace-out FILE")?;
+            Arc::new(
+                graphct_trace::JsonLinesSink::create(path)
+                    .map_err(|e| format!("cannot create {}: {e}", path.display()))?,
+            )
+        }
+        "prom" => match trace_out.as_ref() {
+            Some(path) => Arc::new(
+                graphct_trace::PrometheusSink::create(path)
+                    .map_err(|e| format!("cannot create {}: {e}", path.display()))?,
+            ),
+            None => Arc::new(graphct_trace::PrometheusSink::to_stdout()),
+        },
+        "summary" => {
+            if trace_out.is_some() {
+                return Err("--metrics-format summary writes to stderr; \
+                     use json or prom with --trace-out"
+                    .into());
+            }
+            Arc::new(graphct_trace::SummarySink::to_stderr())
+        }
+        other => {
+            return Err(format!(
+                "unknown --metrics-format '{other}' (json|prom|summary)"
+            ))
+        }
+    };
+    Ok(Some(graphct_trace::Session::start(sink)))
+}
+
 fn load_graph(path: &Path) -> Result<CsrGraph, String> {
     let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
     let graph = match ext {
@@ -123,6 +195,7 @@ fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let cmd = args.remove(0);
+    let _trace_session = start_trace(&mut args)?;
     match cmd.as_str() {
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -247,6 +320,33 @@ fn run(args: &[String]) -> Result<(), String> {
                 "diameter estimate {} (longest distance {} over {} sources, {:?} frontier)",
                 dia.estimate, dia.max_distance_found, dia.samples, bfs.frontier
             );
+            Ok(())
+        }
+        "components" => {
+            if args.is_empty() {
+                return Err("components needs a graph file".into());
+            }
+            let path = PathBuf::from(args.remove(0));
+            let top: usize = parse_flag(&mut args, "--top", 10)?;
+            let graph = load_graph(&path)?;
+            let comps = graphct_kernels::components::ComponentSummary::compute(&graph);
+            println!(
+                "vertices {}  edges {}  components {}",
+                graph.num_vertices(),
+                graph.num_edges(),
+                comps.num_components()
+            );
+            for rank in 0..top {
+                let Some((root, size)) = comps.nth_largest(rank) else {
+                    break;
+                };
+                println!(
+                    "{:>4}  component root {:>10}  size {}",
+                    rank + 1,
+                    root,
+                    size
+                );
+            }
             Ok(())
         }
         "bc" => {

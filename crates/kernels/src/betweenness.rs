@@ -17,7 +17,7 @@
 //! [`SamplingStrategy::ComponentStratified`] implements the guided
 //! alternative and the bench crate measures the difference.
 
-use crate::bfs::{next_direction, BfsConfig, Direction};
+use crate::bfs::{decide_direction, BfsConfig, Direction};
 use crate::components::ComponentSummary;
 use graphct_core::{CsrGraph, VertexId};
 use graphct_mt::rng::task_rng;
@@ -116,7 +116,12 @@ pub struct BetweennessResult {
 
 /// Per-source scratch space, reused across the sources a worker
 /// processes so allocation cost is paid once per thread, not per source.
-struct Workspace {
+///
+/// Public-but-hidden so the bench crate's seed-baseline driver can run
+/// [`accumulate_source`] itself: the overhead ablation requires both
+/// arms to execute the same compiled accumulation body.
+#[doc(hidden)]
+pub struct Workspace {
     dist: Vec<u32>,
     sigma: Vec<f64>,
     delta: Vec<f64>,
@@ -128,7 +133,8 @@ struct Workspace {
 }
 
 impl Workspace {
-    fn new(n: usize) -> Self {
+    #[doc(hidden)]
+    pub fn new(n: usize) -> Self {
         Self {
             dist: vec![u32::MAX; n],
             sigma: vec![0.0; n],
@@ -166,7 +172,12 @@ impl Workspace {
 /// of *all* its level-`d` in-neighbors in one scan (no early exit —
 /// unlike a plain reachability pull, path counting must see every
 /// parent).  Both orders accumulate the same sums.
-fn accumulate_source(
+///
+/// Telemetry-free by design (and `#[doc(hidden)] pub` for the same
+/// reason): the bench seed baseline shares this exact compiled body, so
+/// per-source reporting lives in the callers, not here.
+#[doc(hidden)]
+pub fn accumulate_source(
     graph: &CsrGraph,
     predecessors: &CsrGraph,
     source: VertexId,
@@ -191,7 +202,7 @@ fn accumulate_source(
     let mut unvisited_built = false;
     while level_start < ws.order.len() {
         let level_end = ws.order.len();
-        direction = next_direction(
+        direction = decide_direction(
             bfs,
             direction,
             level_end - level_start,
@@ -267,6 +278,17 @@ fn accumulate_source(
             scores[w as usize] += ws.delta[w as usize];
         }
     }
+}
+
+/// Per-source progress telemetry, kept out of [`accumulate_source`] and
+/// off the inlined fast path: callers gate on
+/// [`graphct_trace::enabled`] so the disabled path pays one relaxed
+/// load per source.
+#[cold]
+#[inline(never)]
+fn report_source(source: VertexId, visited: usize) {
+    crate::telemetry::BC_SOURCES_PROCESSED.incr();
+    graphct_trace::event!("bc_source", src = source, visited = visited);
 }
 
 /// Select the source vertices for `config` (deterministic in the seed).
@@ -380,6 +402,9 @@ pub(crate) fn accumulate_for_sources(graph: &CsrGraph, sources: &[VertexId]) -> 
             &mut ws,
             &mut scores,
         );
+        if graphct_trace::enabled() {
+            report_source(s, ws.order.len());
+        }
     }
     scores
 }
@@ -412,6 +437,7 @@ pub fn betweenness_centrality(graph: &CsrGraph, config: &BetweennessConfig) -> B
             sources,
         };
     }
+    let _span = graphct_trace::span!("bc", vertices = n, sources = sources.len());
 
     // Directed graphs need in-neighborhoods for dependency accumulation;
     // undirected adjacency is already symmetric.
@@ -442,6 +468,9 @@ pub fn betweenness_centrality(graph: &CsrGraph, config: &BetweennessConfig) -> B
                     &mut ws,
                     &mut local,
                 );
+                if graphct_trace::enabled() {
+                    report_source(s, ws.order.len());
+                }
             }
             local
         })

@@ -180,6 +180,40 @@ pub enum Direction {
     Pull,
 }
 
+impl Direction {
+    /// Stable name used in telemetry records ("push" / "pull").
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::Push => "push",
+            Direction::Pull => "pull",
+        }
+    }
+}
+
+/// Decision inputs and outcome for one executed BFS level.
+///
+/// Holds exactly the arguments [`decide_direction`] saw before the level
+/// ran, so a recorded traversal is *replayable*: feeding the previous
+/// level's direction and this record's inputs back through
+/// [`decide_direction`] must reproduce `direction`.  The `--trace` CLI
+/// path emits these as `bfs_level` events, and a test replays the
+/// heuristic from the emitted telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelRecord {
+    /// Depth of the frontier being expanded (source is depth 0).
+    pub level: u32,
+    /// Direction the heuristic chose for this level.
+    pub direction: Direction,
+    /// Vertices on the frontier before expansion (`n_f`).
+    pub frontier_vertices: usize,
+    /// Edges incident to the frontier before expansion (`m_f`).
+    pub frontier_edges: usize,
+    /// Edges incident to still-unexplored vertices (`m_u`).
+    pub unexplored_edges: usize,
+    /// Edges actually inspected while expanding this level.
+    pub edges_inspected: usize,
+}
+
 /// Result of [`HybridBfs::run`]: levels plus per-level traversal stats.
 #[derive(Debug, Clone)]
 pub struct BfsRun {
@@ -192,6 +226,8 @@ pub struct BfsRun {
     /// frontier edge; pull levels stop early at the first frontier
     /// parent).
     pub edges_inspected: usize,
+    /// Per-level decision inputs and work (same length as `directions`).
+    pub level_records: Vec<LevelRecord>,
 }
 
 /// Sequential BFS levels from `source` (`UNREACHED` where not reachable).
@@ -255,11 +291,6 @@ impl<'g> HybridBfs<'g> {
         &self.config
     }
 
-    #[inline]
-    fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
-        self.transpose.as_ref().unwrap_or(self.graph).neighbors(v)
-    }
-
     /// BFS levels from `source`; identical output to [`bfs_levels`].
     pub fn levels(&self, source: VertexId) -> Vec<u32> {
         self.run(source).levels
@@ -272,6 +303,11 @@ impl<'g> HybridBfs<'g> {
         if self.config.frontier == FrontierKind::Bitmap {
             return self.run_bitmap_sweep(source);
         }
+        let _bfs_span = if graphct_trace::enabled() {
+            self.open_bfs_span(source, n)
+        } else {
+            graphct_trace::SpanGuard::disabled()
+        };
         let levels = AtomicU32Array::filled(n, UNREACHED);
         levels.store(source as usize, 0);
         let mut frontier = Frontier::sparse(vec![source]);
@@ -282,7 +318,10 @@ impl<'g> HybridBfs<'g> {
         let mut unexplored_edges = self.graph.num_arcs().saturating_sub(frontier_edges);
         let mut direction = Direction::Push;
         let mut directions = Vec::new();
+        let mut level_records = Vec::new();
         let mut edges_inspected = 0usize;
+        let mut push_edges = 0usize;
+        let mut pull_edges = 0usize;
         // Unvisited-vertex list for pull levels, built lazily at the
         // first bottom-up step and shrunk before each later one (claims
         // made by intervening push levels are filtered out by the same
@@ -290,42 +329,102 @@ impl<'g> HybridBfs<'g> {
         let mut unvisited: Vec<VertexId> = Vec::new();
         let mut unvisited_built = false;
         while !frontier.is_empty() {
+            let frontier_vertices = frontier.len();
             direction = self.choose_direction(
                 direction,
-                frontier.len(),
+                frontier_vertices,
                 frontier_edges,
                 unexplored_edges,
                 n,
             );
             directions.push(direction);
+            let level_inspected;
             let next = match direction {
                 Direction::Push => {
-                    edges_inspected += frontier_edges;
+                    level_inspected = frontier_edges;
+                    push_edges += frontier_edges;
                     push_level(self.graph, &frontier.into_sparse(), &levels, depth + 1)
                 }
                 Direction::Pull => {
-                    if unvisited_built {
-                        unvisited.retain(|&v| levels.load(v as usize) == UNREACHED);
-                    } else {
-                        unvisited = (0..n as VertexId)
-                            .filter(|&v| levels.load(v as usize) == UNREACHED)
-                            .collect();
-                        unvisited_built = true;
-                    }
+                    refresh_unvisited(&levels, n, &mut unvisited, &mut unvisited_built);
                     let (next, inspected) = self.pull_level(&levels, depth, &unvisited);
-                    edges_inspected += inspected;
+                    level_inspected = inspected;
+                    pull_edges += inspected;
                     next
                 }
             };
+            edges_inspected += level_inspected;
+            let record = LevelRecord {
+                level: depth,
+                direction,
+                frontier_vertices,
+                frontier_edges,
+                unexplored_edges,
+                edges_inspected: level_inspected,
+            };
+            if graphct_trace::enabled() {
+                emit_level_event(&record);
+            }
+            level_records.push(record);
             frontier_edges = next.edge_weight(&self.degrees);
             unexplored_edges = unexplored_edges.saturating_sub(frontier_edges);
             frontier = next;
             depth += 1;
         }
-        BfsRun {
+        let run = BfsRun {
             levels: levels.into_vec(),
             directions,
             edges_inspected,
+            level_records,
+        };
+        if graphct_trace::enabled() {
+            self.report_run_telemetry(&run, push_edges, pull_edges);
+        }
+        run
+    }
+
+    /// The traced-run span open, kept out of line so the untraced hot
+    /// path carries none of the field-formatting code.
+    #[cold]
+    #[inline(never)]
+    fn open_bfs_span(&self, source: VertexId, n: usize) -> graphct_trace::SpanGuard {
+        graphct_trace::span!(
+            "bfs",
+            src = source,
+            vertices = n,
+            mode = format!("{:?}", self.config.frontier),
+        )
+    }
+
+    /// End-of-run counters and the frontier-size histogram.  Everything
+    /// here is behind one `enabled()` check, so untraced runs skip it.
+    #[cold]
+    #[inline(never)]
+    fn report_run_telemetry(&self, run: &BfsRun, push_edges: usize, pull_edges: usize) {
+        if !graphct_trace::enabled() {
+            return;
+        }
+        crate::telemetry::BFS_EDGES_SCANNED_PUSH.add(push_edges as u64);
+        crate::telemetry::BFS_EDGES_SCANNED_PULL.add(pull_edges as u64);
+        let pushes = run
+            .directions
+            .iter()
+            .filter(|&&d| d == Direction::Push)
+            .count();
+        crate::telemetry::BFS_LEVELS_PUSH.add(pushes as u64);
+        crate::telemetry::BFS_LEVELS_PULL.add((run.directions.len() - pushes) as u64);
+        let visited = run.levels.iter().filter(|&&l| l != UNREACHED).count();
+        crate::telemetry::BFS_VERTICES_VISITED.add(visited as u64);
+        let frontier_sizes: Vec<usize> = run
+            .level_records
+            .iter()
+            .map(|r| r.frontier_vertices)
+            .collect();
+        if !frontier_sizes.is_empty() {
+            let (edges, counts) = graphct_mt::histogram::log_binned_counts(&frontier_sizes, 2.0);
+            let edges: Vec<u64> = edges.iter().map(|&e| e as u64).collect();
+            let counts: Vec<u64> = counts.iter().map(|&c| c as u64).collect();
+            graphct_trace::histogram("bfs_frontier_size", &edges, &counts);
         }
     }
 
@@ -339,7 +438,7 @@ impl<'g> HybridBfs<'g> {
         unexplored_edges: usize,
         num_vertices: usize,
     ) -> Direction {
-        next_direction(
+        decide_direction(
             &self.config,
             current,
             frontier_vertices,
@@ -349,36 +448,19 @@ impl<'g> HybridBfs<'g> {
         )
     }
 
-    /// Bottom-up step: every vertex in `unvisited` probes its
-    /// in-neighbors for a parent on the `depth` frontier, stopping at
-    /// the first hit.  Only the probing task writes a given vertex's
-    /// level, so a plain store suffices (no claim contention, unlike
-    /// push).  The caller guarantees `unvisited` holds exactly the
-    /// vertices with no level yet.
+    /// Bottom-up step (see [`pull_level`]).
     fn pull_level(
         &self,
         levels: &AtomicU32Array,
         depth: u32,
         unvisited: &[VertexId],
     ) -> (Frontier, usize) {
-        let n = self.graph.num_vertices();
-        let next = AtomicBitmap::new(n);
-        let (claimed, inspected) = unvisited
-            .par_iter()
-            .map(|&v| {
-                let mut probes = 0usize;
-                for &u in self.in_neighbors(v) {
-                    probes += 1;
-                    if levels.load(u as usize) == depth {
-                        levels.store(v as usize, depth + 1);
-                        next.set(v as usize);
-                        return (1usize, probes);
-                    }
-                }
-                (0, probes)
-            })
-            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
-        (Frontier::dense(next, claimed), inspected)
+        pull_level(
+            self.transpose.as_ref().unwrap_or(self.graph),
+            levels,
+            depth,
+            unvisited,
+        )
     }
 
     /// Legacy full-vertex bitmap sweep (push work discovered by scanning
@@ -392,6 +474,11 @@ impl<'g> HybridBfs<'g> {
         let mut depth = 0u32;
         let mut frontier_size = 1usize;
         let mut directions = Vec::new();
+        let mut level_records = Vec::new();
+        let mut unexplored_edges = self
+            .graph
+            .num_arcs()
+            .saturating_sub(self.degrees[source as usize]);
         let mut edges_inspected = 0usize;
         while frontier_size > 0 {
             directions.push(Direction::Push);
@@ -416,23 +503,41 @@ impl<'g> HybridBfs<'g> {
                     (count, self.degrees[u])
                 })
                 .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+            level_records.push(LevelRecord {
+                level: depth,
+                direction: Direction::Push,
+                frontier_vertices: frontier_size,
+                frontier_edges: inspected,
+                unexplored_edges,
+                edges_inspected: inspected,
+            });
             current = next;
             frontier_size = claimed;
             depth = next_depth;
             edges_inspected += inspected;
+            unexplored_edges = unexplored_edges.saturating_sub(inspected);
         }
-        BfsRun {
+        let run = BfsRun {
             levels: levels.into_vec(),
             directions,
             edges_inspected,
-        }
+            level_records,
+        };
+        self.report_run_telemetry(&run, edges_inspected, 0);
+        run
     }
 }
 
 /// The per-level direction decision shared by [`HybridBfs`] and the
 /// level-synchronous forward passes of the betweenness kernels (see
 /// [`BfsConfig`] for the criterion).
-pub(crate) fn next_direction(
+///
+/// Public so recorded traversals are replayable offline: feeding a
+/// [`LevelRecord`]'s inputs (and the previous level's direction) back
+/// through this function must reproduce the recorded direction — the
+/// property the telemetry replay test asserts from emitted `bfs_level`
+/// events.
+pub fn decide_direction(
     config: &BfsConfig,
     current: Direction,
     frontier_vertices: usize,
@@ -458,10 +563,90 @@ pub(crate) fn next_direction(
     }
 }
 
+/// Per-level telemetry record, kept out of line so the untraced hot
+/// path carries none of the field-formatting code.
+#[cold]
+#[inline(never)]
+fn emit_level_event(record: &LevelRecord) {
+    graphct_trace::event!(
+        "bfs_level",
+        level = record.level,
+        dir = record.direction.as_str(),
+        frontier_vertices = record.frontier_vertices,
+        frontier_edges = record.frontier_edges,
+        unexplored_edges = record.unexplored_edges,
+        edges_inspected = record.edges_inspected,
+    );
+}
+
+/// Maintain the unvisited-vertex list for pull levels: built at the
+/// first bottom-up step, shrunk (dropping vertices claimed by
+/// intervening push levels) before each later one, so the list never
+/// goes stale.
+///
+/// Exposed (hidden) for the bench seed baseline — see [`pull_level`].
+#[doc(hidden)]
+pub fn refresh_unvisited(
+    levels: &AtomicU32Array,
+    n: usize,
+    unvisited: &mut Vec<VertexId>,
+    built: &mut bool,
+) {
+    if *built {
+        unvisited.retain(|&v| levels.load(v as usize) == UNREACHED);
+    } else {
+        *unvisited = (0..n as VertexId)
+            .filter(|&v| levels.load(v as usize) == UNREACHED)
+            .collect();
+        *built = true;
+    }
+}
+
+/// Bottom-up step: every vertex in `unvisited` probes its in-neighbors
+/// (`in_csr` is the transpose, or the graph itself when undirected) for
+/// a parent on the `depth` frontier, stopping at the first hit.  Only
+/// the probing task writes a given vertex's level, so a plain store
+/// suffices (no claim contention, unlike push).  The caller guarantees
+/// `unvisited` holds exactly the vertices with no level yet.
+///
+/// Exposed (hidden) so the bench crate's uninstrumented seed baseline
+/// shares this exact compiled body — the overhead ablation must differ
+/// only in the instrumentation, not in duplicate codegen of the hot
+/// loops.
+#[doc(hidden)]
+pub fn pull_level(
+    in_csr: &CsrGraph,
+    levels: &AtomicU32Array,
+    depth: u32,
+    unvisited: &[VertexId],
+) -> (Frontier, usize) {
+    let n = in_csr.num_vertices();
+    let next = AtomicBitmap::new(n);
+    let (claimed, inspected) = unvisited
+        .par_iter()
+        .map(|&v| {
+            let mut probes = 0usize;
+            for &u in in_csr.neighbors(v) {
+                probes += 1;
+                if levels.load(u as usize) == depth {
+                    levels.store(v as usize, depth + 1);
+                    next.set(v as usize);
+                    return (1usize, probes);
+                }
+            }
+            (0, probes)
+        })
+        .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+    (Frontier::dense(next, claimed), inspected)
+}
+
 /// Top-down step: frontier vertices claim unvisited out-neighbors via
 /// compare-exchange on the level array (the atomic-claim idiom standing
 /// in for the XMT's synchronized memory words).
-fn push_level(
+///
+/// Exposed (hidden) for the bench seed baseline — see [`pull_level`].
+#[doc(hidden)]
+pub fn push_level(
     graph: &CsrGraph,
     frontier: &[VertexId],
     levels: &AtomicU32Array,

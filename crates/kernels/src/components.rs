@@ -33,12 +33,15 @@ pub fn connected_components(graph: &CsrGraph) -> Vec<VertexId> {
     if n == 0 {
         return Vec::new();
     }
+    let _span = graphct_trace::span!("components", vertices = n);
     let colors = AtomicU32Array::filled(n, 0);
     (0..n)
         .into_par_iter()
         .for_each(|v| colors.store(v, v as u32));
 
+    let mut iterations = 0u64;
     loop {
+        iterations += 1;
         // Hook: each arc pulls the higher label down to the lower one.
         let changed: usize = (0..n as VertexId)
             .into_par_iter()
@@ -78,6 +81,8 @@ pub fn connected_components(graph: &CsrGraph) -> Vec<VertexId> {
             break;
         }
     }
+    crate::telemetry::COMPONENTS_ITERATIONS.add(iterations);
+    graphct_trace::event!("components_done", iterations = iterations);
     colors.into_vec()
 }
 

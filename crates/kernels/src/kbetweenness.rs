@@ -54,7 +54,7 @@
 use crate::betweenness::{
     select_sources, BetweennessConfig, BetweennessResult, SamplingStrategy, SourceSelection,
 };
-use crate::bfs::{next_direction, BfsConfig, Direction};
+use crate::bfs::{decide_direction, BfsConfig, Direction};
 use graphct_core::{CsrGraph, GraphError, VertexId};
 use rayon::prelude::*;
 
@@ -182,7 +182,7 @@ fn accumulate_source_kbc(
     let mut unvisited_built = false;
     while level_begin < ws.order.len() {
         let level_end = ws.order.len();
-        direction = next_direction(
+        direction = decide_direction(
             bfs,
             direction,
             level_end - level_begin,

@@ -88,11 +88,13 @@ pub fn kcore_subgraph(graph: &CsrGraph, k: usize) -> Result<Subgraph, GraphError
         ));
     }
     let n = graph.num_vertices();
+    let _span = graphct_trace::span!("kcore", vertices = n, k = k);
     let alive: Vec<std::sync::atomic::AtomicBool> = (0..n)
         .map(|_| std::sync::atomic::AtomicBool::new(true))
         .collect();
     let degree = AtomicUsizeArray::from_vec(graph.degrees());
 
+    let mut rounds = 0u64;
     loop {
         // Collect this round's victims, then remove them all at once so
         // the sweep is race-free and deterministic.
@@ -106,6 +108,8 @@ pub fn kcore_subgraph(graph: &CsrGraph, k: usize) -> Result<Subgraph, GraphError
         if victims.is_empty() {
             break;
         }
+        rounds += 1;
+        graphct_trace::event!("kcore_round", round = rounds, removed = victims.len());
         victims.par_iter().for_each(|&v| {
             alive[v as usize].store(false, std::sync::atomic::Ordering::Relaxed);
         });
@@ -118,6 +122,7 @@ pub fn kcore_subgraph(graph: &CsrGraph, k: usize) -> Result<Subgraph, GraphError
         });
     }
 
+    crate::telemetry::KCORE_PEEL_ROUNDS.add(rounds);
     let keep: Vec<bool> = alive
         .par_iter()
         .map(|a| a.load(std::sync::atomic::Ordering::Relaxed))

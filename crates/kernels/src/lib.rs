@@ -30,13 +30,14 @@ pub mod degree;
 pub mod diameter;
 pub mod kbetweenness;
 pub mod kcore;
+pub mod telemetry;
 
 pub use betweenness::{
     betweenness_centrality, BetweennessConfig, BetweennessResult, SamplingStrategy, SourceSelection,
 };
 pub use bfs::{
-    bfs_levels, parallel_bfs_levels, parallel_bfs_with, BfsConfig, FrontierKind, HybridBfs,
-    UNREACHED,
+    bfs_levels, decide_direction, parallel_bfs_levels, parallel_bfs_with, BfsConfig, Direction,
+    FrontierKind, HybridBfs, LevelRecord, UNREACHED,
 };
 pub use clustering::{clustering_coefficients, global_clustering, triangle_counts};
 pub use components::{connected_components, ComponentSummary};

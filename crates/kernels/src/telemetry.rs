@@ -1,0 +1,51 @@
+//! Kernel-level telemetry counters.
+//!
+//! Plain statics bumped from the kernels; each is a relaxed-load no-op
+//! unless a [`graphct_trace::Session`] is active.  Totals are reported
+//! by the active sink when the session finishes (JSON-lines `counter`
+//! records, the summary's `metrics:` block, or Prometheus gauge/counter
+//! lines prefixed `graphct_`).
+
+use graphct_trace::Counter;
+
+/// Edges inspected by top-down (push) BFS levels.
+pub static BFS_EDGES_SCANNED_PUSH: Counter = Counter::new(
+    "bfs_edges_scanned_push",
+    "Edges inspected by top-down (push) BFS levels",
+);
+
+/// Edges inspected by bottom-up (pull) BFS levels.
+pub static BFS_EDGES_SCANNED_PULL: Counter = Counter::new(
+    "bfs_edges_scanned_pull",
+    "Edges inspected by bottom-up (pull) BFS levels",
+);
+
+/// Vertices assigned a finite level across all BFS runs.
+pub static BFS_VERTICES_VISITED: Counter = Counter::new(
+    "bfs_vertices_visited",
+    "Vertices reached (assigned a finite level) across BFS runs",
+);
+
+/// BFS levels executed in each direction.
+pub static BFS_LEVELS_PUSH: Counter =
+    Counter::new("bfs_levels_push", "BFS levels expanded top-down");
+
+/// BFS levels executed bottom-up.
+pub static BFS_LEVELS_PULL: Counter =
+    Counter::new("bfs_levels_pull", "BFS levels expanded bottom-up");
+
+/// Brandes source iterations completed by the betweenness kernels.
+pub static BC_SOURCES_PROCESSED: Counter = Counter::new(
+    "bc_sources_processed",
+    "Brandes source iterations completed",
+);
+
+/// Hook-and-compress rounds taken by connected components.
+pub static COMPONENTS_ITERATIONS: Counter = Counter::new(
+    "components_iterations",
+    "Hook-and-compress iterations in connected components",
+);
+
+/// Peeling rounds taken by the k-core kernel.
+pub static KCORE_PEEL_ROUNDS: Counter =
+    Counter::new("kcore_peel_rounds", "Peeling rounds in k-core extraction");

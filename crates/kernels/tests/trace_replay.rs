@@ -1,0 +1,117 @@
+//! The ISSUE 2 acceptance test: per-level BFS telemetry must carry the
+//! exact `decide_direction` inputs, so the push/pull decision sequence
+//! of a hybrid run can be reproduced *offline* from the emitted records
+//! alone — first from the in-memory `LevelRecord`s, then end-to-end from
+//! the JSON-lines events a tracing session writes.
+//!
+//! Kept as a single `#[test]` because the tracing session toggles the
+//! process-global enabled flag: a concurrently running test would leak
+//! its own `bfs_level` events into the captured stream.
+
+use std::sync::Arc;
+
+use graphct_core::builder::build_undirected_simple;
+use graphct_kernels::bfs::{decide_direction, BfsConfig, Direction, HybridBfs, LevelRecord};
+use graphct_trace::json::{self, Json};
+use graphct_trace::{JsonLinesSink, Session};
+
+/// Feed the recorded heuristic inputs back through `decide_direction`,
+/// starting from the same state the kernel starts from (`Push`).
+fn replay(config: &BfsConfig, n: usize, inputs: &[(usize, usize, usize)]) -> Vec<Direction> {
+    let mut dir = Direction::Push;
+    inputs
+        .iter()
+        .map(|&(n_f, m_f, m_u)| {
+            dir = decide_direction(config, dir, n_f, m_f, m_u, n);
+            dir
+        })
+        .collect()
+}
+
+fn inputs_of(records: &[LevelRecord]) -> Vec<(usize, usize, usize)> {
+    records
+        .iter()
+        .map(|r| (r.frontier_vertices, r.frontier_edges, r.unexplored_edges))
+        .collect()
+}
+
+#[test]
+fn telemetry_replays_push_pull_decision_sequence() {
+    let edges = graphct_gen::rmat_edges(&graphct_gen::RmatConfig::paper(10, 8), 3);
+    let g = build_undirected_simple(&edges).unwrap();
+    let n = g.num_vertices();
+    let config = BfsConfig::hybrid();
+    let engine = HybridBfs::with_config(&g, config);
+
+    // -- Offline replay from the in-memory per-level records, across
+    //    several sources so the sequence isn't a single lucky case.
+    let mut saw_push = false;
+    let mut saw_pull = false;
+    for src in [0u32, 5, 29, 101, 777] {
+        let run = engine.run(src);
+        let recorded: Vec<Direction> = run.level_records.iter().map(|r| r.direction).collect();
+        assert_eq!(
+            recorded, run.directions,
+            "src {src}: records disagree with run"
+        );
+        let replayed = replay(&config, n, &inputs_of(&run.level_records));
+        assert_eq!(
+            replayed, recorded,
+            "src {src}: replayed heuristic diverges from the recorded decisions"
+        );
+        saw_push |= recorded.contains(&Direction::Push);
+        saw_pull |= recorded.contains(&Direction::Pull);
+    }
+    assert!(
+        saw_push && saw_pull,
+        "test graph must exercise both directions or the replay is vacuous"
+    );
+
+    // -- End-to-end: the same replay from the emitted telemetry, parsed
+    //    back out of a JSON-lines tracing session.
+    let (sink, buffer) = JsonLinesSink::to_buffer();
+    let session = Session::start(Arc::new(sink));
+    let run = engine.run(0);
+    session.finish();
+    let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+
+    let mut emitted_inputs = Vec::new();
+    let mut emitted_dirs = Vec::new();
+    for line in text.lines() {
+        let v = json::parse(line).expect("sink emits valid JSON");
+        if v.get("name").and_then(Json::as_str) != Some("bfs_level") {
+            continue;
+        }
+        let fields = v.get("fields").expect("bfs_level carries fields");
+        let int = |key: &str| {
+            fields
+                .get(key)
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("bfs_level field {key} missing")) as usize
+        };
+        assert_eq!(int("level"), emitted_inputs.len(), "levels out of order");
+        emitted_inputs.push((
+            int("frontier_vertices"),
+            int("frontier_edges"),
+            int("unexplored_edges"),
+        ));
+        emitted_dirs.push(
+            fields
+                .get("dir")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string(),
+        );
+    }
+    assert_eq!(
+        emitted_inputs.len(),
+        run.level_records.len(),
+        "one bfs_level event per executed level"
+    );
+    let replayed = replay(&config, n, &emitted_inputs);
+    let replayed_strs: Vec<&str> = replayed.iter().map(|d| d.as_str()).collect();
+    assert_eq!(
+        replayed_strs, emitted_dirs,
+        "replay from emitted telemetry diverges from the traced decisions"
+    );
+}

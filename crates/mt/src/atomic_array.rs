@@ -17,6 +17,26 @@
 
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
+/// Contention counters, compiled in only under the `trace` feature so the
+/// default build's hot loops carry no instrumentation at all.
+#[cfg(feature = "trace")]
+mod contention {
+    use graphct_trace::Counter;
+
+    /// Retries of the f64 fetch-add compare-exchange loop (a retry means
+    /// another thread won the race for the cell).
+    pub static F64_CAS_RETRIES: Counter = Counter::new(
+        "atomic_f64_cas_retries",
+        "Compare-exchange retries in AtomicF64Array::fetch_add",
+    );
+
+    /// Failed u32 claim attempts (BFS vertex-claim contention).
+    pub static U32_CLAIM_FAILURES: Counter = Counter::new(
+        "atomic_u32_claim_failures",
+        "Failed compare-exchange claims in AtomicU32Array",
+    );
+}
+
 /// A fixed-length shared array of `f64` supporting atomic fetch-and-add.
 ///
 /// `f64` has no native atomic on stable Rust, so each cell is stored as the
@@ -94,7 +114,11 @@ impl AtomicF64Array {
             let new = (f64::from_bits(current) + delta).to_bits();
             match cell.compare_exchange_weak(current, new, Ordering::Relaxed, Ordering::Relaxed) {
                 Ok(prev) => return f64::from_bits(prev),
-                Err(observed) => current = observed,
+                Err(observed) => {
+                    #[cfg(feature = "trace")]
+                    contention::F64_CAS_RETRIES.incr();
+                    current = observed;
+                }
             }
         }
     }
@@ -257,7 +281,13 @@ impl AtomicU32Array {
     /// success.  BFS uses this to claim unvisited vertices exactly once.
     #[inline]
     pub fn compare_exchange(&self, i: usize, current: u32, new: u32) -> Result<u32, u32> {
-        self.cells[i].compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed)
+        let result =
+            self.cells[i].compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed);
+        #[cfg(feature = "trace")]
+        if result.is_err() {
+            contention::U32_CLAIM_FAILURES.incr();
+        }
+        result
     }
 
     /// Atomically lower cell `i` to `min(current, value)`; returns previous.

@@ -93,6 +93,24 @@ impl Histogram {
     }
 }
 
+/// Bin index of value `v > 0` under logarithmic binning: the `i` with
+/// `base^i <= v < base^(i+1)`.
+///
+/// Computed by float log then corrected against the edges, because the
+/// log alone mis-bins exact bin boundaries: `(1000f64).log(10.0)` is
+/// `2.999…96`, which floors to bin 2 even though 1000 starts bin 3.
+fn log_bin_index(v: usize, base: f64) -> usize {
+    debug_assert!(v > 0);
+    let mut bin = (v as f64).log(base).floor() as usize;
+    while base.powi(bin as i32 + 1) <= v as f64 {
+        bin += 1;
+    }
+    while bin > 0 && base.powi(bin as i32) > v as f64 {
+        bin -= 1;
+    }
+    bin
+}
+
 /// Logarithmically binned counts of positive integer observations —
 /// the right presentation for heavy-tailed degree distributions (paper
 /// Fig. 2 is a log-log degree plot).
@@ -105,15 +123,14 @@ pub fn log_binned_counts(values: &[usize], base: f64) -> (Vec<usize>, Vec<usize>
     if max == 0 {
         return (Vec::new(), Vec::new());
     }
-    let nbins = (max as f64).log(base).floor() as usize + 1;
+    let nbins = log_bin_index(max, base) + 1;
     let counts = values
         .par_iter()
         .filter(|&&v| v > 0)
         .fold(
             || vec![0usize; nbins],
             |mut local, &v| {
-                let bin = (v as f64).log(base).floor() as usize;
-                local[bin.min(nbins - 1)] += 1;
+                local[log_bin_index(v, base).min(nbins - 1)] += 1;
                 local
             },
         )
@@ -189,6 +206,25 @@ mod tests {
         let (edges, counts) = log_binned_counts(&[1, 1, 2, 3, 4, 8], 2.0);
         assert_eq!(edges, vec![1, 2, 4, 8]);
         assert_eq!(counts, vec![2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn log_binning_exact_bucket_edges() {
+        // Exact powers of a non-power-of-two base exercise the float-log
+        // correction: (1000f64).log(10.0) floors to 2, but 1000 opens
+        // bin 3 ([1000, 10000)).
+        let (edges, counts) = log_binned_counts(&[1, 10, 100, 1000], 10.0);
+        assert_eq!(edges, vec![1, 10, 100, 1000]);
+        assert_eq!(counts, vec![1, 1, 1, 1]);
+        // One below / at / one above an edge land in the right bins.
+        let (edges, counts) = log_binned_counts(&[99, 100, 101], 10.0);
+        assert_eq!(edges, vec![1, 10, 100]);
+        assert_eq!(counts, vec![0, 1, 2]);
+        // Large power-of-two edge with base 2.
+        let (edges, counts) = log_binned_counts(&[1024], 2.0);
+        assert_eq!(edges.len(), 11);
+        assert_eq!(*edges.last().unwrap(), 1024);
+        assert_eq!(counts[10], 1);
     }
 
     #[test]

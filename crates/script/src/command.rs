@@ -58,6 +58,25 @@ pub enum Command {
     },
 }
 
+impl Command {
+    /// Stable short name for telemetry span labels (`script/<name>`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::Read { .. } => "read",
+            Command::Print(_) => "print",
+            Command::SaveGraph => "save_graph",
+            Command::RestoreGraph => "restore_graph",
+            Command::ExtractComponent { .. } => "extract_component",
+            Command::KCentrality { .. } => "kcentrality",
+            Command::KCores { .. } => "kcores",
+            Command::Clustering { .. } => "clustering",
+            Command::Bfs { .. } => "bfs",
+            Command::Seed(_) => "seed",
+            Command::Repeat { .. } => "repeat",
+        }
+    }
+}
+
 /// A parse failure with its 1-based line number.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {

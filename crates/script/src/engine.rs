@@ -113,6 +113,7 @@ impl Engine {
 
     /// Execute one command (GraphCT "reads the script line-by-line").
     pub fn execute(&mut self, line: usize, cmd: &Command) -> Result<(), ScriptError> {
+        let _span = graphct_trace::span!("script_command", cmd = cmd.name(), line = line);
         let gerr = |source| ScriptError::Graph { line, source };
         match cmd {
             Command::Read { format, path } => {

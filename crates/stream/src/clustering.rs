@@ -156,10 +156,16 @@ impl IncrementalClustering {
     /// Apply a whole batch, returning how many updates changed the
     /// structure (ref. [10]'s update model feeds edges in batches).
     pub fn apply_batch(&mut self, batch: &[EdgeUpdate]) -> Result<usize, GraphError> {
+        let _span = graphct_trace::span!("stream_batch", updates = batch.len());
         let mut changed = 0;
         for &u in batch {
             changed += self.apply(u)? as usize;
         }
+        graphct_trace::event!(
+            "stream_batch_applied",
+            updates = batch.len(),
+            changed = changed
+        );
         Ok(changed)
     }
 }

@@ -95,6 +95,8 @@ impl IncrementalComponents {
 
     /// Re-derive the structure from a graph (after deletions).
     pub fn rebuild(&mut self, graph: &CsrGraph) {
+        let _span =
+            graphct_trace::span!("stream_components_rebuild", vertices = graph.num_vertices());
         *self = Self::from_csr(graph);
     }
 

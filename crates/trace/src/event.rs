@@ -1,0 +1,144 @@
+//! The wire-level telemetry record.
+//!
+//! Every observation the runtime emits — span boundaries, point events,
+//! histograms, end-of-session counter totals — is one [`Event`].  Sinks
+//! receive events already tagged with span identity, parentage, the
+//! emitting thread's ordinal, and a monotonic timestamp, so they can be
+//! serialized (JSON lines), aggregated (summary), or exported
+//! (Prometheus) without extra bookkeeping in the kernels.
+
+use crate::value::{write_json_string, Value};
+
+/// What kind of observation an [`Event`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened (`span!`): `span`/`parent` identify the nesting.
+    SpanEnter,
+    /// A span closed: `elapsed_ns` carries its duration.
+    SpanExit,
+    /// A point observation inside the current span (`event!`).
+    Point,
+    /// A pre-binned histogram (fields `edges` and `counts`).
+    Histogram,
+    /// A counter/gauge total, emitted once when the session finishes.
+    Counter,
+}
+
+impl EventKind {
+    /// Stable schema name of this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SpanEnter => "span_enter",
+            EventKind::SpanExit => "span_exit",
+            EventKind::Point => "point",
+            EventKind::Histogram => "histogram",
+            EventKind::Counter => "counter",
+        }
+    }
+}
+
+/// One telemetry record, borrowed from the emitting call site (sinks
+/// serialize or aggregate it before returning; nothing escapes).
+#[derive(Debug)]
+pub struct Event<'a> {
+    /// Microseconds since the session started (monotonic clock).
+    pub ts_us: u64,
+    /// Observation kind.
+    pub kind: EventKind,
+    /// Span or event name (`bfs`, `bfs_level`, `bc_source`, …).
+    pub name: &'a str,
+    /// Id of the span this event belongs to (0 = outside any span).
+    pub span: u64,
+    /// Id of the enclosing span (0 = root).
+    pub parent: u64,
+    /// Ordinal of the emitting thread (dense small integers, not OS ids).
+    pub thread: u64,
+    /// Span duration, present on `SpanExit` only.
+    pub elapsed_ns: Option<u64>,
+    /// Structured payload.
+    pub fields: &'a [(&'a str, Value)],
+}
+
+impl Event<'_> {
+    /// Serialize as one JSON object (no trailing newline) — the JSON-lines
+    /// record format documented in DESIGN.md § Observability.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96 + 24 * self.fields.len());
+        out.push_str("{\"ts_us\":");
+        out.push_str(&self.ts_us.to_string());
+        out.push_str(",\"kind\":\"");
+        out.push_str(self.kind.as_str());
+        out.push_str("\",\"name\":");
+        write_json_string(self.name, &mut out);
+        out.push_str(",\"span\":");
+        out.push_str(&self.span.to_string());
+        out.push_str(",\"parent\":");
+        out.push_str(&self.parent.to_string());
+        out.push_str(",\"thread\":");
+        out.push_str(&self.thread.to_string());
+        if let Some(ns) = self.elapsed_ns {
+            out.push_str(",\"elapsed_ns\":");
+            out.push_str(&ns.to_string());
+        }
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (key, value)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(key, &mut out);
+                out.push(':');
+                value.write_json(&mut out);
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_minimal() {
+        let e = Event {
+            ts_us: 42,
+            kind: EventKind::Point,
+            name: "tick",
+            span: 0,
+            parent: 0,
+            thread: 1,
+            elapsed_ns: None,
+            fields: &[],
+        };
+        assert_eq!(
+            e.to_json(),
+            r#"{"ts_us":42,"kind":"point","name":"tick","span":0,"parent":0,"thread":1}"#
+        );
+    }
+
+    #[test]
+    fn json_shape_full() {
+        let fields = [
+            ("level", Value::U64(3)),
+            ("dir", Value::from("pull")),
+            ("ratio", Value::F64(0.5)),
+        ];
+        let e = Event {
+            ts_us: 1,
+            kind: EventKind::SpanExit,
+            name: "bfs",
+            span: 7,
+            parent: 2,
+            thread: 0,
+            elapsed_ns: Some(1500),
+            fields: &fields,
+        };
+        let json = e.to_json();
+        assert!(json.contains("\"elapsed_ns\":1500"));
+        assert!(json.contains("\"fields\":{\"level\":3,\"dir\":\"pull\",\"ratio\":0.5}"));
+        assert!(json.contains("\"kind\":\"span_exit\""));
+    }
+}

@@ -1,0 +1,180 @@
+//! JSON-lines record validation.
+//!
+//! The event schema is documented in DESIGN.md § Observability; CI runs
+//! the validator over every trace produced by `repro trace-bfs` so the
+//! documented schema and the emitted records cannot drift apart.
+
+use crate::json::{parse, Json};
+
+const KINDS: [&str; 5] = ["span_enter", "span_exit", "point", "histogram", "counter"];
+
+/// Validate one JSON-lines record against the telemetry schema.
+pub fn validate_line(line: &str) -> Result<(), String> {
+    let v = parse(line).map_err(|e| format!("not valid JSON: {e}"))?;
+    if !matches!(v, Json::Obj(_)) {
+        return Err("record is not a JSON object".into());
+    }
+
+    let require_u64 = |key: &str| -> Result<u64, String> {
+        v.get(key)
+            .ok_or_else(|| format!("missing required key '{key}'"))?
+            .as_u64()
+            .ok_or_else(|| format!("'{key}' is not a non-negative integer"))
+    };
+
+    require_u64("ts_us")?;
+    require_u64("span")?;
+    require_u64("parent")?;
+    require_u64("thread")?;
+
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("missing or non-string 'kind'")?;
+    if !KINDS.contains(&kind) {
+        return Err(format!("unknown kind '{kind}'"));
+    }
+
+    let name = v
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("missing or non-string 'name'")?;
+    if name.is_empty() {
+        return Err("'name' is empty".into());
+    }
+
+    match kind {
+        "span_exit" => {
+            require_u64("elapsed_ns")?;
+        }
+        "histogram" => {
+            let fields = v.get("fields").ok_or("histogram record missing 'fields'")?;
+            let edges = u64_array(fields, "edges")?;
+            let counts = u64_array(fields, "counts")?;
+            if edges.len() != counts.len() {
+                return Err(format!(
+                    "histogram edges/counts length mismatch ({} vs {})",
+                    edges.len(),
+                    counts.len()
+                ));
+            }
+            if edges.windows(2).any(|w| w[0] >= w[1]) {
+                return Err("histogram edges are not strictly increasing".into());
+            }
+        }
+        "counter" => {
+            let fields = v.get("fields").ok_or("counter record missing 'fields'")?;
+            fields
+                .get("value")
+                .and_then(Json::as_u64)
+                .ok_or("counter record missing integer 'fields.value'")?;
+        }
+        _ => {}
+    }
+
+    if v.get("elapsed_ns").is_some() && kind != "span_exit" {
+        return Err(format!(
+            "'elapsed_ns' is only valid on span_exit, not {kind}"
+        ));
+    }
+    Ok(())
+}
+
+fn u64_array(fields: &Json, key: &str) -> Result<Vec<u64>, String> {
+    fields
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array 'fields.{key}'"))?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .ok_or_else(|| format!("'fields.{key}' has a non-integer element"))
+        })
+        .collect()
+}
+
+/// Validate every non-empty line of a JSON-lines document; returns the
+/// number of records on success, or `(line_number, error)` on the first
+/// failure (line numbers are 1-based).
+pub fn validate_jsonl(text: &str) -> Result<usize, (usize, String)> {
+    let mut records = 0;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_line(line).map_err(|e| (i + 1, e))?;
+        records += 1;
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_records() {
+        validate_line(r#"{"ts_us":1,"kind":"point","name":"x","span":0,"parent":0,"thread":0}"#)
+            .unwrap();
+        validate_line(
+            r#"{"ts_us":1,"kind":"span_exit","name":"bfs","span":3,"parent":1,"thread":2,"elapsed_ns":99}"#,
+        )
+        .unwrap();
+        validate_line(
+            r#"{"ts_us":1,"kind":"histogram","name":"h","span":0,"parent":0,"thread":0,"fields":{"edges":[1,2,4],"counts":[5,0,1]}}"#,
+        )
+        .unwrap();
+        validate_line(
+            r#"{"ts_us":1,"kind":"counter","name":"c","span":0,"parent":0,"thread":0,"fields":{"value":12,"gauge":false}}"#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        // not JSON
+        assert!(validate_line("nope").is_err());
+        // missing ts_us
+        assert!(
+            validate_line(r#"{"kind":"point","name":"x","span":0,"parent":0,"thread":0}"#).is_err()
+        );
+        // unknown kind
+        assert!(validate_line(
+            r#"{"ts_us":1,"kind":"mystery","name":"x","span":0,"parent":0,"thread":0}"#
+        )
+        .is_err());
+        // span_exit without elapsed_ns
+        assert!(validate_line(
+            r#"{"ts_us":1,"kind":"span_exit","name":"x","span":1,"parent":0,"thread":0}"#
+        )
+        .is_err());
+        // elapsed_ns on a point
+        assert!(validate_line(
+            r#"{"ts_us":1,"kind":"point","name":"x","span":0,"parent":0,"thread":0,"elapsed_ns":5}"#
+        )
+        .is_err());
+        // histogram length mismatch
+        assert!(validate_line(
+            r#"{"ts_us":1,"kind":"histogram","name":"h","span":0,"parent":0,"thread":0,"fields":{"edges":[1,2],"counts":[1]}}"#
+        )
+        .is_err());
+        // histogram edges not increasing
+        assert!(validate_line(
+            r#"{"ts_us":1,"kind":"histogram","name":"h","span":0,"parent":0,"thread":0,"fields":{"edges":[2,2],"counts":[1,1]}}"#
+        )
+        .is_err());
+        // empty name
+        assert!(validate_line(
+            r#"{"ts_us":1,"kind":"point","name":"","span":0,"parent":0,"thread":0}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn validates_documents_with_line_numbers() {
+        let good = "{\"ts_us\":1,\"kind\":\"point\",\"name\":\"a\",\"span\":0,\"parent\":0,\"thread\":0}\n\n{\"ts_us\":2,\"kind\":\"point\",\"name\":\"b\",\"span\":0,\"parent\":0,\"thread\":0}\n";
+        assert_eq!(validate_jsonl(good), Ok(2));
+        let bad = format!("{good}garbage\n");
+        assert_eq!(validate_jsonl(&bad).unwrap_err().0, 4);
+    }
+}

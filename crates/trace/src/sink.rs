@@ -1,0 +1,522 @@
+//! Pluggable telemetry sinks.
+//!
+//! Four implementations cover the use cases in the paper repro:
+//!
+//! * [`NullSink`] — discard everything (the default; lets counters run
+//!   without any event output).
+//! * [`JsonLinesSink`] — one JSON object per line, safe under concurrent
+//!   emitters (each record is serialized to a `String` first, then written
+//!   with a single locked `write_all`, so lines never interleave).
+//! * [`SummarySink`] — aggregates span durations and histograms in memory
+//!   and prints a human-readable hierarchical summary when the session
+//!   finishes.
+//! * [`PrometheusSink`] — writes counters/gauges plus per-span totals in
+//!   Prometheus text exposition format at session end.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::counter::MetricSnapshot;
+use crate::event::{Event, EventKind};
+use crate::value::Value;
+
+/// Where telemetry records go.  Implementations must be thread-safe:
+/// kernels emit from worker threads concurrently.
+pub trait Sink: Send + Sync {
+    /// Handle one record.  Called on the emitting thread; keep it short.
+    fn record(&self, event: &Event);
+
+    /// Session end: final counter/gauge totals, flush buffers, render
+    /// summaries.  Called exactly once, after the last `record`.
+    fn finish(&self, metrics: &[MetricSnapshot]);
+}
+
+/// Discards all records (tracing enabled, zero output — counters still
+/// accumulate and can be read programmatically).
+#[derive(Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _event: &Event) {}
+    fn finish(&self, _metrics: &[MetricSnapshot]) {}
+}
+
+/// A byte buffer tests can hand to [`JsonLinesSink::to_writer`] and read
+/// back after the session finishes.
+pub type SharedBuffer = Arc<Mutex<Vec<u8>>>;
+
+struct BufferWriter(SharedBuffer);
+
+impl Write for BufferWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// JSON-lines writer: every record (and every end-of-session counter
+/// total) becomes one line of JSON.
+pub struct JsonLinesSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonLinesSink {
+    /// Write to a file at `path` (buffered; flushed at session end).
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self {
+            out: Mutex::new(Box::new(BufWriter::new(file))),
+        })
+    }
+
+    /// Write to an in-memory buffer (for tests).
+    pub fn to_buffer() -> (Self, SharedBuffer) {
+        let buffer: SharedBuffer = Arc::new(Mutex::new(Vec::new()));
+        let sink = Self {
+            out: Mutex::new(Box::new(BufferWriter(Arc::clone(&buffer)))),
+        };
+        (sink, buffer)
+    }
+
+    fn write_line(&self, line: &str) {
+        // Serialize-then-write: the String already ends with '\n', and the
+        // single locked write_all guarantees lines never interleave even
+        // with many emitting threads.
+        let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = out.write_all(line.as_bytes());
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn record(&self, event: &Event) {
+        let mut line = event.to_json();
+        line.push('\n');
+        self.write_line(&line);
+    }
+
+    fn finish(&self, metrics: &[MetricSnapshot]) {
+        for m in metrics {
+            let fields = [
+                ("value", Value::U64(m.value)),
+                ("gauge", Value::Bool(m.is_gauge)),
+            ];
+            let mut line = Event {
+                ts_us: crate::now_us(),
+                kind: EventKind::Counter,
+                name: m.name,
+                span: 0,
+                parent: 0,
+                thread: crate::counter::thread_ordinal() as u64,
+                elapsed_ns: None,
+                fields: &fields,
+            }
+            .to_json();
+            line.push('\n');
+            self.write_line(&line);
+        }
+        let _ = self
+            .out
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .flush();
+    }
+}
+
+/// Per-path span statistics accumulated by [`SummarySink`].
+#[derive(Default, Clone)]
+struct SpanStats {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+#[derive(Default)]
+struct SummaryState {
+    /// span id -> hierarchical path ("script/bc/bfs").
+    paths: HashMap<u64, String>,
+    /// path -> aggregate stats (filled on span_exit).
+    stats: HashMap<String, SpanStats>,
+    /// histogram name -> (edges, accumulated counts).
+    histograms: HashMap<String, (Vec<u64>, Vec<u64>)>,
+    /// point-event name -> occurrence count.
+    points: HashMap<String, u64>,
+}
+
+/// Aggregates in memory; renders a hierarchical text summary at finish.
+pub struct SummarySink {
+    state: Mutex<SummaryState>,
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl Default for SummarySink {
+    fn default() -> Self {
+        Self::to_stderr()
+    }
+}
+
+impl SummarySink {
+    /// Render to stderr at session end (the CLI default for `--trace`
+    /// without `--trace-out`).
+    pub fn to_stderr() -> Self {
+        Self {
+            state: Mutex::new(SummaryState::default()),
+            out: Mutex::new(Box::new(io::stderr())),
+        }
+    }
+
+    /// Render into an in-memory buffer (for tests).
+    pub fn to_buffer() -> (Self, SharedBuffer) {
+        let buffer: SharedBuffer = Arc::new(Mutex::new(Vec::new()));
+        let sink = Self {
+            state: Mutex::new(SummaryState::default()),
+            out: Mutex::new(Box::new(BufferWriter(Arc::clone(&buffer)))),
+        };
+        (sink, buffer)
+    }
+
+    fn render(&self, metrics: &[MetricSnapshot]) -> String {
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut text = String::new();
+        text.push_str("== trace summary ==\n");
+
+        let mut paths: Vec<&String> = state.stats.keys().collect();
+        paths.sort();
+        if !paths.is_empty() {
+            text.push_str("spans (total / count / min..max):\n");
+        }
+        for path in paths {
+            let s = &state.stats[path];
+            let depth = path.matches('/').count();
+            let leaf = path.rsplit('/').next().unwrap_or(path);
+            text.push_str(&format!(
+                "{}{:<24} {:>12} {:>8} {:>10}..{}\n",
+                "  ".repeat(depth + 1),
+                leaf,
+                format_ns(s.total_ns),
+                s.count,
+                format_ns(s.min_ns),
+                format_ns(s.max_ns),
+            ));
+        }
+
+        let mut points: Vec<(&String, &u64)> = state.points.iter().collect();
+        points.sort();
+        if !points.is_empty() {
+            text.push_str("events:\n");
+            for (name, count) in points {
+                text.push_str(&format!("  {name:<24} {count:>12}\n"));
+            }
+        }
+
+        let mut histograms: Vec<&String> = state.histograms.keys().collect();
+        histograms.sort();
+        for name in histograms {
+            let (edges, counts) = &state.histograms[name];
+            text.push_str(&format!("histogram {name}:\n"));
+            let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+            for (edge, count) in edges.iter().zip(counts) {
+                let bar = "#".repeat(((count * 40) / peak) as usize);
+                text.push_str(&format!("  >= {edge:>12} {count:>10} {bar}\n"));
+            }
+        }
+
+        if !metrics.is_empty() {
+            text.push_str("metrics:\n");
+            for m in metrics {
+                let kind = if m.is_gauge { "gauge" } else { "counter" };
+                text.push_str(&format!("  {:<32} {:>14} ({})\n", m.name, m.value, kind));
+            }
+        }
+        text
+    }
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl Sink for SummarySink {
+    fn record(&self, event: &Event) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        match event.kind {
+            EventKind::SpanEnter => {
+                let path = match state.paths.get(&event.parent) {
+                    Some(parent_path) => format!("{parent_path}/{}", event.name),
+                    None => event.name.to_owned(),
+                };
+                state.paths.insert(event.span, path);
+            }
+            EventKind::SpanExit => {
+                let path = state
+                    .paths
+                    .get(&event.span)
+                    .cloned()
+                    .unwrap_or_else(|| event.name.to_owned());
+                let ns = event.elapsed_ns.unwrap_or(0);
+                let s = state.stats.entry(path).or_default();
+                if s.count == 0 {
+                    s.min_ns = ns;
+                    s.max_ns = ns;
+                } else {
+                    s.min_ns = s.min_ns.min(ns);
+                    s.max_ns = s.max_ns.max(ns);
+                }
+                s.count += 1;
+                s.total_ns += ns;
+            }
+            EventKind::Point => {
+                *state.points.entry(event.name.to_owned()).or_insert(0) += 1;
+            }
+            EventKind::Histogram => {
+                let edges = match event.fields.iter().find(|(k, _)| *k == "edges") {
+                    Some((_, Value::U64s(e))) => e.clone(),
+                    _ => return,
+                };
+                let counts = match event.fields.iter().find(|(k, _)| *k == "counts") {
+                    Some((_, Value::U64s(c))) => c.clone(),
+                    _ => return,
+                };
+                let entry = state
+                    .histograms
+                    .entry(event.name.to_owned())
+                    .or_insert_with(|| (edges.clone(), vec![0; counts.len()]));
+                // Accumulate when shapes match; replace when the binning
+                // changed between emissions (e.g. a larger max value).
+                if entry.0 == edges && entry.1.len() == counts.len() {
+                    for (acc, c) in entry.1.iter_mut().zip(&counts) {
+                        *acc += c;
+                    }
+                } else {
+                    *entry = (edges, counts);
+                }
+            }
+            EventKind::Counter => {}
+        }
+    }
+
+    fn finish(&self, metrics: &[MetricSnapshot]) {
+        let text = self.render(metrics);
+        let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = out.write_all(text.as_bytes());
+        let _ = out.flush();
+    }
+}
+
+/// Prometheus text exposition format, written once at session end.
+///
+/// Counters and gauges become `graphct_<name>`; span aggregates become
+/// `graphct_span_count{span="..."}` / `graphct_span_seconds_total{span="..."}`.
+pub struct PrometheusSink {
+    spans: Mutex<HashMap<String, (u64, u64)>>,
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl PrometheusSink {
+    /// Write the exposition to a file at `path` on finish.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self {
+            spans: Mutex::new(HashMap::new()),
+            out: Mutex::new(Box::new(BufWriter::new(file))),
+        })
+    }
+
+    /// Write to stdout on finish (the CLI default for `--metrics-format
+    /// prom` without `--trace-out`).
+    pub fn to_stdout() -> Self {
+        Self {
+            spans: Mutex::new(HashMap::new()),
+            out: Mutex::new(Box::new(io::stdout())),
+        }
+    }
+
+    /// Write into an in-memory buffer (for tests).
+    pub fn to_buffer() -> (Self, SharedBuffer) {
+        let buffer: SharedBuffer = Arc::new(Mutex::new(Vec::new()));
+        let sink = Self {
+            spans: Mutex::new(HashMap::new()),
+            out: Mutex::new(Box::new(BufferWriter(Arc::clone(&buffer)))),
+        };
+        (sink, buffer)
+    }
+}
+
+impl Sink for PrometheusSink {
+    fn record(&self, event: &Event) {
+        if event.kind == EventKind::SpanExit {
+            let mut spans = self.spans.lock().unwrap_or_else(PoisonError::into_inner);
+            let entry = spans.entry(event.name.to_owned()).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += event.elapsed_ns.unwrap_or(0);
+        }
+    }
+
+    fn finish(&self, metrics: &[MetricSnapshot]) {
+        let mut text = String::new();
+        for m in metrics {
+            let kind = if m.is_gauge { "gauge" } else { "counter" };
+            text.push_str(&format!(
+                "# HELP graphct_{name} {help}\n# TYPE graphct_{name} {kind}\ngraphct_{name} {value}\n",
+                name = m.name,
+                help = m.help,
+                value = m.value,
+            ));
+        }
+        let spans = self.spans.lock().unwrap_or_else(PoisonError::into_inner);
+        if !spans.is_empty() {
+            let mut names: Vec<&String> = spans.keys().collect();
+            names.sort();
+            text.push_str("# HELP graphct_span_count Completed span invocations\n");
+            text.push_str("# TYPE graphct_span_count counter\n");
+            for name in &names {
+                text.push_str(&format!(
+                    "graphct_span_count{{span=\"{name}\"}} {}\n",
+                    spans[*name].0
+                ));
+            }
+            text.push_str("# HELP graphct_span_seconds_total Total time in span\n");
+            text.push_str("# TYPE graphct_span_seconds_total counter\n");
+            for name in &names {
+                text.push_str(&format!(
+                    "graphct_span_seconds_total{{span=\"{name}\"}} {:.9}\n",
+                    spans[*name].1 as f64 / 1e9
+                ));
+            }
+        }
+        let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = out.write_all(text.as_bytes());
+        let _ = out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exit_event<'a>(name: &'a str, span: u64, parent: u64, ns: u64) -> Event<'a> {
+        Event {
+            ts_us: 0,
+            kind: EventKind::SpanExit,
+            name,
+            span,
+            parent,
+            thread: 0,
+            elapsed_ns: Some(ns),
+            fields: &[],
+        }
+    }
+
+    fn enter_event<'a>(name: &'a str, span: u64, parent: u64) -> Event<'a> {
+        Event {
+            ts_us: 0,
+            kind: EventKind::SpanEnter,
+            name,
+            span,
+            parent,
+            thread: 0,
+            elapsed_ns: None,
+            fields: &[],
+        }
+    }
+
+    #[test]
+    fn summary_nests_paths() {
+        let (sink, buffer) = SummarySink::to_buffer();
+        sink.record(&enter_event("outer", 1, 0));
+        sink.record(&enter_event("inner", 2, 1));
+        sink.record(&exit_event("inner", 2, 1, 500));
+        sink.record(&exit_event("outer", 1, 0, 2_000));
+        sink.finish(&[]);
+        let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("outer"), "{text}");
+        // inner is indented one level deeper than outer
+        let outer_indent = text.lines().find(|l| l.contains("outer")).unwrap();
+        let inner_indent = text.lines().find(|l| l.contains("inner")).unwrap();
+        let lead = |s: &str| s.len() - s.trim_start().len();
+        assert!(lead(inner_indent) > lead(outer_indent), "{text}");
+    }
+
+    #[test]
+    fn summary_accumulates_histograms() {
+        let (sink, buffer) = SummarySink::to_buffer();
+        let fields = [
+            ("edges", Value::U64s(vec![1, 2, 4])),
+            ("counts", Value::U64s(vec![3, 0, 1])),
+        ];
+        let hist = Event {
+            ts_us: 0,
+            kind: EventKind::Histogram,
+            name: "frontier_size",
+            span: 0,
+            parent: 0,
+            thread: 0,
+            elapsed_ns: None,
+            fields: &fields,
+        };
+        sink.record(&hist);
+        sink.record(&hist);
+        sink.finish(&[]);
+        let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("histogram frontier_size"), "{text}");
+        assert!(text.contains('6'), "counts should accumulate: {text}");
+    }
+
+    #[test]
+    fn prometheus_format_shape() {
+        let (sink, buffer) = PrometheusSink::to_buffer();
+        sink.record(&exit_event("bfs", 1, 0, 1_500_000_000));
+        sink.finish(&[MetricSnapshot {
+            name: "edges_scanned_push",
+            help: "Edges relaxed in push direction",
+            value: 42,
+            is_gauge: false,
+        }]);
+        let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("# TYPE graphct_edges_scanned_push counter"));
+        assert!(text.contains("graphct_edges_scanned_push 42"));
+        assert!(text.contains("graphct_span_count{span=\"bfs\"} 1"));
+        assert!(text.contains("graphct_span_seconds_total{span=\"bfs\"} 1.5"));
+    }
+
+    #[test]
+    fn jsonl_counter_records_at_finish() {
+        let (sink, buffer) = JsonLinesSink::to_buffer();
+        sink.finish(&[MetricSnapshot {
+            name: "cas_retries",
+            help: "CAS retry count",
+            value: 7,
+            is_gauge: false,
+        }]);
+        let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        let line = text.lines().next().unwrap();
+        let v = crate::json::parse(line).unwrap();
+        assert_eq!(
+            v.get("kind").and_then(crate::json::Json::as_str),
+            Some("counter")
+        );
+        assert_eq!(
+            v.get("name").and_then(crate::json::Json::as_str),
+            Some("cas_retries")
+        );
+        let f = v.get("fields").unwrap();
+        assert_eq!(f.get("value").and_then(crate::json::Json::as_u64), Some(7));
+    }
+}

@@ -1,0 +1,119 @@
+//! Spans: named, nested, timed regions.
+//!
+//! A span is opened with the [`span!`](crate::span!) macro and closed when
+//! the returned [`SpanGuard`] drops.  Span identity is a process-global
+//! monotone id; nesting is tracked per thread so events emitted inside a
+//! span carry the right `span`/`parent` ids without any locking on the
+//! hot path.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::counter::thread_ordinal;
+use crate::event::EventKind;
+use crate::value::Value;
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Chain of open span ids on this thread (innermost last).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Id of the innermost open span on this thread (0 = none).
+pub(crate) fn current_span() -> u64 {
+    SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+}
+
+/// Id of the span enclosing the innermost one (0 = root).
+pub(crate) fn current_parent() -> u64 {
+    SPAN_STACK.with(|s| {
+        let stack = s.borrow();
+        if stack.len() >= 2 {
+            stack[stack.len() - 2]
+        } else {
+            0
+        }
+    })
+}
+
+/// RAII guard for an open span; closing (dropping) emits the `span_exit`
+/// record with the measured duration.
+#[must_use = "a span closes when its guard drops; binding to _ closes it immediately"]
+pub struct SpanGuard {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// The no-op guard returned when tracing is disabled.
+    pub fn disabled() -> Self {
+        SpanGuard {
+            id: 0,
+            parent: 0,
+            name: "",
+            start: None,
+        }
+    }
+
+    /// This span's id (0 when tracing was disabled at open).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// Open a span: allocate an id, push it on the thread's stack, and emit
+/// the `span_enter` record.  Called by the `span!` macro after it has
+/// checked [`enabled`](crate::enabled).
+pub fn span_enter(name: &'static str, fields: &[(&str, Value)]) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard::disabled();
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = current_span();
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+    crate::emit(
+        EventKind::SpanEnter,
+        name,
+        id,
+        parent,
+        thread_ordinal() as u64,
+        None,
+        fields,
+    );
+    SpanGuard {
+        id,
+        parent,
+        name,
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards drop in LIFO order under normal control flow, but be
+            // tolerant of a guard outliving its scope (e.g. moved out).
+            if let Some(pos) = stack.iter().rposition(|&id| id == self.id) {
+                stack.remove(pos);
+            }
+        });
+        // The session may have finished while this span was open; emit()
+        // is a no-op in that case but the stack above is still unwound.
+        crate::emit(
+            EventKind::SpanExit,
+            self.name,
+            self.id,
+            self.parent,
+            thread_ordinal() as u64,
+            Some(elapsed_ns),
+            &[],
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Field values attached to spans and events.
+
+/// A telemetry field value: the small closed set of shapes the event
+/// schema admits (documented in DESIGN.md § Observability).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned counter/size.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (thresholds, seconds).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Short text (direction names, kernel modes).
+    Str(String),
+    /// An array of unsigned values (histogram edges/counts).
+    U64s(Vec<u64>),
+}
+
+impl Value {
+    /// Serialize into `out` as a JSON value.
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => {
+                out.push_str(&v.to_string());
+            }
+            Value::I64(v) => {
+                out.push_str(&v.to_string());
+            }
+            Value::F64(v) => write_json_f64(*v, out),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(s) => write_json_string(s, out),
+            Value::U64s(vs) => {
+                out.push('[');
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&v.to_string());
+                }
+                out.push(']');
+            }
+        }
+    }
+}
+
+/// JSON has no NaN/Infinity; map them to null so every emitted line stays
+/// parseable by strict consumers (`jq`, the schema validator).
+pub(crate) fn write_json_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let s = format!("{v}");
+        out.push_str(&s);
+        // `format!` prints integral floats without a fractional part;
+        // keep them as JSON numbers (valid either way).
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+pub(crate) fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<u64>> for Value {
+    fn from(v: Vec<u64>) -> Self {
+        Value::U64s(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json(v: Value) -> String {
+        let mut s = String::new();
+        v.write_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(json(Value::U64(7)), "7");
+        assert_eq!(json(Value::I64(-3)), "-3");
+        assert_eq!(json(Value::Bool(true)), "true");
+        assert_eq!(json(Value::F64(1.5)), "1.5");
+        assert_eq!(json(Value::F64(f64::NAN)), "null");
+        assert_eq!(json(Value::U64s(vec![1, 2, 3])), "[1,2,3]");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(json(Value::from("a\"b\\c\nd")), r#""a\"b\\c\nd""#);
+        assert_eq!(json(Value::from("\u{1}")), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(3u32), Value::U64(3));
+        assert_eq!(Value::from(String::from("x")), Value::Str("x".into()));
+    }
+}

@@ -1,0 +1,124 @@
+//! Satellite: threaded sink behavior.
+//!
+//! The vendored rayon shim is sequential, so these tests drive real OS
+//! threads via `std::thread` to prove (a) counter increments from N
+//! workers are never lost and (b) JSON-lines output never interleaves
+//! mid-record.
+
+use std::sync::Arc;
+use std::thread;
+
+use graphct_trace::{json, schema, Counter, JsonLinesSink, NullSink, Session};
+
+static WORK_COUNTER: Counter = Counter::new("concurrency_test_ops", "ops from worker threads");
+
+const WORKERS: usize = 8;
+const OPS_PER_WORKER: u64 = 20_000;
+
+#[test]
+fn counter_increments_are_never_lost() {
+    let session = Session::start(Arc::new(NullSink));
+    thread::scope(|scope| {
+        for _ in 0..WORKERS {
+            scope.spawn(|| {
+                for i in 0..OPS_PER_WORKER {
+                    if i % 2 == 0 {
+                        WORK_COUNTER.incr();
+                    } else {
+                        WORK_COUNTER.add(1);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(WORK_COUNTER.value(), WORKERS as u64 * OPS_PER_WORKER);
+    session.finish();
+}
+
+#[test]
+fn jsonl_records_never_interleave() {
+    let (sink, buffer) = JsonLinesSink::to_buffer();
+    let session = Session::start(Arc::new(sink));
+    thread::scope(|scope| {
+        for worker in 0..WORKERS as u64 {
+            scope.spawn(move || {
+                for i in 0..500u64 {
+                    let _span = graphct_trace::span!("worker_unit", worker = worker, i = i);
+                    graphct_trace::event!("worker_tick", worker = worker, i = i);
+                }
+            });
+        }
+    });
+    session.finish();
+
+    let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+
+    // Every line parses and passes schema validation: a single torn write
+    // anywhere would produce at least one invalid line.
+    let records = schema::validate_jsonl(&text).unwrap_or_else(|(line, err)| {
+        panic!("line {line} failed validation: {err}");
+    });
+    // 500 spans (enter+exit) + 500 points per worker, plus counter lines.
+    assert!(records >= WORKERS * 1500, "only {records} records");
+
+    // Nothing dropped either: exactly 500 ticks per worker came through.
+    for worker in 0..WORKERS as u64 {
+        let ticks = text
+            .lines()
+            .filter(|line| {
+                let v = json::parse(line).expect("valid JSON");
+                v.get("kind").and_then(json::Json::as_str) == Some("point")
+                    && v.get("fields")
+                        .and_then(|f| f.get("worker"))
+                        .and_then(json::Json::as_u64)
+                        == Some(worker)
+            })
+            .count();
+        assert_eq!(ticks, 500, "worker {worker} lost events");
+    }
+}
+
+#[test]
+fn span_nesting_is_per_thread() {
+    let (sink, buffer) = JsonLinesSink::to_buffer();
+    let session = Session::start(Arc::new(sink));
+    thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let outer = graphct_trace::span!("outer_t");
+                let inner = graphct_trace::span!("inner_t");
+                drop(inner);
+                drop(outer);
+            });
+        }
+    });
+    session.finish();
+
+    let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+    // Each inner_t enter must have as parent an outer_t span opened on the
+    // SAME thread — cross-thread stacks would wire parents across threads.
+    let mut outer_owner = std::collections::HashMap::new();
+    let mut checked = 0;
+    let lines: Vec<json::Json> = text.lines().map(|l| json::parse(l).unwrap()).collect();
+    for v in &lines {
+        if v.get("kind").and_then(json::Json::as_str) == Some("span_enter")
+            && v.get("name").and_then(json::Json::as_str) == Some("outer_t")
+        {
+            outer_owner.insert(
+                v.get("span").and_then(json::Json::as_u64).unwrap(),
+                v.get("thread").and_then(json::Json::as_u64).unwrap(),
+            );
+        }
+    }
+    for v in &lines {
+        if v.get("kind").and_then(json::Json::as_str) == Some("span_enter")
+            && v.get("name").and_then(json::Json::as_str) == Some("inner_t")
+        {
+            let parent = v.get("parent").and_then(json::Json::as_u64).unwrap();
+            let thread = v.get("thread").and_then(json::Json::as_u64).unwrap();
+            assert_eq!(outer_owner.get(&parent), Some(&thread));
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 4);
+}

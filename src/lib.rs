@@ -25,6 +25,9 @@
 //!   Hamming distance, Kendall tau, power-law fitting.
 //! * [`script`](graphct_script) — the GraphCT analysis-script
 //!   interpreter with its stack-based graph memory.
+//! * [`trace`](graphct_trace) — structured telemetry: spans, sharded
+//!   counters, JSON-lines / summary / Prometheus sinks, and the
+//!   record-schema validator (see DESIGN.md § Observability).
 //!
 //! ## Quickstart
 //!
@@ -46,6 +49,7 @@ pub use graphct_metrics as metrics;
 pub use graphct_mt as mt;
 pub use graphct_script as script;
 pub use graphct_stream as stream;
+pub use graphct_trace as trace;
 pub use graphct_twitter as twitter;
 
 /// The most common imports in one line.
