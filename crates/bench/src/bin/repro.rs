@@ -13,7 +13,14 @@
 //! repro trace-bfs            # ablation-bfs with per-level telemetry +
 //!                            # disabled-overhead proof (BENCH_TRACE_OVERHEAD.json)
 //! repro trace-validate FILE  # check a JSON-lines trace against the schema
+//! repro check-regress        # compare the latest BENCH_HISTORY.jsonl run of
+//!                            # each case against the median of its earlier
+//!                            # runs; exit 1 on a >10 % slowdown
 //! ```
+//!
+//! Timing exhibits (fig4, fig6, the ablations, trace-bfs) append their
+//! per-case means to `BENCH_HISTORY.jsonl` (git SHA + timestamp per
+//! record) so regressions surface across runs, not just within one.
 //!
 //! `--quick` shrinks the synthetic datasets and repetition counts for a
 //! smoke run; the default sizes mirror the paper (sep1 runs at 20 % of
@@ -76,7 +83,7 @@ impl Options {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <all|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|ablation-sampling|ablation-cc|ablation-bfs|trace-bfs|trace-validate FILE> [--quick] [--full] [--seed N] [--reps N]");
+        eprintln!("usage: repro <all|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|ablation-sampling|ablation-cc|ablation-bfs|trace-bfs|trace-validate FILE|check-regress> [--quick] [--full] [--seed N] [--reps N]");
         std::process::exit(2);
     }
     let cmd = args.remove(0);
@@ -110,6 +117,7 @@ fn main() {
         "ablation-bfs" => ablation_bfs(opts),
         "trace-bfs" => trace_bfs(opts),
         "trace-validate" => trace_validate(&args),
+        "check-regress" => check_regress(),
         "all" => {
             table2(opts);
             table3(opts);
@@ -149,6 +157,67 @@ fn take_value(args: &mut Vec<String>, flag: &str) -> Option<u64> {
 
 fn banner(title: &str) {
     println!("\n==== {title} ====");
+}
+
+/// Append one ledger record per `(case, mean_s)` to
+/// `BENCH_HISTORY.jsonl`.  Best-effort: a read-only working directory
+/// degrades to a warning, not a failed exhibit.
+fn record_history(opts: Options, bench: &str, cases: &[(String, f64)]) {
+    use graphct_bench::history;
+    let entries: Vec<history::HistoryEntry> = cases
+        .iter()
+        .map(|(case, mean)| history::HistoryEntry::now(bench, case, opts.quick, *mean))
+        .collect();
+    match history::append(std::path::Path::new(history::DEFAULT_PATH), &entries) {
+        Ok(()) => println!(
+            "appended {} records to {}",
+            entries.len(),
+            history::DEFAULT_PATH
+        ),
+        Err(e) => eprintln!("could not append to {}: {e}", history::DEFAULT_PATH),
+    }
+}
+
+/// `repro check-regress`: fail when the latest run of any ledger case is
+/// more than 10 % slower than the median of its earlier runs.
+fn check_regress() {
+    use graphct_bench::history;
+    let path = std::path::Path::new(history::DEFAULT_PATH);
+    if !path.exists() {
+        println!("{}: no ledger yet, nothing to check", history::DEFAULT_PATH);
+        return;
+    }
+    let (entries, skipped) = match history::load(path) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", history::DEFAULT_PATH);
+            std::process::exit(1);
+        }
+    };
+    if skipped > 0 {
+        eprintln!("warning: skipped {skipped} unparseable ledger lines");
+    }
+    let regressions = history::check(&entries);
+    if regressions.is_empty() {
+        println!(
+            "{} ledger records: no case regressed more than {:.0}% against its median",
+            entries.len(),
+            history::REGRESSION_THRESHOLD_PCT
+        );
+        return;
+    }
+    for r in &regressions {
+        eprintln!(
+            "REGRESSION {} / {}{}: median {:.4}s -> latest {:.4}s ({:+.1}%)",
+            r.bench,
+            r.case,
+            if r.quick { " (quick)" } else { "" },
+            r.baseline_median_s,
+            r.latest_s,
+            r.delta_pct
+        );
+    }
+    std::process::exit(1);
 }
 
 // ---------------------------------------------------------------- Table II
@@ -356,6 +425,7 @@ fn fig4(opts: Options) {
         "ci90 s",
         "speedup vs exact",
     ]);
+    let mut history = Vec::new();
     for profile in DatasetProfile::all() {
         let name = profile.name;
         let stats = build_dataset(profile, opts.exact_bc_scale_for(name), opts.seed);
@@ -375,6 +445,7 @@ fn fig4(opts: Options) {
             if pct == 100 {
                 exact_mean = Some(summary.mean);
             }
+            history.push((format!("{name}/{pct}pct"), summary.mean));
             t.row(&[
                 name.to_string(),
                 pct.to_string(),
@@ -385,6 +456,7 @@ fn fig4(opts: Options) {
         }
     }
     t.print();
+    record_history(opts, "fig4", &history);
     println!(
         "paper (all-Sep-2009 graph): 30 s at 10% sampling vs ~49 min exact — \
          expect near-linear growth in sampling %"
@@ -471,6 +543,7 @@ fn fig6(opts: Options) {
     series.sort_by_key(|(_, g)| g.num_vertices() as u128 * g.num_arcs() as u128);
     let mut t = Table::new(&["graph", "vertices", "edges", "|V|*|E|", "time s (256 src)"]);
     let mut points: Vec<(f64, f64)> = Vec::new();
+    let mut history = Vec::new();
     for (name, g) in &series {
         let reps = opts.reps.min(3);
         let summary = time_repeated(reps, |r| {
@@ -479,6 +552,7 @@ fn fig6(opts: Options) {
         });
         let size = g.num_vertices() as f64 * g.num_edges() as f64;
         points.push((size, summary.mean));
+        history.push((name.clone(), summary.mean));
         t.row(&[
             name.clone(),
             n(g.num_vertices()),
@@ -488,6 +562,7 @@ fn fig6(opts: Options) {
         ]);
     }
     t.print();
+    record_history(opts, "fig6", &history);
     // Log-log slope across the R-MAT sweep: the paper's Fig. 6 shows
     // runtime growing smoothly with |V|*|E|.
     if points.len() >= 2 {
@@ -566,6 +641,14 @@ fn ablation_cc(opts: Options) {
     ]);
     t.row(&["sequential BFS".into(), f(t_seq.mean, 4), f(t_seq.ci90, 4)]);
     t.print();
+    record_history(
+        opts,
+        "ablation_cc",
+        &[
+            ("parallel_hook_compress".to_string(), t_par.mean),
+            ("sequential_bfs".to_string(), t_seq.mean),
+        ],
+    );
     println!(
         "R-MAT scale {scale}: {} components over {} vertices",
         ComponentSummary::from_colors(par).num_components(),
@@ -650,6 +733,11 @@ fn ablation_bfs(opts: Options) {
         }
     }
     t.print();
+    let history: Vec<(String, f64)> = means
+        .iter()
+        .map(|(gname, kind, mean)| (format!("{gname}/{kind:?}"), *mean))
+        .collect();
+    record_history(opts, "ablation_bfs", &history);
 
     // Headline ratios: adaptive hybrid vs the legacy queue sweep.
     let mut speedups = Vec::new();
@@ -953,6 +1041,17 @@ fn trace_bfs(opts: Options) {
         },
     );
     let bc_record = report_ab("bc_sampled_16src", &bc_ab, budget_pct);
+
+    record_history(
+        opts,
+        "trace_bfs",
+        &[
+            ("bfs_hybrid/seed".to_string(), bfs_ab.seed.mean),
+            ("bfs_hybrid/instrumented".to_string(), bfs_ab.inst.mean),
+            ("bc_sampled_16src/seed".to_string(), bc_ab.seed.mean),
+            ("bc_sampled_16src/instrumented".to_string(), bc_ab.inst.mean),
+        ],
+    );
 
     let within_budget = bfs_ab.overhead_pct <= budget_pct && bc_ab.overhead_pct <= budget_pct;
     let json = format!(

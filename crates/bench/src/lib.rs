@@ -6,6 +6,7 @@
 
 pub mod datasets;
 pub mod format;
+pub mod history;
 pub mod seed_baseline;
 pub mod timing;
 

@@ -31,6 +31,19 @@ USAGE:
   graphct bc <graph> [--samples N] [--seed N] [--top K]
               [--frontier KIND] [--alpha A] [--beta B]
                                                (approximate) betweenness
+  graphct serve [--profile h1n1|atlflood|sep1] [--scale-pct P] [--seed N]
+                [--port P | --addr HOST:PORT] [--batch-size N] [--batches N]
+                [--interval-ms MS] [--window N] [--trace-out FILE]
+                                               live monitoring plane: paced
+                                               tweet-stream ingest exporting
+                                               /metrics /healthz /progress
+                                               over HTTP; Ctrl-C drains
+  graphct trace flame <trace.jsonl> [--out FILE]
+                                               folded stacks (flamegraph input)
+  graphct trace critical-path <trace.jsonl>    slowest span chains
+  graphct trace imbalance <trace.jsonl>        per-level BFS push/pull spread
+  graphct trace diff <a.jsonl> <b.jsonl>       A/B span + counter deltas
+  graphct trace promcheck <metrics.txt>        validate Prometheus exposition
   graphct help
 
 BFS tuning (stats, bc): --frontier is one of queue|bitmap|push|pull|hybrid
@@ -42,7 +55,8 @@ Telemetry (any command): --trace turns on kernel telemetry and prints a
 hierarchical timing summary to stderr at exit; --trace-out FILE streams
 JSON-lines events to FILE; --metrics-format json|prom|summary selects
 the export (json requires --trace-out; prom writes Prometheus text to
---trace-out or stdout).
+--trace-out or stdout; summary writes to --trace-out when given, else
+stderr).
 
 Graph files: *.bin = GraphCT binary CSR, *.gr/*.dimacs = DIMACS,
 anything else = 'src dst' edge-list text.";
@@ -148,14 +162,13 @@ fn start_trace(args: &mut Vec<String>) -> Result<Option<graphct_trace::Session>,
             ),
             None => Arc::new(graphct_trace::PrometheusSink::to_stdout()),
         },
-        "summary" => {
-            if trace_out.is_some() {
-                return Err("--metrics-format summary writes to stderr; \
-                     use json or prom with --trace-out"
-                    .into());
-            }
-            Arc::new(graphct_trace::SummarySink::to_stderr())
-        }
+        "summary" => match trace_out.as_ref() {
+            Some(path) => Arc::new(
+                graphct_trace::SummarySink::create(path)
+                    .map_err(|e| format!("cannot create {}: {e}", path.display()))?,
+            ),
+            None => Arc::new(graphct_trace::SummarySink::to_stderr()),
+        },
         other => {
             return Err(format!(
                 "unknown --metrics-format '{other}' (json|prom|summary)"
@@ -163,6 +176,220 @@ fn start_trace(args: &mut Vec<String>) -> Result<Option<graphct_trace::Session>,
         }
     };
     Ok(Some(graphct_trace::Session::start(sink)))
+}
+
+/// Resolve a tweet dataset profile by name, with optional percentage
+/// scaling (shared by `tweets` and `serve`).
+fn parse_profile(name: &str, scale_pct: f64) -> Result<graphct_twitter::DatasetProfile, String> {
+    let profile = match name {
+        "h1n1" => graphct_twitter::DatasetProfile::h1n1(),
+        "atlflood" => graphct_twitter::DatasetProfile::atlflood(),
+        "sep1" => graphct_twitter::DatasetProfile::sep1(),
+        other => return Err(format!("unknown profile '{other}'")),
+    };
+    Ok(if scale_pct < 100.0 {
+        profile.scaled(scale_pct / 100.0)
+    } else {
+        profile
+    })
+}
+
+/// `graphct serve`: run the live monitoring plane until the batch budget
+/// is exhausted or SIGINT asks for a drain.
+fn serve_cmd(args: &mut Vec<String>) -> Result<(), String> {
+    let profile_name = take_flag(args, "--profile")?.unwrap_or_else(|| "atlflood".into());
+    let scale_pct: f64 = parse_flag(args, "--scale-pct", 100.0)?;
+    let profile = parse_profile(&profile_name, scale_pct)?;
+    let seed: u64 = parse_flag(args, "--seed", 42)?;
+    let port: u16 = parse_flag(args, "--port", 9090)?;
+    let addr = take_flag(args, "--addr")?.unwrap_or_else(|| format!("127.0.0.1:{port}"));
+    let batch_size: usize = parse_flag(args, "--batch-size", 64)?;
+    let batches: u64 = parse_flag(args, "--batches", 0)?;
+    let interval_ms: u64 = parse_flag(args, "--interval-ms", 50)?;
+    let window_batches: usize = parse_flag(args, "--window", 256)?;
+    let trace_out = take_flag(args, "--trace-out")?.map(PathBuf::from);
+
+    graphct_obs::install_sigint_handler();
+    let handle = graphct_obs::start(graphct_obs::ServeConfig {
+        addr: addr.clone(),
+        profile,
+        seed,
+        batch_size,
+        batches,
+        interval_ms,
+        window_batches,
+        trace_out,
+    })
+    .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
+    println!(
+        "serving http://{}  endpoints: /metrics /healthz /progress",
+        handle.local_addr()
+    );
+    println!(
+        "ingesting {profile_name} (seed {seed}): batch {batch_size} mentions every {interval_ms}ms, \
+         sliding window {window_batches} batches{}",
+        if batches == 0 {
+            ", endless (Ctrl-C to drain)".to_string()
+        } else {
+            format!(", {batches} batches")
+        }
+    );
+    while !graphct_obs::sigint_received() && !handle.ingest_finished() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    if graphct_obs::sigint_received() {
+        eprintln!("SIGINT: draining...");
+    }
+    let stats = handle.wait();
+    println!(
+        "drained: {} batches, {} mentions, {} edges inserted, {} expired",
+        stats.batches, stats.mentions, stats.edges_inserted, stats.edges_expired
+    );
+    Ok(())
+}
+
+/// Read and parse a JSON-lines trace produced by `--trace-out`.
+fn load_trace(path: &Path) -> Result<Vec<graphct_trace::analyze::Rec>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    graphct_trace::analyze::read_trace(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn next_path(args: &mut Vec<String>, what: &str) -> Result<PathBuf, String> {
+    if args.is_empty() {
+        return Err(format!("missing {what}"));
+    }
+    Ok(PathBuf::from(args.remove(0)))
+}
+
+/// `graphct trace`: offline analysis of recorded traces.
+fn trace_cmd(args: &mut Vec<String>) -> Result<(), String> {
+    use graphct_trace::analyze;
+    if args.is_empty() {
+        return Err(
+            "trace needs a subcommand (flame|critical-path|imbalance|diff|promcheck)".into(),
+        );
+    }
+    let sub = args.remove(0);
+    match sub.as_str() {
+        "flame" => {
+            let file = next_path(args, "trace file")?;
+            let out = take_flag(args, "--out")?.map(PathBuf::from);
+            let folded = analyze::fold_stacks(&load_trace(&file)?);
+            let text = analyze::render_folded(&folded);
+            match out {
+                Some(path) => {
+                    std::fs::write(&path, &text)
+                        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                    println!("wrote {} folded stacks to {}", folded.len(), path.display());
+                }
+                None => print!("{text}"),
+            }
+            Ok(())
+        }
+        "critical-path" => {
+            let file = next_path(args, "trace file")?;
+            let chains = analyze::critical_paths(&load_trace(&file)?);
+            if chains.is_empty() {
+                println!("no spans in trace");
+                return Ok(());
+            }
+            for chain in &chains {
+                let root_ns = chain[0].elapsed_ns.max(1);
+                for (depth, node) in chain.iter().enumerate() {
+                    println!(
+                        "{:indent$}{}  {:.3}ms  ({:.1}% of {})",
+                        "",
+                        node.name,
+                        node.elapsed_ns as f64 / 1e6,
+                        100.0 * node.elapsed_ns as f64 / root_ns as f64,
+                        chain[0].name,
+                        indent = depth * 2
+                    );
+                }
+            }
+            Ok(())
+        }
+        "imbalance" => {
+            let file = next_path(args, "trace file")?;
+            let report = analyze::level_imbalance(&load_trace(&file)?);
+            if report.dirs.is_empty() {
+                println!("no bfs_level telemetry in trace (run with --trace-out)");
+                return Ok(());
+            }
+            println!("{} BFS runs", report.runs);
+            println!(
+                "{:<8} {:>7} {:>14} {:>14} {:>14} {:>8}",
+                "dir", "levels", "edges", "max/level", "mean/level", "spread"
+            );
+            for d in &report.dirs {
+                println!(
+                    "{:<8} {:>7} {:>14} {:>14} {:>14.1} {:>8.2}",
+                    d.direction, d.levels, d.total_edges, d.max_edges, d.mean_edges, d.spread
+                );
+            }
+            println!("heaviest levels:");
+            for (level, dir, edges) in &report.heaviest {
+                println!("  level {level:<4} {dir:<6} {edges} edges inspected");
+            }
+            Ok(())
+        }
+        "diff" => {
+            let a_path = next_path(args, "baseline trace")?;
+            let b_path = next_path(args, "comparison trace")?;
+            let a = load_trace(&a_path)?;
+            let b = load_trace(&b_path)?;
+            let rows = analyze::diff_spans(&a, &b);
+            if rows.is_empty() {
+                println!("no spans in either trace");
+            } else {
+                println!(
+                    "{:<24} {:>8} {:>8} {:>12} {:>12} {:>9}",
+                    "span", "a_count", "b_count", "a_ms", "b_ms", "delta"
+                );
+                for row in &rows {
+                    let pct = row
+                        .delta_pct()
+                        .map(|p| format!("{p:+.1}%"))
+                        .unwrap_or_else(|| "new".into());
+                    println!(
+                        "{:<24} {:>8} {:>8} {:>12.3} {:>12.3} {:>9}",
+                        row.name,
+                        row.a_count,
+                        row.b_count,
+                        row.a_total_ns as f64 / 1e6,
+                        row.b_total_ns as f64 / 1e6,
+                        pct
+                    );
+                }
+            }
+            let counters = analyze::diff_counters(&a, &b);
+            if !counters.is_empty() {
+                println!("counters:");
+                for c in &counters {
+                    let fmt =
+                        |v: Option<u64>| v.map(|n| n.to_string()).unwrap_or_else(|| "-".into());
+                    println!("  {:<32} {:>14} -> {:<14}", c.name, fmt(c.a), fmt(c.b));
+                }
+            }
+            Ok(())
+        }
+        "promcheck" => {
+            let file = next_path(args, "exposition file")?;
+            let text = std::fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            match graphct_trace::schema::validate_exposition(&text) {
+                Ok(samples) => {
+                    println!("ok: {} ({samples} samples)", file.display());
+                    Ok(())
+                }
+                Err((line, msg)) => Err(format!("{}:{line}: {msg}", file.display())),
+            }
+        }
+        other => Err(format!(
+            "unknown trace subcommand '{other}' (flame|critical-path|imbalance|diff|promcheck)"
+        )),
+    }
 }
 
 fn load_graph(path: &Path) -> Result<CsrGraph, String> {
@@ -195,6 +422,16 @@ fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let cmd = args.remove(0);
+    // `serve` owns its own trace session (the ingest thread starts it and
+    // drains it on shutdown) and gives --trace-out a different meaning,
+    // so it is dispatched before the shared telemetry flags are consumed.
+    // `trace` *reads* trace files; tracing the reader would be noise.
+    if cmd == "serve" {
+        return serve_cmd(&mut args);
+    }
+    if cmd == "trace" {
+        return trace_cmd(&mut args);
+    }
     let _trace_session = start_trace(&mut args)?;
     match cmd.as_str() {
         "help" | "--help" | "-h" => {
@@ -260,17 +497,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let seed: u64 = parse_flag(&mut args, "--seed", 42)?;
             let scale_pct: f64 = parse_flag(&mut args, "--scale-pct", 100.0)?;
             let out: PathBuf = require_flag(&mut args, "--out")?;
-            let profile = match which.as_str() {
-                "h1n1" => graphct_twitter::DatasetProfile::h1n1(),
-                "atlflood" => graphct_twitter::DatasetProfile::atlflood(),
-                "sep1" => graphct_twitter::DatasetProfile::sep1(),
-                other => return Err(format!("unknown profile '{other}'")),
-            };
-            let profile = if scale_pct < 100.0 {
-                profile.scaled(scale_pct / 100.0)
-            } else {
-                profile
-            };
+            let profile = parse_profile(&which, scale_pct)?;
             let (tweets, _pool) = graphct_twitter::generate_stream(&profile.config, seed);
             let tg = graphct_twitter::build_tweet_graph(&tweets).map_err(|e| e.to_string())?;
             let edges: EdgeList = tg.undirected.iter_arcs().filter(|&(s, t)| s < t).collect();

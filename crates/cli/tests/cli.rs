@@ -1,7 +1,7 @@
 //! End-to-end tests of the `graphct` binary: generate → stats → bc →
 //! script, through the real argv surface.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn graphct() -> Command {
@@ -127,6 +127,193 @@ fn script_subcommand_runs_paper_script() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("components: 2 total"));
     assert!(text.contains("extracted component 1: 3 vertices"));
+}
+
+/// Write a tiny edge-list graph and return its path.
+fn small_graph(dir: &Path) -> PathBuf {
+    let path = dir.join("small.txt");
+    std::fs::write(&path, "0 1\n1 2\n2 3\n3 0\n4 5\n").unwrap();
+    path
+}
+
+#[test]
+fn summary_metrics_format_writes_to_file() {
+    let dir = temp_dir("summary_file");
+    let graph = small_graph(&dir);
+    let summary = dir.join("summary.txt");
+
+    let out = graphct()
+        .arg("components")
+        .arg(&graph)
+        .args(["--metrics-format", "summary", "--trace-out"])
+        .arg(&summary)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&summary).unwrap();
+    assert!(
+        text.contains("components"),
+        "summary file has the components span:\n{text}"
+    );
+    // Without --trace-out the summary still lands on stderr.
+    let out = graphct()
+        .arg("components")
+        .arg(&graph)
+        .args(["--metrics-format", "summary"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("components"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_flame_round_trips_folded_stacks() {
+    let dir = temp_dir("flame");
+    let graph = small_graph(&dir);
+    let trace = dir.join("trace.jsonl");
+    let folded = dir.join("folded.txt");
+
+    let out = graphct()
+        .arg("stats")
+        .arg(&graph)
+        .arg("--trace-out")
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = graphct()
+        .args(["trace", "flame"])
+        .arg(&trace)
+        .arg("--out")
+        .arg(&folded)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&folded).unwrap();
+    // Round-trip: parse the folded file and re-render it byte-identically.
+    let stacks = graphct_trace::analyze::parse_folded(&text).unwrap();
+    assert!(!stacks.is_empty());
+    assert_eq!(graphct_trace::analyze::render_folded(&stacks), text);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_diff_compares_two_runs() {
+    let dir = temp_dir("diff");
+    let graph = small_graph(&dir);
+    let a = dir.join("a.jsonl");
+    let b = dir.join("b.jsonl");
+    for trace in [&a, &b] {
+        let out = graphct()
+            .arg("components")
+            .arg(&graph)
+            .arg("--trace-out")
+            .arg(trace)
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+    }
+    let out = graphct()
+        .args(["trace", "diff"])
+        .arg(&a)
+        .arg(&b)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("components"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_promcheck_validates_prom_export() {
+    let dir = temp_dir("promcheck");
+    let graph = small_graph(&dir);
+    let metrics = dir.join("metrics.txt");
+    let out = graphct()
+        .arg("components")
+        .arg(&graph)
+        .args(["--metrics-format", "prom", "--trace-out"])
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = graphct()
+        .args(["trace", "promcheck"])
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("samples"));
+
+    // A malformed exposition fails with the offending line number.
+    let bad = dir.join("bad.txt");
+    std::fs::write(&bad, "graphct_ok 1\n0bad_name 2\n").unwrap();
+    let out = graphct()
+        .args(["trace", "promcheck"])
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains(":2:"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_finite_batches_runs_to_drain() {
+    let out = graphct()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--profile",
+            "atlflood",
+            "--scale-pct",
+            "5",
+            "--seed",
+            "3",
+            "--batch-size",
+            "16",
+            "--batches",
+            "20",
+            "--interval-ms",
+            "0",
+            "--window",
+            "8",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("serving http://127.0.0.1:"), "{text}");
+    assert!(text.contains("drained: 20 batches"), "{text}");
 }
 
 #[test]

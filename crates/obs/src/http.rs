@@ -1,0 +1,232 @@
+//! A minimal std-only HTTP/1.1 server.
+//!
+//! The shims-only policy rules out hyper/axum; the exporter needs exactly
+//! one thing — answering small `GET` requests with small text bodies — so
+//! a nonblocking accept loop on [`TcpListener`] plus per-request blocking
+//! I/O with short timeouts covers it.  One thread, one connection at a
+//! time: Prometheus scrapes are serial and tiny, and `/progress` readers
+//! are humans with `curl`.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// An HTTP response the route handler produces.
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Content-Type header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A plaintext response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// A `200 OK` JSON response.
+    pub fn json(body: impl Into<String>) -> Self {
+        Self {
+            status: 200,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// The Prometheus text exposition content type.
+    pub fn metrics(body: impl Into<String>) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// A `404 Not Found` response.
+    pub fn not_found() -> Self {
+        Self::text(404, "not found\n")
+    }
+}
+
+/// The route handler: request path in, [`Response`] out.
+pub type Handler = dyn Fn(&str) -> Response + Send + Sync;
+
+/// A background HTTP server; dropping (or [`stop`](HttpServer::stop)ping)
+/// it shuts the accept loop down and joins the thread.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
+    /// requests through `handler` on a background thread.
+    pub fn bind(addr: &str, handler: Arc<Handler>) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("graphct-obs-http".into())
+            .spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = handle_connection(stream, &handler);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        if stop_flag.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => {
+                        if stop_flag.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            })?;
+        Ok(HttpServer {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the server thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, handler: &Arc<Handler>) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+
+    // Read until the end of the request head (or a small cap — the
+    // exporter serves GETs with no body).
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let request_line = head.lines().next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or_default();
+    let target = parts.next().unwrap_or_default();
+    // Strip any query string; the endpoints take none.
+    let path = target.split('?').next().unwrap_or_default();
+
+    let response = if method != "GET" {
+        Response::text(405, "method not allowed\n")
+    } else {
+        handler(path)
+    };
+    write_response(&mut stream, &response)
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let reason = match response.status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "",
+    };
+    let header = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason,
+        response.content_type,
+        response.body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        let status: u16 = text
+            .lines()
+            .next()
+            .and_then(|l| l.split(' ').nth(1))
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        let body = text
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_owned())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_routes_and_404s() {
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|path: &str| match path {
+                "/hello" => Response::text(200, "hi\n"),
+                _ => Response::not_found(),
+            }),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        assert_eq!(get(addr, "/hello"), (200, "hi\n".to_owned()));
+        assert_eq!(get(addr, "/hello?x=1").0, 200, "query strings stripped");
+        assert_eq!(get(addr, "/missing").0, 404);
+        server.stop();
+        // Port is released after stop.
+        assert!(TcpStream::connect(addr).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! # graphct-obs — the live monitoring plane
+//!
+//! The paper's motivating scenario is *near-real-time* crisis monitoring
+//! (tracking `#atlflood` as the flood unfolds, §III-A-2); this crate
+//! turns the flush-at-exit telemetry of `graphct-trace` into an
+//! operational plane you can watch while the analysis runs:
+//!
+//! * [`http`] — a std-only HTTP/1.1 exporter (no new dependencies; the
+//!   shims-only policy holds);
+//! * [`progress`] — a sink deriving per-kernel percent-complete and ETA
+//!   from the telemetry the kernels already emit;
+//! * [`serve`] — the `graphct serve` driver: paced batches of the
+//!   synthetic tweet stream through a
+//!   [`StreamingGraph`](graphct_stream::StreamingGraph) with a sliding
+//!   window, exporting ingest watermark / throughput / lag / window
+//!   gauges, with graceful SIGINT drain.
+//!
+//! Endpoints: `/metrics` (Prometheus text exposition, live mid-session),
+//! `/healthz` (`200 ok` serving, `503 draining` during shutdown), and
+//! `/progress` (JSON: span stacks, kernel progress, ETAs).
+
+pub mod http;
+pub mod progress;
+pub mod serve;
+
+pub use http::{HttpServer, Response};
+pub use progress::ProgressTracker;
+pub use serve::{
+    install_sigint_handler, sigint_received, start, IngestStats, ServeConfig, ServeHandle,
+};

@@ -1,0 +1,305 @@
+//! Kernel progress tracking for the `/progress` endpoint.
+//!
+//! A [`ProgressTracker`] sits in the session's sink chain and watches the
+//! telemetry the kernels already emit: `bc` spans carry a `sources` total
+//! and tick one `bc_source` point per source, BFS ticks `bfs_level`,
+//! k-core ticks `kcore_round`, and the serve ingest loop ticks
+//! `ingest_batch` with a batch/total pair.  From those it derives
+//! per-kernel percent-complete and a linear-rate ETA, plus the live span
+//! stack per thread — rendered as JSON on demand.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use graphct_trace::value::write_json_string;
+use graphct_trace::{Event, EventKind, MetricSnapshot, Sink};
+
+/// Progress state for one kernel.
+#[derive(Debug, Clone, Default)]
+struct KernelProgress {
+    /// Work units completed (sources, levels, rounds, batches).
+    done: u64,
+    /// Total units when known up front (`bc` sources, finite serve runs).
+    total: Option<u64>,
+    /// Timestamp of the first observation, µs since session start.
+    first_us: u64,
+    /// Timestamp of the latest observation.
+    last_us: u64,
+}
+
+#[derive(Default)]
+struct ProgressState {
+    /// Thread ordinal -> open span stack (id, name), outermost first.
+    stacks: HashMap<u64, Vec<(u64, String)>>,
+    /// Kernel key -> progress.
+    kernels: BTreeMap<String, KernelProgress>,
+}
+
+/// Which kernel a point event advances: `(key, done, total)`.  `done`
+/// `None` means "tick by one"; `total` `None` leaves the total unknown.
+fn progress_update(event: &Event) -> Option<(&'static str, Option<u64>, Option<u64>)> {
+    match event.name {
+        "bc_source" => Some(("bc", None, None)),
+        "bfs_level" => Some(("bfs", None, None)),
+        "kcore_round" => Some(("kcore", None, None)),
+        "components_done" => Some(("components", field_u64(event, "iterations"), None)),
+        "ingest_batch" => Some((
+            "ingest",
+            field_u64(event, "batch"),
+            field_u64(event, "total").filter(|&t| t > 0),
+        )),
+        _ => None,
+    }
+}
+
+fn field_u64(event: &Event, key: &str) -> Option<u64> {
+    event.fields.iter().find_map(|(k, v)| match v {
+        graphct_trace::Value::U64(n) if *k == key => Some(*n),
+        _ => None,
+    })
+}
+
+/// A [`Sink`] deriving live per-kernel progress from kernel telemetry.
+/// Tee it in front of the real sink; read it from the HTTP handler via
+/// [`ProgressTracker::render_json`].
+#[derive(Default)]
+pub struct ProgressTracker {
+    state: Mutex<ProgressState>,
+    inner: Option<Arc<dyn Sink>>,
+}
+
+impl ProgressTracker {
+    /// A standalone tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A tracker that forwards every record (and finish) to `inner`.
+    pub fn with_inner(inner: Arc<dyn Sink>) -> Self {
+        Self {
+            state: Mutex::new(ProgressState::default()),
+            inner: Some(inner),
+        }
+    }
+
+    /// Render the current progress view as a JSON document:
+    /// `{"health": ..., "ts_us": ..., "threads": [...], "kernels": {...}}`.
+    /// `ts_us` is the newest event timestamp seen (µs since session
+    /// start).
+    pub fn render_json(&self, health: &str) -> String {
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let ts_us = state.kernels.values().map(|p| p.last_us).max().unwrap_or(0);
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"health\":");
+        write_json_string(health, &mut out);
+        out.push_str(&format!(",\"ts_us\":{ts_us}"));
+
+        out.push_str(",\"threads\":[");
+        let mut threads: Vec<(&u64, &Vec<(u64, String)>)> = state
+            .stacks
+            .iter()
+            .filter(|(_, stack)| !stack.is_empty())
+            .collect();
+        threads.sort_by_key(|(t, _)| **t);
+        for (i, (thread, stack)) in threads.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"thread\":{thread},\"stack\":["));
+            for (j, (_, name)) in stack.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                write_json_string(name, &mut out);
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
+
+        out.push_str(",\"kernels\":{");
+        for (i, (key, p)) in state.kernels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(key, &mut out);
+            out.push_str(&format!(":{{\"done\":{}", p.done));
+            if let Some(total) = p.total {
+                out.push_str(&format!(",\"total\":{total}"));
+                if total > 0 {
+                    let pct = 100.0 * p.done as f64 / total as f64;
+                    out.push_str(&format!(",\"pct\":{pct:.1}"));
+                }
+                if let Some(eta) = eta_seconds(p) {
+                    out.push_str(&format!(",\"eta_s\":{eta:.1}"));
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Linear-rate ETA: elapsed µs per completed unit, extrapolated over the
+/// remaining units.  Needs a known total and at least one completed unit.
+fn eta_seconds(p: &KernelProgress) -> Option<f64> {
+    let total = p.total?;
+    if p.done == 0 || total <= p.done {
+        return None;
+    }
+    let elapsed_us = p.last_us.saturating_sub(p.first_us);
+    let per_unit = elapsed_us as f64 / p.done as f64;
+    Some(per_unit * (total - p.done) as f64 / 1e6)
+}
+
+impl Sink for ProgressTracker {
+    fn record(&self, event: &Event) {
+        {
+            let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            match event.kind {
+                EventKind::SpanEnter => {
+                    state
+                        .stacks
+                        .entry(event.thread)
+                        .or_default()
+                        .push((event.span, event.name.to_owned()));
+                    // A `bc` span announces its source total up front;
+                    // entering one resets the kernel's progress.
+                    if event.name == "bc" {
+                        let total = field_u64(event, "sources");
+                        state.kernels.insert(
+                            "bc".into(),
+                            KernelProgress {
+                                done: 0,
+                                total,
+                                first_us: event.ts_us,
+                                last_us: event.ts_us,
+                            },
+                        );
+                    }
+                }
+                EventKind::SpanExit => {
+                    if let Some(stack) = state.stacks.get_mut(&event.thread) {
+                        stack.retain(|(id, _)| *id != event.span);
+                    }
+                }
+                EventKind::Point => {
+                    if let Some((key, done, total)) = progress_update(event) {
+                        let p = state.kernels.entry(key.into()).or_insert(KernelProgress {
+                            first_us: event.ts_us,
+                            ..KernelProgress::default()
+                        });
+                        match done {
+                            Some(done) => p.done = done,
+                            None => p.done += 1,
+                        }
+                        if total.is_some() {
+                            p.total = total;
+                        }
+                        p.last_us = event.ts_us;
+                    }
+                }
+                EventKind::Histogram | EventKind::Counter => {}
+            }
+        }
+        if let Some(inner) = &self.inner {
+            inner.record(event);
+        }
+    }
+
+    fn finish(&self, metrics: &[MetricSnapshot]) {
+        if let Some(inner) = &self.inner {
+            inner.finish(metrics);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphct_trace::Value;
+
+    fn event<'a>(
+        kind: EventKind,
+        name: &'a str,
+        span: u64,
+        parent: u64,
+        ts_us: u64,
+        fields: &'a [(&'a str, Value)],
+    ) -> Event<'a> {
+        Event {
+            ts_us,
+            kind,
+            name,
+            span,
+            parent,
+            thread: 0,
+            elapsed_ns: if kind == EventKind::SpanExit {
+                Some(0)
+            } else {
+                None
+            },
+            fields,
+        }
+    }
+
+    #[test]
+    fn bc_progress_with_eta() {
+        let tracker = ProgressTracker::new();
+        let sources = [("vertices", Value::U64(100)), ("sources", Value::U64(10))];
+        tracker.record(&event(EventKind::SpanEnter, "bc", 1, 0, 0, &sources));
+        for i in 0..5u64 {
+            let f = [("src", Value::U64(i))];
+            tracker.record(&event(
+                EventKind::Point,
+                "bc_source",
+                1,
+                0,
+                (i + 1) * 1_000_000,
+                &f,
+            ));
+        }
+        let json = tracker.render_json("ok");
+        let v = graphct_trace::json::parse(&json).unwrap();
+        let bc = v.get("kernels").and_then(|k| k.get("bc")).unwrap();
+        assert_eq!(bc.get("done").and_then(|d| d.as_u64()), Some(5));
+        assert_eq!(bc.get("total").and_then(|t| t.as_u64()), Some(10));
+        assert_eq!(bc.get("pct").and_then(|p| p.as_f64()), Some(50.0));
+        // 5 sources in 5s -> 1s each -> 5 remaining -> ~5s ETA.
+        let eta = bc.get("eta_s").and_then(|e| e.as_f64()).unwrap();
+        assert!((eta - 5.0).abs() < 0.5, "eta {eta}");
+        // The bc span is still open on thread 0.
+        let threads = v.get("threads").and_then(|t| t.as_arr()).unwrap();
+        assert_eq!(
+            threads[0].get("stack").and_then(|s| s.as_arr()).unwrap()[0].as_str(),
+            Some("bc")
+        );
+    }
+
+    #[test]
+    fn ingest_progress_uses_batch_and_total_fields() {
+        let tracker = ProgressTracker::new();
+        let f = [("batch", Value::U64(7)), ("total", Value::U64(50))];
+        tracker.record(&event(EventKind::Point, "ingest_batch", 0, 0, 10, &f));
+        let json = tracker.render_json("ok");
+        let v = graphct_trace::json::parse(&json).unwrap();
+        let ingest = v.get("kernels").and_then(|k| k.get("ingest")).unwrap();
+        assert_eq!(ingest.get("done").and_then(|d| d.as_u64()), Some(7));
+        assert_eq!(ingest.get("total").and_then(|t| t.as_u64()), Some(50));
+        assert_eq!(v.get("health").and_then(|h| h.as_str()), Some("ok"));
+    }
+
+    #[test]
+    fn span_exit_pops_stack() {
+        let tracker = ProgressTracker::new();
+        tracker.record(&event(EventKind::SpanEnter, "outer", 1, 0, 0, &[]));
+        tracker.record(&event(EventKind::SpanExit, "outer", 1, 0, 5, &[]));
+        let json = tracker.render_json("ok");
+        let v = graphct_trace::json::parse(&json).unwrap();
+        assert!(v
+            .get("threads")
+            .and_then(|t| t.as_arr())
+            .unwrap()
+            .is_empty());
+    }
+}

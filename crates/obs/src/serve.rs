@@ -1,0 +1,360 @@
+//! The `graphct serve` driver: stream the synthetic tweet corpus through
+//! a [`StreamingGraph`] in paced batches while exporting live metrics.
+//!
+//! One background thread runs the ingest loop (and owns the trace
+//! [`Session`] — sessions must start and finish on the same thread);
+//! the HTTP server answers `/metrics`, `/healthz`, and `/progress` from
+//! shared [`Registry`] / [`ProgressTracker`] handles.  Shutdown is
+//! two-phase so health can be observed flipping: `begin_shutdown` marks
+//! the exporter as draining (healthz goes 503) and tells the ingest loop
+//! to stop; `wait` joins the loop — which finishes the session, flushing
+//! any `--trace-out` sink — then stops the HTTP server.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use graphct_core::{VertexId, VertexLabels};
+use graphct_stream::telemetry as ingest_metrics;
+use graphct_stream::{IncrementalComponents, StreamingGraph};
+use graphct_trace::{render_prometheus, JsonLinesSink, Registry, Session, Sink};
+use graphct_twitter::parse::mentions;
+use graphct_twitter::{generate_stream, DatasetProfile};
+
+use crate::http::{HttpServer, Response};
+use crate::progress::ProgressTracker;
+
+/// Configuration for one serve run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Dataset profile driving the synthetic generator.
+    pub profile: DatasetProfile,
+    /// Generator seed; pass `p` regenerates with `seed + p` so an
+    /// endless run keeps producing fresh interactions.
+    pub seed: u64,
+    /// Mention edges per batch.
+    pub batch_size: usize,
+    /// Batches to ingest; `0` = run until shutdown (SIGINT).
+    pub batches: u64,
+    /// Pacing: target milliseconds between batch starts (`0` = flat out).
+    pub interval_ms: u64,
+    /// Sliding window length in batches; edges idle for longer age out.
+    pub window_batches: usize,
+    /// Optional JSON-lines trace tee.
+    pub trace_out: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:9898".into(),
+            profile: DatasetProfile::atlflood(),
+            seed: 42,
+            batch_size: 64,
+            batches: 0,
+            interval_ms: 50,
+            window_batches: 256,
+            trace_out: None,
+        }
+    }
+}
+
+/// Final ingest totals, returned by [`ServeHandle::wait`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestStats {
+    /// Batches fully ingested.
+    pub batches: u64,
+    /// Mention edges processed (inserted + duplicates + self-mentions).
+    pub mentions: u64,
+    /// New edges inserted.
+    pub edges_inserted: u64,
+    /// Edges aged out of the window.
+    pub edges_expired: u64,
+}
+
+/// A running serve instance.
+pub struct ServeHandle {
+    http: HttpServer,
+    shutdown: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    ingest: Option<JoinHandle<IngestStats>>,
+}
+
+impl ServeHandle {
+    /// The bound HTTP address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.http.local_addr()
+    }
+
+    /// Phase one of shutdown: flip `/healthz` to 503 draining and tell
+    /// the ingest loop to stop after its current batch.  The HTTP
+    /// endpoints keep answering until [`wait`](ServeHandle::wait).
+    pub fn begin_shutdown(&self) {
+        self.draining.store(true, Ordering::Relaxed);
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Has the ingest loop exited (finished its batch budget or seen the
+    /// shutdown flag)?
+    pub fn ingest_finished(&self) -> bool {
+        self.ingest.as_ref().is_none_or(JoinHandle::is_finished)
+    }
+
+    /// Phase two: join the ingest loop (drains the session and any
+    /// `--trace-out` sink), then stop the HTTP server.
+    pub fn wait(mut self) -> IngestStats {
+        self.begin_shutdown();
+        let stats = self
+            .ingest
+            .take()
+            .and_then(|h| h.join().ok())
+            .unwrap_or_default();
+        self.http.stop();
+        stats
+    }
+}
+
+/// Start serving: bind the exporter, spawn the ingest thread, return
+/// immediately.
+pub fn start(config: ServeConfig) -> std::io::Result<ServeHandle> {
+    let registry = Arc::new(match &config.trace_out {
+        Some(path) => Registry::with_inner(Arc::new(JsonLinesSink::create(path)?)),
+        None => Registry::new(),
+    });
+    let progress = Arc::new(ProgressTracker::with_inner(
+        Arc::clone(&registry) as Arc<dyn Sink>
+    ));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let draining = Arc::new(AtomicBool::new(false));
+
+    let handler = {
+        let registry = Arc::clone(&registry);
+        let progress = Arc::clone(&progress);
+        let draining = Arc::clone(&draining);
+        Arc::new(move |path: &str| match path {
+            "/metrics" => Response::metrics(render_prometheus(&registry.snapshot())),
+            "/healthz" => {
+                if draining.load(Ordering::Relaxed) {
+                    Response::text(503, "draining\n")
+                } else {
+                    Response::text(200, "ok\n")
+                }
+            }
+            "/progress" => {
+                let health = if draining.load(Ordering::Relaxed) {
+                    "draining"
+                } else {
+                    "ok"
+                };
+                Response::json(progress.render_json(health))
+            }
+            _ => Response::not_found(),
+        })
+    };
+    let http = HttpServer::bind(&config.addr, handler)?;
+
+    let ingest = {
+        let shutdown = Arc::clone(&shutdown);
+        let draining = Arc::clone(&draining);
+        std::thread::Builder::new()
+            .name("graphct-obs-ingest".into())
+            .spawn(move || ingest_loop(config, progress, shutdown, draining))?
+    };
+
+    Ok(ServeHandle {
+        http,
+        shutdown,
+        draining,
+        ingest: Some(ingest),
+    })
+}
+
+/// Expand one corpus pass into (author, mention) screen-name pairs.
+fn mention_pairs(profile: &DatasetProfile, seed: u64) -> Vec<(String, String)> {
+    let (tweets, _pool) = generate_stream(&profile.config, seed);
+    let mut pairs = Vec::new();
+    for tweet in &tweets {
+        for handle in mentions(&tweet.text) {
+            pairs.push((tweet.author.clone(), handle.to_owned()));
+        }
+    }
+    pairs
+}
+
+/// Connected components among vertices that have at least one live edge.
+fn window_components(graph: &StreamingGraph) -> (u64, u64) {
+    let n = graph.num_vertices();
+    let active = (0..n as VertexId).filter(|&v| graph.degree(v) > 0).count();
+    let mut uf = IncrementalComponents::new(n);
+    let edges = graph.edge_list();
+    for &(u, v) in edges.as_slice() {
+        uf.union(u, v);
+    }
+    // num_components counts every interned vertex; subtract the isolated
+    // ones to get components among active vertices.
+    let comps = uf.num_components().saturating_sub(n - active);
+    (active as u64, comps as u64)
+}
+
+fn ingest_loop(
+    cfg: ServeConfig,
+    sink: Arc<ProgressTracker>,
+    shutdown: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+) -> IngestStats {
+    let session = Session::start(sink as Arc<dyn Sink>);
+    ingest_metrics::register_ingest_metrics();
+
+    let mut labels = VertexLabels::new();
+    let mut graph = StreamingGraph::new(0);
+    // Sliding window bookkeeping: every edge mention lands in the batch
+    // that saw it; an edge is deleted when the last batch that mentioned
+    // it ages out (LRU semantics over batches).
+    let mut last_seen: HashMap<(VertexId, VertexId), u64> = HashMap::new();
+    let mut window: VecDeque<(u64, Vec<(VertexId, VertexId)>)> = VecDeque::new();
+
+    let mut pass = 0u64;
+    let mut corpus = mention_pairs(&cfg.profile, cfg.seed);
+    let mut cursor = 0usize;
+    let start = Instant::now();
+    let mut stats = IngestStats::default();
+
+    while !shutdown.load(Ordering::Relaxed) && (cfg.batches == 0 || stats.batches < cfg.batches) {
+        let batch = stats.batches;
+        // Pacing: batch `i` starts no earlier than `i * interval`.
+        if cfg.interval_ms > 0 {
+            let scheduled = Duration::from_millis(cfg.interval_ms.saturating_mul(batch));
+            let elapsed = start.elapsed();
+            if elapsed < scheduled {
+                std::thread::sleep(scheduled - elapsed);
+            }
+        }
+        let batch_start = Instant::now();
+        let _span = graphct_trace::span!("ingest_batch", batch = batch);
+
+        let mut inserted = 0u64;
+        let mut duplicates = 0u64;
+        let mut processed = 0u64;
+        let mut batch_edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(cfg.batch_size);
+        for _ in 0..cfg.batch_size {
+            if cursor >= corpus.len() {
+                pass += 1;
+                cursor = 0;
+                corpus = mention_pairs(&cfg.profile, cfg.seed.wrapping_add(pass));
+                if corpus.is_empty() {
+                    break;
+                }
+            }
+            let (author, mention) = &corpus[cursor];
+            cursor += 1;
+            processed += 1;
+            let u = labels.intern(author);
+            let v = labels.intern(mention);
+            if u == v {
+                continue; // self-mention; the streaming graph is simple
+            }
+            graph.ensure_vertices(labels.len());
+            match graph.insert_edge(u, v) {
+                Ok(true) => inserted += 1,
+                Ok(false) => duplicates += 1,
+                Err(_) => {}
+            }
+            let key = (u.min(v), u.max(v));
+            last_seen.insert(key, batch);
+            batch_edges.push(key);
+        }
+
+        window.push_back((batch, batch_edges));
+        while window.len() > cfg.window_batches.max(1) {
+            let (aged, edges) = window.pop_front().expect("window is non-empty");
+            for key in edges {
+                if last_seen.get(&key) == Some(&aged) {
+                    if graph.delete_edge(key.0, key.1).unwrap_or(false) {
+                        stats.edges_expired += 1;
+                        ingest_metrics::INGEST_EDGES_EXPIRED.incr();
+                    }
+                    last_seen.remove(&key);
+                }
+            }
+        }
+
+        stats.batches += 1;
+        stats.mentions += processed;
+        stats.edges_inserted += inserted;
+
+        ingest_metrics::INGEST_BATCHES.incr();
+        ingest_metrics::INGEST_MENTIONS.add(processed);
+        ingest_metrics::INGEST_EDGES_INSERTED.add(inserted);
+        ingest_metrics::INGEST_DUPLICATES.add(duplicates);
+        ingest_metrics::INGEST_WATERMARK_BATCH.set(stats.batches);
+        let batch_secs = batch_start.elapsed().as_secs_f64();
+        if batch_secs > 0.0 {
+            ingest_metrics::INGEST_EDGES_PER_SEC.set((processed as f64 / batch_secs) as u64);
+        }
+        let lag_us = if cfg.interval_ms > 0 {
+            let scheduled = Duration::from_millis(cfg.interval_ms.saturating_mul(batch));
+            start
+                .elapsed()
+                .saturating_sub(scheduled)
+                .as_micros()
+                .min(u128::from(u64::MAX)) as u64
+        } else {
+            0
+        };
+        ingest_metrics::INGEST_LAG_US.set(lag_us);
+        let (active_vertices, components) = window_components(&graph);
+        ingest_metrics::WINDOW_VERTICES.set(active_vertices);
+        ingest_metrics::WINDOW_EDGES.set(graph.num_edges() as u64);
+        ingest_metrics::WINDOW_COMPONENTS.set(components);
+
+        graphct_trace::event!(
+            "ingest_batch",
+            batch = stats.batches,
+            total = cfg.batches,
+            mentions = processed,
+            inserted = inserted,
+            window_edges = graph.num_edges(),
+            lag_us = lag_us,
+        );
+    }
+
+    // Drain: flip health first so scrapes observe the transition, then
+    // finish the session (flushes the JSONL tee, reports final totals).
+    draining.store(true, Ordering::Relaxed);
+    session.finish();
+    stats
+}
+
+/// SIGINT flag for `graphct serve` (set by the installed handler, polled
+/// by the CLI's wait loop).
+static SIGINT: AtomicBool = AtomicBool::new(false);
+
+/// Install a SIGINT handler that records the signal in a flag instead of
+/// killing the process, so serve can drain sinks before exiting.  No-op
+/// off Unix.
+pub fn install_sigint_handler() {
+    #[cfg(unix)]
+    {
+        extern "C" fn on_sigint(_sig: i32) {
+            SIGINT.store(true, Ordering::Relaxed);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT_NUM: i32 = 2;
+        unsafe {
+            signal(SIGINT_NUM, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+/// Has SIGINT been received since [`install_sigint_handler`]?
+pub fn sigint_received() -> bool {
+    SIGINT.load(Ordering::Relaxed)
+}

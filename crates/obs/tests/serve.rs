@@ -1,0 +1,152 @@
+//! Serve-mode integration test: live mid-ingest scrapes over real HTTP.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use graphct_obs::{start, ServeConfig};
+use graphct_trace::schema::{validate_exposition, validate_jsonl};
+use graphct_twitter::DatasetProfile;
+
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    let status: u16 = text
+        .lines()
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn metric_value(exposition: &str, name: &str) -> Option<f64> {
+    let prefix = format!("{name} ");
+    exposition
+        .lines()
+        .find(|l| l.starts_with(&prefix))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+/// Scrape `/metrics` until the ingest loop has completed at least one
+/// batch (or time out).
+fn wait_for_first_batch(addr: SocketAddr) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = http_get(addr, "/metrics");
+        if status == 200 && metric_value(&body, "graphct_ingest_batches_total").unwrap_or(0.0) > 0.0
+        {
+            return body;
+        }
+        assert!(Instant::now() < deadline, "no batch ingested within 30s");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn mid_ingest_scrapes_increase_and_healthz_flips_on_drain() {
+    let dir = std::env::temp_dir().join(format!("graphct_obs_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_out = dir.join("serve_trace.jsonl");
+
+    let handle = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        profile: DatasetProfile::atlflood().scaled(0.05),
+        seed: 7,
+        batch_size: 32,
+        batches: 0, // endless; the test drives shutdown
+        interval_ms: 2,
+        window_batches: 64,
+        trace_out: Some(trace_out.clone()),
+    })
+    .expect("serve starts");
+    let addr = handle.local_addr();
+
+    // --- live /metrics, scrape one ---
+    let first = wait_for_first_batch(addr);
+    validate_exposition(&first).unwrap_or_else(|(line, e)| panic!("line {line}: {e}\n{first}"));
+    for series in [
+        "graphct_ingest_batches_total",
+        "graphct_ingest_mentions_total",
+        "graphct_ingest_edges_inserted_total",
+        "graphct_ingest_watermark_batch",
+        "graphct_ingest_edges_per_sec",
+        "graphct_ingest_lag_us",
+        "graphct_window_vertices",
+        "graphct_window_edges",
+        "graphct_window_components",
+    ] {
+        assert!(
+            metric_value(&first, series).is_some(),
+            "missing required series {series}:\n{first}"
+        );
+    }
+
+    // --- healthy while serving ---
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!((status, body.trim()), (200, "ok"));
+
+    // --- scrape two: counters strictly increase mid-run ---
+    std::thread::sleep(Duration::from_millis(150));
+    let (status, second) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    validate_exposition(&second).unwrap();
+    for counter in [
+        "graphct_ingest_batches_total",
+        "graphct_ingest_mentions_total",
+    ] {
+        let a = metric_value(&first, counter).unwrap();
+        let b = metric_value(&second, counter).unwrap();
+        assert!(
+            b > a,
+            "{counter} must strictly increase between scrapes ({a} -> {b})"
+        );
+    }
+    // Span aggregates are live too: ingest_batch spans have completed.
+    assert!(
+        metric_value(&second, "graphct_span_count{span=\"ingest_batch\"}").unwrap_or(0.0) > 0.0,
+        "{second}"
+    );
+
+    // --- /progress is valid JSON with ingest progress ---
+    let (status, progress) = http_get(addr, "/progress");
+    assert_eq!(status, 200);
+    let v = graphct_trace::json::parse(&progress).expect("progress is JSON");
+    assert_eq!(v.get("health").and_then(|h| h.as_str()), Some("ok"));
+    let ingest = v
+        .get("kernels")
+        .and_then(|k| k.get("ingest"))
+        .unwrap_or_else(|| panic!("no ingest kernel in {progress}"));
+    assert!(ingest.get("done").and_then(|d| d.as_u64()).unwrap() > 0);
+
+    // --- graceful shutdown: healthz flips, then everything drains ---
+    handle.begin_shutdown();
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!((status, body.trim()), (503, "draining"));
+
+    let stats = handle.wait();
+    assert!(stats.batches > 0);
+    assert!(stats.mentions > 0);
+
+    // The trace tee was flushed on drain and is schema-valid, with the
+    // ingest telemetry in it.
+    let trace = std::fs::read_to_string(&trace_out).unwrap();
+    validate_jsonl(&trace).unwrap_or_else(|(line, e)| panic!("line {line}: {e}"));
+    assert!(trace.contains("\"ingest_batch\""), "trace has batch spans");
+    assert!(
+        trace.contains("ingest_batches_total"),
+        "trace has final counter totals"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -23,6 +23,7 @@
 pub mod clustering;
 pub mod components;
 pub mod graph;
+pub mod telemetry;
 
 pub use clustering::IncrementalClustering;
 pub use components::IncrementalComponents;

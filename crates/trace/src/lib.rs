@@ -34,9 +34,11 @@
 //! § Observability.
 
 pub mod alloc;
+pub mod analyze;
 pub mod counter;
 pub mod event;
 pub mod json;
+pub mod live;
 pub mod schema;
 pub mod sink;
 pub mod span;
@@ -45,6 +47,7 @@ pub mod value;
 pub use alloc::CountingAllocator;
 pub use counter::{snapshot_metrics, thread_ordinal, Counter, Gauge, MetricSnapshot};
 pub use event::{Event, EventKind};
+pub use live::{render_prometheus, Registry, Snapshot, SpanTotal};
 pub use sink::{JsonLinesSink, NullSink, PrometheusSink, SharedBuffer, Sink, SummarySink};
 pub use span::{span_enter, SpanGuard};
 pub use value::Value;

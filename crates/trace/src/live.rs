@@ -1,0 +1,230 @@
+//! Live (mid-session) metric snapshots.
+//!
+//! The flush-at-exit sinks render once, when a [`Session`](crate::Session)
+//! finishes.  The live monitoring plane (`graphct serve`) needs the same
+//! numbers *while the session is running*: a [`Registry`] sits in the sink
+//! chain, aggregates span totals as they exit, and [`Registry::snapshot`]
+//! combines them with the current counter/gauge values into a [`Snapshot`]
+//! that [`render_prometheus`] turns into text exposition format.  The hot
+//! path is untouched — reads happen on the scraping thread, against the
+//! same sharded atomics and the registry's own span map.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::counter::{snapshot_metrics, MetricSnapshot};
+use crate::event::{Event, EventKind};
+use crate::sink::{escape_help_text, escape_label_value, sanitize_metric_name, Sink};
+
+/// Aggregate totals for one span name (every invocation summed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanTotal {
+    /// Span name as instrumented.
+    pub name: String,
+    /// Completed invocations.
+    pub count: u64,
+    /// Total time across invocations.
+    pub total_ns: u64,
+}
+
+/// A point-in-time view of every registered metric plus span aggregates,
+/// readable mid-session.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Microseconds since the session started.
+    pub ts_us: u64,
+    /// Counter/gauge values, sorted by name.
+    pub metrics: Vec<MetricSnapshot>,
+    /// Per-span-name totals, sorted by name.
+    pub spans: Vec<SpanTotal>,
+}
+
+/// Render a [`Snapshot`] in Prometheus text exposition format (the same
+/// layout [`PrometheusSink`](crate::PrometheusSink) writes at session
+/// end).  Metric names are sanitized and label values escaped per the
+/// text-format spec, so hostile span names cannot corrupt the scrape.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut text = String::new();
+    for m in &snap.metrics {
+        let kind = if m.is_gauge { "gauge" } else { "counter" };
+        let name = sanitize_metric_name(m.name);
+        let help = escape_help_text(m.help);
+        text.push_str(&format!(
+            "# HELP graphct_{name} {help}\n# TYPE graphct_{name} {kind}\ngraphct_{name} {value}\n",
+            value = m.value,
+        ));
+    }
+    if !snap.spans.is_empty() {
+        text.push_str("# HELP graphct_span_count Completed span invocations\n");
+        text.push_str("# TYPE graphct_span_count counter\n");
+        for s in &snap.spans {
+            text.push_str(&format!(
+                "graphct_span_count{{span=\"{}\"}} {}\n",
+                escape_label_value(&s.name),
+                s.count
+            ));
+        }
+        text.push_str("# HELP graphct_span_seconds_total Total time in span\n");
+        text.push_str("# TYPE graphct_span_seconds_total counter\n");
+        for s in &snap.spans {
+            text.push_str(&format!(
+                "graphct_span_seconds_total{{span=\"{}\"}} {:.9}\n",
+                escape_label_value(&s.name),
+                s.total_ns as f64 / 1e9
+            ));
+        }
+    }
+    text
+}
+
+/// Sort a span-name → `(count, total_ns)` map into [`SpanTotal`]s.
+pub(crate) fn span_totals(map: &HashMap<String, (u64, u64)>) -> Vec<SpanTotal> {
+    let mut spans: Vec<SpanTotal> = map
+        .iter()
+        .map(|(name, &(count, total_ns))| SpanTotal {
+            name: name.clone(),
+            count,
+            total_ns,
+        })
+        .collect();
+    spans.sort_by(|a, b| a.name.cmp(&b.name));
+    spans
+}
+
+/// A [`Sink`] that keeps span aggregates readable mid-session.
+///
+/// Install it as the session sink (optionally teeing every record to an
+/// `inner` sink such as [`JsonLinesSink`](crate::JsonLinesSink)), keep a
+/// second `Arc` on the reading side, and call [`Registry::snapshot`] from
+/// any thread — e.g. an HTTP handler serving `/metrics`.
+#[derive(Default)]
+pub struct Registry {
+    spans: Mutex<HashMap<String, (u64, u64)>>,
+    inner: Option<Arc<dyn Sink>>,
+}
+
+impl Registry {
+    /// A standalone registry (records are aggregated, not forwarded).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry that also forwards every record (and the final metric
+    /// totals) to `inner`.
+    pub fn with_inner(inner: Arc<dyn Sink>) -> Self {
+        Self {
+            spans: Mutex::new(HashMap::new()),
+            inner: Some(inner),
+        }
+    }
+
+    /// Snapshot the current metric values and span aggregates.  Safe to
+    /// call at any point during (or after) a session, from any thread.
+    pub fn snapshot(&self) -> Snapshot {
+        let spans = self.spans.lock().unwrap_or_else(PoisonError::into_inner);
+        Snapshot {
+            ts_us: crate::now_us(),
+            metrics: snapshot_metrics(),
+            spans: span_totals(&spans),
+        }
+    }
+}
+
+impl Sink for Registry {
+    fn record(&self, event: &Event) {
+        if event.kind == EventKind::SpanExit {
+            let mut spans = self.spans.lock().unwrap_or_else(PoisonError::into_inner);
+            let entry = spans.entry(event.name.to_owned()).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += event.elapsed_ns.unwrap_or(0);
+        }
+        if let Some(inner) = &self.inner {
+            inner.record(event);
+        }
+    }
+
+    fn finish(&self, metrics: &[MetricSnapshot]) {
+        if let Some(inner) = &self.inner {
+            inner.finish(metrics);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JsonLinesSink, Session};
+
+    static LIVE_TEST_COUNTER: crate::Counter =
+        crate::Counter::new("live_test_counter", "live snapshot test counter");
+
+    #[test]
+    fn snapshot_is_readable_mid_session() {
+        let registry = Arc::new(Registry::new());
+        let session = Session::start(registry.clone());
+        LIVE_TEST_COUNTER.add(3);
+        {
+            let _span = crate::span!("live_span");
+        }
+        // Mid-session: the session is still running, yet both the counter
+        // and the completed span are visible.
+        let snap = registry.snapshot();
+        let c = snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "live_test_counter")
+            .expect("counter registered");
+        assert_eq!(c.value, 3);
+        let s = snap.spans.iter().find(|s| s.name == "live_span").unwrap();
+        assert_eq!(s.count, 1);
+
+        LIVE_TEST_COUNTER.add(4);
+        let later = registry.snapshot();
+        let c = later
+            .metrics
+            .iter()
+            .find(|m| m.name == "live_test_counter")
+            .unwrap();
+        assert_eq!(c.value, 7, "snapshots observe live increments");
+        session.finish();
+    }
+
+    #[test]
+    fn registry_tees_records_to_inner_sink() {
+        let (jsonl, buffer) = JsonLinesSink::to_buffer();
+        let registry = Arc::new(Registry::with_inner(Arc::new(jsonl)));
+        let session = Session::start(registry.clone());
+        {
+            let _span = crate::span!("teed");
+        }
+        session.finish();
+        let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        crate::schema::validate_jsonl(&text).unwrap();
+        assert!(text.contains("\"teed\""), "{text}");
+        assert_eq!(registry.snapshot().spans[0].name, "teed");
+    }
+
+    #[test]
+    fn render_matches_sink_output_shape() {
+        let snap = Snapshot {
+            ts_us: 0,
+            metrics: vec![MetricSnapshot {
+                name: "edges_scanned_push",
+                help: "Edges relaxed in push direction",
+                value: 42,
+                is_gauge: false,
+            }],
+            spans: vec![SpanTotal {
+                name: "bfs".into(),
+                count: 1,
+                total_ns: 1_500_000_000,
+            }],
+        };
+        let text = render_prometheus(&snap);
+        assert!(text.contains("# TYPE graphct_edges_scanned_push counter"));
+        assert!(text.contains("graphct_edges_scanned_push 42"));
+        assert!(text.contains("graphct_span_count{span=\"bfs\"} 1"));
+        assert!(text.contains("graphct_span_seconds_total{span=\"bfs\"} 1.5"));
+        crate::schema::validate_exposition(&text).unwrap();
+    }
+}

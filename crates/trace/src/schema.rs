@@ -108,9 +108,174 @@ pub fn validate_jsonl(text: &str) -> Result<usize, (usize, String)> {
     Ok(records)
 }
 
+/// Validate Prometheus text exposition format (v0.0.4): `# HELP` /
+/// `# TYPE` comment lines plus sample lines matching
+/// `name{label="escaped value",...} value [timestamp]`.  Returns the
+/// number of sample lines, or `(line_number, error)` on the first
+/// violation (1-based).  Used by the sink conformance tests, the serve
+/// integration test, and CI's scrape schema check.
+pub fn validate_exposition(text: &str) -> Result<usize, (usize, String)> {
+    let mut samples = 0;
+    let mut typed: Vec<String> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let at = |e: String| (i + 1, e);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .ok_or_else(|| at("HELP line has no help text".into()))?;
+            check_metric_name(name).map_err(at)?;
+            if help.contains('\n') {
+                return Err(at("HELP text contains a raw newline".into()));
+            }
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| at("TYPE line has no type".into()))?;
+            check_metric_name(name).map_err(at)?;
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                return Err(at(format!("unknown metric type '{kind}'")));
+            }
+            if typed.contains(&name.to_owned()) {
+                return Err(at(format!("duplicate TYPE declaration for '{name}'")));
+            }
+            typed.push(name.to_owned());
+        } else if line.starts_with('#') {
+            // Free-form comments are legal.
+        } else {
+            validate_sample_line(line).map_err(at)?;
+            samples += 1;
+        }
+    }
+    Ok(samples)
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':'
+}
+
+fn is_name_char(b: u8) -> bool {
+    is_name_start(b) || b.is_ascii_digit()
+}
+
+fn check_metric_name(name: &str) -> Result<(), String> {
+    let bytes = name.as_bytes();
+    if bytes.is_empty() || !is_name_start(bytes[0]) || !bytes.iter().all(|&b| is_name_char(b)) {
+        return Err(format!("invalid metric name '{name}'"));
+    }
+    Ok(())
+}
+
+fn validate_sample_line(line: &str) -> Result<(), String> {
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    if bytes.is_empty() || !is_name_start(bytes[0]) {
+        return Err("sample line must start with a metric name".into());
+    }
+    while pos < bytes.len() && is_name_char(bytes[pos]) {
+        pos += 1;
+    }
+    if bytes.get(pos) == Some(&b'{') {
+        pos += 1;
+        loop {
+            // Label name.
+            match bytes.get(pos) {
+                Some(&b) if b.is_ascii_alphabetic() || b == b'_' => pos += 1,
+                _ => return Err(format!("expected label name at byte {pos}")),
+            }
+            while matches!(bytes.get(pos), Some(&b) if b.is_ascii_alphanumeric() || b == b'_') {
+                pos += 1;
+            }
+            if bytes.get(pos) != Some(&b'=') {
+                return Err(format!("expected '=' at byte {pos}"));
+            }
+            pos += 1;
+            if bytes.get(pos) != Some(&b'"') {
+                return Err(format!("expected '\"' at byte {pos}"));
+            }
+            pos += 1;
+            // Escaped label value: only \\, \", and \n escapes are legal.
+            loop {
+                match bytes.get(pos) {
+                    None => return Err("unterminated label value".into()),
+                    Some(b'"') => {
+                        pos += 1;
+                        break;
+                    }
+                    Some(b'\\') => match bytes.get(pos + 1) {
+                        Some(b'\\') | Some(b'"') | Some(b'n') => pos += 2,
+                        _ => return Err(format!("bad escape in label value at byte {pos}")),
+                    },
+                    Some(_) => pos += 1,
+                }
+            }
+            match bytes.get(pos) {
+                Some(b',') => pos += 1,
+                Some(b'}') => {
+                    pos += 1;
+                    break;
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+            }
+        }
+    }
+    if bytes.get(pos) != Some(&b' ') {
+        return Err(format!("expected space before value at byte {pos}"));
+    }
+    let mut rest = line[pos + 1..].splitn(2, ' ');
+    let value = rest.next().unwrap_or("");
+    value
+        .parse::<f64>()
+        .map_err(|_| format!("invalid sample value '{value}'"))?;
+    if let Some(ts) = rest.next() {
+        ts.parse::<i64>()
+            .map_err(|_| format!("invalid timestamp '{ts}'"))?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn exposition_accepts_well_formed_text() {
+        let text = "# HELP graphct_edges_total Edges processed\n\
+                    # TYPE graphct_edges_total counter\n\
+                    graphct_edges_total 42\n\
+                    # TYPE graphct_span_seconds_total counter\n\
+                    graphct_span_seconds_total{span=\"bfs\"} 1.500000000\n\
+                    graphct_span_seconds_total{span=\"a\\\"b\",dir=\"push\"} 0.25 1700000000\n";
+        assert_eq!(validate_exposition(text), Ok(3));
+    }
+
+    #[test]
+    fn exposition_rejects_violations() {
+        // Bad metric name (space).
+        assert!(validate_exposition("bad name 1\n").is_err());
+        // Unescaped quote terminates the value early, leaving garbage.
+        assert!(validate_exposition("m{span=\"a\"b\"} 1\n").is_err());
+        // Bad escape sequence.
+        assert!(validate_exposition("m{span=\"a\\x\"} 1\n").is_err());
+        // Missing value.
+        assert!(validate_exposition("graphct_x\n").is_err());
+        // Non-numeric value.
+        assert!(validate_exposition("graphct_x abc\n").is_err());
+        // Unknown TYPE.
+        assert!(validate_exposition("# TYPE graphct_x thing\n").is_err());
+        // Duplicate TYPE declaration.
+        assert!(
+            validate_exposition("# TYPE graphct_x counter\n# TYPE graphct_x counter\n").is_err()
+        );
+        // Raw newline inside a label value splits the line: first line is
+        // left with an unterminated value.
+        assert!(validate_exposition("m{span=\"a\nb\"} 1\n").is_err());
+        // Error reports the offending line number.
+        let err = validate_exposition("graphct_ok 1\nbad name 1\n").unwrap_err();
+        assert_eq!(err.0, 2);
+    }
 
     #[test]
     fn accepts_well_formed_records() {

@@ -21,7 +21,59 @@ use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::counter::MetricSnapshot;
 use crate::event::{Event, EventKind};
+use crate::live::{render_prometheus, span_totals, Snapshot};
 use crate::value::Value;
+
+/// Sanitize a metric or span name to the Prometheus name charset
+/// (`[a-zA-Z0-9_:]`; invalid characters — spaces, dashes, quotes —
+/// become `_`).  Rendered names always carry the `graphct_` prefix, so
+/// a leading digit cannot produce an invalid name.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a label value per the text exposition format: backslash,
+/// double-quote, and newline get backslash escapes; everything else
+/// passes through.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape HELP text per the text exposition format (backslash and
+/// newline only; quotes are legal in help text).
+pub fn escape_help_text(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    for c in help.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// Where telemetry records go.  Implementations must be thread-safe:
 /// kernels emit from worker threads concurrently.
@@ -182,6 +234,16 @@ impl SummarySink {
             out: Mutex::new(Box::new(BufferWriter(Arc::clone(&buffer)))),
         };
         (sink, buffer)
+    }
+
+    /// Render the summary into a file at `path` on finish (the CLI path
+    /// for `--metrics-format summary --trace-out FILE`).
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self {
+            state: Mutex::new(SummaryState::default()),
+            out: Mutex::new(Box::new(BufWriter::new(file))),
+        })
     }
 
     fn render(&self, metrics: &[MetricSnapshot]) -> String {
@@ -370,37 +432,14 @@ impl Sink for PrometheusSink {
     }
 
     fn finish(&self, metrics: &[MetricSnapshot]) {
-        let mut text = String::new();
-        for m in metrics {
-            let kind = if m.is_gauge { "gauge" } else { "counter" };
-            text.push_str(&format!(
-                "# HELP graphct_{name} {help}\n# TYPE graphct_{name} {kind}\ngraphct_{name} {value}\n",
-                name = m.name,
-                help = m.help,
-                value = m.value,
-            ));
-        }
         let spans = self.spans.lock().unwrap_or_else(PoisonError::into_inner);
-        if !spans.is_empty() {
-            let mut names: Vec<&String> = spans.keys().collect();
-            names.sort();
-            text.push_str("# HELP graphct_span_count Completed span invocations\n");
-            text.push_str("# TYPE graphct_span_count counter\n");
-            for name in &names {
-                text.push_str(&format!(
-                    "graphct_span_count{{span=\"{name}\"}} {}\n",
-                    spans[*name].0
-                ));
-            }
-            text.push_str("# HELP graphct_span_seconds_total Total time in span\n");
-            text.push_str("# TYPE graphct_span_seconds_total counter\n");
-            for name in &names {
-                text.push_str(&format!(
-                    "graphct_span_seconds_total{{span=\"{name}\"}} {:.9}\n",
-                    spans[*name].1 as f64 / 1e9
-                ));
-            }
-        }
+        let snap = Snapshot {
+            ts_us: crate::now_us(),
+            metrics: metrics.to_vec(),
+            spans: span_totals(&spans),
+        };
+        drop(spans);
+        let text = render_prometheus(&snap);
         let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
         let _ = out.write_all(text.as_bytes());
         let _ = out.flush();
@@ -494,6 +533,83 @@ mod tests {
         assert!(text.contains("graphct_edges_scanned_push 42"));
         assert!(text.contains("graphct_span_count{span=\"bfs\"} 1"));
         assert!(text.contains("graphct_span_seconds_total{span=\"bfs\"} 1.5"));
+    }
+
+    #[test]
+    fn sanitizers_normalize_hostile_names() {
+        assert_eq!(sanitize_metric_name("edges scanned"), "edges_scanned");
+        assert_eq!(sanitize_metric_name("bfs-level"), "bfs_level");
+        assert_eq!(sanitize_metric_name("a\"b"), "a_b");
+        assert_eq!(sanitize_metric_name("ok_name:v2"), "ok_name:v2");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(
+            escape_help_text("line\nbreak \\ \"q\""),
+            "line\\nbreak \\\\ \"q\""
+        );
+    }
+
+    /// Satellite: hostile span and metric names must still produce output
+    /// every line of which passes the exposition grammar.
+    #[test]
+    fn prometheus_output_conforms_with_hostile_names() {
+        let (sink, buffer) = PrometheusSink::to_buffer();
+        for (i, name) in [
+            "bc forward sweep",       // spaces
+            "level-3",                // dashes
+            "say \"hi\"",             // quotes
+            "back\\slash",            // backslash
+            "newline\nin name",       // newline
+            "mixed bad-name \"x\"\\", // all of the above
+        ]
+        .iter()
+        .enumerate()
+        {
+            sink.record(&exit_event(name, i as u64 + 1, 0, 1_000 * (i as u64 + 1)));
+        }
+        sink.finish(&[
+            MetricSnapshot {
+                name: "weird metric-name",
+                help: "help with \"quotes\" and\nnewline",
+                value: 9,
+                is_gauge: false,
+            },
+            MetricSnapshot {
+                name: "plain_gauge",
+                help: "a well-behaved gauge",
+                value: 3,
+                is_gauge: true,
+            },
+        ]);
+        let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        let samples = crate::schema::validate_exposition(&text)
+            .unwrap_or_else(|(line, e)| panic!("line {line}: {e}\n{text}"));
+        // 2 metric samples + 6 span_count + 6 span_seconds_total.
+        assert_eq!(samples, 14, "{text}");
+        assert!(text.contains("graphct_weird_metric_name 9"), "{text}");
+        assert!(
+            text.contains("span=\"say \\\"hi\\\"\""),
+            "label values keep content, escaped: {text}"
+        );
+        assert!(
+            text.contains("span=\"newline\\nin name\""),
+            "raw newline must be escaped, not emitted: {text}"
+        );
+    }
+
+    #[test]
+    fn summary_sink_writes_to_file() {
+        let dir = std::env::temp_dir().join(format!("graphct_sink_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("summary.txt");
+        let sink = SummarySink::create(&path).unwrap();
+        sink.record(&enter_event("outer", 1, 0));
+        sink.record(&exit_event("outer", 1, 0, 1_000));
+        sink.finish(&[]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("== trace summary =="), "{text}");
+        assert!(text.contains("outer"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -59,7 +59,9 @@ pub(crate) fn write_json_f64(v: f64, out: &mut String) {
 }
 
 /// Minimal JSON string escaping (quotes, backslash, control characters).
-pub(crate) fn write_json_string(s: &str, out: &mut String) {
+/// Public so downstream tooling (the obs crate's `/progress` endpoint)
+/// can emit JSON without its own escaper.
+pub fn write_json_string(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {

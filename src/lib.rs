@@ -26,8 +26,15 @@
 //! * [`script`](graphct_script) — the GraphCT analysis-script
 //!   interpreter with its stack-based graph memory.
 //! * [`trace`](graphct_trace) — structured telemetry: spans, sharded
-//!   counters, JSON-lines / summary / Prometheus sinks, and the
-//!   record-schema validator (see DESIGN.md § Observability).
+//!   counters, JSON-lines / summary / Prometheus sinks, live registry
+//!   snapshots, the offline trace-analysis toolkit (flame / critical-path
+//!   / imbalance / diff), and the record-schema + Prometheus-exposition
+//!   validators (see DESIGN.md § Observability).
+//! * [`obs`](graphct_obs) — the live monitoring plane: std-only HTTP
+//!   exporter serving `/metrics`, `/healthz`, and `/progress` while
+//!   `graphct serve` drives the synthetic tweet stream through a
+//!   sliding-window streaming graph (see DESIGN.md § Live monitoring
+//!   plane).
 //!
 //! ## Quickstart
 //!
@@ -47,6 +54,7 @@ pub use graphct_gen as gen;
 pub use graphct_kernels as kernels;
 pub use graphct_metrics as metrics;
 pub use graphct_mt as mt;
+pub use graphct_obs as obs;
 pub use graphct_script as script;
 pub use graphct_stream as stream;
 pub use graphct_trace as trace;
