@@ -21,7 +21,7 @@ fn bench_betweenness(c: &mut Criterion) {
         g.bench_function(format!("fraction_{pct}pct"), |b| {
             b.iter(|| {
                 let config = BetweennessConfig::fraction(pct as f64 / 100.0, 7);
-                black_box(betweenness_centrality(&graph, &config))
+                black_box(betweenness_centrality(&graph, &config).unwrap())
             })
         });
     }

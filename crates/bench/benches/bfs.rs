@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use graphct_core::builder::build_undirected_simple;
 use graphct_gen::{classic, rmat_edges, RmatConfig};
-use graphct_kernels::bfs::{bfs_levels, parallel_bfs_levels, FrontierKind};
+use graphct_kernels::bfs::{parallel_bfs_levels, sequential_bfs_levels, FrontierKind};
 use std::hint::black_box;
 
 fn bench_bfs(c: &mut Criterion) {
@@ -14,7 +14,9 @@ fn bench_bfs(c: &mut Criterion) {
     let path = build_undirected_simple(&classic::path(50_000)).unwrap();
 
     let mut g = c.benchmark_group("bfs/rmat13");
-    g.bench_function("sequential", |b| b.iter(|| black_box(bfs_levels(&rmat, 0))));
+    g.bench_function("sequential", |b| {
+        b.iter(|| black_box(sequential_bfs_levels(&rmat, 0)))
+    });
     for kind in [
         FrontierKind::Queue,
         FrontierKind::Bitmap,
@@ -29,7 +31,9 @@ fn bench_bfs(c: &mut Criterion) {
     g.finish();
 
     let mut g = c.benchmark_group("bfs/path50k");
-    g.bench_function("sequential", |b| b.iter(|| black_box(bfs_levels(&path, 0))));
+    g.bench_function("sequential", |b| {
+        b.iter(|| black_box(sequential_bfs_levels(&path, 0)))
+    });
     for kind in [FrontierKind::Queue, FrontierKind::Hybrid] {
         g.bench_function(format!("parallel_{kind:?}").to_lowercase(), |b| {
             b.iter(|| black_box(parallel_bfs_levels(&path, 0, kind)))

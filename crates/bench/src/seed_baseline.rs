@@ -130,7 +130,7 @@ impl<'g> SeedHybridBfs<'g> {
 /// per-source progress events live — is duplicated in its seed form.
 pub fn seed_betweenness(graph: &CsrGraph, config: &BetweennessConfig) -> BetweennessResult {
     let n = graph.num_vertices();
-    let sources = select_sources(graph, config);
+    let sources = select_sources(graph, &config.sampling);
     if n == 0 || sources.is_empty() {
         return BetweennessResult {
             scores: vec![0.0; n],
@@ -221,18 +221,17 @@ mod tests {
 
     #[test]
     fn seed_betweenness_matches_instrumented_kernel() {
-        use graphct_kernels::betweenness::{betweenness_centrality, SourceSelection};
+        use graphct_kernels::betweenness::{betweenness_centrality, SamplingSpec};
 
         let edges = graphct_gen::rmat_edges(&graphct_gen::RmatConfig::paper(9, 8), 7);
         let g = build_undirected_simple(&edges).unwrap();
         let config = BetweennessConfig {
-            selection: SourceSelection::Count(24),
-            seed: 5,
+            sampling: SamplingSpec::count(24, 5),
             bfs: BfsConfig::hybrid(),
             ..BetweennessConfig::exact()
         };
         let seed = seed_betweenness(&g, &config);
-        let current = betweenness_centrality(&g, &config);
+        let current = betweenness_centrality(&g, &config).unwrap();
         assert_eq!(seed.sources, current.sources, "source selection diverges");
         // Identical operations in identical order: bitwise equality, not
         // epsilon tolerance.

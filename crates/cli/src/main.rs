@@ -26,10 +26,11 @@ USAGE:
                                                generate a synthetic tweet
                                                mention graph (edge list)
   graphct stats <graph> [--frontier KIND] [--alpha A] [--beta B]
-                                               degrees, components, diameter
-  graphct components <graph> [--top K]         connected components summary
+                [--reorder PASS]               degrees, components, diameter
+  graphct components <graph> [--top K] [--reorder PASS]
+                                               connected components summary
   graphct bc <graph> [--samples N] [--seed N] [--top K]
-              [--frontier KIND] [--alpha A] [--beta B]
+              [--frontier KIND] [--alpha A] [--beta B] [--reorder PASS]
                                                (approximate) betweenness
   graphct serve [--profile h1n1|atlflood|sep1] [--scale-pct P] [--seed N]
                 [--port P | --addr HOST:PORT] [--batch-size N] [--batches N]
@@ -50,6 +51,11 @@ BFS tuning (stats, bc): --frontier is one of queue|bitmap|push|pull|hybrid
 (default hybrid); --alpha / --beta set the direction-optimizing switch
 thresholds (push->pull when frontier edges exceed unexplored/alpha,
 pull->push when the frontier shrinks below vertices/beta).
+
+Locality (stats, components, bc): --reorder relabels vertices before the
+kernels run — none (default) | degree (hubs first) | rcm (BFS bandwidth
+reduction) | shuffle (randomized baseline).  All output is reported in
+the original vertex ids; only the in-memory layout changes.
 
 Telemetry (any command): --trace turns on kernel telemetry and prints a
 hierarchical timing summary to stderr at exit; --trace-out FILE streams
@@ -118,6 +124,17 @@ fn parse_bfs_flags(args: &mut Vec<String>) -> Result<graphct_kernels::BfsConfig,
         return Err("--alpha and --beta must be positive".into());
     }
     Ok(config)
+}
+
+/// Consume `--reorder`: which locality pass to run before the kernels.
+/// The caller builds a [`graphct_core::ReorderedView`] from the loaded
+/// graph, runs the kernels on `view.graph()`, and maps results back to
+/// original vertex ids through the view before printing.
+fn parse_reorder_flag(args: &mut Vec<String>) -> Result<graphct_core::ReorderKind, String> {
+    match take_flag(args, "--reorder")? {
+        None => Ok(graphct_core::ReorderKind::None),
+        Some(v) => v.parse(),
+    }
 }
 
 /// Consume the telemetry flags (`--trace`, `--trace-out`,
@@ -518,26 +535,32 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             let path = PathBuf::from(args.remove(0));
             let bfs = parse_bfs_flags(&mut args)?;
+            let reorder = parse_reorder_flag(&mut args)?;
             let graph = load_graph(&path)?;
-            let d = graphct_kernels::degree_statistics(&graph);
+            let view = graphct_core::ReorderedView::apply(&graph, reorder, 0);
+            let work = view.as_ref().map_or(&graph, |v| v.graph());
+            let d = graphct_kernels::degree_statistics(work);
             println!(
                 "vertices {}  edges {}  directed {}",
                 graph.num_vertices(),
                 graph.num_edges(),
                 graph.is_directed()
             );
+            if let Some(view) = &view {
+                println!("reorder: {} pass applied", view.kind());
+            }
             println!(
                 "degrees: mean {:.4} variance {:.4} max {} min {}",
                 d.mean, d.variance, d.max, d.min
             );
-            let comps = graphct_kernels::components::ComponentSummary::compute(&graph);
+            let comps = graphct_kernels::components::ComponentSummary::compute(work);
             println!(
                 "components: {} (largest {})",
                 comps.num_components(),
                 comps.largest_size()
             );
             let dia = graphct_kernels::diameter::estimate_diameter_with(
-                &graph,
+                work,
                 graphct_kernels::diameter::DEFAULT_SAMPLES,
                 graphct_kernels::diameter::DEFAULT_MULTIPLIER,
                 0,
@@ -555,14 +578,25 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             let path = PathBuf::from(args.remove(0));
             let top: usize = parse_flag(&mut args, "--top", 10)?;
+            let reorder = parse_reorder_flag(&mut args)?;
             let graph = load_graph(&path)?;
-            let comps = graphct_kernels::components::ComponentSummary::compute(&graph);
+            let view = graphct_core::ReorderedView::apply(&graph, reorder, 0);
+            // Labels are mapped back to original ids so the reported
+            // roots are stable across --reorder choices.
+            let colors = match &view {
+                Some(v) => v.restore_colors(&graphct_kernels::connected_components(v.graph())),
+                None => graphct_kernels::connected_components(&graph),
+            };
+            let comps = graphct_kernels::components::ComponentSummary::from_colors(colors);
             println!(
                 "vertices {}  edges {}  components {}",
                 graph.num_vertices(),
                 graph.num_edges(),
                 comps.num_components()
             );
+            if let Some(view) = &view {
+                println!("reorder: {} pass applied", view.kind());
+            }
             for rank in 0..top {
                 let Some((root, size)) = comps.nth_largest(rank) else {
                     break;
@@ -585,27 +619,34 @@ fn run(args: &[String]) -> Result<(), String> {
             let seed: u64 = parse_flag(&mut args, "--seed", 0)?;
             let top: usize = parse_flag(&mut args, "--top", 15)?;
             let bfs = parse_bfs_flags(&mut args)?;
+            let reorder = parse_reorder_flag(&mut args)?;
             let graph = load_graph(&path)?;
+            let view = graphct_core::ReorderedView::apply(&graph, reorder, seed);
+            let work = view.as_ref().map_or(&graph, |v| v.graph());
             let mut config = graphct_kernels::BetweennessConfig::sampled(samples, seed);
             config.bfs = bfs;
             let start = std::time::Instant::now();
-            let result = graphct_kernels::betweenness_centrality(&graph, &config);
+            let result = graphct_kernels::betweenness_centrality(work, &config)
+                .map_err(|e| e.to_string())?;
             let elapsed = start.elapsed();
+            // Scores come back indexed by the working (possibly
+            // relabeled) ids; report them in original ids.
+            let scores = match &view {
+                Some(v) => v.restore(&result.scores),
+                None => result.scores.clone(),
+            };
             println!(
-                "betweenness over {} sources in {:.3}s",
+                "betweenness over {} sources in {:.3}s{}",
                 result.sources.len(),
-                elapsed.as_secs_f64()
+                elapsed.as_secs_f64(),
+                view.as_ref()
+                    .map_or(String::new(), |v| format!(" ({} reorder)", v.kind()))
             );
-            for (rank, v) in graphct_metrics::top_k_indices(&result.scores, top)
+            for (rank, v) in graphct_metrics::top_k_indices(&scores, top)
                 .into_iter()
                 .enumerate()
             {
-                println!(
-                    "{:>4}  vertex {:>10}  score {:.2}",
-                    rank + 1,
-                    v,
-                    result.scores[v]
-                );
+                println!("{:>4}  vertex {:>10}  score {:.2}", rank + 1, v, scores[v]);
             }
             Ok(())
         }

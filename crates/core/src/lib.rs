@@ -18,6 +18,11 @@
 //!   format.
 //! * [`labels`] — a vertex ↔ name directory so Twitter handles like
 //!   `@CDCFlu` survive the trip through integer vertex ids (Table IV).
+//! * [`reorder`] — the locality engine: validated vertex
+//!   [`Permutation`]s, cache-conscious relabeling passes
+//!   (degree-descending, RCM, shuffled baseline), and the
+//!   [`ReorderedView`] wrapper that maps kernel results back to the
+//!   caller's vertex numbering.
 //!
 //! Vertices are dense `u32` identifiers `0..n`.  Undirected graphs store
 //! each edge in both adjacency lists; every kernel walks out-neighborhoods
@@ -31,6 +36,7 @@ pub mod edge_list;
 pub mod error;
 pub mod io;
 pub mod labels;
+pub mod reorder;
 pub mod subgraph;
 pub mod types;
 
@@ -39,4 +45,5 @@ pub use csr::CsrGraph;
 pub use edge_list::EdgeList;
 pub use error::{GraphError, Result};
 pub use labels::VertexLabels;
+pub use reorder::{Permutation, ReorderKind, ReorderedView};
 pub use types::{VertexId, INVALID_VERTEX};

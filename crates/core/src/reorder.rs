@@ -1,0 +1,740 @@
+//! The locality engine: vertex permutations and cache-conscious
+//! relabeling passes.
+//!
+//! The paper runs betweenness centrality on the Cray XMT, whose hardware
+//! multithreading *hides* the memory latency of irregular neighbor
+//! gathers.  Commodity multicore has no such shield: a kernel's speed is
+//! dominated by how often `targets[offsets[v]..]` lands in cache, and on
+//! heavy-tailed mention graphs that is almost entirely a property of the
+//! vertex numbering.  Following SNAP and Dhulipala–Blelloch–Shun (GBBS),
+//! relabeling is a first-class primitive here, not a preprocessing hack:
+//!
+//! * [`Permutation`] — a validated bijection on vertex ids with
+//!   `apply` / [`Permutation::inverse`] / [`Permutation::compose`].
+//! * [`CsrGraph::reordered`] — O(E) relabel of the CSR arrays that
+//!   preserves adjacency sortedness and directedness.
+//! * [`by_degree`] / [`by_rcm`] / [`by_shuffle`] — the reordering passes:
+//!   degree-descending hub packing, reverse Cuthill–McKee traversal
+//!   order seeded from the largest component, and a seeded random
+//!   shuffle that serves as the honest "any permutation helps?" baseline
+//!   for A/B runs.
+//! * [`ReorderedView`] — a relabeled graph bundled with its permutation,
+//!   so kernel outputs indexed by *new* ids can be mapped back to the
+//!   caller's original numbering ([`ReorderedView::restore`], and
+//!   [`ReorderedView::restore_colors`] for component labels whose
+//!   *values* are also vertex ids).
+//!
+//! Every pass runs under a `graphct-trace` span and flips the
+//! [`struct@REORDER_APPLIED`] gauge, so traces record which ordering a
+//! kernel actually saw.
+
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+use crate::types::{VertexId, INVALID_VERTEX};
+use graphct_trace::Gauge;
+use rayon::prelude::*;
+use std::str::FromStr;
+
+/// Which reordering pass produced the active graph, exported at the
+/// most recent [`ReorderedView`] construction: 0 natural, 1 degree,
+/// 2 rcm, 3 shuffle.
+pub static REORDER_APPLIED: Gauge = Gauge::new(
+    "reorder_applied",
+    "vertex reordering pass applied to the active graph (0 natural, 1 degree, 2 rcm, 3 shuffle)",
+);
+
+/// A bijection `old vertex id -> new vertex id` on `0..n`.
+///
+/// Stored as `new_of_old`, i.e. `apply(v)` is a single array read.
+/// Constructors validate bijectivity, so a `Permutation` can always be
+/// applied safely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    new_of_old: Vec<VertexId>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` vertices.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            new_of_old: (0..n as VertexId).collect(),
+        }
+    }
+
+    /// Build from a `new_of_old` map (`new_of_old[old] = new`).
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidArgument`] unless the map is a bijection on
+    /// `0..len`.
+    pub fn from_new_ids(new_of_old: Vec<VertexId>) -> Result<Self> {
+        let n = new_of_old.len();
+        let mut seen = vec![false; n];
+        for &new in &new_of_old {
+            if (new as usize) >= n || std::mem::replace(&mut seen[new as usize], true) {
+                return Err(GraphError::InvalidArgument(format!(
+                    "permutation is not a bijection on 0..{n}: duplicate or out-of-range id {new}"
+                )));
+            }
+        }
+        Ok(Self { new_of_old })
+    }
+
+    /// Build from a visitation order: `order[new] = old` (the old ids
+    /// listed in their new sequence).  This is the natural output shape
+    /// of a traversal-based pass.
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidArgument`] unless `order` is a bijection.
+    pub fn from_order(order: &[VertexId]) -> Result<Self> {
+        let n = order.len();
+        let mut new_of_old = vec![INVALID_VERTEX; n];
+        for (new, &old) in order.iter().enumerate() {
+            if (old as usize) >= n || new_of_old[old as usize] != INVALID_VERTEX {
+                return Err(GraphError::InvalidArgument(format!(
+                    "order is not a bijection on 0..{n}: duplicate or out-of-range id {old}"
+                )));
+            }
+            new_of_old[old as usize] = new as VertexId;
+        }
+        Ok(Self { new_of_old })
+    }
+
+    /// Number of vertices the permutation acts on.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.new_of_old.len()
+    }
+
+    /// `true` for the empty permutation.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.new_of_old.is_empty()
+    }
+
+    /// New id of old vertex `v`.
+    #[inline]
+    pub fn apply(&self, v: VertexId) -> VertexId {
+        self.new_of_old[v as usize]
+    }
+
+    /// Borrow the `new_of_old` map.
+    #[inline]
+    pub fn as_slice(&self) -> &[VertexId] {
+        &self.new_of_old
+    }
+
+    /// `true` when the permutation maps every vertex to itself.
+    pub fn is_identity(&self) -> bool {
+        self.new_of_old
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v as usize == i)
+    }
+
+    /// The inverse permutation (`inverse().apply(apply(v)) == v`).
+    pub fn inverse(&self) -> Permutation {
+        let mut old_of_new = vec![0 as VertexId; self.len()];
+        for (old, &new) in self.new_of_old.iter().enumerate() {
+            old_of_new[new as usize] = old as VertexId;
+        }
+        Permutation {
+            new_of_old: old_of_new,
+        }
+    }
+
+    /// Composition "`self` then `other`":
+    /// `self.compose(&other).apply(v) == other.apply(self.apply(v))`.
+    ///
+    /// # Panics
+    /// When the two permutations act on different vertex counts.
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "composed permutations must act on the same vertex count"
+        );
+        Permutation {
+            new_of_old: self
+                .new_of_old
+                .iter()
+                .map(|&mid| other.apply(mid))
+                .collect(),
+        }
+    }
+
+    /// Move per-vertex values from old indexing to new indexing
+    /// (`out[apply(v)] = values[v]`).
+    pub fn permute<T: Clone>(&self, values: &[T]) -> Vec<T> {
+        assert_eq!(values.len(), self.len(), "value vector length mismatch");
+        let mut out = values.to_vec();
+        for (old, &new) in self.new_of_old.iter().enumerate() {
+            out[new as usize] = values[old].clone();
+        }
+        out
+    }
+
+    /// Move per-vertex values from new indexing back to old indexing
+    /// (`out[v] = values[apply(v)]`) — the inverse of
+    /// [`Permutation::permute`].
+    pub fn unpermute<T: Clone>(&self, values: &[T]) -> Vec<T> {
+        assert_eq!(values.len(), self.len(), "value vector length mismatch");
+        self.new_of_old
+            .iter()
+            .map(|&new| values[new as usize].clone())
+            .collect()
+    }
+}
+
+impl CsrGraph {
+    /// Relabel the graph through `perm`: new vertex `perm.apply(v)`
+    /// inherits old vertex `v`'s adjacency, with every target id mapped
+    /// through `perm` as well.
+    ///
+    /// O(E) array traffic plus the per-list sorts that restore the
+    /// sorted-adjacency invariant; directedness is preserved, and for
+    /// undirected graphs both stored arc directions relabel
+    /// consistently, so [`CsrGraph::is_symmetric`] is preserved too.
+    ///
+    /// # Panics
+    /// When `perm.len() != self.num_vertices()`.
+    pub fn reordered(&self, perm: &Permutation) -> CsrGraph {
+        let n = self.num_vertices();
+        assert_eq!(
+            perm.len(),
+            n,
+            "permutation must act on exactly the graph's vertices"
+        );
+        let _span = graphct_trace::span!("reorder_relabel", vertices = n, arcs = self.num_arcs());
+        let inverse = perm.inverse();
+        let old_of_new = inverse.as_slice();
+        let new_degrees: Vec<usize> = old_of_new.par_iter().map(|&old| self.degree(old)).collect();
+        let (offsets, total) = graphct_mt::prefix::exclusive_prefix_sum(&new_degrees);
+        debug_assert_eq!(total, self.num_arcs());
+        let mut targets = vec![0 as VertexId; total];
+        {
+            // Split the target array into per-new-vertex chunks so each
+            // adjacency list is filled (and later sorted) independently.
+            let mut rest: &mut [VertexId] = &mut targets;
+            let mut chunks: Vec<(VertexId, &mut [VertexId])> = Vec::with_capacity(n);
+            for (new_v, &len) in new_degrees.iter().enumerate() {
+                let (head, tail) = rest.split_at_mut(len);
+                chunks.push((old_of_new[new_v], head));
+                rest = tail;
+            }
+            chunks.into_par_iter().for_each(|(old_v, chunk)| {
+                for (slot, &t) in chunk.iter_mut().zip(self.neighbors(old_v)) {
+                    *slot = perm.apply(t);
+                }
+            });
+        }
+        let mut out = CsrGraph::from_raw_parts(offsets, targets, self.is_directed())
+            .expect("relabeled CSR arrays are valid by construction");
+        out.sort_adjacency();
+        out
+    }
+}
+
+/// The reordering passes selectable on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReorderKind {
+    /// Keep the natural (ingest) order.
+    #[default]
+    None,
+    /// Degree-descending hub packing.
+    Degree,
+    /// Reverse Cuthill–McKee traversal order from the largest component.
+    Rcm,
+    /// Seeded random shuffle — the honest A/B baseline.
+    Shuffle,
+}
+
+impl ReorderKind {
+    /// Every kind, in gauge-code order.
+    pub const ALL: [ReorderKind; 4] = [
+        ReorderKind::None,
+        ReorderKind::Degree,
+        ReorderKind::Rcm,
+        ReorderKind::Shuffle,
+    ];
+
+    /// Canonical lowercase name (the CLI flag value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReorderKind::None => "none",
+            ReorderKind::Degree => "degree",
+            ReorderKind::Rcm => "rcm",
+            ReorderKind::Shuffle => "shuffle",
+        }
+    }
+
+    /// Value exported through the [`struct@REORDER_APPLIED`] gauge.
+    pub fn gauge_code(self) -> u64 {
+        match self {
+            ReorderKind::None => 0,
+            ReorderKind::Degree => 1,
+            ReorderKind::Rcm => 2,
+            ReorderKind::Shuffle => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for ReorderKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for ReorderKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "none" => Ok(ReorderKind::None),
+            "degree" => Ok(ReorderKind::Degree),
+            "rcm" => Ok(ReorderKind::Rcm),
+            "shuffle" => Ok(ReorderKind::Shuffle),
+            other => Err(format!(
+                "unknown reorder pass '{other}' (expected none|degree|rcm|shuffle)"
+            )),
+        }
+    }
+}
+
+/// Degree-descending ordering: hubs get the lowest new ids.
+///
+/// On heavy-tailed graphs this packs the hot high-degree adjacency
+/// lists into a contiguous prefix of the target array, and — because
+/// adjacency stays sorted — hub neighbors appear *first* in every list,
+/// which direction-optimizing pull sweeps reward (they stop at the
+/// first frontier parent).  Ties break toward the smaller old id, so
+/// the pass is deterministic.
+pub fn by_degree(graph: &CsrGraph) -> Permutation {
+    let n = graph.num_vertices();
+    let _span = graphct_trace::span!("reorder_pass", pass = "degree", vertices = n);
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.sort_unstable_by(|&a, &b| graph.degree(b).cmp(&graph.degree(a)).then(a.cmp(&b)));
+    Permutation::from_order(&order).expect("sorted id list is a bijection")
+}
+
+/// Reverse Cuthill–McKee-style ordering: breadth-first traversal order,
+/// components largest-first, each component's order reversed.
+///
+/// Classic RCM minimizes matrix bandwidth; for graph kernels the payoff
+/// is that vertices of adjacent BFS levels — exactly the pairs every
+/// sweep touches together — receive nearby ids.  Per RCM convention
+/// each component is rooted at a minimum-degree vertex and neighbors
+/// are visited in ascending-degree order (ties toward the smaller old
+/// id, so the pass is deterministic).  Directed graphs traverse the
+/// union of out- and in-neighbors (weak connectivity) via one
+/// transpose.
+pub fn by_rcm(graph: &CsrGraph) -> Permutation {
+    let n = graph.num_vertices();
+    let _span = graphct_trace::span!("reorder_pass", pass = "rcm", vertices = n);
+    let transpose = graph.is_directed().then(|| graph.transpose());
+    let undirected_degree =
+        |v: VertexId| graph.degree(v) + transpose.as_ref().map_or(0, |t| t.degree(v));
+
+    // Discover components (sequential BFS sweep over the undirected view).
+    let mut comp_of = vec![usize::MAX; n];
+    let mut components: Vec<Vec<VertexId>> = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for seed in 0..n as VertexId {
+        if comp_of[seed as usize] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut members = vec![seed];
+        comp_of[seed as usize] = id;
+        queue.push_back(seed);
+        while let Some(u) = queue.pop_front() {
+            let ins = transpose
+                .as_ref()
+                .map_or(&[] as &[VertexId], |t| t.neighbors(u));
+            for &v in graph.neighbors(u).iter().chain(ins) {
+                if comp_of[v as usize] == usize::MAX {
+                    comp_of[v as usize] = id;
+                    members.push(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+        components.push(members);
+    }
+    // Largest component first; the stable sort keeps equal-size
+    // components in discovery (min-member) order.
+    components.sort_by_key(|c| std::cmp::Reverse(c.len()));
+
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    let mut fresh: Vec<VertexId> = Vec::new();
+    for members in &components {
+        let start = order.len();
+        let root = *members
+            .iter()
+            .min_by_key(|&&v| (undirected_degree(v), v))
+            .expect("components are non-empty");
+        placed[root as usize] = true;
+        order.push(root);
+        let mut head = start;
+        while head < order.len() {
+            let u = order[head];
+            head += 1;
+            fresh.clear();
+            let ins = transpose
+                .as_ref()
+                .map_or(&[] as &[VertexId], |t| t.neighbors(u));
+            for &v in graph.neighbors(u).iter().chain(ins) {
+                if !placed[v as usize] {
+                    placed[v as usize] = true;
+                    fresh.push(v);
+                }
+            }
+            fresh.sort_unstable_by_key(|&v| (undirected_degree(v), v));
+            order.extend_from_slice(&fresh);
+        }
+        order[start..].reverse();
+    }
+    Permutation::from_order(&order).expect("traversal order is a bijection")
+}
+
+/// Seeded uniform random shuffle (Fisher–Yates over a SplitMix64
+/// stream) — destroys any locality the ingest order had, providing the
+/// honest baseline that separates "this pass helps" from "any
+/// permutation helps".
+pub fn by_shuffle(graph: &CsrGraph, seed: u64) -> Permutation {
+    let n = graph.num_vertices();
+    let _span = graphct_trace::span!("reorder_pass", pass = "shuffle", vertices = n, seed = seed);
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    for i in (1..n).rev() {
+        let j = (graphct_mt::rng::split_seed(seed, i as u64) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    Permutation::from_order(&order).expect("shuffled id list is a bijection")
+}
+
+/// Compute the permutation for `kind`, or `None` when the natural order
+/// is requested (`seed` only affects [`ReorderKind::Shuffle`]).
+pub fn compute(graph: &CsrGraph, kind: ReorderKind, seed: u64) -> Option<Permutation> {
+    match kind {
+        ReorderKind::None => None,
+        ReorderKind::Degree => Some(by_degree(graph)),
+        ReorderKind::Rcm => Some(by_rcm(graph)),
+        ReorderKind::Shuffle => Some(by_shuffle(graph, seed)),
+    }
+}
+
+/// A relabeled graph bundled with the permutation that produced it, so
+/// kernel outputs can be mapped back to the caller's numbering.
+///
+/// The intended pattern keeps reordering *transparent* to callers:
+///
+/// ```
+/// use graphct_core::reorder::{ReorderKind, ReorderedView};
+/// use graphct_core::CsrGraph;
+///
+/// let graph = CsrGraph::from_raw_parts(vec![0, 1, 2, 4], vec![2, 2, 0, 1], false).unwrap();
+/// let view = ReorderedView::apply(&graph, ReorderKind::Degree, 0).unwrap();
+/// // run any kernel on view.graph() with sources mapped via
+/// // view.translate_source(..), then bring per-vertex results home:
+/// let degrees_new: Vec<usize> = view.graph().degrees();
+/// assert_eq!(view.restore(&degrees_new), graph.degrees());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReorderedView {
+    kind: ReorderKind,
+    perm: Permutation,
+    graph: CsrGraph,
+}
+
+impl ReorderedView {
+    /// Run pass `kind` on `original` and relabel; `None` when `kind` is
+    /// [`ReorderKind::None`] (callers keep using the original graph and
+    /// skip the copy).
+    pub fn apply(original: &CsrGraph, kind: ReorderKind, seed: u64) -> Option<Self> {
+        compute(original, kind, seed).map(|perm| Self::with_permutation(original, perm, kind))
+    }
+
+    /// Relabel `original` through an explicit `perm` (tagged `kind` for
+    /// trace/gauge reporting).
+    pub fn with_permutation(original: &CsrGraph, perm: Permutation, kind: ReorderKind) -> Self {
+        let graph = original.reordered(&perm);
+        REORDER_APPLIED.set(kind.gauge_code());
+        Self { kind, perm, graph }
+    }
+
+    /// The relabeled graph kernels should run on.
+    #[inline]
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Which pass produced this view.
+    #[inline]
+    pub fn kind(&self) -> ReorderKind {
+        self.kind
+    }
+
+    /// The permutation mapping old ids to new ids.
+    #[inline]
+    pub fn permutation(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// Map a caller-facing (old-id) vertex — a BFS source, a seed — into
+    /// the reordered id space.
+    #[inline]
+    pub fn translate_source(&self, v: VertexId) -> VertexId {
+        self.perm.apply(v)
+    }
+
+    /// Map a per-vertex result vector computed on [`ReorderedView::graph`]
+    /// back to the original vertex numbering.
+    pub fn restore<T: Clone>(&self, values: &[T]) -> Vec<T> {
+        self.perm.unpermute(values)
+    }
+
+    /// Map component colors back to the original numbering — positions
+    /// *and* label values, which are themselves vertex ids.
+    ///
+    /// `connected_components` labels every vertex with the minimum id in
+    /// its component; after relabeling, that minimum is taken over *new*
+    /// ids.  This re-canonicalizes each label to the minimum *old* id of
+    /// the component, so the result is bit-identical to running on the
+    /// natural order.  [`INVALID_VERTEX`] labels (vertices outside a
+    /// requested component) pass through unchanged.
+    pub fn restore_colors(&self, colors: &[VertexId]) -> Vec<VertexId> {
+        let n = self.perm.len();
+        assert_eq!(colors.len(), n, "color vector length mismatch");
+        let mut min_old = vec![INVALID_VERTEX; n];
+        for old in 0..n {
+            let label = colors[self.perm.apply(old as VertexId) as usize];
+            if label != INVALID_VERTEX && (old as VertexId) < min_old[label as usize] {
+                min_old[label as usize] = old as VertexId;
+            }
+        }
+        (0..n)
+            .map(|old| {
+                let label = colors[self.perm.apply(old as VertexId) as usize];
+                if label == INVALID_VERTEX {
+                    INVALID_VERTEX
+                } else {
+                    min_old[label as usize]
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0-1, 1-2, 2-3, 3-4 path plus a 5-6 pair; vertex 7 isolated.
+    fn fixture() -> CsrGraph {
+        let pairs: &[(VertexId, VertexId)] = &[(0, 1), (1, 2), (2, 3), (3, 4), (5, 6)];
+        let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); 8];
+        for &(u, v) in pairs {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        let mut offsets = vec![0usize];
+        let mut targets = Vec::new();
+        for mut list in adj {
+            list.sort_unstable();
+            targets.extend_from_slice(&list);
+            offsets.push(targets.len());
+        }
+        CsrGraph::from_raw_parts(offsets, targets, false).unwrap()
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = Permutation::identity(5);
+        assert!(p.is_identity());
+        assert_eq!(p.inverse(), p);
+        assert_eq!(p.apply(3), 3);
+        let g = fixture();
+        let r = g.reordered(&Permutation::identity(8));
+        assert_eq!(r, g);
+    }
+
+    #[test]
+    fn bijection_validation() {
+        assert!(Permutation::from_new_ids(vec![0, 0]).is_err());
+        assert!(Permutation::from_new_ids(vec![0, 2]).is_err());
+        assert!(Permutation::from_order(&[1, 1]).is_err());
+        assert!(Permutation::from_order(&[0, 3]).is_err());
+        assert!(Permutation::from_new_ids(vec![1, 0, 2]).is_ok());
+    }
+
+    #[test]
+    fn inverse_and_compose() {
+        let p = Permutation::from_new_ids(vec![2, 0, 3, 1]).unwrap();
+        let inv = p.inverse();
+        assert!(p.compose(&inv).is_identity());
+        assert!(inv.compose(&p).is_identity());
+        let q = Permutation::from_new_ids(vec![1, 2, 3, 0]).unwrap();
+        for v in 0..4 {
+            assert_eq!(p.compose(&q).apply(v), q.apply(p.apply(v)));
+        }
+    }
+
+    #[test]
+    fn permute_unpermute_roundtrip() {
+        let p = Permutation::from_new_ids(vec![2, 0, 1]).unwrap();
+        let vals = vec!["a", "b", "c"];
+        let moved = p.permute(&vals);
+        assert_eq!(moved, vec!["b", "c", "a"]);
+        assert_eq!(p.unpermute(&moved), vals);
+    }
+
+    #[test]
+    fn reordered_preserves_structure() {
+        let g = fixture();
+        for perm in [
+            by_degree(&g),
+            by_rcm(&g),
+            by_shuffle(&g, 42),
+            Permutation::from_new_ids(vec![7, 6, 5, 4, 3, 2, 1, 0]).unwrap(),
+        ] {
+            let r = g.reordered(&perm);
+            assert_eq!(r.num_vertices(), g.num_vertices());
+            assert_eq!(r.num_arcs(), g.num_arcs());
+            assert_eq!(r.is_directed(), g.is_directed());
+            assert!(r.is_sorted());
+            assert!(r.is_symmetric());
+            for u in 0..g.num_vertices() as VertexId {
+                assert_eq!(r.degree(perm.apply(u)), g.degree(u));
+                for &v in g.neighbors(u) {
+                    assert!(r.has_edge(perm.apply(u), perm.apply(v)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reordered_directed_graph() {
+        // 0→1, 0→2, 1→2
+        let g = CsrGraph::from_raw_parts(vec![0, 2, 3, 3], vec![1, 2, 2], true).unwrap();
+        let perm = Permutation::from_new_ids(vec![2, 1, 0]).unwrap();
+        let r = g.reordered(&perm);
+        assert!(r.is_directed());
+        assert!(r.is_sorted());
+        assert_eq!(r.neighbors(2), &[0, 1]); // old 0 → old {1,2}
+        assert_eq!(r.neighbors(1), &[0]); // old 1 → old 2
+        assert!(r.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn degree_pass_packs_hubs() {
+        let g = fixture();
+        let perm = by_degree(&g);
+        let r = g.reordered(&perm);
+        let degs: Vec<usize> = (0..r.num_vertices() as VertexId)
+            .map(|v| r.degree(v))
+            .collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]), "degrees {degs:?}");
+        // Ties break toward the smaller old id.
+        assert_eq!(perm.apply(7), 7); // the isolated vertex goes last
+    }
+
+    #[test]
+    fn rcm_pass_starts_in_largest_component() {
+        let g = fixture();
+        let perm = by_rcm(&g);
+        // The 5-vertex path is the largest component: its members own new
+        // ids 0..5; the 2-vertex pair gets 5..7; the isolate is last.
+        for v in 0..5u32 {
+            assert!(
+                perm.apply(v) < 5,
+                "path vertex {v} got id {}",
+                perm.apply(v)
+            );
+        }
+        assert!(perm.apply(5) >= 5 && perm.apply(5) < 7);
+        assert_eq!(perm.apply(7), 7);
+        // Path consecutiveness: RCM on a path gives adjacent vertices
+        // adjacent ids (bandwidth 1).
+        for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (3, 4)] {
+            let d = perm.apply(u).abs_diff(perm.apply(v));
+            assert_eq!(d, 1, "path edge ({u},{v}) stretched to distance {d}");
+        }
+    }
+
+    #[test]
+    fn shuffle_pass_is_seeded() {
+        let g = fixture();
+        assert_eq!(by_shuffle(&g, 7), by_shuffle(&g, 7));
+        assert_ne!(by_shuffle(&g, 7), by_shuffle(&g, 8));
+    }
+
+    #[test]
+    fn reorder_kind_parses() {
+        for kind in ReorderKind::ALL {
+            assert_eq!(kind.as_str().parse::<ReorderKind>().unwrap(), kind);
+        }
+        assert!("zcurve".parse::<ReorderKind>().is_err());
+        assert_eq!(ReorderKind::default(), ReorderKind::None);
+    }
+
+    #[test]
+    fn view_restores_values_and_sources() {
+        let g = fixture();
+        for kind in [ReorderKind::Degree, ReorderKind::Rcm, ReorderKind::Shuffle] {
+            let view = ReorderedView::apply(&g, kind, 3).unwrap();
+            assert_eq!(view.kind(), kind);
+            let degrees_new = view.graph().degrees();
+            assert_eq!(view.restore(&degrees_new), g.degrees());
+            for v in 0..g.num_vertices() as VertexId {
+                assert_eq!(view.graph().degree(view.translate_source(v)), g.degree(v));
+            }
+        }
+        assert!(ReorderedView::apply(&g, ReorderKind::None, 0).is_none());
+    }
+
+    #[test]
+    fn view_restores_component_colors() {
+        let g = fixture();
+        // Natural-order colors: min vertex id per component.
+        let natural = vec![0u32, 0, 0, 0, 0, 5, 5, 7];
+        for kind in [ReorderKind::Degree, ReorderKind::Rcm, ReorderKind::Shuffle] {
+            let view = ReorderedView::apply(&g, kind, 11).unwrap();
+            // Colors as a min-label propagation would compute them on the
+            // reordered graph: min *new* id per component.
+            let perm = view.permutation();
+            let mut new_colors = vec![INVALID_VERTEX; 8];
+            for comp in [&[0u32, 1, 2, 3, 4][..], &[5, 6][..], &[7][..]] {
+                let min_new = comp.iter().map(|&v| perm.apply(v)).min().unwrap();
+                for &v in comp {
+                    new_colors[perm.apply(v) as usize] = min_new;
+                }
+            }
+            assert_eq!(view.restore_colors(&new_colors), natural);
+        }
+    }
+
+    #[test]
+    fn restore_colors_passes_invalid_through() {
+        let g = fixture();
+        let view = ReorderedView::apply(&g, ReorderKind::Shuffle, 5).unwrap();
+        let perm = view.permutation();
+        // Only the 5-6 component colored; everything else INVALID.
+        let mut new_colors = vec![INVALID_VERTEX; 8];
+        let min_new = perm.apply(5).min(perm.apply(6));
+        new_colors[perm.apply(5) as usize] = min_new;
+        new_colors[perm.apply(6) as usize] = min_new;
+        let restored = view.restore_colors(&new_colors);
+        assert_eq!(restored[5], 5);
+        assert_eq!(restored[6], 5);
+        for v in [0usize, 1, 2, 3, 4, 7] {
+            assert_eq!(restored[v], INVALID_VERTEX);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation must act")]
+    fn reordered_rejects_wrong_length() {
+        let g = fixture();
+        g.reordered(&Permutation::identity(3));
+    }
+}

@@ -19,15 +19,16 @@
 
 use crate::bfs::{decide_direction, BfsConfig, Direction};
 use crate::components::ComponentSummary;
-use graphct_core::{CsrGraph, VertexId};
+use graphct_core::{CsrGraph, GraphError, VertexId};
 use graphct_mt::rng::task_rng;
 use rand::seq::SliceRandom;
 use rayon::prelude::*;
 
 /// Which source vertices drive the accumulation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum SourceSelection {
     /// Every vertex: exact betweenness centrality.
+    #[default]
     All,
     /// A fixed number of sampled sources (Fig. 6 uses 256).
     Count(usize),
@@ -47,15 +48,72 @@ pub enum SamplingStrategy {
     ComponentStratified,
 }
 
-/// Configuration for [`betweenness_centrality`].
-#[derive(Debug, Clone)]
-pub struct BetweennessConfig {
+/// The complete source-sampling specification — what to select, how to
+/// draw it, and the seed — shared by [`BetweennessConfig`] and
+/// [`crate::kbetweenness::KBetweennessConfig`] so the two kernels can
+/// never drift apart in sampling semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SamplingSpec {
     /// Source selection (exact vs. sampled).
     pub selection: SourceSelection,
     /// Sampling strategy when `selection` is not `All`.
     pub strategy: SamplingStrategy,
     /// Master seed for reproducible sampling.
     pub seed: u64,
+}
+
+impl SamplingSpec {
+    /// Every vertex as a source (exact computation).
+    pub fn exact() -> Self {
+        Self::default()
+    }
+
+    /// `count` uniformly sampled sources under `seed`.
+    pub fn count(count: usize, seed: u64) -> Self {
+        Self {
+            selection: SourceSelection::Count(count),
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// A `fraction` of all vertices, uniformly sampled under `seed`.
+    pub fn fraction(fraction: f64, seed: u64) -> Self {
+        Self {
+            selection: SourceSelection::Fraction(fraction),
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Replace the sampling strategy, keeping selection and seed.
+    pub fn with_strategy(mut self, strategy: SamplingStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Check the spec for invalid values (a sampling fraction outside
+    /// `[0, 1]`).
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidArgument`] when the spec cannot be sampled.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if let SourceSelection::Fraction(f) = self.selection {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(GraphError::InvalidArgument(format!(
+                    "sampling fraction must lie in [0, 1], got {f}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Configuration for [`betweenness_centrality`].
+#[derive(Debug, Clone)]
+pub struct BetweennessConfig {
+    /// Source sampling: selection, strategy, and seed.
+    pub sampling: SamplingSpec,
     /// Scale sampled scores by `n / |sample|` so they estimate the exact
     /// totals (on by default; turn off to get raw partial sums).
     pub rescale: bool,
@@ -70,9 +128,7 @@ pub struct BetweennessConfig {
 impl Default for BetweennessConfig {
     fn default() -> Self {
         Self {
-            selection: SourceSelection::All,
-            strategy: SamplingStrategy::Uniform,
-            seed: 0,
+            sampling: SamplingSpec::exact(),
             rescale: true,
             halve_undirected: false,
             bfs: BfsConfig::default(),
@@ -89,8 +145,7 @@ impl BetweennessConfig {
     /// Approximate betweenness from `count` sampled sources.
     pub fn sampled(count: usize, seed: u64) -> Self {
         Self {
-            selection: SourceSelection::Count(count),
-            seed,
+            sampling: SamplingSpec::count(count, seed),
             ..Self::default()
         }
     }
@@ -98,8 +153,7 @@ impl BetweennessConfig {
     /// Approximate betweenness sampling a `fraction` of all vertices.
     pub fn fraction(fraction: f64, seed: u64) -> Self {
         Self {
-            selection: SourceSelection::Fraction(fraction),
-            seed,
+            sampling: SamplingSpec::fraction(fraction, seed),
             ..Self::default()
         }
     }
@@ -291,10 +345,15 @@ fn report_source(source: VertexId, visited: usize) {
     graphct_trace::event!("bc_source", src = source, visited = visited);
 }
 
-/// Select the source vertices for `config` (deterministic in the seed).
-pub fn select_sources(graph: &CsrGraph, config: &BetweennessConfig) -> Vec<VertexId> {
+/// Select the source vertices for `spec` (deterministic in the seed).
+///
+/// # Panics
+/// On an invalid spec (sampling fraction outside `[0, 1]`); kernels
+/// validate via [`SamplingSpec::validate`] first and return an error
+/// instead.
+pub fn select_sources(graph: &CsrGraph, spec: &SamplingSpec) -> Vec<VertexId> {
     let n = graph.num_vertices();
-    let requested = match config.selection {
+    let requested = match spec.selection {
         SourceSelection::All => return (0..n as VertexId).collect(),
         SourceSelection::Count(c) => c.min(n),
         SourceSelection::Fraction(f) => {
@@ -309,8 +368,8 @@ pub fn select_sources(graph: &CsrGraph, config: &BetweennessConfig) -> Vec<Verte
         return (0..n as VertexId).collect();
     }
 
-    let mut rng = task_rng(config.seed, 0x5e1ec7);
-    let mut sources: Vec<VertexId> = match config.strategy {
+    let mut rng = task_rng(spec.seed, 0x5e1ec7);
+    let mut sources: Vec<VertexId> = match spec.strategy {
         SamplingStrategy::Uniform => {
             let mut all: Vec<VertexId> = (0..n as VertexId).collect();
             all.shuffle(&mut rng);
@@ -416,6 +475,10 @@ pub(crate) fn accumulate_for_sources(graph: &CsrGraph, sources: &[VertexId]) -> 
 /// With `rescale`, sampled scores are multiplied by `n / |sources|` to
 /// estimate the all-sources totals.
 ///
+/// # Errors
+/// [`GraphError::InvalidArgument`] when the sampling spec is invalid
+/// (fraction outside `[0, 1]`).
+///
 /// # Examples
 ///
 /// ```
@@ -425,17 +488,21 @@ pub(crate) fn accumulate_for_sources(graph: &CsrGraph, sources: &[VertexId]) -> 
 /// // Path 0–1–2: the middle vertex carries the single (0,2) pair, both
 /// // orderings.
 /// let g = build_undirected_simple(&EdgeList::from_pairs(vec![(0, 1), (1, 2)])).unwrap();
-/// let bc = betweenness_centrality(&g, &BetweennessConfig::exact());
+/// let bc = betweenness_centrality(&g, &BetweennessConfig::exact()).unwrap();
 /// assert_eq!(bc.scores, vec![0.0, 2.0, 0.0]);
 /// ```
-pub fn betweenness_centrality(graph: &CsrGraph, config: &BetweennessConfig) -> BetweennessResult {
+pub fn betweenness_centrality(
+    graph: &CsrGraph,
+    config: &BetweennessConfig,
+) -> Result<BetweennessResult, GraphError> {
+    config.sampling.validate()?;
     let n = graph.num_vertices();
-    let sources = select_sources(graph, config);
+    let sources = select_sources(graph, &config.sampling);
     if n == 0 || sources.is_empty() {
-        return BetweennessResult {
+        return Ok(BetweennessResult {
             scores: vec![0.0; n],
             sources,
-        };
+        });
     }
     let _span = graphct_trace::span!("bc", vertices = n, sources = sources.len());
 
@@ -493,7 +560,7 @@ pub fn betweenness_centrality(graph: &CsrGraph, config: &BetweennessConfig) -> B
         scores.par_iter_mut().for_each(|s| *s *= scale);
     }
 
-    BetweennessResult { scores, sources }
+    Ok(BetweennessResult { scores, sources })
 }
 
 #[cfg(test)]
@@ -507,7 +574,9 @@ mod tests {
     }
 
     fn exact(g: &CsrGraph) -> Vec<f64> {
-        betweenness_centrality(g, &BetweennessConfig::exact()).scores
+        betweenness_centrality(g, &BetweennessConfig::exact())
+            .unwrap()
+            .scores
     }
 
     /// O(n^3)-ish oracle: count shortest paths through v by enumeration
@@ -516,7 +585,7 @@ mod tests {
         let n = g.num_vertices();
         let mut bc = vec![0.0; n];
         for s in 0..n as u32 {
-            let dist = crate::bfs::bfs_levels(g, s);
+            let dist = crate::bfs::sequential_bfs_levels(g, s);
             // sigma via dynamic programming in distance order
             let mut order: Vec<u32> = (0..n as u32)
                 .filter(|&v| dist[v as usize] != u32::MAX)
@@ -653,6 +722,7 @@ mod tests {
                     ..BetweennessConfig::exact()
                 },
             )
+            .unwrap()
             .scores;
             for cfg in &configs {
                 let got = betweenness_centrality(
@@ -662,6 +732,7 @@ mod tests {
                         ..BetweennessConfig::exact()
                     },
                 )
+                .unwrap()
                 .scores;
                 for v in 0..g.num_vertices() {
                     assert!(
@@ -690,7 +761,7 @@ mod tests {
     fn sampling_all_vertices_equals_exact() {
         let g = graph(&[(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)]);
         let exact_scores = exact(&g);
-        let sampled = betweenness_centrality(&g, &BetweennessConfig::fraction(1.0, 42));
+        let sampled = betweenness_centrality(&g, &BetweennessConfig::fraction(1.0, 42)).unwrap();
         assert_eq!(sampled.sources.len(), g.num_vertices());
         for v in 0..g.num_vertices() {
             assert!((sampled.scores[v] - exact_scores[v]).abs() < 1e-9);
@@ -700,11 +771,11 @@ mod tests {
     #[test]
     fn sampled_run_is_deterministic_in_seed() {
         let g = graph(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)]);
-        let a = betweenness_centrality(&g, &BetweennessConfig::sampled(3, 7));
-        let b = betweenness_centrality(&g, &BetweennessConfig::sampled(3, 7));
+        let a = betweenness_centrality(&g, &BetweennessConfig::sampled(3, 7)).unwrap();
+        let b = betweenness_centrality(&g, &BetweennessConfig::sampled(3, 7)).unwrap();
         assert_eq!(a.sources, b.sources);
         assert_eq!(a.scores, b.scores);
-        let c = betweenness_centrality(&g, &BetweennessConfig::sampled(3, 8));
+        let c = betweenness_centrality(&g, &BetweennessConfig::sampled(3, 8)).unwrap();
         assert_ne!(a.sources, c.sources);
     }
 
@@ -752,13 +823,8 @@ mod tests {
         // Three far-apart components; 3 samples must hit all three under
         // stratified sampling.
         let g = graph(&[(0, 1), (1, 2), (10, 11), (11, 12), (20, 21), (21, 22)]);
-        let config = BetweennessConfig {
-            selection: SourceSelection::Count(3),
-            strategy: SamplingStrategy::ComponentStratified,
-            seed: 1,
-            ..Default::default()
-        };
-        let sources = select_sources(&g, &config);
+        let spec = SamplingSpec::count(3, 1).with_strategy(SamplingStrategy::ComponentStratified);
+        let sources = select_sources(&g, &spec);
         assert_eq!(sources.len(), 3);
         let comp = |v: u32| -> u32 {
             if v <= 2 {
@@ -782,15 +848,23 @@ mod tests {
     fn fraction_bounds_validated() {
         let g = graph(&[(0, 1)]);
         let cfg = BetweennessConfig::fraction(0.5, 0);
-        let r = betweenness_centrality(&g, &cfg);
+        let r = betweenness_centrality(&g, &cfg).unwrap();
         assert_eq!(r.sources.len(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "sampling fraction")]
-    fn bad_fraction_panics() {
+    fn bad_fraction_is_an_error() {
         let g = graph(&[(0, 1)]);
-        let _ = betweenness_centrality(&g, &BetweennessConfig::fraction(1.5, 0));
+        let err = betweenness_centrality(&g, &BetweennessConfig::fraction(1.5, 0)).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidArgument(_)));
+        assert!(betweenness_centrality(&g, &BetweennessConfig::fraction(-0.1, 0)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling fraction")]
+    fn select_sources_asserts_fraction_bounds() {
+        let g = graph(&[(0, 1)]);
+        let _ = select_sources(&g, &SamplingSpec::fraction(1.5, 0));
     }
 
     #[test]
@@ -803,14 +877,15 @@ mod tests {
                 halve_undirected: true,
                 ..BetweennessConfig::exact()
             },
-        );
+        )
+        .unwrap();
         assert!((halved.scores[1] - full[1] / 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn empty_graph_returns_empty() {
         let g = CsrGraph::empty(0, false);
-        let r = betweenness_centrality(&g, &BetweennessConfig::exact());
+        let r = betweenness_centrality(&g, &BetweennessConfig::exact()).unwrap();
         assert!(r.scores.is_empty());
         assert!(r.sources.is_empty());
     }

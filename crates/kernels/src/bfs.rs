@@ -8,6 +8,17 @@
 //! per level based on how many edges each step would inspect.  The
 //! legacy push-only queue and bitmap sweeps remain available as forced
 //! modes for ablation (the bench crate measures all three).
+//!
+//! [`HybridBfs`] is **the** BFS engine: construct it once per graph
+//! (caching the degree table and, when needed, the transpose) and call
+//! [`HybridBfs::levels`] or [`HybridBfs::run`] per source.  The free
+//! functions [`bfs_levels`], [`parallel_bfs_levels`] and
+//! [`parallel_bfs_with`] survive as thin convenience wrappers that
+//! construct a throwaway engine — fine for one-off searches, wasteful
+//! in loops; new code should hold a `HybridBfs`.
+//! [`sequential_bfs_levels`] is deliberately *not* a wrapper: it is the
+//! textbook queue implementation kept as the independent verification
+//! oracle and ablation control.
 
 use graphct_core::{CsrGraph, VertexId};
 use graphct_mt::{AtomicBitmap, AtomicU32Array, Frontier};
@@ -230,11 +241,15 @@ pub struct BfsRun {
     pub level_records: Vec<LevelRecord>,
 }
 
-/// Sequential BFS levels from `source` (`UNREACHED` where not reachable).
+/// Sequential textbook BFS levels from `source` (`UNREACHED` where not
+/// reachable).
 ///
-/// The baseline used for verifying the parallel variants and as the
-/// ablation control.
-pub fn bfs_levels(graph: &CsrGraph, source: VertexId) -> Vec<u32> {
+/// This is deliberately *not* routed through [`HybridBfs`]: a plain
+/// `VecDeque` traversal with no direction heuristic, no atomics and no
+/// telemetry, kept as the independent verification oracle the test
+/// suites compare every other traversal against, and as the ablation
+/// control the bench crate times.
+pub fn sequential_bfs_levels(graph: &CsrGraph, source: VertexId) -> Vec<u32> {
     let n = graph.num_vertices();
     assert!((source as usize) < n, "source vertex out of range");
     let mut levels = vec![UNREACHED; n];
@@ -251,6 +266,17 @@ pub fn bfs_levels(graph: &CsrGraph, source: VertexId) -> Vec<u32> {
         }
     }
     levels
+}
+
+/// BFS levels from `source`.
+///
+/// **Deprecated-by-convention** (kept attribute-free to avoid churn in
+/// downstream `#[deny(warnings)]` builds): new code should construct a
+/// [`HybridBfs`] and call [`HybridBfs::levels`] — this wrapper builds a
+/// throwaway engine per call.  For the sequential oracle semantics this
+/// function used to implement directly, see [`sequential_bfs_levels`].
+pub fn bfs_levels(graph: &CsrGraph, source: VertexId) -> Vec<u32> {
+    HybridBfs::new(graph).levels(source)
 }
 
 /// Reusable direction-optimizing BFS engine.
@@ -291,7 +317,8 @@ impl<'g> HybridBfs<'g> {
         &self.config
     }
 
-    /// BFS levels from `source`; identical output to [`bfs_levels`].
+    /// BFS levels from `source`; identical output to
+    /// [`sequential_bfs_levels`] for every config.
     pub fn levels(&self, source: VertexId) -> Vec<u32> {
         self.run(source).levels
     }
@@ -666,16 +693,21 @@ pub fn push_level(
 
 /// Parallel level-synchronous BFS from `source`.
 ///
-/// Output is identical to [`bfs_levels`] for every [`FrontierKind`];
-/// the kind only changes how each level is expanded.  Callers running
-/// many searches over one graph should construct a [`HybridBfs`] once
-/// instead (this convenience rebuilds the degree table — and, for
-/// directed graphs under pull-capable kinds, the transpose — per call).
+/// **Deprecated-by-convention** (kept attribute-free to avoid churn in
+/// downstream `#[deny(warnings)]` builds): a thin wrapper over
+/// [`HybridBfs`], which new code should construct directly.  Output is
+/// identical to [`sequential_bfs_levels`] for every [`FrontierKind`];
+/// the kind only changes how each level is expanded.  This convenience
+/// rebuilds the degree table — and, for directed graphs under
+/// pull-capable kinds, the transpose — per call.
 pub fn parallel_bfs_levels(graph: &CsrGraph, source: VertexId, frontier: FrontierKind) -> Vec<u32> {
     HybridBfs::with_config(graph, BfsConfig::from_kind(frontier)).levels(source)
 }
 
 /// Parallel BFS with explicit direction-optimization tuning.
+///
+/// **Deprecated-by-convention**: thin wrapper over [`HybridBfs`]; see
+/// [`parallel_bfs_levels`].
 pub fn parallel_bfs_with(graph: &CsrGraph, source: VertexId, config: &BfsConfig) -> Vec<u32> {
     HybridBfs::with_config(graph, *config).levels(source)
 }
@@ -767,7 +799,7 @@ mod tests {
             (7, 8),
         ]);
         for src in 0..g.num_vertices() as u32 {
-            let seq = bfs_levels(&g, src);
+            let seq = sequential_bfs_levels(&g, src);
             for kind in ALL_KINDS {
                 assert_eq!(parallel_bfs_levels(&g, src, kind), seq, "{kind:?}");
             }
@@ -788,7 +820,7 @@ mod tests {
         }
         let g = graph(&edges);
         for src in [0u32, 7, 1234] {
-            let seq = bfs_levels(&g, src);
+            let seq = sequential_bfs_levels(&g, src);
             for kind in ALL_KINDS {
                 assert_eq!(parallel_bfs_levels(&g, src, kind), seq, "{kind:?}");
             }
@@ -807,7 +839,7 @@ mod tests {
             (3, 4),
         ]))
         .unwrap();
-        let seq = bfs_levels(&g, 0);
+        let seq = sequential_bfs_levels(&g, 0);
         for kind in ALL_KINDS {
             assert_eq!(parallel_bfs_levels(&g, 0, kind), seq, "{kind:?}");
         }
@@ -822,7 +854,7 @@ mod tests {
         let g = graph(&edges);
         let engine = HybridBfs::new(&g);
         let run = engine.run(0);
-        assert_eq!(run.levels, bfs_levels(&g, 0));
+        assert_eq!(run.levels, sequential_bfs_levels(&g, 0));
         assert!(
             run.directions.contains(&Direction::Pull),
             "expected a pull level, got {:?}",
@@ -864,7 +896,7 @@ mod tests {
         // Huge alpha + huge beta: switch to pull immediately and stay.
         let cfg = BfsConfig::hybrid().with_alpha(1e12).with_beta(1e12);
         let run = HybridBfs::with_config(&g, cfg).run(0);
-        assert_eq!(run.levels, bfs_levels(&g, 0));
+        assert_eq!(run.levels, sequential_bfs_levels(&g, 0));
         assert!(run.directions.iter().all(|&d| d == Direction::Pull));
     }
 
@@ -894,10 +926,10 @@ mod tests {
     #[test]
     fn max_level_of_path() {
         let g = graph(&[(0, 1), (1, 2)]);
-        assert_eq!(max_level(&bfs_levels(&g, 0)), 2);
+        assert_eq!(max_level(&sequential_bfs_levels(&g, 0)), 2);
         let isolated = graph(&[(0, 1)]);
         // Vertex 1 exists; bfs from 0 reaches level 1.
-        assert_eq!(max_level(&bfs_levels(&isolated, 0)), 1);
+        assert_eq!(max_level(&sequential_bfs_levels(&isolated, 0)), 1);
     }
 
     #[test]

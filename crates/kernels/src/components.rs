@@ -10,7 +10,7 @@
 //! toward their roots.  The fixed point assigns every vertex the minimum
 //! vertex id in its component, which makes results deterministic.
 
-use crate::bfs::{parallel_bfs_with, BfsConfig, UNREACHED};
+use crate::bfs::{BfsConfig, HybridBfs, UNREACHED};
 use graphct_core::subgraph::{induced_subgraph, Subgraph};
 use graphct_core::{CsrGraph, VertexId};
 use graphct_mt::AtomicU32Array;
@@ -165,7 +165,7 @@ pub fn component_of(graph: &CsrGraph, seed: VertexId, bfs: &BfsConfig) -> Subgra
         !graph.is_directed(),
         "component_of requires an undirected graph"
     );
-    let levels = parallel_bfs_with(graph, seed, bfs);
+    let levels = HybridBfs::with_config(graph, *bfs).levels(seed);
     let keep: Vec<bool> = levels.par_iter().map(|&l| l != UNREACHED).collect();
     induced_subgraph(graph, &keep).expect("mask length matches graph")
 }

@@ -12,7 +12,7 @@
 //! §III-D ("an analyst or user may require a task to identify a set of
 //! the top N % actors").
 
-use crate::betweenness::{select_sources, BetweennessConfig, SamplingStrategy, SourceSelection};
+use crate::betweenness::{select_sources, SamplingSpec};
 use graphct_core::{CsrGraph, GraphError, VertexId};
 use rayon::prelude::*;
 
@@ -80,14 +80,7 @@ pub fn betweenness_with_confidence(
         });
     }
 
-    let shim = BetweennessConfig {
-        selection: SourceSelection::Count(count),
-        strategy: SamplingStrategy::Uniform,
-        seed,
-        rescale: false,
-        ..BetweennessConfig::default()
-    };
-    let sources = select_sources(graph, &shim);
+    let sources = select_sources(graph, &SamplingSpec::count(count, seed));
     let sources_used = sources.len();
 
     // Round-robin split keeps group sizes within one of each other.
@@ -130,7 +123,7 @@ pub fn betweenness_with_confidence(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::betweenness::betweenness_centrality;
+    use crate::betweenness::{betweenness_centrality, BetweennessConfig};
     use graphct_core::builder::build_undirected_simple;
     use graphct_core::EdgeList;
 
@@ -165,7 +158,9 @@ mod tests {
         // exact score (each source appears in exactly one group and the
         // group scalings average out only when group sizes are equal).
         // Instead assert the estimate is within a few stderr of exact.
-        let exact = betweenness_centrality(&g, &BetweennessConfig::exact()).scores;
+        let exact = betweenness_centrality(&g, &BetweennessConfig::exact())
+            .unwrap()
+            .scores;
         for v in 0..n {
             let diff = (ci.mean[v] - exact[v]).abs();
             assert!(
@@ -182,7 +177,9 @@ mod tests {
     #[test]
     fn intervals_cover_exact_scores_mostly() {
         let g = test_graph();
-        let exact = betweenness_centrality(&g, &BetweennessConfig::exact()).scores;
+        let exact = betweenness_centrality(&g, &BetweennessConfig::exact())
+            .unwrap()
+            .scores;
         let n = g.num_vertices();
         // Across seeds, the 90% interval should cover the exact value
         // for the central cut vertex most of the time.

@@ -51,9 +51,7 @@
 //! closed walks would require triangle counts), and matches the range the
 //! paper exercises.
 
-use crate::betweenness::{
-    select_sources, BetweennessConfig, BetweennessResult, SamplingStrategy, SourceSelection,
-};
+use crate::betweenness::{select_sources, BetweennessResult, SamplingSpec};
 use crate::bfs::{decide_direction, BfsConfig, Direction};
 use graphct_core::{CsrGraph, GraphError, VertexId};
 use rayon::prelude::*;
@@ -66,12 +64,10 @@ pub const MAX_K: usize = 2;
 pub struct KBetweennessConfig {
     /// Extra path slack; `0` gives classical betweenness.
     pub k: usize,
-    /// Source selection (exact vs. sampled), as for plain betweenness.
-    pub selection: SourceSelection,
-    /// Sampling strategy for sampled selections.
-    pub strategy: SamplingStrategy,
-    /// Master seed for reproducible sampling.
-    pub seed: u64,
+    /// Source sampling (selection, strategy, seed) — the same
+    /// [`SamplingSpec`] plain betweenness uses, so the two kernels share
+    /// one sampling implementation.
+    pub sampling: SamplingSpec,
     /// Scale sampled scores by `n / |sample|`.
     pub rescale: bool,
     /// Direction-optimization tuning for the per-source level BFS
@@ -84,9 +80,7 @@ impl KBetweennessConfig {
     pub fn exact(k: usize) -> Self {
         Self {
             k,
-            selection: SourceSelection::All,
-            strategy: SamplingStrategy::Uniform,
-            seed: 0,
+            sampling: SamplingSpec::exact(),
             rescale: true,
             bfs: BfsConfig::default(),
         }
@@ -96,15 +90,9 @@ impl KBetweennessConfig {
     /// `kcentrality <k> <count>` (paper §IV-B).
     pub fn sampled(k: usize, count: usize, seed: u64) -> Self {
         Self {
-            selection: SourceSelection::Count(count),
+            sampling: SamplingSpec::count(count, seed),
             ..Self::exact(k)
         }
-        .with_seed(seed)
-    }
-
-    fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
     }
 }
 
@@ -316,11 +304,13 @@ fn accumulate_source_kbc(
 ///
 /// # Errors
 /// * [`GraphError::InvalidArgument`] when `k > 2`, the graph is directed,
-///   or the graph contains self-loops (see module docs).
+///   the graph contains self-loops (see module docs), or the sampling
+///   spec is invalid.
 pub fn k_betweenness_centrality(
     graph: &CsrGraph,
     config: &KBetweennessConfig,
 ) -> Result<BetweennessResult, GraphError> {
+    config.sampling.validate()?;
     if config.k > MAX_K {
         return Err(GraphError::InvalidArgument(format!(
             "k-betweenness supports k <= {MAX_K}, got {}",
@@ -339,15 +329,7 @@ pub fn k_betweenness_centrality(
     }
 
     let n = graph.num_vertices();
-    let bc_shim = BetweennessConfig {
-        selection: config.selection,
-        strategy: config.strategy,
-        seed: config.seed,
-        rescale: config.rescale,
-        halve_undirected: false,
-        bfs: config.bfs,
-    };
-    let sources = select_sources(graph, &bc_shim);
+    let sources = select_sources(graph, &config.sampling);
     if n == 0 || sources.is_empty() {
         return Ok(BetweennessResult {
             scores: vec![0.0; n],
@@ -384,7 +366,7 @@ pub fn k_betweenness_centrality(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::betweenness::betweenness_centrality;
+    use crate::betweenness::{betweenness_centrality, BetweennessConfig};
     use graphct_core::builder::build_undirected_simple;
     use graphct_core::EdgeList;
 
@@ -406,7 +388,7 @@ mod tests {
         let n = g.num_vertices();
         let mut bc = vec![0.0; n];
         for s in 0..n as u32 {
-            let dist = crate::bfs::bfs_levels(g, s);
+            let dist = crate::bfs::sequential_bfs_levels(g, s);
             let max_d = dist
                 .iter()
                 .filter(|&&d| d != u32::MAX)
@@ -463,7 +445,9 @@ mod tests {
     fn k0_matches_brandes_on_path() {
         let g = graph(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
         let kbc = exact_kbc(&g, 0);
-        let bc = betweenness_centrality(&g, &BetweennessConfig::exact()).scores;
+        let bc = betweenness_centrality(&g, &BetweennessConfig::exact())
+            .unwrap()
+            .scores;
         for v in 0..5 {
             assert!(
                 (kbc[v] - bc[v]).abs() < 1e-9,
@@ -488,7 +472,9 @@ mod tests {
             }
             let g = graph(&edges);
             let kbc = exact_kbc(&g, 0);
-            let bc = betweenness_centrality(&g, &BetweennessConfig::exact()).scores;
+            let bc = betweenness_centrality(&g, &BetweennessConfig::exact())
+                .unwrap()
+                .scores;
             for v in 0..g.num_vertices() {
                 assert!(
                     (kbc[v] - bc[v]).abs() < 1e-6,

@@ -20,6 +20,29 @@
 //! per-task RNGs by index, so results are bit-reproducible across runs
 //! and thread counts (floating-point merge order is fixed by reducing in
 //! source order).
+//!
+//! ## Fallibility
+//!
+//! Kernels follow one rule for error handling:
+//!
+//! * **Infallible kernels return their result bare.**  A kernel whose
+//!   only preconditions are structural invariants the [`CsrGraph`]
+//!   builder already guarantees (valid offsets, in-range targets) cannot
+//!   fail at runtime — [`connected_components`], [`core_numbers`],
+//!   [`clustering_coefficients`], [`degree_statistics`],
+//!   [`HybridBfs::levels`], and friends return `Vec`/struct directly.
+//! * **Kernels with *configuration* preconditions return
+//!   `Result<_, GraphError>`.**  Anything that validates a caller-supplied
+//!   spec — a sampling fraction outside `[0, 1]`
+//!   ([`betweenness_centrality`], [`k_betweenness_centrality`]), a batch
+//!   count that cannot fill the requested groups
+//!   ([`betweenness_with_confidence`]) — reports the bad argument as
+//!   [`GraphError::InvalidArgument`](graphct_core::GraphError) instead of
+//!   panicking.
+//! * **Out-of-range vertex ids are programmer errors and panic.**  A
+//!   source vertex `>= n` is a bug at the call site, not a recoverable
+//!   condition; `debug`-style asserts (documented under `# Panics`) keep
+//!   the hot paths free of per-call `Result` plumbing.
 
 pub mod betweenness;
 pub mod bfs;
@@ -33,11 +56,12 @@ pub mod kcore;
 pub mod telemetry;
 
 pub use betweenness::{
-    betweenness_centrality, BetweennessConfig, BetweennessResult, SamplingStrategy, SourceSelection,
+    betweenness_centrality, BetweennessConfig, BetweennessResult, SamplingSpec, SamplingStrategy,
+    SourceSelection,
 };
 pub use bfs::{
-    bfs_levels, decide_direction, parallel_bfs_levels, parallel_bfs_with, BfsConfig, Direction,
-    FrontierKind, HybridBfs, LevelRecord, UNREACHED,
+    bfs_levels, decide_direction, parallel_bfs_levels, parallel_bfs_with, sequential_bfs_levels,
+    BfsConfig, Direction, FrontierKind, HybridBfs, LevelRecord, UNREACHED,
 };
 pub use clustering::{clustering_coefficients, global_clustering, triangle_counts};
 pub use components::{connected_components, ComponentSummary};

@@ -26,7 +26,9 @@ fn path_betweenness_formula() {
     // Ordered-pair BC of vertex i on a path of n vertices: 2·i·(n-1-i).
     let n = 60usize;
     let g = build(classic::path(n));
-    let bc = betweenness_centrality(&g, &BetweennessConfig::exact()).scores;
+    let bc = betweenness_centrality(&g, &BetweennessConfig::exact())
+        .unwrap()
+        .scores;
     for i in 0..n {
         let expected = 2.0 * i as f64 * (n - 1 - i) as f64;
         assert!(
@@ -42,7 +44,9 @@ fn star_betweenness_formula() {
     // Center of an n-star: 2·C(n-1, 2) ordered pairs; leaves 0.
     let n = 80usize;
     let g = build(classic::star(n));
-    let bc = betweenness_centrality(&g, &BetweennessConfig::exact()).scores;
+    let bc = betweenness_centrality(&g, &BetweennessConfig::exact())
+        .unwrap()
+        .scores;
     let leaves = (n - 1) as f64;
     assert!((bc[0] - leaves * (leaves - 1.0)).abs() < 1e-6);
     for leaf in 1..n {
@@ -53,7 +57,9 @@ fn star_betweenness_formula() {
 #[test]
 fn grid_center_beats_corner() {
     let g = build(classic::grid(9, 9));
-    let bc = betweenness_centrality(&g, &BetweennessConfig::exact()).scores;
+    let bc = betweenness_centrality(&g, &BetweennessConfig::exact())
+        .unwrap()
+        .scores;
     let center = bc[4 * 9 + 4];
     let corner = bc[0];
     assert!(
@@ -65,7 +71,9 @@ fn grid_center_beats_corner() {
 #[test]
 fn balanced_tree_root_dominates_and_k1_matches_k0() {
     let g = build(classic::balanced_tree(3, 4)); // 121 vertices
-    let bc = betweenness_centrality(&g, &BetweennessConfig::exact()).scores;
+    let bc = betweenness_centrality(&g, &BetweennessConfig::exact())
+        .unwrap()
+        .scores;
     let max = bc.iter().cloned().fold(0.0, f64::max);
     assert!((bc[0] - max).abs() < 1e-9, "root must be most central");
     // Trees are bipartite: no walk has length d+1, so k=1 == k=0.
@@ -81,7 +89,9 @@ fn balanced_tree_root_dominates_and_k1_matches_k0() {
 fn cycle_uniform_centrality_and_diameter() {
     let n = 50usize;
     let g = build(classic::cycle(n));
-    let bc = betweenness_centrality(&g, &BetweennessConfig::exact()).scores;
+    let bc = betweenness_centrality(&g, &BetweennessConfig::exact())
+        .unwrap()
+        .scores;
     for v in 1..n {
         assert!((bc[v] - bc[0]).abs() < 1e-6, "cycle must be uniform");
     }
@@ -94,7 +104,9 @@ fn complete_graph_properties() {
     let n = 30usize;
     let g = build(classic::complete(n));
     // Zero betweenness, clustering 1, core number n-1, diameter 1.
-    let bc = betweenness_centrality(&g, &BetweennessConfig::exact()).scores;
+    let bc = betweenness_centrality(&g, &BetweennessConfig::exact())
+        .unwrap()
+        .scores;
     assert!(bc.iter().all(|&s| s.abs() < 1e-9));
     assert!(clustering_coefficients(&g)
         .unwrap()
@@ -159,11 +171,13 @@ fn sampled_bc_on_cycle_has_uniform_expectation() {
     // many seeds converges to the uniform exact score.
     let n = 24usize;
     let g = build(classic::cycle(n));
-    let exact = betweenness_centrality(&g, &BetweennessConfig::exact()).scores[0];
+    let exact = betweenness_centrality(&g, &BetweennessConfig::exact())
+        .unwrap()
+        .scores[0];
     let mut acc = vec![0.0; n];
     let trials = 64;
     for seed in 0..trials {
-        let approx = betweenness_centrality(&g, &BetweennessConfig::sampled(6, seed));
+        let approx = betweenness_centrality(&g, &BetweennessConfig::sampled(6, seed)).unwrap();
         for v in 0..n {
             acc[v] += approx.scores[v] / trials as f64;
         }

@@ -3,7 +3,7 @@
 use crate::command::{parse_script, Command, ParseError, PrintTarget};
 use graphct_core::builder::build_undirected_simple;
 use graphct_core::{CsrGraph, GraphError};
-use graphct_kernels::betweenness::SourceSelection;
+use graphct_kernels::betweenness::SamplingSpec;
 use graphct_kernels::components::ComponentSummary;
 use graphct_kernels::kbetweenness::{k_betweenness_centrality, KBetweennessConfig};
 use std::io::Write;
@@ -186,10 +186,9 @@ impl Engine {
                 let seed = self.seed;
                 let g = self.need_graph(line)?;
                 let config = KBetweennessConfig {
-                    selection: SourceSelection::Count(*sources),
+                    sampling: SamplingSpec::count(*sources, seed),
                     ..KBetweennessConfig::exact(*k)
                 };
-                let config = KBetweennessConfig { seed, ..config };
                 let result = k_betweenness_centrality(g, &config).map_err(gerr)?;
                 if let Some(path) = save_to {
                     let path = self.resolve(path);

@@ -25,14 +25,15 @@ fn main() {
     );
 
     let start = Instant::now();
-    let exact = betweenness_centrality(g, &BetweennessConfig::exact());
+    let exact = betweenness_centrality(g, &BetweennessConfig::exact()).unwrap();
     let exact_time = start.elapsed().as_secs_f64();
     println!("exact betweenness: {exact_time:.3}s");
 
     println!("\nsampling%  time(s)  speedup  top1%  top5%  top10%");
     for pct in [10u32, 25, 50] {
         let start = Instant::now();
-        let approx = betweenness_centrality(g, &BetweennessConfig::fraction(pct as f64 / 100.0, 7));
+        let approx =
+            betweenness_centrality(g, &BetweennessConfig::fraction(pct as f64 / 100.0, 7)).unwrap();
         let t = start.elapsed().as_secs_f64();
         let acc = |frac| top_k_overlap(&exact.scores, &approx.scores, frac);
         println!(

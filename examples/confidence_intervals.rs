@@ -32,7 +32,9 @@ fn main() {
     );
 
     // Compare against the exact scores to show the intervals are honest.
-    let exact = betweenness_centrality(g, &BetweennessConfig::exact()).scores;
+    let exact = betweenness_centrality(g, &BetweennessConfig::exact())
+        .unwrap()
+        .scores;
 
     println!("top 10 by estimated BC — estimate ± 90% half-width (exact)");
     let mut covered = 0;

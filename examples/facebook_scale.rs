@@ -47,7 +47,7 @@ fn main() {
 
     // The paper's kernel: BC estimation from 256 random sources.
     let start = Instant::now();
-    let bc = betweenness_centrality(&graph, &BetweennessConfig::sampled(256, 0));
+    let bc = betweenness_centrality(&graph, &BetweennessConfig::sampled(256, 0)).unwrap();
     let elapsed = start.elapsed().as_secs_f64();
     println!(
         "betweenness estimate (256 sources) in {elapsed:.2}s \

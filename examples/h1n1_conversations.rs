@@ -47,7 +47,7 @@ fn main() {
 
     // Rank conversation participants: exact BC on the small filtered
     // graph is cheap.
-    let bc = betweenness_centrality(&conv.graph, &BetweennessConfig::exact());
+    let bc = betweenness_centrality(&conv.graph, &BetweennessConfig::exact()).unwrap();
     println!("\ntop conversation actors by betweenness:");
     for (rank, v) in top_k_indices(&bc.scores, 10).into_iter().enumerate() {
         let orig = conv.orig_of[v];
@@ -57,7 +57,8 @@ fn main() {
 
     // Contrast with the unfiltered ranking, which broadcast hubs
     // dominate (Table IV).
-    let full_bc = betweenness_centrality(&tg.undirected, &BetweennessConfig::sampled(256, 7));
+    let full_bc =
+        betweenness_centrality(&tg.undirected, &BetweennessConfig::sampled(256, 7)).unwrap();
     println!("\ntop actors in the FULL graph (hub-dominated, cf. Table IV):");
     for (rank, v) in top_k_indices(&full_bc.scores, 5).into_iter().enumerate() {
         let handle = tg.labels.name(v as u32).unwrap_or("<unknown>");

@@ -51,7 +51,7 @@ fn main() {
     );
 
     // Exact betweenness centrality (§II-A).
-    let bc = betweenness_centrality(&graph, &BetweennessConfig::exact());
+    let bc = betweenness_centrality(&graph, &BetweennessConfig::exact()).unwrap();
     for v in top_k_indices(&bc.scores, 3) {
         println!("top BC: vertex {v} score {:.1}", bc.scores[v]);
     }

@@ -10,7 +10,8 @@
 //! This facade re-exports the workspace crates:
 //!
 //! * [`core`](graphct_core) — static CSR graphs, builders, subgraphs,
-//!   DIMACS/binary/edge-list I/O, vertex labels.
+//!   DIMACS/binary/edge-list I/O, vertex labels, and the locality engine
+//!   (vertex permutations + cache-friendly reordering passes).
 //! * [`mt`](graphct_mt) — the multithreaded substrate: atomic arrays
 //!   with fetch-and-add, bitmaps, full/empty cells, prefix sums.
 //! * [`kernels`](graphct_kernels) — BFS, connected components,
@@ -44,7 +45,7 @@
 //! // Build a small mention graph and rank actors by betweenness.
 //! let edges = EdgeList::from_pairs(vec![(0, 1), (1, 2), (2, 3), (1, 3)]);
 //! let graph = build_undirected_simple(&edges).unwrap();
-//! let bc = betweenness_centrality(&graph, &BetweennessConfig::exact());
+//! let bc = betweenness_centrality(&graph, &BetweennessConfig::exact()).unwrap();
 //! let top = top_k_indices(&bc.scores, 2);
 //! assert_eq!(top.len(), 2);
 //! ```
@@ -64,15 +65,15 @@ pub use graphct_twitter as twitter;
 pub mod prelude {
     pub use graphct_core::builder::{build_directed_simple, build_undirected_simple};
     pub use graphct_core::{
-        CsrGraph, DuplicatePolicy, EdgeList, GraphBuilder, GraphError, SelfLoopPolicy, VertexId,
-        VertexLabels,
+        CsrGraph, DuplicatePolicy, EdgeList, GraphBuilder, GraphError, Permutation, ReorderKind,
+        ReorderedView, SelfLoopPolicy, VertexId, VertexLabels,
     };
     pub use graphct_kernels::{
         betweenness_centrality, bfs_levels, clustering_coefficients, connected_components,
         core_numbers, degree_statistics, estimate_diameter, k_betweenness_centrality,
-        kcore_subgraph, parallel_bfs_levels, parallel_bfs_with, BetweennessConfig, BfsConfig,
-        ComponentSummary, FrontierKind, HybridBfs, KBetweennessConfig, SamplingStrategy,
-        SourceSelection,
+        kcore_subgraph, parallel_bfs_levels, parallel_bfs_with, sequential_bfs_levels,
+        BetweennessConfig, BfsConfig, ComponentSummary, FrontierKind, HybridBfs,
+        KBetweennessConfig, SamplingSpec, SamplingStrategy, SourceSelection,
     };
     pub use graphct_metrics::{fit_power_law, kendall_tau, top_k_indices, top_k_overlap};
     pub use graphct_script::Engine;

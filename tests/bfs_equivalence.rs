@@ -48,7 +48,7 @@ fn assert_all_configs_match(g: &CsrGraph, label: &str) {
     for config in configs() {
         let engine = HybridBfs::with_config(g, config);
         for src in sources(g.num_vertices()) {
-            let expected = bfs_levels(g, src);
+            let expected = sequential_bfs_levels(g, src);
             let got = engine.levels(src);
             assert_eq!(
                 got, expected,

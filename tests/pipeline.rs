@@ -33,7 +33,7 @@ fn full_crisis_analysis_pipeline() {
     assert!(conv.stats.reduction_factor > 5.0);
 
     // Centrality ranks hubs on top (Table IV).
-    let bc = betweenness_centrality(g, &BetweennessConfig::sampled(128, 7));
+    let bc = betweenness_centrality(g, &BetweennessConfig::sampled(128, 7)).unwrap();
     let top = top_k_indices(&bc.scores, 5);
     let hubbish = top
         .iter()
@@ -51,8 +51,12 @@ fn approximation_accuracy_holds_at_small_scale() {
     // overlap high.
     let (_tweets, tg) = small_h1n1();
     let g = &tg.undirected;
-    let exact = betweenness_centrality(g, &BetweennessConfig::exact()).scores;
-    let approx = betweenness_centrality(g, &BetweennessConfig::fraction(0.25, 3)).scores;
+    let exact = betweenness_centrality(g, &BetweennessConfig::exact())
+        .unwrap()
+        .scores;
+    let approx = betweenness_centrality(g, &BetweennessConfig::fraction(0.25, 3))
+        .unwrap()
+        .scores;
     let acc = top_k_overlap(&exact, &approx, 0.05);
     assert!(acc > 0.6, "top-5% overlap only {acc:.2}");
 }
@@ -110,7 +114,7 @@ fn generators_compose_with_kernels() {
         assert_eq!(colors[u as usize], colors[v as usize]);
     }
 
-    let bc = betweenness_centrality(&g, &BetweennessConfig::sampled(32, 1));
+    let bc = betweenness_centrality(&g, &BetweennessConfig::sampled(32, 1)).unwrap();
     assert!(bc.scores.iter().all(|&s| s >= 0.0 && s.is_finite()));
 
     let cores = core_numbers(&g).unwrap();

@@ -70,7 +70,7 @@ proptest! {
             .num_vertices(70)
             .build(&EdgeList::from_pairs(edges))
             .unwrap();
-        let seq = bfs_levels(&g, src);
+        let seq = sequential_bfs_levels(&g, src);
         for kind in [
             FrontierKind::Queue,
             FrontierKind::Bitmap,
@@ -96,7 +96,7 @@ proptest! {
         } else {
             GraphBuilder::undirected().num_vertices(60).build(&el).unwrap()
         };
-        let seq = bfs_levels(&g, src);
+        let seq = sequential_bfs_levels(&g, src);
         let config = BfsConfig::hybrid().with_alpha(alpha).with_beta(beta);
         prop_assert_eq!(&parallel_bfs_with(&g, src, &config), &seq);
     }
@@ -107,7 +107,7 @@ proptest! {
     ) {
         let g = build_undirected_simple(&EdgeList::from_pairs(edges)).unwrap();
         let n = g.num_vertices() as f64;
-        let bc = betweenness_centrality(&g, &BetweennessConfig::exact());
+        let bc = betweenness_centrality(&g, &BetweennessConfig::exact()).unwrap();
         for &s in &bc.scores {
             prop_assert!(s.is_finite());
             prop_assert!(s >= -1e-9);
@@ -125,7 +125,9 @@ proptest! {
     #[test]
     fn kbc_k0_equals_brandes(edges in edge_lists(20, 45)) {
         let g = build_undirected_simple(&EdgeList::from_pairs(edges)).unwrap();
-        let bc = betweenness_centrality(&g, &BetweennessConfig::exact()).scores;
+        let bc = betweenness_centrality(&g, &BetweennessConfig::exact())
+            .unwrap()
+            .scores;
         let kbc = k_betweenness_centrality(&g, &KBetweennessConfig::exact(0))
             .unwrap()
             .scores;
@@ -206,5 +208,62 @@ proptest! {
         prop_assert!((acc - 1.0).abs() < 1e-12);
         let tau = kendall_tau(&scores_a, &scores_a);
         prop_assert!(tau >= 0.0);
+    }
+
+    #[test]
+    fn permutation_apply_then_invert_is_identity(order in prop::collection::vec(any::<u8>(), 1..64)) {
+        // Turn arbitrary bytes into a permutation by arg-sorting them.
+        let mut idx: Vec<u32> = (0..order.len() as u32).collect();
+        idx.sort_unstable_by_key(|&i| (order[i as usize], i));
+        let perm = Permutation::from_order(&idx).unwrap();
+        let inv = perm.inverse();
+        for v in 0..perm.len() as u32 {
+            prop_assert_eq!(inv.apply(perm.apply(v)), v);
+            prop_assert_eq!(perm.apply(inv.apply(v)), v);
+        }
+        prop_assert!(perm.compose(&inv).is_identity());
+        prop_assert!(inv.compose(&perm).is_identity());
+    }
+
+    #[test]
+    fn permutation_compose_is_associative(
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+        seed_c in any::<u64>(),
+        n in 1usize..48,
+    ) {
+        // Three independent shuffles of the same vertex set: composition
+        // must associate, and permute must follow composition.
+        let g = CsrGraph::empty(n, false);
+        let a = graphct::core::reorder::by_shuffle(&g, seed_a);
+        let b = graphct::core::reorder::by_shuffle(&g, seed_b);
+        let c = graphct::core::reorder::by_shuffle(&g, seed_c);
+        let left = a.compose(&b).compose(&c);
+        let right = a.compose(&b.compose(&c));
+        prop_assert_eq!(left.as_slice(), right.as_slice());
+        // permute through the composite == permute twice.
+        let values: Vec<u32> = (0..n as u32).map(|v| v.wrapping_mul(2654435761)).collect();
+        let ab = a.compose(&b);
+        prop_assert_eq!(ab.permute(&values), b.permute(&a.permute(&values)));
+        prop_assert_eq!(ab.unpermute(&ab.permute(&values)), values);
+    }
+
+    #[test]
+    fn reordered_graph_preserves_adjacency(
+        edges in edge_lists(50, 120),
+        seed in any::<u64>(),
+    ) {
+        let g = build_undirected_simple(&EdgeList::from_pairs(edges)).unwrap();
+        let perm = graphct::core::reorder::by_shuffle(&g, seed);
+        let rg = g.reordered(&perm);
+        prop_assert_eq!(rg.num_vertices(), g.num_vertices());
+        prop_assert_eq!(rg.num_arcs(), g.num_arcs());
+        prop_assert!(rg.is_sorted());
+        for v in 0..g.num_vertices() as u32 {
+            let mut expected: Vec<u32> =
+                g.neighbors(v).iter().map(|&u| perm.apply(u)).collect();
+            expected.sort_unstable();
+            prop_assert_eq!(rg.neighbors(perm.apply(v)), &expected[..]);
+        }
     }
 }
