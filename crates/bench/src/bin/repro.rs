@@ -13,6 +13,10 @@
 //! repro reorder              # locality-engine exhibit: kernel timings under
 //!                            # degree / RCM / shuffle vertex reorderings
 //!                            # (BENCH_REORDER.json)
+//! repro msbfs                # bit-parallel multi-source BFS exhibit: batch
+//!                            # 1/8/64 eccentricity sweeps vs the per-source
+//!                            # rayon baseline, oracle-checked before timing
+//!                            # (BENCH_MSBFS.json)
 //! repro trace-bfs            # ablation-bfs with per-level telemetry +
 //!                            # disabled-overhead proof (BENCH_TRACE_OVERHEAD.json)
 //! repro trace-validate FILE  # check a JSON-lines trace against the schema
@@ -86,7 +90,7 @@ impl Options {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <all|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|ablation-sampling|ablation-cc|ablation-bfs|reorder|trace-bfs|trace-validate FILE|check-regress> [--quick] [--full] [--seed N] [--reps N]");
+        eprintln!("usage: repro <all|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|ablation-sampling|ablation-cc|ablation-bfs|reorder|msbfs|trace-bfs|trace-validate FILE|check-regress> [--quick] [--full] [--seed N] [--reps N]");
         std::process::exit(2);
     }
     let cmd = args.remove(0);
@@ -119,6 +123,7 @@ fn main() {
         "ablation-cc" => ablation_cc(opts),
         "ablation-bfs" => ablation_bfs(opts),
         "reorder" => reorder_exhibit(opts),
+        "msbfs" => msbfs_exhibit(opts),
         "trace-bfs" => trace_bfs(opts),
         "trace-validate" => trace_validate(&args),
         "check-regress" => check_regress(),
@@ -135,6 +140,7 @@ fn main() {
             ablation_cc(opts);
             ablation_bfs(opts);
             reorder_exhibit(opts);
+            msbfs_exhibit(opts);
         }
         other => {
             eprintln!("unknown exhibit '{other}'");
@@ -1310,6 +1316,180 @@ fn reorder_exhibit(opts: Options) {
 /// Natural-order BFS levels for each source in the batch.
 fn natural_levels_for(engine: &graphct_kernels::bfs::HybridBfs, sources: &[u32]) -> Vec<Vec<u32>> {
     sources.iter().map(|&s| engine.levels(s)).collect()
+}
+
+/// One timed cell of the MS-BFS exhibit.
+struct MsbfsCell {
+    graph: String,
+    engine: String,
+    summary: graphct_bench::timing::TimingSummary,
+    median_s: f64,
+    speedup: f64,
+}
+
+/// `repro msbfs` — the bit-parallel multi-source BFS exhibit
+/// (`BENCH_MSBFS.json`).
+///
+/// The paper's diameter phase runs 256 independent BFS roots (§IV-A);
+/// the XMT keeps them latency-hidden in hardware thread contexts, and
+/// our commodity substitute packs up to 64 of them into the lanes of a
+/// `u64` so one adjacency scan advances the whole batch.  Before any
+/// timing, every graph passes an oracle gate: batched levels at widths
+/// 1, 3, and 64 must be *bit-identical* to `sequential_bfs_levels` for
+/// 65 spread-out sources.  Then the same eccentricity sweep runs as (a)
+/// the per-source rayon baseline and (b) MS-BFS at batch 1, 8, and 64,
+/// all four arms required to agree on the max distance.
+fn msbfs_exhibit(opts: Options) {
+    use graphct_kernels::bfs::{max_level, sequential_bfs_levels, HybridBfs};
+    use graphct_kernels::msbfs::MsBfs;
+    use rayon::prelude::*;
+
+    banner("MS-BFS — bit-parallel multi-source batching vs per-source tasks");
+    let scale = if opts.quick { 12 } else { 16 };
+    let cfg = graphct_gen::RmatConfig::paper(scale, 16);
+    let rmat = build_undirected_simple(&graphct_gen::rmat_edges(&cfg, opts.seed)).unwrap();
+    let hub_cfg = graphct_gen::broadcast::BroadcastConfig {
+        hubs: 1,
+        fanout: if opts.quick { 2_000 } else { 20_000 },
+        decay: 0.001,
+        max_depth: 4,
+    };
+    let (hub_edges, _) = graphct_gen::broadcast::broadcast_forest(&hub_cfg, opts.seed);
+    let hub = build_undirected_simple(&hub_edges).unwrap();
+    let rmat_name = format!("rmat scale {scale}");
+    let graphs: [(&str, &CsrGraph); 2] = [(&rmat_name, &rmat), ("broadcast-hub", &hub)];
+
+    let sweep = if opts.quick { 64 } else { 256 };
+    let reps = opts.reps.max(3);
+    const BATCHES: [usize; 3] = [1, 8, 64];
+
+    let mut cells: Vec<MsbfsCell> = Vec::new();
+    let mut t = Table::new(&["graph", "engine", "median s", "ci90 s", "speedup vs rayon"]);
+    for (gname, graph) in graphs {
+        let n = graph.num_vertices() as u32;
+        let engine = HybridBfs::new(graph);
+        let ms = MsBfs::new(&engine);
+
+        // Oracle gate: bit-identical levels before a single timing rep.
+        let gate_sources: Vec<u32> = (0..65u32).map(|i| (i * 131 + 17) % n).collect();
+        for batch in [1usize, 3, 64] {
+            let got = ms.levels_many(&gate_sources, batch);
+            for (&s, lv) in gate_sources.iter().zip(&got) {
+                assert_eq!(
+                    lv,
+                    &sequential_bfs_levels(graph, s),
+                    "{gname}: MS-BFS levels diverge from the oracle (source {s}, batch {batch})"
+                );
+            }
+        }
+        println!("{gname}: oracle gate passed (65 sources x batch 1/3/64, bit-identical)");
+
+        let sources: Vec<u32> = (0..sweep as u32).map(|i| (i * 97 + 13) % n).collect();
+        let rayon_max = sources
+            .par_iter()
+            .map(|&s| max_level(&engine.levels(s)))
+            .max()
+            .unwrap_or(0);
+        let rayon_samples = time_samples(reps, || {
+            std::hint::black_box(
+                sources
+                    .par_iter()
+                    .map(|&s| max_level(&engine.levels(s)))
+                    .max(),
+            );
+        });
+        let rayon_median = median_of(&rayon_samples);
+        let mut arms: Vec<(String, Vec<f64>)> =
+            vec![("rayon_per_source".to_string(), rayon_samples)];
+        for batch in BATCHES {
+            let got_max = ms.eccentricities(&sources, batch).into_iter().max();
+            assert_eq!(
+                got_max,
+                Some(rayon_max),
+                "{gname}: batch {batch} disagrees with the rayon baseline on max distance"
+            );
+            let samples = time_samples(reps, || {
+                std::hint::black_box(ms.eccentricities(&sources, batch).into_iter().max());
+            });
+            arms.push((format!("msbfs_batch{batch}"), samples));
+        }
+
+        for (engine_name, samples) in arms {
+            let median_s = median_of(&samples);
+            let speedup = rayon_median / median_s.max(1e-12);
+            let summary = graphct_bench::timing::TimingSummary::from_samples(&samples);
+            t.row(&[
+                gname.to_string(),
+                engine_name.clone(),
+                f(median_s, 5),
+                f(summary.ci90, 5),
+                format!("{speedup:.3}x"),
+            ]);
+            cells.push(MsbfsCell {
+                graph: gname.to_string(),
+                engine: engine_name,
+                summary,
+                median_s,
+                speedup,
+            });
+        }
+    }
+    t.print();
+
+    let rmat_batch64 = cells
+        .iter()
+        .find(|c| c.graph == rmat_name && c.engine == "msbfs_batch64")
+        .expect("exhibit always times the full-width batch");
+    println!(
+        "batch 64 on {}: {:.3}x vs the per-source rayon baseline",
+        rmat_name, rmat_batch64.speedup
+    );
+    let batch64_beats_rayon = rmat_batch64.speedup > 1.0;
+
+    let history: Vec<(String, f64)> = cells
+        .iter()
+        .map(|c| (format!("{}/{}", c.graph, c.engine), c.summary.mean))
+        .collect();
+    record_history(opts, "msbfs", &history);
+
+    let results: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"graph\": \"{}\", \"engine\": \"{}\", \"median_s\": {:.6}, \
+                 \"mean_s\": {:.6}, \"std_dev_s\": {:.6}, \"ci90_s\": {:.6}, \
+                 \"speedup_vs_rayon\": {:.4}}}",
+                c.graph,
+                c.engine,
+                c.median_s,
+                c.summary.mean,
+                c.summary.std_dev,
+                c.summary.ci90,
+                c.speedup
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"msbfs\",\n  \"quick\": {},\n  \"seed\": {},\n  \"reps\": {reps},\n  \
+         \"sweep_sources\": {sweep},\n  \"batches\": [1, 8, 64],\n  \
+         \"graphs\": [\n    {{\"name\": \"{rmat_name}\", \"vertices\": {}, \"edges\": {}}},\n    \
+         {{\"name\": \"broadcast-hub\", \"vertices\": {}, \"edges\": {}}}\n  ],\n  \
+         \"results\": [\n{}\n  ],\n  \
+         \"batch64_beats_rayon\": {}\n}}\n",
+        opts.quick,
+        opts.seed,
+        rmat.num_vertices(),
+        rmat.num_edges(),
+        hub.num_vertices(),
+        hub.num_edges(),
+        results.join(",\n"),
+        batch64_beats_rayon,
+    );
+    let out = "BENCH_MSBFS.json";
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
 }
 
 /// Validate a JSON-lines trace file against the documented event schema

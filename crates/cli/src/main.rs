@@ -26,12 +26,12 @@ USAGE:
                                                generate a synthetic tweet
                                                mention graph (edge list)
   graphct stats <graph> [--frontier KIND] [--alpha A] [--beta B]
-                [--reorder PASS]               degrees, components, diameter
+                [--reorder PASS] [--batch K]   degrees, components, diameter
   graphct components <graph> [--top K] [--reorder PASS]
                                                connected components summary
   graphct bc <graph> [--samples N] [--seed N] [--top K]
               [--frontier KIND] [--alpha A] [--beta B] [--reorder PASS]
-                                               (approximate) betweenness
+              [--batch K]                      (approximate) betweenness
   graphct serve [--profile h1n1|atlflood|sep1] [--scale-pct P] [--seed N]
                 [--port P | --addr HOST:PORT] [--batch-size N] [--batches N]
                 [--interval-ms MS] [--window N] [--trace-out FILE]
@@ -56,6 +56,12 @@ Locality (stats, components, bc): --reorder relabels vertices before the
 kernels run — none (default) | degree (hubs first) | rcm (BFS bandwidth
 reduction) | shuffle (randomized baseline).  All output is reported in
 the original vertex ids; only the in-memory layout changes.
+
+Batched traversal (stats, bc): --batch K runs BFS sources through the
+bit-parallel multi-source engine, K sources (max 64) per adjacency
+scan.  stats defaults to 64; bc defaults to 1 (classic per-source
+Brandes) since the batched forward pass stores all source distances.
+Results are identical at every K.
 
 Telemetry (any command): --trace turns on kernel telemetry and prints a
 hierarchical timing summary to stderr at exit; --trace-out FILE streams
@@ -259,8 +265,12 @@ fn serve_cmd(args: &mut Vec<String>) -> Result<(), String> {
     }
     let stats = handle.wait();
     println!(
-        "drained: {} batches, {} mentions, {} edges inserted, {} expired",
-        stats.batches, stats.mentions, stats.edges_inserted, stats.edges_expired
+        "drained: {} batches, {} mentions, {} edges inserted, {} expired, {} errors",
+        stats.batches,
+        stats.mentions,
+        stats.edges_inserted,
+        stats.edges_expired,
+        stats.ingest_errors
     );
     Ok(())
 }
@@ -536,6 +546,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let path = PathBuf::from(args.remove(0));
             let bfs = parse_bfs_flags(&mut args)?;
             let reorder = parse_reorder_flag(&mut args)?;
+            let batch: usize = parse_flag(&mut args, "--batch", graphct_kernels::DEFAULT_BATCH)?;
             let graph = load_graph(&path)?;
             let view = graphct_core::ReorderedView::apply(&graph, reorder, 0);
             let work = view.as_ref().map_or(&graph, |v| v.graph());
@@ -559,16 +570,21 @@ fn run(args: &[String]) -> Result<(), String> {
                 comps.num_components(),
                 comps.largest_size()
             );
-            let dia = graphct_kernels::diameter::estimate_diameter_with(
+            let dia = graphct_kernels::diameter::estimate_diameter_batched(
                 work,
                 graphct_kernels::diameter::DEFAULT_SAMPLES,
                 graphct_kernels::diameter::DEFAULT_MULTIPLIER,
                 0,
                 &bfs,
+                batch,
             );
             println!(
-                "diameter estimate {} (longest distance {} over {} sources, {:?} frontier)",
-                dia.estimate, dia.max_distance_found, dia.samples, bfs.frontier
+                "diameter estimate {} (longest distance {} over {} sources, {:?} frontier, batch {})",
+                dia.estimate,
+                dia.max_distance_found,
+                dia.samples,
+                bfs.frontier,
+                batch.clamp(1, graphct_kernels::MAX_BATCH)
             );
             Ok(())
         }
@@ -620,11 +636,13 @@ fn run(args: &[String]) -> Result<(), String> {
             let top: usize = parse_flag(&mut args, "--top", 15)?;
             let bfs = parse_bfs_flags(&mut args)?;
             let reorder = parse_reorder_flag(&mut args)?;
+            let batch: usize = parse_flag(&mut args, "--batch", 1)?;
             let graph = load_graph(&path)?;
             let view = graphct_core::ReorderedView::apply(&graph, reorder, seed);
             let work = view.as_ref().map_or(&graph, |v| v.graph());
             let mut config = graphct_kernels::BetweennessConfig::sampled(samples, seed);
             config.bfs = bfs;
+            config.batch = batch.max(1);
             let start = std::time::Instant::now();
             let result = graphct_kernels::betweenness_centrality(work, &config)
                 .map_err(|e| e.to_string())?;
@@ -636,9 +654,14 @@ fn run(args: &[String]) -> Result<(), String> {
                 None => result.scores.clone(),
             };
             println!(
-                "betweenness over {} sources in {:.3}s{}",
+                "betweenness over {} sources in {:.3}s{}{}",
                 result.sources.len(),
                 elapsed.as_secs_f64(),
+                if config.batch > 1 {
+                    format!(" (batch {})", config.batch.min(graphct_kernels::MAX_BATCH))
+                } else {
+                    String::new()
+                },
                 view.as_ref()
                     .map_or(String::new(), |v| format!(" ({} reorder)", v.kind()))
             );

@@ -84,6 +84,81 @@ fn gen_stats_bc_pipeline() {
 }
 
 #[test]
+fn batch_flag_changes_engine_not_results() {
+    let dir = temp_dir("batch");
+    let edges = dir.join("rmat.txt");
+    let out = graphct()
+        .args([
+            "gen",
+            "rmat",
+            "--scale",
+            "7",
+            "--edge-factor",
+            "4",
+            "--seed",
+            "2",
+            "--out",
+        ])
+        .arg(&edges)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // stats: --batch 1 (per-source rayon) and --batch 64 (MS-BFS) must
+    // print the same diameter line apart from the batch annotation.
+    let diameter_line = |batch: &str| {
+        let out = graphct()
+            .arg("stats")
+            .arg(&edges)
+            .args(["--batch", batch])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("diameter estimate"))
+            .unwrap_or_else(|| panic!("no diameter line in {text}"))
+            .to_string();
+        assert!(line.contains(&format!("batch {batch}")), "{line}");
+        line.split(", batch").next().unwrap().to_string()
+    };
+    assert_eq!(diameter_line("1"), diameter_line("64"));
+
+    // bc: batched forward pass reports the engine and matches scores.
+    let bc_out = |extra: &[&str]| {
+        let out = graphct()
+            .arg("bc")
+            .arg(&edges)
+            .args(["--samples", "16", "--top", "3", "--seed", "5"])
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let classic = bc_out(&[]);
+    let batched = bc_out(&["--batch", "64"]);
+    assert!(batched.contains("(batch 64)"), "{batched}");
+    let scores = |text: &str| {
+        text.lines()
+            .filter(|l| l.contains("vertex"))
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(scores(&classic), scores(&batched));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn tweets_profile_generates_edge_list() {
     let dir = temp_dir("tweets");
     let out_file = dir.join("atl.txt");

@@ -48,15 +48,82 @@ pub fn write<W: Write>(graph: &CsrGraph, writer: &mut W) -> Result<()> {
     Ok(())
 }
 
+/// Vertex-count ceiling: ids are `u32`, so any header claiming more is
+/// corrupt, and rejecting it here keeps a flipped length byte from
+/// driving a giant allocation.
+const MAX_VERTICES: u64 = 1 << 32;
+
+/// `read_exact` with the section name folded into the error: a short
+/// read becomes a [`GraphError::Format`] naming the truncated section
+/// instead of a bare EOF.
+fn read_exact_section<R: Read>(reader: &mut R, buf: &mut [u8], section: &str) -> Result<()> {
+    reader.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            GraphError::Format(format!("truncated {section} section"))
+        } else {
+            GraphError::Io(e)
+        }
+    })
+}
+
+/// Stream `count` little-endian `u64`s through a fixed buffer.  The
+/// claimed `count` bounds only the loop — output capacity grows with
+/// bytes actually read, so a corrupt header cannot force an allocation
+/// larger than the input itself.
+fn read_u64_values<R: Read>(reader: &mut R, count: usize, section: &str) -> Result<Vec<u64>> {
+    let mut out = Vec::new();
+    let mut buf = [0u8; 8192];
+    let mut remaining = count;
+    while remaining > 0 {
+        let take = remaining.min(buf.len() / 8);
+        let bytes = &mut buf[..take * 8];
+        read_exact_section(reader, bytes, section)?;
+        out.extend(
+            bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap())),
+        );
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+/// Stream `count` little-endian `u32`s through a fixed buffer (same
+/// no-trust-the-header allocation policy as [`read_u64_values`]).
+fn read_u32_values<R: Read>(reader: &mut R, count: usize, section: &str) -> Result<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut buf = [0u8; 8192];
+    let mut remaining = count;
+    while remaining > 0 {
+        let take = remaining.min(buf.len() / 4);
+        let bytes = &mut buf[..take * 4];
+        read_exact_section(reader, bytes, section)?;
+        out.extend(
+            bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+        );
+        remaining -= take;
+    }
+    Ok(out)
+}
+
 /// Deserialize a graph from `reader`.
+///
+/// Corrupt or truncated input of any kind — short reads at every
+/// section boundary, a bad magic, unknown flags, header counts that
+/// exceed the id space, or an offsets array that disagrees with the
+/// claimed target count — returns a [`GraphError`]; this function never
+/// panics and never sizes an allocation from an unvalidated header
+/// field.
 pub fn read<R: Read>(reader: &mut R) -> Result<CsrGraph> {
     let mut magic = [0u8; 8];
-    reader.read_exact(&mut magic)?;
+    read_exact_section(reader, &mut magic, "magic")?;
     if &magic != MAGIC {
         return Err(GraphError::Format("bad magic: not a GraphCT binary".into()));
     }
     let mut flags = [0u8; 1];
-    reader.read_exact(&mut flags)?;
+    read_exact_section(reader, &mut flags, "flags")?;
     if flags[0] > 1 {
         return Err(GraphError::Format(format!(
             "unknown flags byte {}",
@@ -65,25 +132,38 @@ pub fn read<R: Read>(reader: &mut R) -> Result<CsrGraph> {
     }
     let directed = flags[0] == 1;
     let mut u64buf = [0u8; 8];
-    reader.read_exact(&mut u64buf)?;
-    let n = u64::from_le_bytes(u64buf) as usize;
-    reader.read_exact(&mut u64buf)?;
-    let m = u64::from_le_bytes(u64buf) as usize;
+    read_exact_section(reader, &mut u64buf, "header")?;
+    let n64 = u64::from_le_bytes(u64buf);
+    if n64 >= MAX_VERTICES {
+        return Err(GraphError::Format(format!(
+            "vertex count {n64} exceeds the u32 id space"
+        )));
+    }
+    read_exact_section(reader, &mut u64buf, "header")?;
+    let m64 = u64::from_le_bytes(u64buf);
+    let n = usize::try_from(n64)
+        .map_err(|_| GraphError::Format(format!("vertex count {n64} overflows usize")))?;
+    let m = usize::try_from(m64)
+        .map_err(|_| GraphError::Format(format!("arc count {m64} overflows usize")))?;
 
-    let mut offsets = Vec::with_capacity(n + 1);
-    let mut raw = vec![0u8; (n + 1) * 8];
-    reader.read_exact(&mut raw)?;
-    for chunk in raw.chunks_exact(8) {
-        offsets.push(u64::from_le_bytes(chunk.try_into().unwrap()) as usize);
+    let offsets: Vec<usize> = read_u64_values(reader, n + 1, "offsets")?
+        .into_iter()
+        .map(|o| {
+            usize::try_from(o)
+                .map_err(|_| GraphError::Format(format!("offset {o} overflows usize")))
+        })
+        .collect::<Result<_>>()?;
+    // Cross-check before touching the targets section: the final offset
+    // *is* the target count, so any disagreement with the header means
+    // the file is corrupt — bail rather than misparse what follows.
+    let last = *offsets.last().expect("offsets has n + 1 >= 1 entries");
+    if last != m {
+        return Err(GraphError::Format(format!(
+            "offsets/targets length mismatch: final offset {last} but header claims {m} targets"
+        )));
     }
 
-    let mut targets = Vec::with_capacity(m);
-    let mut raw = vec![0u8; m * 4];
-    reader.read_exact(&mut raw)?;
-    for chunk in raw.chunks_exact(4) {
-        targets.push(VertexId::from_le_bytes(chunk.try_into().unwrap()));
-    }
-
+    let targets: Vec<VertexId> = read_u32_values(reader, m, "targets")?;
     CsrGraph::from_raw_parts(offsets, targets, directed)
 }
 
@@ -180,6 +260,104 @@ mod tests {
             read(&mut buf.as_slice()),
             Err(GraphError::Format(_))
         ));
+    }
+
+    #[test]
+    fn every_truncation_point_is_an_error() {
+        // Cutting the stream at *any* byte — inside the magic, flags,
+        // header, offsets, or targets — must yield Err, never a panic or
+        // a silently short graph.
+        let g = sample();
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            let r = read(&mut &buf[..cut]);
+            assert!(r.is_err(), "prefix of {cut}/{} bytes parsed", buf.len());
+        }
+        assert!(read(&mut buf.as_slice()).is_ok());
+    }
+
+    #[test]
+    fn flipped_header_bytes_are_errors() {
+        // The 25 header bytes (magic 8, flags 1, n 8, m 8) are fully
+        // validated: inverting any one of them must produce an error —
+        // bad magic, unknown flags, an id-space overflow, a truncated
+        // section, or an offsets/targets mismatch, depending on which
+        // byte turned.
+        let g = sample();
+        let mut clean = Vec::new();
+        write(&g, &mut clean).unwrap();
+        for i in 0..25 {
+            let mut buf = clean.clone();
+            buf[i] ^= 0xff;
+            let r = read(&mut buf.as_slice());
+            assert!(r.is_err(), "flipping header byte {i} parsed");
+        }
+    }
+
+    #[test]
+    fn flipping_any_byte_never_panics() {
+        // Body corruption may or may not be detectable (a flipped target
+        // id can still be in range), but it must never panic.
+        let g = sample();
+        let mut clean = Vec::new();
+        write(&g, &mut clean).unwrap();
+        for i in 0..clean.len() {
+            let mut buf = clean.clone();
+            buf[i] ^= 0xff;
+            let _ = read(&mut buf.as_slice());
+        }
+    }
+
+    #[test]
+    fn huge_claimed_vertex_count_rejected_without_allocation() {
+        // n = u64::MAX must fail fast on the id-space check, not size a
+        // (n + 1) × 8-byte buffer from the lie.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(0);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        match read(&mut buf.as_slice()) {
+            Err(GraphError::Format(msg)) => assert!(msg.contains("id space"), "{msg}"),
+            other => panic!("expected Format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn huge_claimed_arc_count_rejected_by_offset_cross_check() {
+        // Valid offsets but a header claiming u64::MAX targets: the
+        // final-offset cross-check fires before any target is read.
+        let g = sample();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(0);
+        buf.extend_from_slice(&(g.num_vertices() as u64).to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        for &o in g.offsets() {
+            buf.extend_from_slice(&(o as u64).to_le_bytes());
+        }
+        match read(&mut buf.as_slice()) {
+            Err(GraphError::Format(msg)) => assert!(msg.contains("mismatch"), "{msg}"),
+            other => panic!("expected Format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_errors_name_the_section() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        // Cut mid-offsets (header is 25 bytes, offsets span 40 more).
+        match read(&mut &buf[..30]) {
+            Err(GraphError::Format(msg)) => assert!(msg.contains("offsets"), "{msg}"),
+            other => panic!("expected Format error, got {other:?}"),
+        }
+        // Cut mid-targets.
+        match read(&mut &buf[..buf.len() - 2]) {
+            Err(GraphError::Format(msg)) => assert!(msg.contains("targets"), "{msg}"),
+            other => panic!("expected Format error, got {other:?}"),
+        }
     }
 
     #[test]

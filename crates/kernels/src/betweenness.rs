@@ -123,6 +123,17 @@ pub struct BetweennessConfig {
     /// Direction-optimization tuning for the per-source forward BFS
     /// (hybrid by default; force push/pull for ablation).
     pub bfs: BfsConfig,
+    /// MS-BFS batch width for the forward passes (the CLI's `--batch`).
+    /// `1` (the default) runs the classic per-source Brandes forward
+    /// pass.  Larger widths — clamped to
+    /// [`MAX_BATCH`](crate::msbfs::MAX_BATCH) — precompute all source
+    /// distances with the bit-parallel [`crate::msbfs::MsBfs`] engine,
+    /// sharing each adjacency scan across up to 64 sources, then rebuild
+    /// per-source path counts from those distances.  Costs
+    /// O(|sources| · n) words of distance storage, so it is intended
+    /// for *sampled* runs (the paper's 256-source configuration), not
+    /// exact all-sources sweeps on large graphs.
+    pub batch: usize,
 }
 
 impl Default for BetweennessConfig {
@@ -132,6 +143,7 @@ impl Default for BetweennessConfig {
             rescale: true,
             halve_undirected: false,
             bfs: BfsConfig::default(),
+            batch: 1,
         }
     }
 }
@@ -313,9 +325,22 @@ pub fn accumulate_source(
         depth += 1;
     }
 
-    // Backward: reverse BFS order guarantees all successors are final
-    // (`order` is appended level by level, so reversing it visits
-    // non-increasing distances even when levels mixed push and pull).
+    backward_pass(predecessors, source, ws, scores);
+}
+
+/// Brandes dependency accumulation: walk the visitation order backward,
+/// pushing each vertex's dependency onto its shortest-path predecessors.
+///
+/// Reverse BFS order guarantees all successors are final (`order` is
+/// appended level by level, so reversing it visits non-increasing
+/// distances even when levels mixed push and pull — or were rebuilt from
+/// precomputed distances by [`accumulate_source_with_levels`]).
+fn backward_pass(
+    predecessors: &CsrGraph,
+    source: VertexId,
+    ws: &mut Workspace,
+    scores: &mut [f64],
+) {
     for &w in ws.order.iter().rev() {
         let dw = ws.dist[w as usize];
         let coeff = (1.0 + ws.delta[w as usize]) / ws.sigma[w as usize];
@@ -332,6 +357,81 @@ pub fn accumulate_source(
             scores[w as usize] += ws.delta[w as usize];
         }
     }
+}
+
+/// One Brandes source iteration driven by *precomputed* BFS levels (from
+/// the batched [`crate::msbfs::MsBfs`] forward pass) instead of an
+/// inline traversal.
+///
+/// The visitation order is rebuilt from `levels` with a counting sort —
+/// level-major, ascending vertex id within a level, which satisfies the
+/// only ordering the sigma and backward passes need (all of level `d`
+/// before any of level `d + 1`).  Sigma counting then scans each
+/// vertex's in-neighborhood once: parents are exactly the in-neighbors
+/// one level nearer the source.
+///
+/// Identical scores to [`accumulate_source`] up to floating-point
+/// summation order (parents are folded in in-neighbor order rather than
+/// frontier order).
+#[doc(hidden)]
+pub fn accumulate_source_with_levels(
+    predecessors: &CsrGraph,
+    source: VertexId,
+    levels: &[u32],
+    ws: &mut Workspace,
+    scores: &mut [f64],
+) {
+    ws.reset_touched();
+
+    // Counting sort of the reached vertices by level.
+    let mut counts: Vec<usize> = Vec::new();
+    let mut reached = 0usize;
+    for &d in levels {
+        if d != u32::MAX {
+            let d = d as usize;
+            if d >= counts.len() {
+                counts.resize(d + 1, 0);
+            }
+            counts[d] += 1;
+            reached += 1;
+        }
+    }
+    let mut cursor = Vec::with_capacity(counts.len());
+    let mut acc = 0usize;
+    for &c in &counts {
+        cursor.push(acc);
+        acc += c;
+    }
+    ws.order.resize(reached, 0);
+    for (v, &d) in levels.iter().enumerate() {
+        if d != u32::MAX {
+            let slot = &mut cursor[d as usize];
+            ws.order[*slot] = v as VertexId;
+            *slot += 1;
+            ws.dist[v] = d;
+        }
+    }
+
+    // Sigma forward over the rebuilt order: every parent (one level
+    // nearer) is final before its children scan, exactly as in the
+    // level-synchronous inline pass.
+    ws.sigma[source as usize] = 1.0;
+    for &v in &ws.order {
+        if v == source {
+            continue;
+        }
+        let dv = ws.dist[v as usize];
+        let mut sig = 0.0;
+        for &u in predecessors.neighbors(v) {
+            let du = ws.dist[u as usize];
+            if du != u32::MAX && du + 1 == dv {
+                sig += ws.sigma[u as usize];
+            }
+        }
+        ws.sigma[v as usize] = sig;
+    }
+
+    backward_pass(predecessors, source, ws, scores);
 }
 
 /// Per-source progress telemetry, kept out of [`accumulate_source`] and
@@ -520,34 +620,63 @@ pub fn betweenness_centrality(
     // many Brandes iterations.
     let degrees = graph.degrees();
     let chunk = (sources.len() / (rayon::current_num_threads() * 4).max(1)).max(1);
-    let mut scores = sources
-        .par_chunks(chunk)
-        .map(|chunk_sources| {
-            let mut ws = Workspace::new(n);
-            let mut local = vec![0.0f64; n];
-            for &s in chunk_sources {
-                accumulate_source(
-                    graph,
-                    predecessors,
-                    s,
-                    &config.bfs,
-                    &degrees,
-                    &mut ws,
-                    &mut local,
-                );
-                if graphct_trace::enabled() {
-                    report_source(s, ws.order.len());
+    let mut scores = if config.batch > 1 {
+        // Batched forward pass: one MS-BFS sweep computes every source's
+        // distances (64 sources per adjacency scan), then each chunk
+        // rebuilds path counts from its precomputed levels.
+        let engine = crate::bfs::HybridBfs::with_config(graph, config.bfs);
+        let levels = crate::msbfs::MsBfs::new(&engine).levels_many(&sources, config.batch);
+        sources
+            .par_chunks(chunk)
+            .zip(levels.par_chunks(chunk))
+            .map(|(chunk_sources, chunk_levels)| {
+                let mut ws = Workspace::new(n);
+                let mut local = vec![0.0f64; n];
+                for (&s, lv) in chunk_sources.iter().zip(chunk_levels) {
+                    accumulate_source_with_levels(predecessors, s, lv, &mut ws, &mut local);
+                    if graphct_trace::enabled() {
+                        report_source(s, ws.order.len());
+                    }
                 }
-            }
-            local
-        })
-        .reduce(
-            || vec![0.0f64; n],
-            |mut a, b| {
-                a.iter_mut().zip(b).for_each(|(x, y)| *x += y);
-                a
-            },
-        );
+                local
+            })
+            .reduce(
+                || vec![0.0f64; n],
+                |mut a, b| {
+                    a.iter_mut().zip(b).for_each(|(x, y)| *x += y);
+                    a
+                },
+            )
+    } else {
+        sources
+            .par_chunks(chunk)
+            .map(|chunk_sources| {
+                let mut ws = Workspace::new(n);
+                let mut local = vec![0.0f64; n];
+                for &s in chunk_sources {
+                    accumulate_source(
+                        graph,
+                        predecessors,
+                        s,
+                        &config.bfs,
+                        &degrees,
+                        &mut ws,
+                        &mut local,
+                    );
+                    if graphct_trace::enabled() {
+                        report_source(s, ws.order.len());
+                    }
+                }
+                local
+            })
+            .reduce(
+                || vec![0.0f64; n],
+                |mut a, b| {
+                    a.iter_mut().zip(b).for_each(|(x, y)| *x += y);
+                    a
+                },
+            )
+    };
 
     let mut scale = 1.0;
     if config.rescale && sources.len() < n {
@@ -745,6 +874,73 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn batched_forward_pass_matches_classic() {
+        // Same scores (up to fp summation order) whether the forward
+        // pass runs inline per source or batched through MS-BFS — on
+        // undirected and directed graphs, exact and sampled.
+        let mut x = 29u64;
+        let mut edges = Vec::new();
+        for _ in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(9);
+            let s = ((x >> 32) % 50) as u32;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(9);
+            let t = ((x >> 32) % 50) as u32;
+            edges.push((s, t));
+        }
+        let undirected = graph(&edges);
+        let directed = graphct_core::builder::build_directed_simple(&EdgeList::from_pairs(
+            edges.iter().filter(|&&(s, t)| s != t).copied().collect(),
+        ))
+        .unwrap();
+        for g in [&undirected, &directed] {
+            for base in [
+                BetweennessConfig::exact(),
+                BetweennessConfig::sampled(13, 5),
+            ] {
+                let classic = betweenness_centrality(g, &base).unwrap();
+                for batch in [2, 64, 999] {
+                    let cfg = BetweennessConfig {
+                        batch,
+                        ..base.clone()
+                    };
+                    let batched = betweenness_centrality(g, &cfg).unwrap();
+                    assert_eq!(batched.sources, classic.sources);
+                    for v in 0..g.num_vertices() {
+                        assert!(
+                            (batched.scores[v] - classic.scores[v]).abs() < 1e-9,
+                            "directed={} batch={batch} vertex {v}: {} vs {}",
+                            g.is_directed(),
+                            batched.scores[v],
+                            classic.scores[v]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_driven_accumulation_matches_brute_force() {
+        let g = graph(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3), (2, 5)]);
+        let n = g.num_vertices();
+        let brute = brute_force_bc(&g);
+        let mut ws = Workspace::new(n);
+        let mut scores = vec![0.0; n];
+        for s in 0..n as u32 {
+            let levels = crate::bfs::sequential_bfs_levels(&g, s);
+            accumulate_source_with_levels(&g, s, &levels, &mut ws, &mut scores);
+        }
+        for v in 0..n {
+            assert!(
+                (scores[v] - brute[v]).abs() < 1e-9,
+                "vertex {v}: {} vs {}",
+                scores[v],
+                brute[v]
+            );
         }
     }
 

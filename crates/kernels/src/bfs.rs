@@ -317,6 +317,24 @@ impl<'g> HybridBfs<'g> {
         &self.config
     }
 
+    /// The graph the engine traverses.
+    pub fn graph(&self) -> &'g CsrGraph {
+        self.graph
+    }
+
+    /// The in-neighbor CSR pull levels scan: the cached transpose on
+    /// directed graphs, the (symmetric) graph itself otherwise.  Shared
+    /// with [`crate::msbfs::MsBfs`] so batched traversals reuse the
+    /// transpose this engine already built.
+    pub fn in_csr(&self) -> &CsrGraph {
+        self.transpose.as_ref().unwrap_or(self.graph)
+    }
+
+    /// The cached degree table (`graph.degrees()` paid once).
+    pub fn degrees(&self) -> &[usize] {
+        &self.degrees
+    }
+
     /// BFS levels from `source`; identical output to
     /// [`sequential_bfs_levels`] for every config.
     pub fn levels(&self, source: VertexId) -> Vec<u32> {

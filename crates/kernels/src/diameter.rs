@@ -12,6 +12,7 @@
 //! multiplier or number of samples".
 
 use crate::bfs::{max_level, BfsConfig, HybridBfs};
+use crate::msbfs::MsBfs;
 use graphct_core::{CsrGraph, VertexId};
 use graphct_mt::rng::task_rng;
 use rand::seq::SliceRandom;
@@ -63,12 +64,40 @@ pub fn estimate_diameter(
 /// [`estimate_diameter`] with explicit BFS direction-optimization
 /// tuning.  The [`HybridBfs`] engine is built once and shared by all
 /// sampled sources, so transpose/degree setup is amortized.
+///
+/// Sources run through the bit-parallel [`MsBfs`] engine in
+/// [`DEFAULT_BATCH`](crate::msbfs::DEFAULT_BATCH)-wide waves; per-source
+/// levels are bit-identical to single-source BFS, so the estimate is
+/// unchanged — only the adjacency-scan count drops.
 pub fn estimate_diameter_with(
     graph: &CsrGraph,
     samples: usize,
     multiplier: u32,
     seed: u64,
     bfs: &BfsConfig,
+) -> DiameterEstimate {
+    estimate_diameter_batched(
+        graph,
+        samples,
+        multiplier,
+        seed,
+        bfs,
+        crate::msbfs::DEFAULT_BATCH,
+    )
+}
+
+/// [`estimate_diameter_with`] with an explicit MS-BFS batch width (the
+/// CLI's `--batch`).  `batch <= 1` runs the classic one-task-per-source
+/// path; larger widths (clamped to
+/// [`MAX_BATCH`](crate::msbfs::MAX_BATCH)) share each adjacency scan
+/// across up to that many sources.
+pub fn estimate_diameter_batched(
+    graph: &CsrGraph,
+    samples: usize,
+    multiplier: u32,
+    seed: u64,
+    bfs: &BfsConfig,
+    batch: usize,
 ) -> DiameterEstimate {
     let n = graph.num_vertices();
     if n == 0 || samples == 0 {
@@ -88,11 +117,19 @@ pub fn estimate_diameter_with(
         all
     };
     let engine = HybridBfs::with_config(graph, *bfs);
-    let max_distance_found = sources
-        .par_iter()
-        .map(|&s| max_level(&engine.levels(s)))
-        .max()
-        .unwrap_or(0);
+    let max_distance_found = if batch <= 1 {
+        sources
+            .par_iter()
+            .map(|&s| max_level(&engine.levels(s)))
+            .max()
+            .unwrap_or(0)
+    } else {
+        MsBfs::new(&engine)
+            .eccentricities(&sources, batch)
+            .into_iter()
+            .max()
+            .unwrap_or(0)
+    };
     DiameterEstimate {
         max_distance_found,
         estimate: max_distance_found.saturating_mul(multiplier),
@@ -177,6 +214,23 @@ mod tests {
         ] {
             assert_eq!(estimate_diameter_with(&g, 16, 4, 9, &cfg), baseline);
         }
+    }
+
+    #[test]
+    fn batched_agrees_with_per_source_path() {
+        let mut edges: Vec<(u32, u32)> = (0..199u32).map(|i| (i, i + 1)).collect();
+        edges.extend((200..260u32).map(|v| (0, v)));
+        let g = graph(&edges);
+        let baseline = estimate_diameter_batched(&g, 70, 4, 3, &BfsConfig::default(), 1);
+        for batch in [2, 8, 64, 999] {
+            let d = estimate_diameter_batched(&g, 70, 4, 3, &BfsConfig::default(), batch);
+            assert_eq!(d, baseline, "batch {batch}");
+        }
+        // The default engine routes through MS-BFS and must agree too.
+        assert_eq!(
+            estimate_diameter_with(&g, 70, 4, 3, &BfsConfig::default()),
+            baseline
+        );
     }
 
     #[test]

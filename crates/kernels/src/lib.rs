@@ -53,6 +53,7 @@ pub mod degree;
 pub mod diameter;
 pub mod kbetweenness;
 pub mod kcore;
+pub mod msbfs;
 pub mod telemetry;
 
 pub use betweenness::{
@@ -67,6 +68,7 @@ pub use clustering::{clustering_coefficients, global_clustering, triangle_counts
 pub use components::{connected_components, ComponentSummary};
 pub use confidence::{betweenness_with_confidence, BetweennessCi};
 pub use degree::{degree_statistics, DegreeStats};
-pub use diameter::{estimate_diameter, DiameterEstimate};
+pub use diameter::{estimate_diameter, estimate_diameter_batched, DiameterEstimate};
 pub use kbetweenness::{k_betweenness_centrality, KBetweennessConfig};
 pub use kcore::{core_numbers, kcore_subgraph};
+pub use msbfs::{MsBfs, MsBfsRun, WaveRecord, DEFAULT_BATCH, MAX_BATCH};

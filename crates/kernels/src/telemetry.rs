@@ -34,6 +34,24 @@ pub static BFS_LEVELS_PUSH: Counter =
 pub static BFS_LEVELS_PULL: Counter =
     Counter::new("bfs_levels_pull", "BFS levels expanded bottom-up");
 
+/// Multi-source BFS batches completed.
+pub static MSBFS_BATCHES: Counter = Counter::new(
+    "msbfs_batches",
+    "Multi-source BFS batches (up to 64 sources each) completed",
+);
+
+/// Multi-source BFS waves (batched level expansions) executed.
+pub static MSBFS_WAVES: Counter = Counter::new(
+    "msbfs_waves",
+    "Multi-source BFS waves (batched level expansions) executed",
+);
+
+/// Edges inspected by multi-source BFS waves in either direction.
+pub static MSBFS_EDGES_INSPECTED: Counter = Counter::new(
+    "msbfs_edges_inspected",
+    "Edges inspected by multi-source BFS waves (push and pull)",
+);
+
 /// Brandes source iterations completed by the betweenness kernels.
 pub static BC_SOURCES_PROCESSED: Counter = Counter::new(
     "bc_sources_processed",

@@ -1,0 +1,171 @@
+//! MS-BFS equivalence suite: the bit-parallel batched engine must
+//! produce levels *bit-identical* to the sequential single-source oracle
+//! on every topology, at every batch width, under every direction
+//! config — there is no tolerance, a level is either right or wrong.
+//!
+//! Batch widths probed: 1 (degenerate single-lane), 3 (partial word),
+//! 64 (full word), 65 (clamped to 64, and with 65 sources forces two
+//! waves through `levels_many`'s chunking).
+
+use graphct_core::builder::{build_directed_simple, build_undirected_simple};
+use graphct_core::{CsrGraph, EdgeList, VertexId};
+use graphct_gen::broadcast::{broadcast_forest, BroadcastConfig};
+use graphct_gen::classic;
+use graphct_gen::rmat::{rmat_edges, RmatConfig};
+use graphct_kernels::bfs::{sequential_bfs_levels, BfsConfig, HybridBfs};
+use graphct_kernels::msbfs::MsBfs;
+use proptest::prelude::*;
+
+const BATCHES: [usize; 4] = [1, 3, 64, 65];
+
+/// 65 sources: one more than a word, so every batch width must split
+/// the list across at least two runs.
+fn sources_for(n: usize) -> Vec<VertexId> {
+    (0..65u32)
+        .map(|i| ((i as usize * 131 + 17) % n) as VertexId)
+        .collect()
+}
+
+fn assert_all_batches(graph: &CsrGraph, label: &str) {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return;
+    }
+    let sources = sources_for(n);
+    for cfg in [
+        BfsConfig::hybrid(),
+        BfsConfig::push_only(),
+        BfsConfig::pull_only(),
+    ] {
+        let engine = HybridBfs::with_config(graph, cfg);
+        let ms = MsBfs::new(&engine);
+        for batch in BATCHES {
+            let got = ms.levels_many(&sources, batch);
+            assert_eq!(got.len(), sources.len());
+            for (&s, lv) in sources.iter().zip(&got) {
+                assert_eq!(
+                    lv,
+                    &sequential_bfs_levels(graph, s),
+                    "{label}: source {s}, batch {batch}, {:?}",
+                    cfg.frontier
+                );
+            }
+        }
+    }
+}
+
+fn undirected(edges: EdgeList) -> CsrGraph {
+    build_undirected_simple(&edges).unwrap()
+}
+
+#[test]
+fn classic_topologies_match_oracle() {
+    assert_all_batches(&undirected(classic::path(120)), "path");
+    assert_all_batches(&undirected(classic::cycle(90)), "cycle");
+    assert_all_batches(&undirected(classic::star(200)), "star");
+    assert_all_batches(&undirected(classic::complete(40)), "complete");
+    assert_all_batches(&undirected(classic::grid(12, 11)), "grid");
+    assert_all_batches(&undirected(classic::balanced_tree(3, 5)), "tree");
+}
+
+#[test]
+fn rmat_matches_oracle() {
+    let cfg = RmatConfig::paper(9, 8);
+    let g = undirected(rmat_edges(&cfg, 42));
+    assert_all_batches(&g, "rmat-9");
+}
+
+#[test]
+fn rmat_directed_matches_oracle() {
+    let cfg = RmatConfig::paper(8, 8);
+    let pairs: Vec<(u32, u32)> = rmat_edges(&cfg, 7)
+        .as_slice()
+        .iter()
+        .filter(|&&(s, t)| s != t)
+        .copied()
+        .collect();
+    let g = build_directed_simple(&EdgeList::from_pairs(pairs)).unwrap();
+    assert_all_batches(&g, "rmat-8-directed");
+}
+
+#[test]
+fn broadcast_hub_matches_oracle() {
+    let (edges, _) = broadcast_forest(
+        &BroadcastConfig {
+            hubs: 2,
+            fanout: 800,
+            decay: 0.01,
+            max_depth: 4,
+        },
+        11,
+    );
+    let g = undirected(edges);
+    assert_all_batches(&g, "broadcast");
+}
+
+#[test]
+fn disconnected_graph_exhausts_sources_early() {
+    // A long path plus a scatter of 2-vertex islands: island sources
+    // finish after one wave while path sources keep walking, so the
+    // active-lane mask must shrink monotonically down to the path lanes
+    // — and no exhausted lane may ever resurface.
+    let mut pairs: Vec<(u32, u32)> = (0..99u32).map(|i| (i, i + 1)).collect();
+    for k in 0..20u32 {
+        pairs.push((100 + 2 * k, 101 + 2 * k));
+    }
+    let g = undirected(EdgeList::from_pairs(pairs));
+    let engine = HybridBfs::new(&g);
+    let ms = MsBfs::new(&engine);
+    // Lanes 0..=5 on the path (long eccentricity), 6..=13 on islands.
+    let sources: Vec<VertexId> = vec![
+        0, 10, 50, 70, 90, 99, 100, 101, 104, 110, 120, 130, 136, 138,
+    ];
+    let run = ms.run_batch(&sources);
+    assert_eq!(run.waves[0].active_sources as usize, sources.len());
+    let finals: Vec<u32> = run.waves.iter().map(|w| w.active_sources).collect();
+    assert!(
+        finals.windows(2).all(|w| w[1] <= w[0]),
+        "active mask must shrink monotonically: {finals:?}"
+    );
+    // After the islands' single wave only path lanes stay active; the
+    // two endpoint sources (0 and 99, eccentricity 99) outlast all.
+    assert_eq!(*finals.last().unwrap(), 2, "waves: {finals:?}");
+    assert!(run.waves.len() > 50, "path lanes keep the batch alive");
+    for (&s, lv) in sources.iter().zip(&run.levels) {
+        assert_eq!(lv, &sequential_bfs_levels(&g, s), "source {s}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_graphs_and_source_sets_match_oracle(
+        pairs in prop::collection::vec((0u32..60, 0u32..60), 1..250),
+        raw_sources in prop::collection::vec(0usize..60, 1..70),
+        batch in 1usize..70,
+        directed in any::<bool>(),
+    ) {
+        let mut kept: Vec<(u32, u32)> = if directed {
+            pairs.into_iter().filter(|&(s, t)| s != t).collect()
+        } else {
+            pairs
+        };
+        if kept.is_empty() {
+            kept.push((0, 1)); // keep the graph non-empty after loop filtering
+        }
+        let edges = EdgeList::from_pairs(kept);
+        let g = if directed {
+            build_directed_simple(&edges).unwrap()
+        } else {
+            build_undirected_simple(&edges).unwrap()
+        };
+        let n = g.num_vertices();
+        let sources: Vec<VertexId> = raw_sources.iter().map(|&s| (s % n) as VertexId).collect();
+        let engine = HybridBfs::new(&g);
+        let got = MsBfs::new(&engine).levels_many(&sources, batch);
+        for (&s, lv) in sources.iter().zip(&got) {
+            prop_assert_eq!(lv, &sequential_bfs_levels(&g, s), "source {} batch {}", s, batch);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! A concurrent vertex × lane bit matrix for batched traversals.
+//!
+//! Multi-source BFS (MS-BFS) advances up to 64 independent searches with
+//! a single adjacency scan by giving every vertex one machine word: bit
+//! `b` set means "search `b` has reached (or currently fronts on) this
+//! vertex".  Where [`crate::AtomicBitmap`] packs one bit per vertex,
+//! this structure packs one *word* per vertex — the same fetch-or claim
+//! idiom, widened to 64 concurrent lanes.  It is the commodity-multicore
+//! stand-in for the Cray XMT's many hardware thread contexts: instead of
+//! 64 interleaved traversal streams hiding memory latency, one stream
+//! carries 64 searches in its word lanes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-length array of atomic `u64` lane words, one per row.
+#[derive(Debug)]
+pub struct AtomicBitMatrix {
+    words: Vec<AtomicU64>,
+}
+
+impl AtomicBitMatrix {
+    /// A matrix with `rows` rows (64 lanes each), all clear.
+    pub fn new(rows: usize) -> Self {
+        let mut words = Vec::with_capacity(rows);
+        words.resize_with(rows, || AtomicU64::new(0));
+        Self { words }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` when the matrix has zero rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Read row `row`'s lane word.
+    #[inline]
+    pub fn load(&self, row: usize) -> u64 {
+        self.words[row].load(Ordering::Relaxed)
+    }
+
+    /// Atomically OR `mask` into row `row`, returning the *previous*
+    /// word.  `prev & bit == 0` tells the caller it claimed lane `bit`
+    /// first; `prev == 0` tells it the row just became non-empty (the
+    /// frontier-queue dedup used by MS-BFS waves).
+    #[inline]
+    pub fn fetch_or(&self, row: usize, mask: u64) -> u64 {
+        self.words[row].fetch_or(mask, Ordering::Relaxed)
+    }
+
+    /// Overwrite row `row`.  Safe for single-writer phases (e.g. pull
+    /// waves, where exactly one task owns each row).
+    #[inline]
+    pub fn store(&self, row: usize, word: u64) {
+        self.words[row].store(word, Ordering::Relaxed);
+    }
+
+    /// Clear every row (sequential; call between parallel phases).
+    pub fn clear_all(&mut self) {
+        for w in &mut self.words {
+            *w.get_mut() = 0;
+        }
+    }
+
+    /// OR-reduce of every row — the union of lanes set anywhere.
+    pub fn or_all(&self) -> u64 {
+        self.words
+            .iter()
+            .fold(0u64, |acc, w| acc | w.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn new_is_all_clear() {
+        let m = AtomicBitMatrix::new(10);
+        assert_eq!(m.len(), 10);
+        assert!(!m.is_empty());
+        assert_eq!(m.or_all(), 0);
+        assert_eq!(m.load(9), 0);
+        assert!(AtomicBitMatrix::new(0).is_empty());
+    }
+
+    #[test]
+    fn fetch_or_reports_previous_word() {
+        let m = AtomicBitMatrix::new(1);
+        assert_eq!(m.fetch_or(0, 0b101), 0);
+        assert_eq!(m.fetch_or(0, 0b011), 0b101);
+        assert_eq!(m.load(0), 0b111);
+    }
+
+    #[test]
+    fn store_overwrites() {
+        let m = AtomicBitMatrix::new(2);
+        m.store(1, u64::MAX);
+        m.store(1, 0b10);
+        assert_eq!(m.load(1), 0b10);
+        assert_eq!(m.load(0), 0);
+    }
+
+    #[test]
+    fn parallel_lane_claims_are_unique() {
+        // 16 racers per (row, lane); exactly one must see the bit clear.
+        let m = AtomicBitMatrix::new(100);
+        let wins: usize = (0..100 * 64 * 16usize)
+            .into_par_iter()
+            .map(|i| {
+                let row = (i / 16) / 64;
+                let lane = (i / 16) % 64;
+                let prev = m.fetch_or(row, 1u64 << lane);
+                usize::from(prev & (1u64 << lane) == 0)
+            })
+            .sum();
+        assert_eq!(wins, 100 * 64);
+        assert_eq!(m.or_all(), u64::MAX);
+        for row in 0..100 {
+            assert_eq!(m.load(row), u64::MAX);
+        }
+    }
+
+    #[test]
+    fn clear_all_resets() {
+        let mut m = AtomicBitMatrix::new(3);
+        m.fetch_or(0, 7);
+        m.fetch_or(2, 1 << 63);
+        assert_eq!(m.or_all(), 7 | 1 << 63);
+        m.clear_all();
+        assert_eq!(m.or_all(), 0);
+    }
+}

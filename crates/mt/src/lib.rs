@@ -14,6 +14,8 @@
 //!   paper's kernels require (§II-B: "The only synchronization operation
 //!   required ... is an atomic fetch-and-add").
 //! * [`AtomicBitmap`] — a concurrent bit set used for BFS `visited` flags.
+//! * [`AtomicBitMatrix`] — one atomic `u64` lane word per vertex, the
+//!   visited/frontier state of a 64-wide multi-source BFS batch.
 //! * [`Frontier`] — sparse/dense BFS frontier with degree-weighted size
 //!   tracking and queue↔bitmap repacking for direction-optimizing
 //!   traversal.
@@ -32,6 +34,7 @@
 
 pub mod atomic_array;
 pub mod bitmap;
+pub mod bitmat;
 pub mod frontier;
 pub mod full_empty;
 pub mod histogram;
@@ -41,5 +44,6 @@ pub mod rng;
 
 pub use atomic_array::{AtomicF64Array, AtomicU32Array, AtomicUsizeArray};
 pub use bitmap::AtomicBitmap;
+pub use bitmat::AtomicBitMatrix;
 pub use frontier::Frontier;
 pub use full_empty::FullEmptyCell;

@@ -58,12 +58,45 @@ pub fn exclusive_prefix_sum(counts: &[usize]) -> (Vec<usize>, usize) {
 }
 
 /// Inclusive prefix sum: `out[i] = counts[0] + … + counts[i]`.
+///
+/// Computed directly rather than by dropping the exclusive scan's
+/// leading zero — `Vec::remove(0)` memmoves the whole buffer, an O(n)
+/// front-shift this hot CSR-construction path cannot afford.
 pub fn inclusive_prefix_sum(counts: &[usize]) -> Vec<usize> {
-    // exclusive[i+1] equals inclusive[i], so dropping the leading zero of
-    // the exclusive scan yields the inclusive scan.
-    let (mut ex, _total) = exclusive_prefix_sum(counts);
-    ex.remove(0);
-    ex
+    let n = counts.len();
+    if n < PAR_THRESHOLD {
+        let mut out = Vec::with_capacity(n);
+        let mut acc = 0usize;
+        for &c in counts {
+            acc += c;
+            out.push(acc);
+        }
+        return out;
+    }
+
+    let nchunks = rayon::current_num_threads().max(1) * 4;
+    let chunk = n.div_ceil(nchunks);
+    let chunk_sums: Vec<usize> = counts.par_chunks(chunk).map(|c| c.iter().sum()).collect();
+
+    let mut chunk_offsets = Vec::with_capacity(chunk_sums.len());
+    let mut acc = 0usize;
+    for &s in &chunk_sums {
+        chunk_offsets.push(acc);
+        acc += s;
+    }
+
+    let mut out = vec![0usize; n];
+    out.par_chunks_mut(chunk)
+        .zip(counts.par_chunks(chunk))
+        .zip(chunk_offsets.par_iter())
+        .for_each(|((out_chunk, counts_chunk), &base)| {
+            let mut acc = base;
+            for (o, &c) in out_chunk.iter_mut().zip(counts_chunk) {
+                acc += c;
+                *o = acc;
+            }
+        });
+    out
 }
 
 #[cfg(test)]
@@ -101,6 +134,24 @@ mod tests {
         }
         assert_eq!(par[counts.len()], acc);
         assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn inclusive_agrees_with_exclusive_at_parallel_sizes() {
+        // Regression for the `remove(0)` front-shift: the direct
+        // inclusive scan must match `exclusive[i + 1]` on inputs large
+        // enough to take the parallel path (and one element either side
+        // of the threshold).
+        for n in [PAR_THRESHOLD - 1, PAR_THRESHOLD, PAR_THRESHOLD + 1, 100_000] {
+            let counts: Vec<usize> = (0..n).map(|i| (i * 13 + 5) % 17).collect();
+            let inc = inclusive_prefix_sum(&counts);
+            let (ex, total) = exclusive_prefix_sum(&counts);
+            assert_eq!(inc.len(), n);
+            for i in 0..n {
+                assert_eq!(inc[i], ex[i + 1], "n={n} mismatch at {i}");
+            }
+            assert_eq!(inc.last().copied().unwrap_or(0), total);
+        }
     }
 
     #[test]

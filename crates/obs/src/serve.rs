@@ -76,6 +76,10 @@ pub struct IngestStats {
     pub edges_inserted: u64,
     /// Edges aged out of the window.
     pub edges_expired: u64,
+    /// Mentions the streaming graph rejected (e.g. out-of-range ids).
+    /// Rejected pairs are *not* window-tracked: an edge that was never
+    /// inserted must never schedule a deletion.
+    pub ingest_errors: u64,
 }
 
 /// A running serve instance.
@@ -240,6 +244,7 @@ fn ingest_loop(
 
         let mut inserted = 0u64;
         let mut duplicates = 0u64;
+        let mut errors = 0u64;
         let mut processed = 0u64;
         let mut batch_edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(cfg.batch_size);
         for _ in 0..cfg.batch_size {
@@ -260,10 +265,17 @@ fn ingest_loop(
                 continue; // self-mention; the streaming graph is simple
             }
             graph.ensure_vertices(labels.len());
+            // Only mentions the graph actually accepted (fresh insert or
+            // live duplicate) enter the sliding window: tracking a
+            // rejected pair would later schedule a delete_edge for an
+            // edge that never existed.
             match graph.insert_edge(u, v) {
                 Ok(true) => inserted += 1,
                 Ok(false) => duplicates += 1,
-                Err(_) => {}
+                Err(_) => {
+                    errors += 1;
+                    continue;
+                }
             }
             let key = (u.min(v), u.max(v));
             last_seen.insert(key, batch);
@@ -287,11 +299,13 @@ fn ingest_loop(
         stats.batches += 1;
         stats.mentions += processed;
         stats.edges_inserted += inserted;
+        stats.ingest_errors += errors;
 
         ingest_metrics::INGEST_BATCHES.incr();
         ingest_metrics::INGEST_MENTIONS.add(processed);
         ingest_metrics::INGEST_EDGES_INSERTED.add(inserted);
         ingest_metrics::INGEST_DUPLICATES.add(duplicates);
+        ingest_metrics::INGEST_ERRORS.add(errors);
         ingest_metrics::INGEST_WATERMARK_BATCH.set(stats.batches);
         let batch_secs = batch_start.elapsed().as_secs_f64();
         if batch_secs > 0.0 {

@@ -80,6 +80,7 @@ fn mid_ingest_scrapes_increase_and_healthz_flips_on_drain() {
         "graphct_ingest_batches_total",
         "graphct_ingest_mentions_total",
         "graphct_ingest_edges_inserted_total",
+        "graphct_ingest_errors_total",
         "graphct_ingest_watermark_batch",
         "graphct_ingest_edges_per_sec",
         "graphct_ingest_lag_us",

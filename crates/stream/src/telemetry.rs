@@ -37,16 +37,27 @@ pub static INGEST_EDGES_EXPIRED: Counter = Counter::new(
     "Edges aged out of the sliding window and deleted",
 );
 
+/// Mentions the streaming graph rejected.  Rejected pairs are excluded
+/// from window tracking so expiry never deletes an edge that was never
+/// inserted.
+pub static INGEST_ERRORS: Counter = Counter::new(
+    "ingest_errors_total",
+    "Mentions rejected by the streaming graph (excluded from window tracking)",
+);
+
 /// High-water mark: 1-based index of the newest fully ingested batch.
 pub static INGEST_WATERMARK_BATCH: Gauge = Gauge::new(
     "ingest_watermark_batch",
     "Newest fully ingested batch (1-based watermark)",
 );
 
-/// Ingest throughput over the last batch, mentions per second.
+/// Ingest throughput over the last batch, mentions per second.  This is
+/// *parse* throughput, not graph growth: duplicates and self-mentions
+/// count (self-mentions are legal tweets the simple graph merely has no
+/// edge for), rejected mentions count too.
 pub static INGEST_EDGES_PER_SEC: Gauge = Gauge::new(
     "ingest_edges_per_sec",
-    "Mention edges processed per second over the last batch",
+    "Mention edges processed per second over the last batch (parse throughput: duplicates, self-mentions, and rejected mentions all count)",
 );
 
 /// How far the last batch finished behind its schedule, in microseconds.
@@ -81,6 +92,7 @@ pub fn register_ingest_metrics() {
         &INGEST_EDGES_INSERTED,
         &INGEST_DUPLICATES,
         &INGEST_EDGES_EXPIRED,
+        &INGEST_ERRORS,
     ] {
         c.add(0);
     }
@@ -116,6 +128,7 @@ mod tests {
             "ingest_edges_inserted_total",
             "ingest_duplicate_mentions_total",
             "ingest_edges_expired_total",
+            "ingest_errors_total",
             "ingest_watermark_batch",
             "ingest_edges_per_sec",
             "ingest_lag_us",
