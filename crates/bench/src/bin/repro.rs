@@ -29,6 +29,11 @@
 //! per-case means to `BENCH_HISTORY.jsonl` (git SHA + timestamp per
 //! record) so regressions surface across runs, not just within one.
 //!
+//! fig6 additionally runs the storage-backend scale sweep: R-MAT graphs
+//! across 3+ decades of |V|*|E| traversed through the plain, mmap, and
+//! compressed backends, oracle-gated for bit-identical kernels before
+//! timing, with the compression ratio recorded (`BENCH_SCALE.json`).
+//!
 //! `--quick` shrinks the synthetic datasets and repetition counts for a
 //! smoke run; the default sizes mirror the paper (sep1 runs at 20 % of
 //! its published size by default — pass `--full` for the complete
@@ -585,6 +590,234 @@ fn fig6(opts: Options) {
             let slope = (y1 / y0).log10() / (x1 / x0).log10();
             println!("log-log growth exponent over the upper half: {slope:.2} (paper shape: smooth sub-linear growth in |V|*|E| at fixed source count)");
         }
+    }
+    fig6_scale_sweep(opts);
+}
+
+/// Oracle gate for one backend at one scale: hybrid BFS levels from
+/// every source and the component labeling must be bit-identical to the
+/// plain-CSR results.  Any mismatch aborts the exhibit — timing a wrong
+/// backend is worse than no timing.
+fn gate_backend<G: graphct_core::GraphView>(
+    g: &G,
+    label: &str,
+    scale: u32,
+    sources: &[u32],
+    want_levels: &[Vec<u32>],
+    want_colors: &[u32],
+) {
+    use graphct_kernels::bfs::HybridBfs;
+    let engine = HybridBfs::new(g);
+    for (&src, want) in sources.iter().zip(want_levels) {
+        let got = engine.levels(src);
+        if &got != want {
+            eprintln!("ORACLE FAILURE: scale {scale} backend {label}: BFS levels from {src} diverge from plain CSR");
+            std::process::exit(1);
+        }
+    }
+    if connected_components(g) != want_colors {
+        eprintln!(
+            "ORACLE FAILURE: scale {scale} backend {label}: component labels diverge from plain CSR"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Mean seconds for (hybrid BFS over `sources`, connected components)
+/// on one backend.
+fn time_backend<G: graphct_core::GraphView>(g: &G, sources: &[u32], reps: usize) -> (f64, f64) {
+    use graphct_kernels::bfs::HybridBfs;
+    let bfs = time_repeated(reps, |_| {
+        let engine = HybridBfs::new(g);
+        for &s in sources {
+            std::hint::black_box(engine.levels(s));
+        }
+    });
+    let cc = time_repeated(reps, |_| {
+        std::hint::black_box(connected_components(g));
+    });
+    (bfs.mean, cc.mean)
+}
+
+/// The storage-backend scale sweep (`BENCH_SCALE.json`): R-MAT graphs
+/// over 3+ decades of |V|*|E|, each run through the plain heap CSR, the
+/// zero-copy mmap view, and the delta-encoded compressed CSR.  Kernel
+/// equivalence is oracle-gated per scale before any timing, and the
+/// compression ratio against the plain binary file is recorded.
+fn fig6_scale_sweep(opts: Options) {
+    use graphct_core::{CompressedCsr, MmapCsr};
+    use graphct_kernels::bfs::sequential_bfs_levels;
+
+    banner("Fig. 6 extension — runtime vs scale across storage backends");
+    let scales: &[u32] = if opts.quick {
+        &[12, 14]
+    } else if opts.full {
+        &[16, 18, 20, 22]
+    } else {
+        &[12, 14, 16, 18]
+    };
+    let tmp = std::env::temp_dir().join(format!("graphct_scale_{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&tmp) {
+        eprintln!("cannot create {}: {e}", tmp.display());
+        return;
+    }
+    let reps = opts.reps.clamp(1, 3);
+    let mut t = Table::new(&[
+        "scale",
+        "vertices",
+        "arcs",
+        "|V|*|E|",
+        "backend",
+        "bfs s",
+        "cc s",
+        "bytes",
+        "vs plain bin",
+    ]);
+    let mut rows: Vec<String> = Vec::new();
+    let mut history: Vec<(String, f64)> = Vec::new();
+    let mut trend: Vec<(f64, f64)> = Vec::new();
+    let mut ratio_ok_18plus = true;
+    for &scale in scales {
+        let cfg = graphct_gen::RmatConfig::paper(scale, 16);
+        let plain = build_undirected_simple(&graphct_gen::rmat_edges(&cfg, opts.seed)).unwrap();
+        let path = tmp.join(format!("rmat{scale}.bin"));
+        if let Err(e) = graphct_core::io::binary::save(&plain, &path) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return;
+        }
+        let mapped = match MmapCsr::open(&path) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("cannot map {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        let compressed = CompressedCsr::from_view(&plain);
+
+        // Oracle gate: spread sources, sequential oracle once, then every
+        // backend (including plain itself) must reproduce it exactly.
+        let nv = plain.num_vertices() as u32;
+        let stride = (nv / 4).max(1);
+        let sources: Vec<u32> = (0..4u32).map(|i| (i * stride) % nv.max(1)).collect();
+        let want_levels: Vec<Vec<u32>> = sources
+            .iter()
+            .map(|&s| sequential_bfs_levels(&plain, s))
+            .collect();
+        let want_colors = connected_components(&plain);
+        gate_backend(&plain, "plain", scale, &sources, &want_levels, &want_colors);
+        gate_backend(&mapped, "mmap", scale, &sources, &want_levels, &want_colors);
+        gate_backend(
+            &compressed,
+            "compressed",
+            scale,
+            &sources,
+            &want_levels,
+            &want_colors,
+        );
+        println!(
+            "scale {scale}: oracle gate passed (4-source hybrid BFS + components bit-identical on plain/mmap/compressed)"
+        );
+
+        let plain_bin_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let compressed_bytes = compressed.memory_bytes() as u64;
+        let ratio = compressed_bytes as f64 / plain_bin_bytes.max(1) as f64;
+        if scale >= 18 && ratio > 2.0 / 3.0 {
+            ratio_ok_18plus = false;
+        }
+        let vxe = plain.num_vertices() as f64 * plain.num_edges() as f64;
+
+        let mut backend_json = Vec::new();
+        let timed: [(&str, (f64, f64), u64); 3] = [
+            (
+                "plain",
+                time_backend(&plain, &sources, reps),
+                plain_bin_bytes,
+            ),
+            (
+                "mmap",
+                time_backend(&mapped, &sources, reps),
+                mapped.file_bytes() as u64,
+            ),
+            (
+                "compressed",
+                time_backend(&compressed, &sources, reps),
+                compressed_bytes,
+            ),
+        ];
+        for (label, (bfs_s, cc_s), bytes) in timed {
+            t.row(&[
+                scale.to_string(),
+                n(plain.num_vertices()),
+                n(plain.num_arcs()),
+                format!("{vxe:.2e}"),
+                label.to_string(),
+                f(bfs_s, 4),
+                f(cc_s, 4),
+                bytes.to_string(),
+                format!("{:.2}", bytes as f64 / plain_bin_bytes.max(1) as f64),
+            ]);
+            history.push((format!("s{scale}/{label}/bfs"), bfs_s));
+            history.push((format!("s{scale}/{label}/components"), cc_s));
+            backend_json.push(format!(
+                "{{\"backend\": \"{label}\", \"bfs_s\": {bfs_s:.6}, \"components_s\": {cc_s:.6}, \"bytes\": {bytes}}}"
+            ));
+            if label == "plain" {
+                trend.push((vxe, bfs_s));
+            }
+        }
+        rows.push(format!(
+            "    {{\"scale\": {scale}, \"vertices\": {}, \"arcs\": {}, \"vxe\": {vxe:.4e}, \
+             \"plain_bin_bytes\": {plain_bin_bytes}, \"compressed_bytes\": {compressed_bytes}, \
+             \"compressed_ratio\": {ratio:.4}, \"oracle_gated\": true, \"backends\": [{}]}}",
+            plain.num_vertices(),
+            plain.num_arcs(),
+            backend_json.join(", ")
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+    std::fs::remove_dir(&tmp).ok();
+    t.print();
+    record_history(opts, "fig6_scale", &history);
+
+    // Runtime-vs-size trend over the sweep (plain backend, BFS): the
+    // decades covered and the log-log slope.
+    let decades = if trend.len() >= 2 {
+        (trend.last().unwrap().0 / trend[0].0).log10()
+    } else {
+        0.0
+    };
+    let slope = if trend.len() >= 2 {
+        let (x0, y0) = trend[0];
+        let (x1, y1) = *trend.last().unwrap();
+        if x1 > x0 && y0 > 0.0 {
+            (y1 / y0).log10() / (x1 / x0).log10()
+        } else {
+            0.0
+        }
+    } else {
+        0.0
+    };
+    println!(
+        "|V|*|E| span: {decades:.1} decades; plain-BFS log-log growth exponent {slope:.2}; \
+         compression ratio bound (<= 2/3 at scale 18+): {}",
+        if ratio_ok_18plus { "ok" } else { "VIOLATED" }
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"fig6_scale\",\n  \"quick\": {},\n  \"full\": {},\n  \"seed\": {},\n  \
+         \"reps\": {reps},\n  \"bfs_sources_per_run\": 4,\n  \"scales\": {:?},\n  \
+         \"vxe_decades\": {decades:.2},\n  \"plain_bfs_loglog_slope\": {slope:.4},\n  \
+         \"compressed_ratio_ok_18plus\": {ratio_ok_18plus},\n  \"results\": [\n{}\n  ]\n}}\n",
+        opts.quick,
+        opts.full,
+        opts.seed,
+        scales,
+        rows.join(",\n")
+    );
+    let out = "BENCH_SCALE.json";
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
     }
 }
 

@@ -5,7 +5,7 @@
 //! single kernel.  Run `graphct help` for usage.
 
 use graphct_core::builder::build_undirected_simple;
-use graphct_core::{CsrGraph, EdgeList};
+use graphct_core::{CompressedCsr, CsrGraph, EdgeList, GraphView, MmapCsr};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -26,12 +26,16 @@ USAGE:
                                                generate a synthetic tweet
                                                mention graph (edge list)
   graphct stats <graph> [--frontier KIND] [--alpha A] [--beta B]
-                [--reorder PASS] [--batch K]   degrees, components, diameter
-  graphct components <graph> [--top K] [--reorder PASS]
+                [--reorder PASS] [--batch K] [--backend B]
+                                               degrees, components, diameter
+  graphct components <graph> [--top K] [--reorder PASS] [--backend B]
                                                connected components summary
   graphct bc <graph> [--samples N] [--seed N] [--top K]
               [--frontier KIND] [--alpha A] [--beta B] [--reorder PASS]
-              [--batch K]                      (approximate) betweenness
+              [--batch K] [--backend B]        (approximate) betweenness
+  graphct convert <in> <out.bin>               rewrite any graph file as a
+                                               format-v2 binary (the layout
+                                               --backend mmap maps in place)
   graphct serve [--profile h1n1|atlflood|sep1] [--scale-pct P] [--seed N]
                 [--port P | --addr HOST:PORT] [--batch-size N] [--batches N]
                 [--interval-ms MS] [--window N] [--trace-out FILE]
@@ -62,6 +66,13 @@ bit-parallel multi-source engine, K sources (max 64) per adjacency
 scan.  stats defaults to 64; bc defaults to 1 (classic per-source
 Brandes) since the batched forward pass stores all source distances.
 Results are identical at every K.
+
+Storage backends (stats, components, bc): --backend selects how the
+graph is held while the kernels run — plain (default, heap CSR) | mmap
+(zero-copy view over a format-v2 .bin file; see `graphct convert`) |
+compressed (delta-encoded varint adjacency, decoded on the fly).
+Results are identical across backends; betweenness materializes a heap
+CSR first.  --reorder requires --backend plain.
 
 Telemetry (any command): --trace turns on kernel telemetry and prints a
 hierarchical timing summary to stderr at exit; --trace-out FILE streams
@@ -442,6 +453,143 @@ fn write_edges(path: &Path, edges: &EdgeList) -> Result<(), String> {
     graphct_core::io::edges_text::write_file(path, edges).map_err(|e| e.to_string())
 }
 
+/// Which storage backend holds the graph while kernels run.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Plain,
+    Mmap,
+    Compressed,
+}
+
+fn parse_backend_flag(args: &mut Vec<String>) -> Result<Backend, String> {
+    match take_flag(args, "--backend")?.as_deref() {
+        None | Some("plain") => Ok(Backend::Plain),
+        Some("mmap") => Ok(Backend::Mmap),
+        Some("compressed") => Ok(Backend::Compressed),
+        Some(other) => Err(format!(
+            "unknown --backend '{other}' (plain|mmap|compressed)"
+        )),
+    }
+}
+
+/// A graph loaded through one of the storage backends.
+enum BackendGraph {
+    Plain(CsrGraph),
+    Mapped(MmapCsr),
+    Compressed(CompressedCsr),
+}
+
+fn load_backend(path: &Path, backend: Backend) -> Result<BackendGraph, String> {
+    Ok(match backend {
+        Backend::Plain => BackendGraph::Plain(load_graph(path)?),
+        Backend::Mmap => {
+            if path.extension().and_then(|e| e.to_str()) != Some("bin") {
+                return Err(
+                    "--backend mmap needs a format-v2 .bin graph (rewrite with `graphct convert`)"
+                        .into(),
+                );
+            }
+            BackendGraph::Mapped(MmapCsr::open(path).map_err(|e| e.to_string())?)
+        }
+        Backend::Compressed => {
+            let g = load_graph(path)?;
+            BackendGraph::Compressed(CompressedCsr::from_view(&g))
+        }
+    })
+}
+
+impl BackendGraph {
+    fn num_vertices(&self) -> usize {
+        match self {
+            BackendGraph::Plain(g) => g.num_vertices(),
+            BackendGraph::Mapped(m) => m.num_vertices(),
+            BackendGraph::Compressed(c) => c.num_vertices(),
+        }
+    }
+
+    fn num_edges(&self) -> usize {
+        match self {
+            BackendGraph::Plain(g) => g.num_edges(),
+            BackendGraph::Mapped(m) => m.num_edges(),
+            BackendGraph::Compressed(c) => c.num_edges(),
+        }
+    }
+
+    /// One-line description of the non-default backends for the report
+    /// header (`None` for plain).
+    fn describe(&self) -> Option<String> {
+        match self {
+            BackendGraph::Plain(_) => None,
+            BackendGraph::Mapped(m) => Some(format!(
+                "backend: mmap ({} bytes served zero-copy from the page cache)",
+                m.file_bytes()
+            )),
+            BackendGraph::Compressed(c) => Some(format!(
+                "backend: compressed ({:.2} B/arc vs 4 plain)",
+                c.bytes_per_arc()
+            )),
+        }
+    }
+
+    /// Materialize a heap CSR (for kernels that are not yet generic
+    /// over `GraphView`, e.g. betweenness and the diameter estimator).
+    fn to_plain(&self) -> CsrGraph {
+        match self {
+            BackendGraph::Plain(g) => g.clone(),
+            BackendGraph::Mapped(m) => m.to_csr_graph(),
+            BackendGraph::Compressed(c) => c.to_csr(),
+        }
+    }
+}
+
+/// Shared body of `graphct stats`: degree and component summaries run
+/// straight off the backend view; the diameter estimator (MS-BFS based,
+/// still CSR-only) runs on `diameter_csr`.
+fn stats_report<G: GraphView>(
+    work: &G,
+    diameter_csr: &CsrGraph,
+    bfs: &graphct_kernels::BfsConfig,
+    batch: usize,
+    note: Option<String>,
+) {
+    println!(
+        "vertices {}  edges {}  directed {}",
+        work.num_vertices(),
+        work.num_edges(),
+        work.is_directed()
+    );
+    if let Some(note) = note {
+        println!("{note}");
+    }
+    let d = graphct_kernels::degree_statistics(work);
+    println!(
+        "degrees: mean {:.4} variance {:.4} max {} min {}",
+        d.mean, d.variance, d.max, d.min
+    );
+    let comps = graphct_kernels::components::ComponentSummary::compute(work);
+    println!(
+        "components: {} (largest {})",
+        comps.num_components(),
+        comps.largest_size()
+    );
+    let dia = graphct_kernels::diameter::estimate_diameter_batched(
+        diameter_csr,
+        graphct_kernels::diameter::DEFAULT_SAMPLES,
+        graphct_kernels::diameter::DEFAULT_MULTIPLIER,
+        0,
+        bfs,
+        batch,
+    );
+    println!(
+        "diameter estimate {} (longest distance {} over {} sources, {:?} frontier, batch {})",
+        dia.estimate,
+        dia.max_distance_found,
+        dia.samples,
+        bfs.frontier,
+        batch.clamp(1, graphct_kernels::MAX_BATCH)
+    );
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     if args.is_empty() {
@@ -547,45 +695,31 @@ fn run(args: &[String]) -> Result<(), String> {
             let bfs = parse_bfs_flags(&mut args)?;
             let reorder = parse_reorder_flag(&mut args)?;
             let batch: usize = parse_flag(&mut args, "--batch", graphct_kernels::DEFAULT_BATCH)?;
-            let graph = load_graph(&path)?;
-            let view = graphct_core::ReorderedView::apply(&graph, reorder, 0);
-            let work = view.as_ref().map_or(&graph, |v| v.graph());
-            let d = graphct_kernels::degree_statistics(work);
-            println!(
-                "vertices {}  edges {}  directed {}",
-                graph.num_vertices(),
-                graph.num_edges(),
-                graph.is_directed()
-            );
-            if let Some(view) = &view {
-                println!("reorder: {} pass applied", view.kind());
+            let backend = parse_backend_flag(&mut args)?;
+            if backend != Backend::Plain && reorder != graphct_core::ReorderKind::None {
+                return Err("--reorder requires --backend plain".into());
             }
-            println!(
-                "degrees: mean {:.4} variance {:.4} max {} min {}",
-                d.mean, d.variance, d.max, d.min
-            );
-            let comps = graphct_kernels::components::ComponentSummary::compute(work);
-            println!(
-                "components: {} (largest {})",
-                comps.num_components(),
-                comps.largest_size()
-            );
-            let dia = graphct_kernels::diameter::estimate_diameter_batched(
-                work,
-                graphct_kernels::diameter::DEFAULT_SAMPLES,
-                graphct_kernels::diameter::DEFAULT_MULTIPLIER,
-                0,
-                &bfs,
-                batch,
-            );
-            println!(
-                "diameter estimate {} (longest distance {} over {} sources, {:?} frontier, batch {})",
-                dia.estimate,
-                dia.max_distance_found,
-                dia.samples,
-                bfs.frontier,
-                batch.clamp(1, graphct_kernels::MAX_BATCH)
-            );
+            let bg = load_backend(&path, backend)?;
+            match &bg {
+                BackendGraph::Plain(graph) => {
+                    let view = graphct_core::ReorderedView::apply(graph, reorder, 0);
+                    let work = view.as_ref().map_or(graph, |v| v.graph());
+                    let note = view
+                        .as_ref()
+                        .map(|v| format!("reorder: {} pass applied", v.kind()));
+                    stats_report(work, work, &bfs, batch, note);
+                }
+                BackendGraph::Mapped(m) => {
+                    // The diameter estimator still wants a heap CSR; the
+                    // degree/component kernels run off the mapping.
+                    let csr = m.to_csr_graph();
+                    stats_report(m, &csr, &bfs, batch, bg.describe());
+                }
+                BackendGraph::Compressed(c) => {
+                    let csr = c.to_csr();
+                    stats_report(c, &csr, &bfs, batch, bg.describe());
+                }
+            }
             Ok(())
         }
         "components" => {
@@ -595,23 +729,43 @@ fn run(args: &[String]) -> Result<(), String> {
             let path = PathBuf::from(args.remove(0));
             let top: usize = parse_flag(&mut args, "--top", 10)?;
             let reorder = parse_reorder_flag(&mut args)?;
-            let graph = load_graph(&path)?;
-            let view = graphct_core::ReorderedView::apply(&graph, reorder, 0);
+            let backend = parse_backend_flag(&mut args)?;
+            if backend != Backend::Plain && reorder != graphct_core::ReorderKind::None {
+                return Err("--reorder requires --backend plain".into());
+            }
+            let bg = load_backend(&path, backend)?;
             // Labels are mapped back to original ids so the reported
             // roots are stable across --reorder choices.
-            let colors = match &view {
-                Some(v) => v.restore_colors(&graphct_kernels::connected_components(v.graph())),
-                None => graphct_kernels::connected_components(&graph),
+            let (colors, note) = match &bg {
+                BackendGraph::Plain(graph) => {
+                    let view = graphct_core::ReorderedView::apply(graph, reorder, 0);
+                    let colors = match &view {
+                        Some(v) => {
+                            v.restore_colors(&graphct_kernels::connected_components(v.graph()))
+                        }
+                        None => graphct_kernels::connected_components(graph),
+                    };
+                    let note = view
+                        .as_ref()
+                        .map(|v| format!("reorder: {} pass applied", v.kind()));
+                    (colors, note)
+                }
+                BackendGraph::Mapped(m) => {
+                    (graphct_kernels::connected_components(m), bg.describe())
+                }
+                BackendGraph::Compressed(c) => {
+                    (graphct_kernels::connected_components(c), bg.describe())
+                }
             };
             let comps = graphct_kernels::components::ComponentSummary::from_colors(colors);
             println!(
                 "vertices {}  edges {}  components {}",
-                graph.num_vertices(),
-                graph.num_edges(),
+                bg.num_vertices(),
+                bg.num_edges(),
                 comps.num_components()
             );
-            if let Some(view) = &view {
-                println!("reorder: {} pass applied", view.kind());
+            if let Some(note) = note {
+                println!("{note}");
             }
             for rank in 0..top {
                 let Some((root, size)) = comps.nth_largest(rank) else {
@@ -637,7 +791,18 @@ fn run(args: &[String]) -> Result<(), String> {
             let bfs = parse_bfs_flags(&mut args)?;
             let reorder = parse_reorder_flag(&mut args)?;
             let batch: usize = parse_flag(&mut args, "--batch", 1)?;
-            let graph = load_graph(&path)?;
+            let backend = parse_backend_flag(&mut args)?;
+            if backend != Backend::Plain && reorder != graphct_core::ReorderKind::None {
+                return Err("--reorder requires --backend plain".into());
+            }
+            let bg = load_backend(&path, backend)?;
+            if let Some(note) = bg.describe() {
+                println!("{note}; materialized to a heap CSR for betweenness");
+            }
+            let graph = match bg {
+                BackendGraph::Plain(g) => g,
+                other => other.to_plain(),
+            };
             let view = graphct_core::ReorderedView::apply(&graph, reorder, seed);
             let work = view.as_ref().map_or(&graph, |v| v.graph());
             let mut config = graphct_kernels::BetweennessConfig::sampled(samples, seed);
@@ -671,6 +836,22 @@ fn run(args: &[String]) -> Result<(), String> {
             {
                 println!("{:>4}  vertex {:>10}  score {:.2}", rank + 1, v, scores[v]);
             }
+            Ok(())
+        }
+        "convert" => {
+            if args.len() < 2 {
+                return Err("convert needs an input graph and an output .bin path".into());
+            }
+            let input = PathBuf::from(args.remove(0));
+            let out = PathBuf::from(args.remove(0));
+            let graph = load_graph(&input)?;
+            graphct_core::io::binary::save(&graph, &out).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} vertices, {} arcs to {} (format v2)",
+                graph.num_vertices(),
+                graph.num_arcs(),
+                out.display()
+            );
             Ok(())
         }
         other => Err(format!("unknown command '{other}' (try 'graphct help')")),

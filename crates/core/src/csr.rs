@@ -173,41 +173,12 @@ impl CsrGraph {
 
     /// The transpose (all arcs reversed).  For symmetric graphs this is
     /// structurally identical.
+    ///
+    /// Peak extra memory is one `targets`-sized buffer: arcs are
+    /// scattered straight into the output through per-vertex cursors
+    /// rather than staged in an atomic shadow copy.
     pub fn transpose(&self) -> CsrGraph {
-        let n = self.num_vertices();
-        // Count in-degrees.
-        let in_deg = graphct_mt::AtomicUsizeArray::zeros(n);
-        self.targets.par_iter().for_each(|&t| {
-            in_deg.fetch_add(t as usize, 1);
-        });
-        let (offsets, total) = graphct_mt::prefix::exclusive_prefix_sum(&in_deg.to_vec());
-        debug_assert_eq!(total, self.targets.len());
-        let cursor = graphct_mt::AtomicUsizeArray::from_vec(offsets[..n].to_vec());
-        let mut targets = vec![0 as VertexId; total];
-        {
-            let slots: Vec<std::sync::atomic::AtomicU32> = targets
-                .iter()
-                .map(|_| std::sync::atomic::AtomicU32::new(0))
-                .collect();
-            (0..n as VertexId).into_par_iter().for_each(|u| {
-                for &v in self.neighbors(u) {
-                    let slot = cursor.fetch_add(v as usize, 1);
-                    slots[slot].store(u, std::sync::atomic::Ordering::Relaxed);
-                }
-            });
-            targets
-                .par_iter_mut()
-                .zip(slots.par_iter())
-                .for_each(|(t, s)| *t = s.load(std::sync::atomic::Ordering::Relaxed));
-        }
-        // Sort each adjacency list.
-        let mut out = CsrGraph {
-            offsets,
-            targets,
-            directed: self.directed,
-        };
-        out.sort_adjacency();
-        out
+        transpose_of(self)
     }
 
     /// Sort every adjacency list ascending (parallel over vertices).
@@ -235,6 +206,57 @@ impl CsrGraph {
         self.offsets.len() * std::mem::size_of::<usize>()
             + self.targets.len() * std::mem::size_of::<VertexId>()
     }
+}
+
+/// Transpose any [`GraphView`](crate::view::GraphView) into a plain CSR.
+///
+/// In-degrees are counted, prefix-summed into the output offsets, and
+/// every arc is then scattered *directly* into the pre-sized target
+/// buffer: each `fetch_add` cursor ticket names a distinct slot, so each
+/// cell is written exactly once and plain stores through a shared
+/// pointer are race-free.  The previous implementation staged the
+/// scatter in a `Vec<AtomicU32>` shadow of `targets`, doubling peak
+/// memory on exactly the large graphs the mmap/compressed backends
+/// exist for.
+pub(crate) fn transpose_of<G: crate::view::GraphView + ?Sized>(graph: &G) -> CsrGraph {
+    let n = graph.num_vertices();
+    // Count in-degrees.
+    let in_deg = graphct_mt::AtomicUsizeArray::zeros(n);
+    (0..n as VertexId).into_par_iter().for_each(|u| {
+        for v in graph.neighbors_iter(u) {
+            in_deg.fetch_add(v as usize, 1);
+        }
+    });
+    let (offsets, total) = graphct_mt::prefix::exclusive_prefix_sum(&in_deg.to_vec());
+    debug_assert_eq!(total, graph.num_arcs());
+    let cursor = graphct_mt::AtomicUsizeArray::from_vec(offsets[..n].to_vec());
+    let mut targets = vec![0 as VertexId; total];
+    {
+        struct Cells(*mut VertexId);
+        // SAFETY: shared only so each thread can write the disjoint
+        // slots its cursor tickets name.
+        unsafe impl Sync for Cells {}
+        let cells = Cells(targets.as_mut_ptr());
+        let cells = &cells;
+        (0..n as VertexId).into_par_iter().for_each(|u| {
+            for v in graph.neighbors_iter(u) {
+                let slot = cursor.fetch_add(v as usize, 1);
+                // SAFETY: `slot < total` — cursor `v` starts at
+                // `offsets[v]` and is bumped once per in-arc of `v`,
+                // never passing `offsets[v + 1]` — and every ticket is
+                // handed out exactly once.
+                unsafe { *cells.0.add(slot) = u };
+            }
+        });
+    }
+    // Sort each adjacency list (scatter order is scheduling-dependent).
+    let mut out = CsrGraph {
+        offsets,
+        targets,
+        directed: graph.is_directed(),
+    };
+    out.sort_adjacency();
+    out
 }
 
 #[cfg(test)]

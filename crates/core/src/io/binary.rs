@@ -1,15 +1,23 @@
 //! GraphCT's internal binary CSR format.
 //!
-//! Layout (little-endian):
+//! Format v2 layout (little-endian):
 //!
 //! ```text
-//! magic    8 bytes  "GRAPHCT\x01"
+//! magic    8 bytes  "GRAPHCT\x02"
 //! flags    1 byte   bit 0 = directed
-//! n        8 bytes  vertex count (u64)
-//! m        8 bytes  stored-arc count (u64)
-//! offsets  (n + 1) × 8 bytes (u64 each)
-//! targets  m × 4 bytes (u32 each)
+//! reserved 7 bytes  must be zero (pads the header to 32 bytes)
+//! n        8 bytes  vertex count (u64), at byte 16
+//! m        8 bytes  stored-arc count (u64), at byte 24
+//! offsets  (n + 1) × 8 bytes (u64 each), at byte 32 (8-aligned)
+//! targets  m × 4 bytes (u32 each), at byte 32 + 8(n + 1) (4-aligned)
 //! ```
+//!
+//! v2 differs from v1 only in the magic's version byte and the seven
+//! reserved padding bytes: the 32-byte header makes every section start
+//! at a multiple of its element size, so a memory-mapped file
+//! ([`crate::io::mmap::MmapCsr`]) reads offsets and targets in place as
+//! fixed-width little-endian words.  [`read`] accepts both versions
+//! (v1 files lack the padding); [`write`] always emits v2.
 //!
 //! This is the `comp1.bin` of the paper's example script (§IV-B): a graph
 //! or extracted component saved to disk and restored without re-parsing
@@ -21,12 +29,18 @@ use crate::types::VertexId;
 use std::io::{Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"GRAPHCT\x01";
+/// The v1 magic (25-byte packed header, read-only compatibility).
+pub(crate) const MAGIC_V1: &[u8; 8] = b"GRAPHCT\x01";
+/// The v2 magic (32-byte aligned header; what [`write`] emits).
+pub(crate) const MAGIC_V2: &[u8; 8] = b"GRAPHCT\x02";
+/// Size of the v2 header in bytes.
+pub(crate) const HEADER_V2: usize = 32;
 
-/// Serialize a graph to `writer`.
+/// Serialize a graph to `writer` (format v2).
 pub fn write<W: Write>(graph: &CsrGraph, writer: &mut W) -> Result<()> {
-    writer.write_all(MAGIC)?;
+    writer.write_all(MAGIC_V2)?;
     writer.write_all(&[graph.is_directed() as u8])?;
+    writer.write_all(&[0u8; 7])?;
     writer.write_all(&(graph.num_vertices() as u64).to_le_bytes())?;
     writer.write_all(&(graph.num_arcs() as u64).to_le_bytes())?;
     // Buffered conversion keeps peak extra memory at one chunk.
@@ -51,7 +65,7 @@ pub fn write<W: Write>(graph: &CsrGraph, writer: &mut W) -> Result<()> {
 /// Vertex-count ceiling: ids are `u32`, so any header claiming more is
 /// corrupt, and rejecting it here keeps a flipped length byte from
 /// driving a giant allocation.
-const MAX_VERTICES: u64 = 1 << 32;
+pub(crate) const MAX_VERTICES: u64 = 1 << 32;
 
 /// `read_exact` with the section name folded into the error: a short
 /// read becomes a [`GraphError::Format`] naming the truncated section
@@ -66,10 +80,25 @@ fn read_exact_section<R: Read>(reader: &mut R, buf: &mut [u8], section: &str) ->
     })
 }
 
+/// Grow `out`'s capacity to hold `extra` more values without trusting
+/// the header's claim beyond the bytes backing it: capacity doubles
+/// (geometric, so reallocation-copies stay logarithmic in the section
+/// size rather than overshooting multi-GB vectors), is never less than
+/// what this verified chunk needs, and never exceeds `count` — the
+/// final allocation lands exactly on the section size instead of the
+/// up-to-2× overshoot of amortized `extend` growth.
+#[inline]
+fn reserve_verified<T>(out: &mut Vec<T>, extra: usize, count: usize) {
+    if out.capacity() < out.len() + extra {
+        let target = (out.capacity() * 2).clamp(out.len() + extra, count);
+        out.reserve_exact(target - out.len());
+    }
+}
+
 /// Stream `count` little-endian `u64`s through a fixed buffer.  The
-/// claimed `count` bounds only the loop — output capacity grows with
-/// bytes actually read, so a corrupt header cannot force an allocation
-/// larger than the input itself.
+/// claimed `count` bounds only the loop and caps the reservation —
+/// output capacity grows with bytes actually read, so a corrupt header
+/// cannot force an allocation larger than ~2× the input itself.
 fn read_u64_values<R: Read>(reader: &mut R, count: usize, section: &str) -> Result<Vec<u64>> {
     let mut out = Vec::new();
     let mut buf = [0u8; 8192];
@@ -78,6 +107,7 @@ fn read_u64_values<R: Read>(reader: &mut R, count: usize, section: &str) -> Resu
         let take = remaining.min(buf.len() / 8);
         let bytes = &mut buf[..take * 8];
         read_exact_section(reader, bytes, section)?;
+        reserve_verified(&mut out, take, count);
         out.extend(
             bytes
                 .chunks_exact(8)
@@ -98,6 +128,7 @@ fn read_u32_values<R: Read>(reader: &mut R, count: usize, section: &str) -> Resu
         let take = remaining.min(buf.len() / 4);
         let bytes = &mut buf[..take * 4];
         read_exact_section(reader, bytes, section)?;
+        reserve_verified(&mut out, take, count);
         out.extend(
             bytes
                 .chunks_exact(4)
@@ -119,9 +150,11 @@ fn read_u32_values<R: Read>(reader: &mut R, count: usize, section: &str) -> Resu
 pub fn read<R: Read>(reader: &mut R) -> Result<CsrGraph> {
     let mut magic = [0u8; 8];
     read_exact_section(reader, &mut magic, "magic")?;
-    if &magic != MAGIC {
-        return Err(GraphError::Format("bad magic: not a GraphCT binary".into()));
-    }
+    let version = match &magic {
+        m if m == MAGIC_V1 => 1u8,
+        m if m == MAGIC_V2 => 2u8,
+        _ => return Err(GraphError::Format("bad magic: not a GraphCT binary".into())),
+    };
     let mut flags = [0u8; 1];
     read_exact_section(reader, &mut flags, "flags")?;
     if flags[0] > 1 {
@@ -131,6 +164,15 @@ pub fn read<R: Read>(reader: &mut R) -> Result<CsrGraph> {
         )));
     }
     let directed = flags[0] == 1;
+    if version == 2 {
+        let mut reserved = [0u8; 7];
+        read_exact_section(reader, &mut reserved, "header")?;
+        if reserved != [0u8; 7] {
+            return Err(GraphError::Format(
+                "reserved header bytes must be zero".into(),
+            ));
+        }
+    }
     let mut u64buf = [0u8; 8];
     read_exact_section(reader, &mut u64buf, "header")?;
     let n64 = u64::from_le_bytes(u64buf);
@@ -250,16 +292,53 @@ mod tests {
 
     #[test]
     fn bad_flags_rejected() {
+        for magic in [MAGIC_V1, MAGIC_V2] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(magic);
+            buf.push(9);
+            buf.extend_from_slice(&[0u8; 7]);
+            buf.extend_from_slice(&0u64.to_le_bytes());
+            buf.extend_from_slice(&0u64.to_le_bytes());
+            buf.extend_from_slice(&0u64.to_le_bytes());
+            assert!(matches!(
+                read(&mut buf.as_slice()),
+                Err(GraphError::Format(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn nonzero_reserved_bytes_rejected() {
+        let g = sample();
         let mut buf = Vec::new();
-        buf.extend_from_slice(MAGIC);
-        buf.push(9);
-        buf.extend_from_slice(&0u64.to_le_bytes());
-        buf.extend_from_slice(&0u64.to_le_bytes());
-        buf.extend_from_slice(&0u64.to_le_bytes());
-        assert!(matches!(
-            read(&mut buf.as_slice()),
-            Err(GraphError::Format(_))
-        ));
+        write(&g, &mut buf).unwrap();
+        for i in 9..16 {
+            let mut bad = buf.clone();
+            bad[i] = 1;
+            match read(&mut bad.as_slice()) {
+                Err(GraphError::Format(msg)) => assert!(msg.contains("reserved"), "{msg}"),
+                other => panic!("expected Format error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn v1_files_still_load() {
+        // Pre-v2 files have a packed 25-byte header and no padding.
+        let g = sample();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC_V1);
+        buf.push(g.is_directed() as u8);
+        buf.extend_from_slice(&(g.num_vertices() as u64).to_le_bytes());
+        buf.extend_from_slice(&(g.num_arcs() as u64).to_le_bytes());
+        for &o in g.offsets() {
+            buf.extend_from_slice(&(o as u64).to_le_bytes());
+        }
+        for &t in g.targets() {
+            buf.extend_from_slice(&t.to_le_bytes());
+        }
+        let back = read(&mut buf.as_slice()).unwrap();
+        assert_eq!(g, back);
     }
 
     #[test]
@@ -279,15 +358,15 @@ mod tests {
 
     #[test]
     fn flipped_header_bytes_are_errors() {
-        // The 25 header bytes (magic 8, flags 1, n 8, m 8) are fully
-        // validated: inverting any one of them must produce an error —
-        // bad magic, unknown flags, an id-space overflow, a truncated
-        // section, or an offsets/targets mismatch, depending on which
-        // byte turned.
+        // The 32 header bytes (magic 8, flags 1, reserved 7, n 8, m 8)
+        // are fully validated: inverting any one of them must produce an
+        // error — bad magic, unknown flags, nonzero reserved bytes, an
+        // id-space overflow, a truncated section, or an offsets/targets
+        // mismatch, depending on which byte turned.
         let g = sample();
         let mut clean = Vec::new();
         write(&g, &mut clean).unwrap();
-        for i in 0..25 {
+        for i in 0..HEADER_V2 {
             let mut buf = clean.clone();
             buf[i] ^= 0xff;
             let r = read(&mut buf.as_slice());
@@ -314,8 +393,9 @@ mod tests {
         // n = u64::MAX must fail fast on the id-space check, not size a
         // (n + 1) × 8-byte buffer from the lie.
         let mut buf = Vec::new();
-        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(MAGIC_V2);
         buf.push(0);
+        buf.extend_from_slice(&[0u8; 7]);
         buf.extend_from_slice(&u64::MAX.to_le_bytes());
         buf.extend_from_slice(&0u64.to_le_bytes());
         match read(&mut buf.as_slice()) {
@@ -330,8 +410,9 @@ mod tests {
         // final-offset cross-check fires before any target is read.
         let g = sample();
         let mut buf = Vec::new();
-        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(MAGIC_V2);
         buf.push(0);
+        buf.extend_from_slice(&[0u8; 7]);
         buf.extend_from_slice(&(g.num_vertices() as u64).to_le_bytes());
         buf.extend_from_slice(&u64::MAX.to_le_bytes());
         for &o in g.offsets() {
@@ -348,8 +429,8 @@ mod tests {
         let g = sample();
         let mut buf = Vec::new();
         write(&g, &mut buf).unwrap();
-        // Cut mid-offsets (header is 25 bytes, offsets span 40 more).
-        match read(&mut &buf[..30]) {
+        // Cut mid-offsets (header is 32 bytes, offsets span 40 more).
+        match read(&mut &buf[..36]) {
             Err(GraphError::Format(msg)) => assert!(msg.contains("offsets"), "{msg}"),
             other => panic!("expected Format error, got {other:?}"),
         }

@@ -1,0 +1,425 @@
+//! Zero-copy memory-mapped view over a format-v2 binary graph file.
+//!
+//! `MmapCsr` maps the file produced by [`super::binary::write`] and
+//! serves offsets and targets straight out of the page cache: opening a
+//! scale-22 graph is O(1) allocation (the mapping itself), the kernel
+//! pages adjacency in on first touch, and clean pages are reclaimable
+//! under memory pressure — the property that moves the practical ceiling
+//! from "CSR fits twice in RAM" to "CSR fits on disk".
+//!
+//! Validation on open mirrors [`super::binary::read`] exactly: magic,
+//! flags, reserved padding, id-space bound on `n`, the offsets
+//! monotonicity/cross-check, and the targets range scan all run before
+//! the first kernel touches the view, so traversals can trust the data
+//! without per-access checks.  The one addition is an *exact* file-size
+//! check — a streaming reader discovers truncation by hitting EOF, a
+//! mapping must refuse it up front.
+//!
+//! The v2 header is 32 bytes, so within the page-aligned mapping the
+//! offsets section is 8-byte aligned and the targets section 4-byte
+//! aligned; both are decoded with `from_le_bytes` on fixed-width
+//! chunks, which compiles to plain loads on little-endian hosts.
+
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+use crate::io::binary::{HEADER_V2, MAGIC_V1, MAGIC_V2, MAX_VERTICES};
+use crate::types::VertexId;
+use crate::view::GraphView;
+use rayon::prelude::*;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    //! A minimal read-only `mmap` wrapper over the platform C library
+    //! (declared directly — this crate deliberately has no external
+    //! dependencies beyond the vendored workspace shims).
+
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    /// An owned read-only mapping of an entire file.
+    pub struct Mmap {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is read-only for its whole lifetime.
+    unsafe impl Send for Mmap {}
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        pub fn map(file: &File, len: usize) -> io::Result<Mmap> {
+            if len == 0 {
+                // mmap(2) rejects zero-length mappings; a dangling
+                // non-null pointer is the canonical empty slice.
+                return Ok(Mmap {
+                    ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                    len: 0,
+                });
+            }
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Mmap {
+                ptr: ptr as *const u8,
+                len,
+            })
+        }
+
+        #[inline]
+        pub fn bytes(&self) -> &[u8] {
+            // SAFETY: the mapping covers `len` readable bytes until drop.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            if self.len > 0 {
+                unsafe { munmap(self.ptr as *mut c_void, self.len) };
+            }
+        }
+    }
+}
+
+/// The bytes backing an [`MmapCsr`]: a real mapping on unix, a heap
+/// read elsewhere (same API, same validation, no zero-copy win).
+enum Backing {
+    #[cfg(unix)]
+    Map(sys::Mmap),
+    #[allow(dead_code)]
+    Heap(Vec<u8>),
+}
+
+impl Backing {
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            Backing::Map(m) => m.bytes(),
+            Backing::Heap(v) => v,
+        }
+    }
+}
+
+/// A read-only graph served directly from a mapped format-v2 file.
+pub struct MmapCsr {
+    backing: Backing,
+    n: usize,
+    m: usize,
+    directed: bool,
+    /// Byte position of the targets section (`HEADER_V2 + 8(n + 1)`).
+    targets_at: usize,
+}
+
+#[inline]
+fn le_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+impl MmapCsr {
+    /// Map and validate `path`.
+    ///
+    /// Every corruption a streaming [`super::binary::read`] catches is
+    /// caught here too — plus size mismatches in either direction —
+    /// and always as a clean [`GraphError`], never a panic.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<MmapCsr> {
+        let file = std::fs::File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| GraphError::Format("file length overflows usize".into()))?;
+        #[cfg(unix)]
+        let backing = Backing::Map(sys::Mmap::map(&file, len)?);
+        #[cfg(not(unix))]
+        let backing = {
+            use std::io::Read;
+            let mut buf = Vec::new();
+            std::io::BufReader::new(file).read_to_end(&mut buf)?;
+            Backing::Heap(buf)
+        };
+        Self::from_backing(backing)
+    }
+
+    fn from_backing(backing: Backing) -> Result<MmapCsr> {
+        let bytes = backing.bytes();
+        let len = bytes.len();
+        // Header checks, in the same order (and with the same error
+        // text) as the streaming reader.
+        if len < 8 {
+            return Err(GraphError::Format("truncated magic section".into()));
+        }
+        if &bytes[..8] == MAGIC_V1 {
+            return Err(GraphError::Format(
+                "format v1 file: the mmap backend needs the aligned v2 layout \
+                 (rewrite it with `graphct convert`)"
+                    .into(),
+            ));
+        }
+        if &bytes[..8] != MAGIC_V2 {
+            return Err(GraphError::Format("bad magic: not a GraphCT binary".into()));
+        }
+        if len < 9 {
+            return Err(GraphError::Format("truncated flags section".into()));
+        }
+        let flags = bytes[8];
+        if flags > 1 {
+            return Err(GraphError::Format(format!("unknown flags byte {flags}")));
+        }
+        if len < HEADER_V2 {
+            return Err(GraphError::Format("truncated header section".into()));
+        }
+        if bytes[9..16] != [0u8; 7] {
+            return Err(GraphError::Format(
+                "reserved header bytes must be zero".into(),
+            ));
+        }
+        let n64 = le_u64(bytes, 16);
+        if n64 >= MAX_VERTICES {
+            return Err(GraphError::Format(format!(
+                "vertex count {n64} exceeds the u32 id space"
+            )));
+        }
+        let m64 = le_u64(bytes, 24);
+        let n = usize::try_from(n64)
+            .map_err(|_| GraphError::Format(format!("vertex count {n64} overflows usize")))?;
+        let m = usize::try_from(m64)
+            .map_err(|_| GraphError::Format(format!("arc count {m64} overflows usize")))?;
+        // Size cross-check in checked u64 so a lying header cannot
+        // overflow it (m is unbounded until this point).
+        let offsets_bytes = 8u64 * (n64 + 1);
+        let expected = m64
+            .checked_mul(4)
+            .and_then(|t| t.checked_add(HEADER_V2 as u64 + offsets_bytes))
+            .ok_or_else(|| {
+                GraphError::Format(format!("arc count {m64} overflows the file size"))
+            })?;
+        let len64 = len as u64;
+        if len64 < HEADER_V2 as u64 + offsets_bytes {
+            return Err(GraphError::Format("truncated offsets section".into()));
+        }
+        if len64 < expected {
+            return Err(GraphError::Format("truncated targets section".into()));
+        }
+        if len64 > expected {
+            return Err(GraphError::Format(format!(
+                "file is {} bytes but the header describes {expected}",
+                len64
+            )));
+        }
+        let view = MmapCsr {
+            backing,
+            n,
+            m,
+            directed: flags == 1,
+            targets_at: HEADER_V2 + (offsets_bytes as usize),
+        };
+        // Offsets: monotone, start at 0, final entry equals the header's
+        // claimed arc count (the same cross-check the reader applies).
+        if view.offset_raw(0) != 0 {
+            return Err(GraphError::Format("offsets must start at zero".into()));
+        }
+        let last = view.offset_raw(n);
+        if last != m64 {
+            return Err(GraphError::Format(format!(
+                "offsets/targets length mismatch: final offset {last} but header claims {m64} targets"
+            )));
+        }
+        if (0..n)
+            .into_par_iter()
+            .any(|i| view.offset_raw(i) > view.offset_raw(i + 1))
+        {
+            return Err(GraphError::Format("offsets must be non-decreasing".into()));
+        }
+        // Targets: every id in range, exactly like from_raw_parts.
+        if let Some(bad) = (0..m)
+            .into_par_iter()
+            .map(|i| view.target(i))
+            .find_any(|&t| (t as usize) >= n)
+        {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: bad as u64,
+                num_vertices: n as u64,
+            });
+        }
+        Ok(view)
+    }
+
+    #[inline]
+    fn offset_raw(&self, i: usize) -> u64 {
+        le_u64(self.backing.bytes(), HEADER_V2 + 8 * i)
+    }
+
+    #[inline]
+    fn offset(&self, i: usize) -> usize {
+        // Validated against m (itself a usize) on open.
+        self.offset_raw(i) as usize
+    }
+
+    #[inline]
+    fn target(&self, i: usize) -> VertexId {
+        let at = self.targets_at + 4 * i;
+        u32::from_le_bytes(self.backing.bytes()[at..at + 4].try_into().unwrap())
+    }
+
+    /// The file's size in bytes (header + sections).
+    pub fn file_bytes(&self) -> usize {
+        self.backing.bytes().len()
+    }
+
+    /// Copy the mapped graph into a plain heap [`CsrGraph`].
+    pub fn to_csr_graph(&self) -> CsrGraph {
+        self.to_csr()
+    }
+}
+
+/// Iterator over one vertex's targets, decoded from the mapped bytes.
+pub struct MmapNeighbors<'a> {
+    chunks: std::slice::ChunksExact<'a, u8>,
+}
+
+impl Iterator for MmapNeighbors<'_> {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        self.chunks
+            .next()
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.chunks.size_hint()
+    }
+}
+
+impl ExactSizeIterator for MmapNeighbors<'_> {}
+
+impl GraphView for MmapCsr {
+    type Neighbors<'a> = MmapNeighbors<'a>;
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn num_arcs(&self) -> usize {
+        self.m
+    }
+
+    #[inline]
+    fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offset(v + 1) - self.offset(v)
+    }
+
+    #[inline]
+    fn neighbors_iter(&self, v: VertexId) -> MmapNeighbors<'_> {
+        let v = v as usize;
+        let start = self.targets_at + 4 * self.offset(v);
+        let end = self.targets_at + 4 * self.offset(v + 1);
+        MmapNeighbors {
+            chunks: self.backing.bytes()[start..end].chunks_exact(4),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_directed_simple, build_undirected_simple};
+    use crate::edge_list::EdgeList;
+
+    fn save_sample(name: &str, directed: bool) -> (std::path::PathBuf, CsrGraph) {
+        let el = EdgeList::from_pairs(vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let g = if directed {
+            build_directed_simple(&el).unwrap()
+        } else {
+            build_undirected_simple(&el).unwrap()
+        };
+        let dir = std::env::temp_dir().join("graphct_mmap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        crate::io::binary::save(&g, &path).unwrap();
+        (path, g)
+    }
+
+    #[test]
+    fn mapped_view_matches_heap_graph() {
+        for (name, directed) in [("u.bin", false), ("d.bin", true)] {
+            let (path, g) = save_sample(name, directed);
+            let view = MmapCsr::open(&path).unwrap();
+            assert_eq!(view.num_vertices(), g.num_vertices());
+            assert_eq!(view.num_arcs(), g.num_arcs());
+            assert_eq!(view.is_directed(), g.is_directed());
+            for v in 0..g.num_vertices() as VertexId {
+                assert_eq!(view.degree(v), g.degree(v));
+                let nbrs: Vec<VertexId> = view.neighbors_iter(v).collect();
+                assert_eq!(nbrs, g.neighbors(v));
+            }
+            assert_eq!(view.to_csr_graph(), g);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn v1_file_gets_a_version_hint() {
+        let (path, g) = save_sample("v1.bin", false);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Rewrite as v1: swap the magic and drop the padding.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC_V1);
+        v1.push(bytes[8]);
+        v1.extend_from_slice(&bytes[16..]);
+        bytes = v1;
+        std::fs::write(&path, &bytes).unwrap();
+        let _ = g;
+        match MmapCsr::open(&path) {
+            Err(GraphError::Format(msg)) => assert!(msg.contains("v2"), "{msg}"),
+            other => panic!("expected Format error, got {:?}", other.map(|_| ())),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let (path, _) = save_sample("trail.bin", false);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.push(0);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(MmapCsr::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -7,7 +7,10 @@
 //!   format" used by the scripting interface's `save`/`extract … =>
 //!   comp1.bin` commands (§IV-B).
 //! * [`edges_text`] — a minimal `src dst` edge-per-line text format.
+//! * [`mmap`] — a zero-copy memory-mapped view over the format-v2
+//!   binary layout, validated on open.
 
 pub mod binary;
 pub mod dimacs;
 pub mod edges_text;
+pub mod mmap;

@@ -31,6 +31,7 @@
 //! connects @bar back to @foo").
 
 pub mod builder;
+pub mod compressed;
 pub mod csr;
 pub mod edge_list;
 pub mod error;
@@ -39,11 +40,15 @@ pub mod labels;
 pub mod reorder;
 pub mod subgraph;
 pub mod types;
+pub mod view;
 
 pub use builder::{DuplicatePolicy, GraphBuilder, SelfLoopPolicy};
+pub use compressed::CompressedCsr;
 pub use csr::CsrGraph;
 pub use edge_list::EdgeList;
 pub use error::{GraphError, Result};
+pub use io::mmap::MmapCsr;
 pub use labels::VertexLabels;
 pub use reorder::{Permutation, ReorderKind, ReorderedView};
 pub use types::{VertexId, INVALID_VERTEX};
+pub use view::GraphView;

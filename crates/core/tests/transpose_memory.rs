@@ -1,0 +1,77 @@
+//! Peak-memory regression guard for `CsrGraph::transpose`.
+//!
+//! The transpose used to build a full `Vec<AtomicU32>` shadow of the
+//! targets array before copying it into the output, doubling the
+//! kernel's peak footprint on exactly the graphs where transpose
+//! matters (pull-direction BFS over Twitter-scale followership).  The
+//! scatter now writes straight into the output buffer, so the extra
+//! high-water mark must stay within one targets-sized buffer plus
+//! small per-vertex bookkeeping.
+
+use graphct_core::CsrGraph;
+use graphct_trace::CountingAllocator;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Deterministic directed graph with `n` vertices of out-degree `deg`.
+fn dense_directed(n: u32, deg: u32) -> CsrGraph {
+    let mut offsets = Vec::with_capacity(n as usize + 1);
+    let mut targets = Vec::with_capacity((n * deg) as usize);
+    let mut state = 0x9e37_79b9_u32;
+    offsets.push(0);
+    for _ in 0..n {
+        for _ in 0..deg {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            targets.push(state % n);
+        }
+        offsets.push(targets.len());
+    }
+    CsrGraph::from_raw_parts(offsets, targets, true).unwrap()
+}
+
+#[test]
+fn transpose_peak_is_one_targets_buffer_not_two() {
+    let n = 2048u32;
+    let deg = 64u32;
+    let g = dense_directed(n, deg);
+    let m = g.num_arcs();
+    let targets_bytes = m * std::mem::size_of::<u32>();
+
+    // Warm up whatever lazy global state (thread pool, etc.) the
+    // parallel runtime allocates on first use, so the measured window
+    // contains only transpose's own allocations.
+    let warm = g.transpose();
+    assert_eq!(warm.num_arcs(), m);
+    drop(warm);
+
+    let live_before = graphct_trace::alloc::live_bytes();
+    graphct_trace::alloc::reset_peak();
+    let t = g.transpose();
+    let extra_peak = graphct_trace::alloc::peak_bytes().saturating_sub(live_before);
+
+    // Budget: the output targets buffer itself, plus O(n)-sized degree
+    // counts / offsets / cursors (a few words per vertex), plus slack
+    // for the parallel runtime.  The old shadow-buffer implementation
+    // peaked at ~2x targets_bytes and must fail this bound.
+    let budget = targets_bytes as u64 + 8 * 8 * (n as u64 + 1) + 128 * 1024;
+    assert!(
+        extra_peak < budget,
+        "transpose peaked {extra_peak} extra bytes; budget {budget} \
+         (targets buffer is {targets_bytes} bytes)"
+    );
+    // And well under the old two-buffer floor.
+    assert!(
+        extra_peak < 2 * targets_bytes as u64,
+        "transpose peak {extra_peak} suggests a full shadow copy of targets ({targets_bytes} bytes) is back"
+    );
+
+    // Sanity: the result is still a real transpose.
+    assert_eq!(t.num_arcs(), m);
+    let back = t.transpose();
+    for v in 0..n {
+        let mut expect: Vec<u32> = g.neighbors(v).to_vec();
+        expect.sort_unstable();
+        assert_eq!(back.neighbors(v), expect.as_slice());
+    }
+}

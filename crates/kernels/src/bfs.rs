@@ -20,7 +20,7 @@
 //! textbook queue implementation kept as the independent verification
 //! oracle and ablation control.
 
-use graphct_core::{CsrGraph, VertexId};
+use graphct_core::{CsrGraph, GraphView, VertexId};
 use graphct_mt::{AtomicBitmap, AtomicU32Array, Frontier};
 use rayon::prelude::*;
 
@@ -249,7 +249,7 @@ pub struct BfsRun {
 /// telemetry, kept as the independent verification oracle the test
 /// suites compare every other traversal against, and as the ablation
 /// control the bench crate times.
-pub fn sequential_bfs_levels(graph: &CsrGraph, source: VertexId) -> Vec<u32> {
+pub fn sequential_bfs_levels<G: GraphView>(graph: &G, source: VertexId) -> Vec<u32> {
     let n = graph.num_vertices();
     assert!((source as usize) < n, "source vertex out of range");
     let mut levels = vec![UNREACHED; n];
@@ -258,7 +258,7 @@ pub fn sequential_bfs_levels(graph: &CsrGraph, source: VertexId) -> Vec<u32> {
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
         let next = levels[u as usize] + 1;
-        for &v in graph.neighbors(u) {
+        for v in graph.neighbors_iter(u) {
             if levels[v as usize] == UNREACHED {
                 levels[v as usize] = next;
                 queue.push_back(v);
@@ -279,31 +279,36 @@ pub fn bfs_levels(graph: &CsrGraph, source: VertexId) -> Vec<u32> {
     HybridBfs::new(graph).levels(source)
 }
 
-/// Reusable direction-optimizing BFS engine.
+/// Reusable direction-optimizing BFS engine, generic over any
+/// [`GraphView`] backend (heap CSR, reordered, memory-mapped,
+/// compressed).  `G` defaults to [`CsrGraph`], so existing call sites
+/// read unchanged.
 ///
 /// Construction caches the degree table and, for directed graphs under a
 /// pull-capable config, the transpose (in-neighbor CSR) — so callers
 /// that run many searches over one graph (diameter sampling, betweenness
 /// source loops) pay those costs once.  On undirected graphs the
 /// symmetric adjacency serves both directions and no transpose is built.
-pub struct HybridBfs<'g> {
-    graph: &'g CsrGraph,
+pub struct HybridBfs<'g, G: GraphView = CsrGraph> {
+    graph: &'g G,
     /// In-neighbor view for directed graphs; `None` when `graph` is its
-    /// own transpose (undirected) or the config never pulls.
+    /// own transpose (undirected) or the config never pulls.  Always a
+    /// heap CSR regardless of backend: it is derived data this engine
+    /// owns, not a view of the caller's storage.
     transpose: Option<CsrGraph>,
     degrees: Vec<usize>,
     config: BfsConfig,
 }
 
-impl<'g> HybridBfs<'g> {
+impl<'g, G: GraphView> HybridBfs<'g, G> {
     /// Engine with the default (hybrid) config.
-    pub fn new(graph: &'g CsrGraph) -> Self {
+    pub fn new(graph: &'g G) -> Self {
         Self::with_config(graph, BfsConfig::default())
     }
 
     /// Engine with an explicit config.
-    pub fn with_config(graph: &'g CsrGraph, config: BfsConfig) -> Self {
-        let transpose = (graph.is_directed() && config.may_pull()).then(|| graph.transpose());
+    pub fn with_config(graph: &'g G, config: BfsConfig) -> Self {
+        let transpose = (graph.is_directed() && config.may_pull()).then(|| graph.transpose_csr());
         Self {
             graph,
             transpose,
@@ -318,19 +323,18 @@ impl<'g> HybridBfs<'g> {
     }
 
     /// The graph the engine traverses.
-    pub fn graph(&self) -> &'g CsrGraph {
+    pub fn graph(&self) -> &'g G {
         self.graph
     }
 
-    /// The in-neighbor CSR pull levels scan: the cached transpose on
-    /// directed graphs, the (symmetric) graph itself otherwise.  Shared
-    /// with [`crate::msbfs::MsBfs`] so batched traversals reuse the
-    /// transpose this engine already built.
-    pub fn in_csr(&self) -> &CsrGraph {
-        self.transpose.as_ref().unwrap_or(self.graph)
+    /// The cached transpose, when the config and directedness required
+    /// one.  [`crate::msbfs::MsBfs`] pulls through this so batched
+    /// traversals reuse the transpose this engine already built.
+    pub fn cached_transpose(&self) -> Option<&CsrGraph> {
+        self.transpose.as_ref()
     }
 
-    /// The cached degree table (`graph.degrees()` paid once).
+    /// The cached degree table (degrees paid once).
     pub fn degrees(&self) -> &[usize] {
         &self.degrees
     }
@@ -493,19 +497,19 @@ impl<'g> HybridBfs<'g> {
         )
     }
 
-    /// Bottom-up step (see [`pull_level`]).
+    /// Bottom-up step (see [`pull_level`]).  Dispatches on whether a
+    /// transpose was cached; for `G = CsrGraph` both arms instantiate
+    /// the same `pull_level::<CsrGraph>` body the seed baseline calls.
     fn pull_level(
         &self,
         levels: &AtomicU32Array,
         depth: u32,
         unvisited: &[VertexId],
     ) -> (Frontier, usize) {
-        pull_level(
-            self.transpose.as_ref().unwrap_or(self.graph),
-            levels,
-            depth,
-            unvisited,
-        )
+        match &self.transpose {
+            Some(t) => pull_level(t, levels, depth, unvisited),
+            None => pull_level(self.graph, levels, depth, unvisited),
+        }
     }
 
     /// Legacy full-vertex bitmap sweep (push work discovered by scanning
@@ -536,7 +540,7 @@ impl<'g> HybridBfs<'g> {
                         return (0usize, 0usize);
                     }
                     let mut count = 0;
-                    for &v in self.graph.neighbors(u as VertexId) {
+                    for v in self.graph.neighbors_iter(u as VertexId) {
                         if levels
                             .compare_exchange(v as usize, UNREACHED, next_depth)
                             .is_ok()
@@ -570,6 +574,17 @@ impl<'g> HybridBfs<'g> {
         };
         self.report_run_telemetry(&run, edges_inspected, 0);
         run
+    }
+}
+
+impl HybridBfs<'_, CsrGraph> {
+    /// The in-neighbor CSR pull levels scan: the cached transpose on
+    /// directed graphs, the (symmetric) graph itself otherwise.  Only
+    /// the plain-CSR engine can lend the graph itself as a CSR; other
+    /// backends expose the transpose via
+    /// [`HybridBfs::cached_transpose`].
+    pub fn in_csr(&self) -> &CsrGraph {
+        self.transpose.as_ref().unwrap_or(self.graph)
     }
 }
 
@@ -659,8 +674,8 @@ pub fn refresh_unvisited(
 /// only in the instrumentation, not in duplicate codegen of the hot
 /// loops.
 #[doc(hidden)]
-pub fn pull_level(
-    in_csr: &CsrGraph,
+pub fn pull_level<G: GraphView>(
+    in_csr: &G,
     levels: &AtomicU32Array,
     depth: u32,
     unvisited: &[VertexId],
@@ -671,7 +686,7 @@ pub fn pull_level(
         .par_iter()
         .map(|&v| {
             let mut probes = 0usize;
-            for &u in in_csr.neighbors(v) {
+            for u in in_csr.neighbors_iter(v) {
                 probes += 1;
                 if levels.load(u as usize) == depth {
                     levels.store(v as usize, depth + 1);
@@ -691,15 +706,15 @@ pub fn pull_level(
 ///
 /// Exposed (hidden) for the bench seed baseline — see [`pull_level`].
 #[doc(hidden)]
-pub fn push_level(
-    graph: &CsrGraph,
+pub fn push_level<G: GraphView>(
+    graph: &G,
     frontier: &[VertexId],
     levels: &AtomicU32Array,
     next_depth: u32,
 ) -> Frontier {
     let next: Vec<VertexId> = frontier
         .par_iter()
-        .flat_map_iter(|&u| graph.neighbors(u).iter().copied())
+        .flat_map_iter(|&u| graph.neighbors_iter(u))
         .filter(|&v| {
             levels
                 .compare_exchange(v as usize, UNREACHED, next_depth)
@@ -718,7 +733,11 @@ pub fn push_level(
 /// the kind only changes how each level is expanded.  This convenience
 /// rebuilds the degree table — and, for directed graphs under
 /// pull-capable kinds, the transpose — per call.
-pub fn parallel_bfs_levels(graph: &CsrGraph, source: VertexId, frontier: FrontierKind) -> Vec<u32> {
+pub fn parallel_bfs_levels<G: GraphView>(
+    graph: &G,
+    source: VertexId,
+    frontier: FrontierKind,
+) -> Vec<u32> {
     HybridBfs::with_config(graph, BfsConfig::from_kind(frontier)).levels(source)
 }
 
@@ -726,14 +745,18 @@ pub fn parallel_bfs_levels(graph: &CsrGraph, source: VertexId, frontier: Frontie
 ///
 /// **Deprecated-by-convention**: thin wrapper over [`HybridBfs`]; see
 /// [`parallel_bfs_levels`].
-pub fn parallel_bfs_with(graph: &CsrGraph, source: VertexId, config: &BfsConfig) -> Vec<u32> {
+pub fn parallel_bfs_with<G: GraphView>(
+    graph: &G,
+    source: VertexId,
+    config: &BfsConfig,
+) -> Vec<u32> {
     HybridBfs::with_config(graph, *config).levels(source)
 }
 
 /// BFS limited to `max_depth` levels — GraphCT's "marking a breadth-first
 /// search from a given vertex of a given length" kernel (paper §IV-A).
 /// Vertices further than `max_depth` stay `UNREACHED`.
-pub fn bfs_levels_bounded(graph: &CsrGraph, source: VertexId, max_depth: u32) -> Vec<u32> {
+pub fn bfs_levels_bounded<G: GraphView>(graph: &G, source: VertexId, max_depth: u32) -> Vec<u32> {
     let n = graph.num_vertices();
     assert!((source as usize) < n, "source vertex out of range");
     let levels = AtomicU32Array::filled(n, UNREACHED);
@@ -744,7 +767,7 @@ pub fn bfs_levels_bounded(graph: &CsrGraph, source: VertexId, max_depth: u32) ->
         let next_depth = depth + 1;
         frontier = frontier
             .par_iter()
-            .flat_map_iter(|&u| graph.neighbors(u).iter().copied())
+            .flat_map_iter(|&u| graph.neighbors_iter(u))
             .filter(|&v| {
                 levels
                     .compare_exchange(v as usize, UNREACHED, next_depth)

@@ -11,48 +11,86 @@
 //! ```
 //!
 //! Triangles are counted by sorted-adjacency intersection, parallel over
-//! vertices.  Requires an undirected simple graph.
+//! vertices.  Requires an undirected **simple** graph with strictly
+//! ascending adjacency lists — the intersection walk silently undercounts
+//! on unsorted lists and overcounts wedges through self-loops, so the
+//! kernels validate the adjacency structure up front and reject bad
+//! input with a [`GraphError`] instead of returning wrong numbers.
 
-use graphct_core::{CsrGraph, GraphError};
+use graphct_core::{GraphError, GraphView, VertexId};
 use rayon::prelude::*;
 
-/// Number of elements common to two ascending-sorted slices.
-fn intersection_size(a: &[u32], b: &[u32]) -> usize {
+/// Number of elements common to an ascending-sorted slice and an
+/// ascending-sorted iterator.
+fn intersection_size<I: Iterator<Item = VertexId>>(a: &[VertexId], b: I) -> usize {
     let mut i = 0;
-    let mut j = 0;
     let mut count = 0;
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                count += 1;
-                i += 1;
-                j += 1;
-            }
+    for t in b {
+        while i < a.len() && a[i] < t {
+            i += 1;
+        }
+        if i == a.len() {
+            break;
+        }
+        if a[i] == t {
+            count += 1;
+            i += 1;
         }
     }
     count
 }
 
+/// Reject adjacency structures the triangle kernel would silently
+/// miscount: self-loops and lists that are not strictly ascending
+/// (which also catches duplicate arcs).  Such graphs are constructible
+/// through `CsrGraph::from_raw_parts`, which validates offsets and
+/// target ranges but not neighbor ordering.
+fn validate_sorted_simple<G: GraphView>(graph: &G) -> Result<(), GraphError> {
+    let n = graph.num_vertices();
+    let ok = (0..n as VertexId).into_par_iter().all(|v| {
+        let mut prev: Option<VertexId> = None;
+        for t in graph.neighbors_iter(v) {
+            if t == v {
+                return false;
+            }
+            if let Some(p) = prev {
+                if t <= p {
+                    return false;
+                }
+            }
+            prev = Some(t);
+        }
+        true
+    });
+    if ok {
+        Ok(())
+    } else {
+        Err(GraphError::InvalidArgument(
+            "clustering kernels require a simple graph with sorted adjacency \
+             (strictly ascending neighbor lists, no self-loops)"
+                .into(),
+        ))
+    }
+}
+
 /// Triangles incident to each vertex (each triangle counted once per
 /// member vertex).
-pub fn triangle_counts(graph: &CsrGraph) -> Result<Vec<usize>, GraphError> {
+pub fn triangle_counts<G: GraphView>(graph: &G) -> Result<Vec<usize>, GraphError> {
     if graph.is_directed() {
         return Err(GraphError::InvalidArgument(
             "triangle counting requires an undirected graph".into(),
         ));
     }
+    validate_sorted_simple(graph)?;
     let n = graph.num_vertices();
-    Ok((0..n as u32)
+    Ok((0..n as VertexId)
         .into_par_iter()
         .map(|v| {
-            let nv = graph.neighbors(v);
+            let nv: Vec<VertexId> = graph.neighbors_iter(v).collect();
             // Each triangle v-a-b is found twice (once via a, once via b).
             let double: usize = nv
                 .iter()
-                .filter(|&&u| u != v)
-                .map(|&u| intersection_size(nv, graph.neighbors(u)))
+                .map(|&u| intersection_size(&nv, graph.neighbors_iter(u)))
                 .sum();
             double / 2
         })
@@ -61,13 +99,13 @@ pub fn triangle_counts(graph: &CsrGraph) -> Result<Vec<usize>, GraphError> {
 
 /// Per-vertex local clustering coefficients. Vertices of degree < 2 get
 /// coefficient 0.
-pub fn clustering_coefficients(graph: &CsrGraph) -> Result<Vec<f64>, GraphError> {
+pub fn clustering_coefficients<G: GraphView>(graph: &G) -> Result<Vec<f64>, GraphError> {
     let tri = triangle_counts(graph)?;
     Ok(tri
         .into_par_iter()
         .enumerate()
         .map(|(v, t)| {
-            let d = graph.degree(v as u32);
+            let d = graph.degree(v as VertexId);
             if d < 2 {
                 0.0
             } else {
@@ -79,11 +117,11 @@ pub fn clustering_coefficients(graph: &CsrGraph) -> Result<Vec<f64>, GraphError>
 
 /// Global clustering coefficient (transitivity):
 /// `3 · #triangles / #open-or-closed wedges`.
-pub fn global_clustering(graph: &CsrGraph) -> Result<f64, GraphError> {
+pub fn global_clustering<G: GraphView>(graph: &G) -> Result<f64, GraphError> {
     let tri = triangle_counts(graph)?;
     // Per-vertex triangle incidences sum to 3 · #triangles.
     let closed: usize = tri.par_iter().sum();
-    let wedges: usize = (0..graph.num_vertices() as u32)
+    let wedges: usize = (0..graph.num_vertices() as VertexId)
         .into_par_iter()
         .map(|v| {
             let d = graph.degree(v);
@@ -101,6 +139,7 @@ pub fn global_clustering(graph: &CsrGraph) -> Result<f64, GraphError> {
 mod tests {
     use super::*;
     use graphct_core::builder::build_undirected_simple;
+    use graphct_core::CsrGraph;
     use graphct_core::EdgeList;
 
     fn graph(edges: &[(u32, u32)]) -> CsrGraph {
@@ -177,9 +216,42 @@ mod tests {
     }
 
     #[test]
+    fn unsorted_adjacency_rejected() {
+        // Triangle 0-1-2 but vertex 0's list is descending: [2, 1].
+        // `from_raw_parts` accepts this (offsets and target ranges are
+        // valid); the old intersection walk silently undercounted it.
+        let g = CsrGraph::from_raw_parts(vec![0, 2, 4, 6], vec![2, 1, 0, 2, 0, 1], false).unwrap();
+        let err = triangle_counts(&g).unwrap_err();
+        assert!(err.to_string().contains("sorted"), "got: {err}");
+        assert!(clustering_coefficients(&g).is_err());
+        assert!(global_clustering(&g).is_err());
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        // Vertex 0 carries a self-loop alongside a real edge to 1.
+        let g = CsrGraph::from_raw_parts(vec![0, 2, 3], vec![0, 1, 0], false).unwrap();
+        let err = triangle_counts(&g).unwrap_err();
+        assert!(err.to_string().contains("self-loops"), "got: {err}");
+    }
+
+    #[test]
+    fn duplicate_arcs_rejected() {
+        // Vertex 0 lists neighbor 1 twice: non-strictly-ascending.
+        let g = CsrGraph::from_raw_parts(vec![0, 2, 4], vec![1, 1, 0, 0], false).unwrap();
+        assert!(triangle_counts(&g).is_err());
+    }
+
+    #[test]
+    fn sorted_check_accepts_builder_output() {
+        let g = graph(&[(0, 1), (1, 2), (0, 2)]);
+        assert!(validate_sorted_simple(&g).is_ok());
+    }
+
+    #[test]
     fn intersection_helper() {
-        assert_eq!(intersection_size(&[1, 3, 5], &[2, 3, 5, 7]), 2);
-        assert_eq!(intersection_size(&[], &[1]), 0);
-        assert_eq!(intersection_size(&[1, 2], &[3, 4]), 0);
+        assert_eq!(intersection_size(&[1, 3, 5], [2, 3, 5, 7].into_iter()), 2);
+        assert_eq!(intersection_size(&[], [1].into_iter()), 0);
+        assert_eq!(intersection_size(&[1, 2], [3, 4].into_iter()), 0);
     }
 }

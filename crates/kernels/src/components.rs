@@ -12,7 +12,7 @@
 
 use crate::bfs::{BfsConfig, HybridBfs, UNREACHED};
 use graphct_core::subgraph::{induced_subgraph, Subgraph};
-use graphct_core::{CsrGraph, VertexId};
+use graphct_core::{CsrGraph, GraphView, VertexId};
 use graphct_mt::AtomicU32Array;
 use rayon::prelude::*;
 
@@ -28,7 +28,7 @@ use rayon::prelude::*;
 /// let g = build_undirected_simple(&EdgeList::from_pairs(vec![(0, 1), (2, 3)])).unwrap();
 /// assert_eq!(connected_components(&g), vec![0, 0, 2, 2]);
 /// ```
-pub fn connected_components(graph: &CsrGraph) -> Vec<VertexId> {
+pub fn connected_components<G: GraphView>(graph: &G) -> Vec<VertexId> {
     let n = graph.num_vertices();
     if n == 0 {
         return Vec::new();
@@ -48,7 +48,7 @@ pub fn connected_components(graph: &CsrGraph) -> Vec<VertexId> {
             .map(|u| {
                 let mut local_changes = 0usize;
                 let cu = colors.load(u as usize);
-                for &v in graph.neighbors(u) {
+                for v in graph.neighbors_iter(u) {
                     let cv = colors.load(v as usize);
                     if cu < cv {
                         if colors.fetch_min(v as usize, cu) > cu {
@@ -87,7 +87,7 @@ pub fn connected_components(graph: &CsrGraph) -> Vec<VertexId> {
 }
 
 /// Sequential BFS labeling — the ablation baseline and test oracle.
-pub fn sequential_components(graph: &CsrGraph) -> Vec<VertexId> {
+pub fn sequential_components<G: GraphView>(graph: &G) -> Vec<VertexId> {
     let n = graph.num_vertices();
     let mut colors = vec![graphct_core::INVALID_VERTEX; n];
     let mut queue = std::collections::VecDeque::new();
@@ -98,7 +98,7 @@ pub fn sequential_components(graph: &CsrGraph) -> Vec<VertexId> {
         colors[start as usize] = start;
         queue.push_back(start);
         while let Some(u) = queue.pop_front() {
-            for &v in graph.neighbors(u) {
+            for v in graph.neighbors_iter(u) {
                 if colors[v as usize] == graphct_core::INVALID_VERTEX {
                     colors[v as usize] = start;
                     queue.push_back(v);
@@ -121,7 +121,7 @@ pub struct ComponentSummary {
 
 impl ComponentSummary {
     /// Compute the labeling and size table for `graph`.
-    pub fn compute(graph: &CsrGraph) -> Self {
+    pub fn compute<G: GraphView>(graph: &G) -> Self {
         let colors = connected_components(graph);
         Self::from_colors(colors)
     }

@@ -6,7 +6,7 @@
 //! high degree vertices with many low degree vertices indicates a
 //! similarity to scale-free social networks." (paper §II-A, Fig. 2)
 
-use graphct_core::CsrGraph;
+use graphct_core::GraphView;
 use graphct_mt::histogram::log_binned_counts;
 use graphct_mt::reduce::par_mean_variance;
 use rayon::prelude::*;
@@ -35,7 +35,7 @@ impl DegreeStats {
 
 /// Compute degree statistics for `graph` (out-degrees; for undirected
 /// graphs these are the vertex degrees).
-pub fn degree_statistics(graph: &CsrGraph) -> DegreeStats {
+pub fn degree_statistics<G: GraphView>(graph: &G) -> DegreeStats {
     let degrees = graph.degrees();
     let as_f64: Vec<f64> = degrees.par_iter().map(|&d| d as f64).collect();
     let (mean, variance) = par_mean_variance(&as_f64);
@@ -49,7 +49,7 @@ pub fn degree_statistics(graph: &CsrGraph) -> DegreeStats {
 }
 
 /// Exact histogram: `counts[d]` = number of vertices of degree `d`.
-pub fn degree_histogram(graph: &CsrGraph) -> Vec<usize> {
+pub fn degree_histogram<G: GraphView>(graph: &G) -> Vec<usize> {
     let degrees = graph.degrees();
     let max = degrees.par_iter().copied().max().unwrap_or(0);
     graphct_mt::histogram::parallel_counts(&degrees, max + 1)
@@ -57,7 +57,7 @@ pub fn degree_histogram(graph: &CsrGraph) -> Vec<usize> {
 
 /// Logarithmically binned degree histogram — the series behind the
 /// paper's Fig. 2 log-log plot.  Returns `(bin_lower_edges, counts)`.
-pub fn degree_log_histogram(graph: &CsrGraph, base: f64) -> (Vec<usize>, Vec<usize>) {
+pub fn degree_log_histogram<G: GraphView>(graph: &G, base: f64) -> (Vec<usize>, Vec<usize>) {
     log_binned_counts(&graph.degrees(), base)
 }
 
@@ -65,6 +65,7 @@ pub fn degree_log_histogram(graph: &CsrGraph, base: f64) -> (Vec<usize>, Vec<usi
 mod tests {
     use super::*;
     use graphct_core::builder::build_undirected_simple;
+    use graphct_core::CsrGraph;
     use graphct_core::EdgeList;
 
     fn graph(edges: &[(u32, u32)]) -> CsrGraph {

@@ -28,7 +28,7 @@
 //! before any timing is taken.
 
 use crate::bfs::{decide_direction, max_level, Direction, HybridBfs, UNREACHED};
-use graphct_core::{CsrGraph, VertexId};
+use graphct_core::{CsrGraph, GraphView, VertexId};
 use graphct_mt::{AtomicBitMatrix, AtomicU32Array};
 use rayon::prelude::*;
 
@@ -77,13 +77,13 @@ pub struct MsBfsRun {
 /// choice exactly as it does single-source runs: forced push/pull
 /// configs force every wave, hybrid switches on the aggregated
 /// frontier-edge heuristic.
-pub struct MsBfs<'a, 'g> {
-    engine: &'a HybridBfs<'g>,
+pub struct MsBfs<'a, 'g, G: GraphView = CsrGraph> {
+    engine: &'a HybridBfs<'g, G>,
 }
 
-impl<'a, 'g> MsBfs<'a, 'g> {
+impl<'a, 'g, G: GraphView> MsBfs<'a, 'g, G> {
     /// Batched engine sharing `engine`'s cached transpose and degrees.
-    pub fn new(engine: &'a HybridBfs<'g>) -> Self {
+    pub fn new(engine: &'a HybridBfs<'g, G>) -> Self {
         Self { engine }
     }
 
@@ -113,7 +113,7 @@ impl<'a, 'g> MsBfs<'a, 'g> {
         }
         let config = self.engine.config();
         let degrees = self.engine.degrees();
-        let in_csr = self.engine.in_csr();
+        let transpose = self.engine.cached_transpose();
         // All lanes in use for this batch; `seen == full` means a vertex
         // owes no search anything more.
         let full = if k == MAX_BATCH {
@@ -185,9 +185,16 @@ impl<'a, 'g> MsBfs<'a, 'g> {
                             .collect();
                         unvisited_built = true;
                     }
-                    pull_wave(
-                        in_csr, &unvisited, full, &frontier, &seen, &next, &levels, n, depth,
-                    )
+                    // Pull along in-edges: the cached transpose when the
+                    // engine built one, the (symmetric) graph otherwise.
+                    match transpose {
+                        Some(t) => pull_wave(
+                            t, &unvisited, full, &frontier, &seen, &next, &levels, n, depth,
+                        ),
+                        None => pull_wave(
+                            graph, &unvisited, full, &frontier, &seen, &next, &levels, n, depth,
+                        ),
+                    }
                 }
             };
             let record = WaveRecord {
@@ -254,8 +261,8 @@ impl<'a, 'g> MsBfs<'a, 'g> {
 /// vertex enters the next queue exactly once — when its `next` word
 /// transitions from zero (the returned `prev == 0` from the first
 /// winning fetch_or).
-fn push_wave(
-    graph: &CsrGraph,
+fn push_wave<G: GraphView>(
+    graph: &G,
     queue: &[VertexId],
     frontier: &AtomicBitMatrix,
     seen: &AtomicBitMatrix,
@@ -265,13 +272,9 @@ fn push_wave(
         .par_iter()
         .flat_map_iter(|&u| {
             let fu = frontier.load(u as usize);
-            graph.neighbors(u).iter().filter_map(move |&v| {
+            graph.neighbors_iter(u).filter(move |&v| {
                 let new = fu & !seen.load(v as usize);
-                if new != 0 && next.fetch_or(v as usize, new) == 0 {
-                    Some(v)
-                } else {
-                    None
-                }
+                new != 0 && next.fetch_or(v as usize, new) == 0
             })
         })
         .collect()
@@ -283,8 +286,8 @@ fn push_wave(
 /// updates need no claims.  Returns the claimed vertices and the edges
 /// probed.
 #[allow(clippy::too_many_arguments)]
-fn pull_wave(
-    in_csr: &CsrGraph,
+fn pull_wave<G: GraphView>(
+    in_csr: &G,
     unvisited: &[VertexId],
     full: u64,
     frontier: &AtomicBitMatrix,
@@ -301,7 +304,7 @@ fn pull_wave(
             let wanted = full & !seen.load(vi);
             let mut gather = 0u64;
             let mut probes = 0usize;
-            for &u in in_csr.neighbors(v) {
+            for u in in_csr.neighbors_iter(v) {
                 probes += 1;
                 gather |= frontier.load(u as usize);
                 if gather & wanted == wanted {

@@ -65,8 +65,8 @@ pub use graphct_twitter as twitter;
 pub mod prelude {
     pub use graphct_core::builder::{build_directed_simple, build_undirected_simple};
     pub use graphct_core::{
-        CsrGraph, DuplicatePolicy, EdgeList, GraphBuilder, GraphError, Permutation, ReorderKind,
-        ReorderedView, SelfLoopPolicy, VertexId, VertexLabels,
+        CompressedCsr, CsrGraph, DuplicatePolicy, EdgeList, GraphBuilder, GraphError, GraphView,
+        MmapCsr, Permutation, ReorderKind, ReorderedView, SelfLoopPolicy, VertexId, VertexLabels,
     };
     pub use graphct_kernels::{
         betweenness_centrality, bfs_levels, clustering_coefficients, connected_components,

@@ -1,0 +1,228 @@
+#![recursion_limit = "512"]
+//! Storage-backend equivalence: plain CSR, compressed CSR, and the
+//! memory-mapped binary view must describe the same graph and drive
+//! the traversal kernels to bit-identical results.
+//!
+//! Also ports the binary reader's corrupt-input matrix (truncate at
+//! every byte, flip every header byte, flip any byte without panicking)
+//! to the `MmapCsr::open` path, which validates the same format from a
+//! mapped file instead of a `Read` stream.
+
+use graphct::prelude::*;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static FILE_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh file path under a per-process temp directory.
+fn temp_file(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("graphct_backends_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "{tag}_{}.bin",
+        FILE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn build(edges: Vec<(u32, u32)>, n: u32, directed: bool) -> CsrGraph {
+    let el = EdgeList::from_pairs(edges);
+    let builder = if directed {
+        GraphBuilder::directed()
+    } else {
+        GraphBuilder::undirected()
+    };
+    builder.num_vertices(n as usize).build(&el).unwrap()
+}
+
+/// Assert a `GraphView` describes exactly the same graph as `g`.
+fn assert_same_graph<G: GraphView>(view: &G, g: &CsrGraph) {
+    assert_eq!(view.num_vertices(), g.num_vertices());
+    assert_eq!(view.num_arcs(), g.num_arcs());
+    assert_eq!(view.is_directed(), g.is_directed());
+    for v in 0..g.num_vertices() as VertexId {
+        assert_eq!(view.degree(v), g.degree(v), "degree of {v}");
+        let nbrs: Vec<VertexId> = view.neighbors_iter(v).collect();
+        assert_eq!(nbrs, g.neighbors(v), "neighbors of {v}");
+    }
+}
+
+/// Clamp raw edge endpoints into `0..n`; `n == 0` means the empty graph.
+/// Small `n` with a sparse list leaves isolated vertices in play.
+fn clamp_edges(raw: Vec<(u32, u32)>, n: u32) -> Vec<(u32, u32)> {
+    if n == 0 {
+        Vec::new()
+    } else {
+        raw.into_iter().map(|(a, b)| (a % n, b % n)).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compressed_csr_roundtrips_any_graph(
+        raw in prop::collection::vec((0u32..48, 0u32..48), 0..120),
+        n in 0u32..48,
+        directed in any::<bool>(),
+    ) {
+        let g = build(clamp_edges(raw, n), n, directed);
+        let c = CompressedCsr::from_view(&g);
+        assert_same_graph(&c, &g);
+        prop_assert_eq!(c.decompress().unwrap(), g);
+    }
+
+    #[test]
+    fn mmap_roundtrips_any_graph(
+        raw in prop::collection::vec((0u32..48, 0u32..48), 0..120),
+        n in 0u32..48,
+        directed in any::<bool>(),
+    ) {
+        let g = build(clamp_edges(raw, n), n, directed);
+        let path = temp_file("rt");
+        graphct::core::io::binary::save(&g, &path).unwrap();
+        let m = MmapCsr::open(&path).unwrap();
+        assert_same_graph(&m, &g);
+        prop_assert_eq!(m.to_csr_graph(), g.clone());
+        // Full chain: heap CSR -> mmap file -> compressed -> heap CSR.
+        let c = CompressedCsr::from_view(&m);
+        prop_assert_eq!(c.decompress().unwrap(), g);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kernels_agree_across_backends(
+        raw in prop::collection::vec((0u32..48, 0u32..48), 0..120),
+        n in 1u32..48,
+        directed in any::<bool>(),
+        src in 0u32..48,
+    ) {
+        let g = build(clamp_edges(raw, n), n, directed);
+        let src = src % g.num_vertices() as u32;
+
+        let path = temp_file("kern");
+        graphct::core::io::binary::save(&g, &path).unwrap();
+        let mapped = MmapCsr::open(&path).unwrap();
+        let compressed = CompressedCsr::from_view(&g);
+
+        let plain_bfs = HybridBfs::new(&g).run(src).levels;
+        prop_assert_eq!(&HybridBfs::new(&mapped).run(src).levels, &plain_bfs);
+        prop_assert_eq!(&HybridBfs::new(&compressed).run(src).levels, &plain_bfs);
+
+        if !directed {
+            let plain_cc = connected_components(&g);
+            prop_assert_eq!(&connected_components(&mapped), &plain_cc);
+            prop_assert_eq!(&connected_components(&compressed), &plain_cc);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn hub_vertex_roundtrips_and_compresses() {
+    // A 4000-leaf star: vertex 0's list is 1..=4000, consecutive ids, so
+    // delta coding stores almost every neighbor in one byte.
+    let edges: Vec<(u32, u32)> = (1..=4000u32).map(|v| (0, v)).collect();
+    let g = build(edges, 4001, false);
+    let c = CompressedCsr::from_view(&g);
+    assert_same_graph(&c, &g);
+    assert_eq!(c.decompress().unwrap(), g);
+    let plain_bytes = g.memory_bytes();
+    assert!(
+        c.memory_bytes() < plain_bytes,
+        "hub graph grew: {} vs {plain_bytes}",
+        c.memory_bytes()
+    );
+    // On this graph most vertices are degree-1 leaves, so the per-vertex
+    // offset table dominates both layouts; the varint payload itself must
+    // still beat the plain 4 bytes/arc comfortably.
+    assert!(
+        c.bytes_per_arc() < 2.5,
+        "hub adjacency should delta-code well below 4 B/arc, got {}",
+        c.bytes_per_arc()
+    );
+}
+
+#[test]
+fn empty_and_isolated_graphs_roundtrip_through_every_backend() {
+    for (n, edges) in [
+        (0u32, vec![]),
+        (5, vec![]),               // all isolated
+        (6, vec![(0, 1), (4, 5)]), // isolated middle vertices
+    ] {
+        for directed in [false, true] {
+            let g = build(edges.clone(), n, directed);
+            let c = CompressedCsr::from_view(&g);
+            assert_same_graph(&c, &g);
+            assert_eq!(c.decompress().unwrap(), g);
+
+            let path = temp_file("edge");
+            graphct::core::io::binary::save(&g, &path).unwrap();
+            let m = MmapCsr::open(&path).unwrap();
+            assert_same_graph(&m, &g);
+            assert_eq!(m.to_csr_graph(), g);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+// ---- corrupt-input matrix, ported from io/binary.rs to the mmap path ----
+
+fn sample_file_bytes() -> Vec<u8> {
+    let g = build(vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)], 4, false);
+    let mut buf = Vec::new();
+    graphct::core::io::binary::write(&g, &mut buf).unwrap();
+    buf
+}
+
+#[test]
+fn mmap_rejects_every_truncation_point() {
+    let clean = sample_file_bytes();
+    let path = temp_file("trunc");
+    for cut in 0..clean.len() {
+        std::fs::write(&path, &clean[..cut]).unwrap();
+        assert!(
+            MmapCsr::open(&path).is_err(),
+            "mmap open of {cut}-byte prefix succeeded"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn mmap_rejects_every_flipped_header_byte() {
+    // Header bytes (magic 8, flags 1, reserved 7, n 8, m 8) are fully
+    // validated on open; inverting any one must produce a clean error.
+    let clean = sample_file_bytes();
+    let path = temp_file("hdrflip");
+    for i in 0..32 {
+        let mut buf = clean.clone();
+        buf[i] ^= 0xff;
+        std::fs::write(&path, &buf).unwrap();
+        assert!(
+            MmapCsr::open(&path).is_err(),
+            "mmap open with header byte {i} flipped succeeded"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn mmap_never_panics_on_any_flipped_byte() {
+    // A body flip may still parse (a target id can stay in range) but
+    // must never panic, and a successful open must stay in-bounds when
+    // walked.
+    let clean = sample_file_bytes();
+    let path = temp_file("anyflip");
+    for i in 0..clean.len() {
+        let mut buf = clean.clone();
+        buf[i] ^= 0xff;
+        std::fs::write(&path, &buf).unwrap();
+        if let Ok(view) = MmapCsr::open(&path) {
+            for v in 0..view.num_vertices() as VertexId {
+                let _ = view.neighbors_iter(v).count();
+            }
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
