@@ -19,10 +19,15 @@
 //!                            # (BENCH_MSBFS.json)
 //! repro trace-bfs            # ablation-bfs with per-level telemetry +
 //!                            # disabled-overhead proof (BENCH_TRACE_OVERHEAD.json)
+//! repro obs-overhead         # introspection-plane disabled-path proof: the
+//!                            # histogram/watchdog-instrumented kernels vs the
+//!                            # uninstrumented seed, paired-ratio methodology,
+//!                            # budget 2 % (BENCH_OBS_OVERHEAD.json)
 //! repro trace-validate FILE  # check a JSON-lines trace against the schema
 //! repro check-regress        # compare the latest BENCH_HISTORY.jsonl run of
 //!                            # each case against the median of its earlier
-//!                            # runs; exit 1 on a >10 % slowdown
+//!                            # runs; exit 1 on a >10 % slowdown, and print
+//!                            # p50/p99 columns for series that carry them
 //! ```
 //!
 //! Timing exhibits (fig4, fig6, the ablations, trace-bfs) append their
@@ -95,7 +100,7 @@ impl Options {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <all|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|ablation-sampling|ablation-cc|ablation-bfs|reorder|msbfs|trace-bfs|trace-validate FILE|check-regress> [--quick] [--full] [--seed N] [--reps N]");
+        eprintln!("usage: repro <all|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|ablation-sampling|ablation-cc|ablation-bfs|reorder|msbfs|trace-bfs|obs-overhead|trace-validate FILE|check-regress> [--quick] [--full] [--seed N] [--reps N]");
         std::process::exit(2);
     }
     let cmd = args.remove(0);
@@ -130,6 +135,7 @@ fn main() {
         "reorder" => reorder_exhibit(opts),
         "msbfs" => msbfs_exhibit(opts),
         "trace-bfs" => trace_bfs(opts),
+        "obs-overhead" => obs_overhead(opts),
         "trace-validate" => trace_validate(&args),
         "check-regress" => check_regress(),
         "all" => {
@@ -212,6 +218,13 @@ fn check_regress() {
     };
     if skipped > 0 {
         eprintln!("warning: skipped {skipped} unparseable ledger lines");
+    }
+    let quantile_rows = history::latest_quantiles(&entries);
+    if !quantile_rows.is_empty() {
+        println!("series with latency quantiles (latest run):");
+        for row in &quantile_rows {
+            println!("  {}", row.render());
+        }
     }
     let regressions = history::check(&entries);
     if regressions.is_empty() {
@@ -1028,11 +1041,23 @@ struct AbOverhead {
     inst: graphct_bench::timing::TimingSummary,
     seed_min: f64,
     inst_min: f64,
+    /// Per-arm latency quantiles over the raw samples (p50, p99).
+    seed_p50: f64,
+    seed_p99: f64,
+    inst_p50: f64,
+    inst_p99: f64,
     /// Headline: median of the paired per-rep ratios, as a percentage.
     overhead_pct: f64,
     min_overhead_pct: f64,
     mean_overhead_pct: f64,
     reps: usize,
+}
+
+/// Nearest-rank quantile over an unsorted sample set.
+fn sample_quantile(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
 }
 
 /// Time `seed_arm` against `inst_arm` over `reps` interleaved pairs.
@@ -1082,6 +1107,10 @@ fn ab_overhead(reps: usize, seed_arm: &mut dyn FnMut(), inst_arm: &mut dyn FnMut
         inst,
         seed_min,
         inst_min,
+        seed_p50: sample_quantile(&seed_samples, 0.5),
+        seed_p99: sample_quantile(&seed_samples, 0.99),
+        inst_p50: sample_quantile(&inst_samples, 0.5),
+        inst_p99: sample_quantile(&inst_samples, 0.99),
         reps,
     }
 }
@@ -1089,11 +1118,21 @@ fn ab_overhead(reps: usize, seed_arm: &mut dyn FnMut(), inst_arm: &mut dyn FnMut
 /// Print one kernel's A/B table + verdict line and return its JSON
 /// record for `BENCH_TRACE_OVERHEAD.json`.
 fn report_ab(kernel: &str, ab: &AbOverhead, budget_pct: f64) -> String {
-    let mut t = Table::new(&["kernel", "min s", "mean s", "std dev s", "ci90 s"]);
+    let mut t = Table::new(&[
+        "kernel",
+        "min s",
+        "mean s",
+        "p50 s",
+        "p99 s",
+        "std dev s",
+        "ci90 s",
+    ]);
     t.row(&[
         format!("{kernel}: seed (uninstrumented)"),
         f(ab.seed_min, 6),
         f(ab.seed.mean, 6),
+        f(ab.seed_p50, 6),
+        f(ab.seed_p99, 6),
         f(ab.seed.std_dev, 6),
         f(ab.seed.ci90, 6),
     ]);
@@ -1101,6 +1140,8 @@ fn report_ab(kernel: &str, ab: &AbOverhead, budget_pct: f64) -> String {
         format!("{kernel}: instrumented, tracing off"),
         f(ab.inst_min, 6),
         f(ab.inst.mean, 6),
+        f(ab.inst_p50, 6),
+        f(ab.inst_p99, 6),
         f(ab.inst.std_dev, 6),
         f(ab.inst.ci90, 6),
     ]);
@@ -1112,14 +1153,18 @@ fn report_ab(kernel: &str, ab: &AbOverhead, budget_pct: f64) -> String {
         ab.overhead_pct, ab.min_overhead_pct, ab.mean_overhead_pct, ab.reps
     );
     format!(
-        "    {{\n      \"kernel\": \"{kernel}\",\n      \"reps\": {},\n      \"seed_kernel\": {{\"min_s\": {:.6}, \"mean_s\": {:.6}, \"std_dev_s\": {:.6}, \"ci90_s\": {:.6}}},\n      \"instrumented_disabled\": {{\"min_s\": {:.6}, \"mean_s\": {:.6}, \"std_dev_s\": {:.6}, \"ci90_s\": {:.6}}},\n      \"overhead_pct\": {:.4},\n      \"min_overhead_pct\": {:.4},\n      \"mean_overhead_pct\": {:.4},\n      \"within_budget\": {}\n    }}",
+        "    {{\n      \"kernel\": \"{kernel}\",\n      \"reps\": {},\n      \"seed_kernel\": {{\"min_s\": {:.6}, \"mean_s\": {:.6}, \"p50_s\": {:.6}, \"p99_s\": {:.6}, \"std_dev_s\": {:.6}, \"ci90_s\": {:.6}}},\n      \"instrumented_disabled\": {{\"min_s\": {:.6}, \"mean_s\": {:.6}, \"p50_s\": {:.6}, \"p99_s\": {:.6}, \"std_dev_s\": {:.6}, \"ci90_s\": {:.6}}},\n      \"overhead_pct\": {:.4},\n      \"min_overhead_pct\": {:.4},\n      \"mean_overhead_pct\": {:.4},\n      \"within_budget\": {}\n    }}",
         ab.reps,
         ab.seed_min,
         ab.seed.mean,
+        ab.seed_p50,
+        ab.seed_p99,
         ab.seed.std_dev,
         ab.seed.ci90,
         ab.inst_min,
         ab.inst.mean,
+        ab.inst_p50,
+        ab.inst_p99,
         ab.inst.std_dev,
         ab.inst.ci90,
         ab.overhead_pct,
@@ -1315,6 +1360,139 @@ fn trace_bfs(opts: Options) {
     match std::fs::write(out, &json) {
         Ok(()) => println!("wrote {out}"),
         Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+}
+
+/// `repro obs-overhead` — the introspection-plane disabled-path proof
+/// (`BENCH_OBS_OVERHEAD.json`, budget ≤ 2 %).
+///
+/// PR 2 proved the span/counter spine free when disabled; this exhibit
+/// re-proves it for the v2 plane, where the hot kernel loops also carry
+/// per-wave/per-source `Histogram` recording sites.  Same paired-ratio
+/// methodology: interleaved A/B pairs against the uninstrumented seed
+/// kernels, median of per-pair ratios as the headline.  The ledger
+/// records carry the per-arm p50/p99 so `check-regress` renders its
+/// quantile columns.
+fn obs_overhead(opts: Options) {
+    use graphct_bench::history;
+    use graphct_bench::seed_baseline::{seed_betweenness, SeedHybridBfs};
+    use graphct_kernels::bfs::{BfsConfig, HybridBfs};
+
+    banner("Obs — introspection plane v2 disabled-path overhead proof");
+    let scale = if opts.quick { 12 } else { 16 };
+    let cfg = graphct_gen::RmatConfig::paper(scale, 16);
+    let rmat = build_undirected_simple(&graphct_gen::rmat_edges(&cfg, opts.seed)).unwrap();
+    assert!(
+        !graphct_trace::enabled(),
+        "no trace session may be live during the overhead measurement"
+    );
+    let budget_pct = 2.0;
+
+    // BFS arm: instrumented kernel now carries the per-wave histogram
+    // site.  Batched sources so per-sample work dwarfs the timer quantum.
+    let config = BfsConfig::hybrid();
+    let seed_engine = SeedHybridBfs::with_config(&rmat, config);
+    let inst_engine = HybridBfs::with_config(&rmat, config);
+    let n = rmat.num_vertices() as u32;
+    std::hint::black_box(seed_engine.levels(0));
+    std::hint::black_box(inst_engine.levels(0));
+    let reps = opts.reps.max(50);
+    const BATCH: u32 = 8;
+    let bfs_ab = ab_overhead(
+        reps,
+        &mut || {
+            for s in 0..BATCH {
+                std::hint::black_box(seed_engine.levels((s * 37 + 11) % n));
+            }
+        },
+        &mut || {
+            for s in 0..BATCH {
+                std::hint::black_box(inst_engine.levels((s * 37 + 11) % n));
+            }
+        },
+    );
+    let bfs_record = report_ab("bfs_hybrid", &bfs_ab, budget_pct);
+
+    // Betweenness arm: the per-source histogram site sits in the sampled
+    // Brandes accumulation loop.
+    let bc_config = BetweennessConfig {
+        sampling: SamplingSpec::count(16, opts.seed),
+        bfs: config,
+        ..BetweennessConfig::exact()
+    };
+    std::hint::black_box(seed_betweenness(&rmat, &bc_config).scores);
+    std::hint::black_box(betweenness_centrality(&rmat, &bc_config).unwrap().scores);
+    let bc_reps = opts.reps.max(30);
+    let bc_ab = ab_overhead(
+        bc_reps,
+        &mut || {
+            std::hint::black_box(seed_betweenness(&rmat, &bc_config).scores);
+        },
+        &mut || {
+            std::hint::black_box(betweenness_centrality(&rmat, &bc_config).unwrap().scores);
+        },
+    );
+    let bc_record = report_ab("bc_sampled_16src", &bc_ab, budget_pct);
+
+    // Ledger records carry the per-arm sample quantiles so check-regress
+    // can print its p50/p99 columns for these series.
+    let entries: Vec<history::HistoryEntry> = [
+        (
+            "bfs_hybrid/seed",
+            bfs_ab.seed.mean,
+            bfs_ab.seed_p50,
+            bfs_ab.seed_p99,
+        ),
+        (
+            "bfs_hybrid/instrumented",
+            bfs_ab.inst.mean,
+            bfs_ab.inst_p50,
+            bfs_ab.inst_p99,
+        ),
+        (
+            "bc_sampled_16src/seed",
+            bc_ab.seed.mean,
+            bc_ab.seed_p50,
+            bc_ab.seed_p99,
+        ),
+        (
+            "bc_sampled_16src/instrumented",
+            bc_ab.inst.mean,
+            bc_ab.inst_p50,
+            bc_ab.inst_p99,
+        ),
+    ]
+    .iter()
+    .map(|(case, mean, p50, p99)| {
+        history::HistoryEntry::now("obs_overhead", case, opts.quick, *mean)
+            .with_quantiles(*p50, *p99)
+    })
+    .collect();
+    match history::append(std::path::Path::new(history::DEFAULT_PATH), &entries) {
+        Ok(()) => println!(
+            "appended {} records (with quantiles) to {}",
+            entries.len(),
+            history::DEFAULT_PATH
+        ),
+        Err(e) => eprintln!("could not append to {}: {e}", history::DEFAULT_PATH),
+    }
+
+    let within_budget = bfs_ab.overhead_pct <= budget_pct && bc_ab.overhead_pct <= budget_pct;
+    let json = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"graph\": \"rmat scale {scale}\",\n  \"vertices\": {},\n  \"edges\": {},\n  \"frontier\": \"Hybrid\",\n  \"overhead_metric\": \"median_of_paired_ratios\",\n  \"budget_pct\": {budget_pct},\n  \"results\": [\n{},\n{}\n  ],\n  \"within_budget\": {within_budget}\n}}\n",
+        rmat.num_vertices(),
+        rmat.num_edges(),
+        bfs_record,
+        bc_record,
+    );
+    let out = "BENCH_OBS_OVERHEAD.json";
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+    if !within_budget {
+        eprintln!("disabled-path overhead exceeded the {budget_pct}% budget");
+        std::process::exit(1);
     }
 }
 

@@ -37,6 +37,12 @@ pub struct HistoryEntry {
     pub quick: bool,
     /// Mean wall time in seconds.
     pub mean_s: f64,
+    /// Median (p50) wall time in seconds, when the run carried
+    /// per-sample or histogram data; absent on older ledger lines.
+    pub p50_s: Option<f64>,
+    /// 99th-percentile wall time in seconds (same provenance as
+    /// [`p50_s`](HistoryEntry::p50_s)).
+    pub p99_s: Option<f64>,
     /// Seconds since the Unix epoch at record time.
     pub unix_ts: u64,
     /// Short git commit hash, or `unknown` outside a repository.
@@ -51,12 +57,22 @@ impl HistoryEntry {
             case: case.to_owned(),
             quick,
             mean_s,
+            p50_s: None,
+            p99_s: None,
             unix_ts: SystemTime::now()
                 .duration_since(UNIX_EPOCH)
                 .map(|d| d.as_secs())
                 .unwrap_or(0),
             git_sha: current_git_sha(),
         }
+    }
+
+    /// Attach latency quantiles (from per-sample timings or a latency
+    /// histogram) to this entry.
+    pub fn with_quantiles(mut self, p50_s: f64, p99_s: f64) -> Self {
+        self.p50_s = Some(p50_s);
+        self.p99_s = Some(p99_s);
+        self
     }
 
     fn to_json_line(&self) -> String {
@@ -66,9 +82,16 @@ impl HistoryEntry {
         out.push_str(",\"case\":");
         write_json_string(&self.case, &mut out);
         out.push_str(&format!(
-            ",\"quick\":{},\"mean_s\":{:.9},\"unix_ts\":{},\"git_sha\":",
-            self.quick, self.mean_s, self.unix_ts
+            ",\"quick\":{},\"mean_s\":{:.9}",
+            self.quick, self.mean_s
         ));
+        if let Some(p50) = self.p50_s {
+            out.push_str(&format!(",\"p50_s\":{p50:.9}"));
+        }
+        if let Some(p99) = self.p99_s {
+            out.push_str(&format!(",\"p99_s\":{p99:.9}"));
+        }
+        out.push_str(&format!(",\"unix_ts\":{},\"git_sha\":", self.unix_ts));
         write_json_string(&self.git_sha, &mut out);
         out.push('}');
         out
@@ -80,6 +103,8 @@ impl HistoryEntry {
             case: v.get("case")?.as_str()?.to_owned(),
             quick: matches!(v.get("quick"), Some(Json::Bool(true))),
             mean_s: v.get("mean_s")?.as_f64()?,
+            p50_s: v.get("p50_s").and_then(Json::as_f64),
+            p99_s: v.get("p99_s").and_then(Json::as_f64),
             unix_ts: v.get("unix_ts").and_then(Json::as_u64).unwrap_or(0),
             git_sha: v
                 .get("git_sha")
@@ -196,6 +221,61 @@ pub fn check(entries: &[HistoryEntry]) -> Vec<Regression> {
     regressions
 }
 
+/// The latest quantile-carrying entry of one ledger series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileRow {
+    /// Exhibit name.
+    pub bench: String,
+    /// Case within the exhibit.
+    pub case: String,
+    /// Whether this is the `--quick` series.
+    pub quick: bool,
+    /// Median seconds of the latest quantile-carrying run.
+    pub p50_s: f64,
+    /// p99 seconds of the same run.
+    pub p99_s: f64,
+}
+
+impl QuantileRow {
+    /// The pinned `check-regress` report line for this row.  The format
+    /// is part of the CLI contract (CI greps it): exactly
+    /// `"<bench> / <case>[ (quick)]: p50 <x.xxxx>s  p99 <y.yyyy>s"`.
+    pub fn render(&self) -> String {
+        format!(
+            "{} / {}{}: p50 {:.4}s  p99 {:.4}s",
+            self.bench,
+            self.case,
+            if self.quick { " (quick)" } else { "" },
+            self.p50_s,
+            self.p99_s
+        )
+    }
+}
+
+/// For every `(bench, case, quick)` series, the latest entry that
+/// carries both quantiles (file order is chronological).  Series that
+/// never recorded quantiles are absent — the `check-regress` quantile
+/// table only appears when histogram-backed data exists.
+pub fn latest_quantiles(entries: &[HistoryEntry]) -> Vec<QuantileRow> {
+    use std::collections::BTreeMap;
+    let mut latest: BTreeMap<(String, String, bool), QuantileRow> = BTreeMap::new();
+    for e in entries {
+        if let (Some(p50), Some(p99)) = (e.p50_s, e.p99_s) {
+            latest.insert(
+                e.key(),
+                QuantileRow {
+                    bench: e.bench.clone(),
+                    case: e.case.clone(),
+                    quick: e.quick,
+                    p50_s: p50,
+                    p99_s: p99,
+                },
+            );
+        }
+    }
+    latest.into_values().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +286,8 @@ mod tests {
             case: case.into(),
             quick: false,
             mean_s,
+            p50_s: None,
+            p99_s: None,
             unix_ts: 1_700_000_000,
             git_sha: "abc1234".into(),
         }
@@ -285,6 +367,65 @@ mod tests {
             entry("fig4", "a", 1.09),
         ];
         assert!(check(&entries).is_empty());
+    }
+
+    #[test]
+    fn quantiles_round_trip_and_old_lines_still_load() {
+        let dir = std::env::temp_dir().join(format!("graphct_hist_q_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ledger.jsonl");
+        // One pre-quantile line (the live ledger predates the fields)
+        // and one new-format line.
+        std::fs::write(
+            &path,
+            "{\"bench\":\"b\",\"case\":\"c\",\"quick\":false,\"mean_s\":1.0}\n",
+        )
+        .unwrap();
+        let with_q = entry("b", "c", 1.05).with_quantiles(1.02, 2.5);
+        append(&path, std::slice::from_ref(&with_q)).unwrap();
+        let (loaded, skipped) = load(&path).unwrap();
+        assert_eq!((loaded.len(), skipped), (2, 0));
+        assert_eq!((loaded[0].p50_s, loaded[0].p99_s), (None, None));
+        assert_eq!(loaded[1], with_q);
+
+        // check() still keys on mean_s only: both lines form one series.
+        assert!(check(&loaded).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latest_quantiles_picks_newest_per_series() {
+        let entries = vec![
+            entry("obs", "bfs", 1.0).with_quantiles(0.9, 1.4),
+            entry("obs", "bfs", 1.1).with_quantiles(1.0, 1.6),
+            entry("obs", "bc", 2.0), // no quantiles -> absent
+        ];
+        let rows = latest_quantiles(&entries);
+        assert_eq!(rows.len(), 1);
+        assert_eq!((rows[0].p50_s, rows[0].p99_s), (1.0, 1.6));
+    }
+
+    #[test]
+    fn quantile_row_format_is_pinned() {
+        let row = QuantileRow {
+            bench: "obs_overhead".into(),
+            case: "bfs_hybrid/instrumented".into(),
+            quick: true,
+            p50_s: 0.012345,
+            p99_s: 0.098765,
+        };
+        assert_eq!(
+            row.render(),
+            "obs_overhead / bfs_hybrid/instrumented (quick): p50 0.0123s  p99 0.0988s"
+        );
+        let full = QuantileRow {
+            quick: false,
+            ..row
+        };
+        assert_eq!(
+            full.render(),
+            "obs_overhead / bfs_hybrid/instrumented: p50 0.0123s  p99 0.0988s"
+        );
     }
 
     #[test]

@@ -39,14 +39,19 @@ USAGE:
   graphct serve [--profile h1n1|atlflood|sep1] [--scale-pct P] [--seed N]
                 [--port P | --addr HOST:PORT] [--batch-size N] [--batches N]
                 [--interval-ms MS] [--window N] [--trace-out FILE]
-                                               live monitoring plane: paced
+                [--stall-timeout-ms MS]        live monitoring plane: paced
                                                tweet-stream ingest exporting
                                                /metrics /healthz /progress
-                                               over HTTP; Ctrl-C drains
+                                               (plus /pause /resume) over
+                                               HTTP; Ctrl-C drains; a stall
+                                               past the watchdog deadline
+                                               turns /healthz 503
   graphct trace flame <trace.jsonl> [--out FILE]
                                                folded stacks (flamegraph input)
   graphct trace critical-path <trace.jsonl>    slowest span chains
   graphct trace imbalance <trace.jsonl>        per-level BFS push/pull spread
+  graphct trace histo <trace.jsonl> [--name H] latency/size histograms with
+                                               p50/p90/p99/p999
   graphct trace diff <a.jsonl> <b.jsonl>       A/B span + counter deltas
   graphct trace promcheck <metrics.txt>        validate Prometheus exposition
   graphct help
@@ -72,7 +77,11 @@ graph is held while the kernels run — plain (default, heap CSR) | mmap
 (zero-copy view over a format-v2 .bin file; see `graphct convert`) |
 compressed (delta-encoded varint adjacency, decoded on the fly).
 Results are identical across backends; betweenness materializes a heap
-CSR first.  --reorder requires --backend plain.
+CSR first.  --reorder requires --backend plain.  stats also reports
+backend memory observability: mincore(2) page residency before/after
+traversal for mmap, decode-work counters for compressed, RSS for both
+(exported as gauges — graphct_mmap_resident_bytes etc. — under
+--trace).
 
 Telemetry (any command): --trace turns on kernel telemetry and prints a
 hierarchical timing summary to stderr at exit; --trace-out FILE streams
@@ -242,6 +251,7 @@ fn serve_cmd(args: &mut Vec<String>) -> Result<(), String> {
     let interval_ms: u64 = parse_flag(args, "--interval-ms", 50)?;
     let window_batches: usize = parse_flag(args, "--window", 256)?;
     let trace_out = take_flag(args, "--trace-out")?.map(PathBuf::from);
+    let stall_timeout_ms: u64 = parse_flag(args, "--stall-timeout-ms", 10_000)?;
 
     graphct_obs::install_sigint_handler();
     let handle = graphct_obs::start(graphct_obs::ServeConfig {
@@ -253,10 +263,11 @@ fn serve_cmd(args: &mut Vec<String>) -> Result<(), String> {
         interval_ms,
         window_batches,
         trace_out,
+        stall_timeout_ms,
     })
     .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
     println!(
-        "serving http://{}  endpoints: /metrics /healthz /progress",
+        "serving http://{}  endpoints: /metrics /healthz /progress /pause /resume",
         handle.local_addr()
     );
     println!(
@@ -305,7 +316,7 @@ fn trace_cmd(args: &mut Vec<String>) -> Result<(), String> {
     use graphct_trace::analyze;
     if args.is_empty() {
         return Err(
-            "trace needs a subcommand (flame|critical-path|imbalance|diff|promcheck)".into(),
+            "trace needs a subcommand (flame|critical-path|imbalance|histo|diff|promcheck)".into(),
         );
     }
     let sub = args.remove(0);
@@ -372,6 +383,44 @@ fn trace_cmd(args: &mut Vec<String>) -> Result<(), String> {
             }
             Ok(())
         }
+        "histo" => {
+            let file = next_path(args, "trace file")?;
+            let name = take_flag(args, "--name")?;
+            let mut reports = analyze::collect_histograms(&load_trace(&file)?);
+            if let Some(name) = &name {
+                reports.retain(|r| &r.name == name);
+                if reports.is_empty() {
+                    return Err(format!("no histogram named '{name}' in trace"));
+                }
+            }
+            if reports.is_empty() {
+                println!("no histogram records in trace (run with --trace-out)");
+                return Ok(());
+            }
+            for report in &reports {
+                let count = report.count();
+                println!(
+                    "{}: {} observations over {} record(s), sum {}",
+                    report.name, count, report.records, report.sum
+                );
+                println!(
+                    "  p50 {:.0}  p90 {:.0}  p99 {:.0}  p999 {:.0}",
+                    report.quantile(0.5),
+                    report.quantile(0.9),
+                    report.quantile(0.99),
+                    report.quantile(0.999)
+                );
+                let peak = report.counts.iter().copied().max().unwrap_or(0).max(1);
+                for (i, &c) in report.counts.iter().enumerate() {
+                    if c == 0 {
+                        continue;
+                    }
+                    let bar = "#".repeat(((c as f64 / peak as f64) * 40.0).ceil() as usize);
+                    println!("  >= {:>12}  {:>10}  {bar}", report.edges[i], c);
+                }
+            }
+            Ok(())
+        }
         "diff" => {
             let a_path = next_path(args, "baseline trace")?;
             let b_path = next_path(args, "comparison trace")?;
@@ -425,7 +474,7 @@ fn trace_cmd(args: &mut Vec<String>) -> Result<(), String> {
             }
         }
         other => Err(format!(
-            "unknown trace subcommand '{other}' (flame|critical-path|imbalance|diff|promcheck)"
+            "unknown trace subcommand '{other}' (flame|critical-path|imbalance|histo|diff|promcheck)"
         )),
     }
 }
@@ -590,6 +639,16 @@ fn stats_report<G: GraphView>(
     );
 }
 
+/// Backend memory observability line for `graphct stats`: the backend
+/// detail plus process RSS.  `sample_rss` also publishes the
+/// `rss_bytes` gauge when a trace session is live.
+fn print_memory_line(detail: &str) {
+    let rss = graphct_core::MemoryProbe::sample_rss()
+        .map(|b| format!("rss {b} B; "))
+        .unwrap_or_default();
+    println!("memory: {rss}{detail}");
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     if args.is_empty() {
@@ -710,14 +769,29 @@ fn run(args: &[String]) -> Result<(), String> {
                     stats_report(work, work, &bfs, batch, note);
                 }
                 BackendGraph::Mapped(m) => {
+                    let (resident_before, mapped) = m.residency();
                     // The diameter estimator still wants a heap CSR; the
                     // degree/component kernels run off the mapping.
                     let csr = m.to_csr_graph();
                     stats_report(m, &csr, &bfs, batch, bg.describe());
+                    // Sampling after the kernels also publishes the
+                    // graphct_mmap_*_bytes gauges when tracing is on.
+                    let (resident_after, _) = m.sample_residency();
+                    print_memory_line(&format!(
+                        "mmap resident {resident_before} -> {resident_after} of {mapped} B mapped \
+                         (before -> after traversal)"
+                    ));
                 }
                 BackendGraph::Compressed(c) => {
                     let csr = c.to_csr();
                     stats_report(c, &csr, &bfs, batch, bg.describe());
+                    print_memory_line(&format!(
+                        "decode work: {} varints, {} B touched, {} blocks ({} re-decoded)",
+                        graphct_core::compressed::COMPRESSED_VARINTS_DECODED.value(),
+                        graphct_core::compressed::COMPRESSED_BYTES_TOUCHED.value(),
+                        graphct_core::compressed::COMPRESSED_BLOCKS_DECODED.value(),
+                        graphct_core::compressed::COMPRESSED_BLOCKS_REDECODED.value(),
+                    ));
                 }
             }
             Ok(())

@@ -21,7 +21,34 @@ use crate::csr::CsrGraph;
 use crate::error::Result;
 use crate::types::VertexId;
 use crate::view::GraphView;
+use graphct_trace::Counter;
 use rayon::prelude::*;
+
+/// Varints decoded while traversing compressed adjacency (one per
+/// neighbor plus the leading degree varint of each block).
+pub static COMPRESSED_VARINTS_DECODED: Counter = Counter::new(
+    "compressed_varints_decoded_total",
+    "Varints decoded from compressed adjacency streams",
+);
+
+/// Encoded bytes touched while traversing compressed adjacency.
+pub static COMPRESSED_BYTES_TOUCHED: Counter = Counter::new(
+    "compressed_bytes_touched_total",
+    "Encoded adjacency bytes touched by compressed traversal",
+);
+
+/// Per-vertex blocks opened for full decode (`neighbors_iter`).
+pub static COMPRESSED_BLOCKS_DECODED: Counter = Counter::new(
+    "compressed_blocks_decoded_total",
+    "Compressed adjacency blocks opened for full decode",
+);
+
+/// Degree queries that re-decode a block's leading varint without
+/// walking the neighbors — repeat lookups are pure re-decode work.
+pub static COMPRESSED_BLOCKS_REDECODED: Counter = Counter::new(
+    "compressed_blocks_redecoded_total",
+    "Degree queries re-decoding a compressed block's leading varint",
+);
 
 /// A graph whose adjacency lists are delta-encoded varint byte streams.
 ///
@@ -215,16 +242,26 @@ impl GraphView for CompressedCsr {
 
     #[inline]
     fn degree(&self, v: VertexId) -> usize {
+        COMPRESSED_BLOCKS_REDECODED.incr();
+        COMPRESSED_VARINTS_DECODED.incr();
         let mut pos = self.byte_offsets[v as usize];
         read_varint(&self.data, &mut pos) as usize
     }
 
     #[inline]
     fn neighbors_iter(&self, v: VertexId) -> CompressedNeighbors<'_> {
-        let mut pos = self.byte_offsets[v as usize];
+        let start = self.byte_offsets[v as usize];
+        let end = self.byte_offsets[v as usize + 1];
+        let mut pos = start;
         let deg = read_varint(&self.data, &mut pos) as usize;
+        // Decode work is accounted per block at iterator creation (one
+        // varint per neighbor plus the degree prefix), keeping `next()`
+        // itself increment-free.
+        COMPRESSED_BLOCKS_DECODED.incr();
+        COMPRESSED_VARINTS_DECODED.add(deg as u64 + 1);
+        COMPRESSED_BYTES_TOUCHED.add((end - start) as u64);
         CompressedNeighbors {
-            data: &self.data[..self.byte_offsets[v as usize + 1]],
+            data: &self.data[..end],
             pos,
             remaining: deg,
             vertex: v,
@@ -324,6 +361,24 @@ mod tests {
         let c = CompressedCsr::from_view(&g);
         let nbrs: Vec<VertexId> = c.neighbors_iter(0).collect();
         assert_eq!(nbrs, &[0, 1, 2]);
+    }
+
+    #[test]
+    fn decode_counters_account_traversal_work() {
+        let g =
+            build_undirected_simple(&EdgeList::from_pairs(vec![(0, 1), (1, 2), (0, 2)])).unwrap();
+        let c = CompressedCsr::from_view(&g);
+        let session = graphct_trace::Session::start(std::sync::Arc::new(graphct_trace::NullSink));
+        for v in 0..c.num_vertices() as VertexId {
+            let _ = c.neighbors_iter(v).count();
+        }
+        let _ = c.degree(0);
+        // 6 arcs + 3 degree prefixes from full decodes + 1 re-decode.
+        assert_eq!(COMPRESSED_VARINTS_DECODED.value(), 6 + 3 + 1);
+        assert_eq!(COMPRESSED_BLOCKS_DECODED.value(), 3);
+        assert_eq!(COMPRESSED_BLOCKS_REDECODED.value(), 1);
+        assert_eq!(COMPRESSED_BYTES_TOUCHED.value(), c.data.len() as u64);
+        session.finish();
     }
 
     #[test]

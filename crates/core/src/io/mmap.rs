@@ -292,6 +292,24 @@ impl MmapCsr {
         self.backing.bytes().len()
     }
 
+    /// Page residency of the backing bytes as `(resident, mapped)`,
+    /// probed with `mincore(2)`.  Falls back to fully-resident where
+    /// the probe is unavailable (heap backing is resident by
+    /// definition), so the pair is always usable as a ratio.
+    pub fn residency(&self) -> (usize, usize) {
+        let bytes = self.backing.bytes();
+        let resident = crate::memory::MemoryProbe::resident_bytes(bytes).unwrap_or(bytes.len());
+        (resident, bytes.len())
+    }
+
+    /// Sample residency into the `graphct_mmap_resident_bytes` /
+    /// `graphct_mmap_mapped_bytes` gauges (call before and after a
+    /// traversal to see what the kernel paged in); returns
+    /// `(resident, mapped)`.
+    pub fn sample_residency(&self) -> (usize, usize) {
+        crate::memory::MemoryProbe::sample_mapping(self.backing.bytes())
+    }
+
     /// Copy the mapped graph into a plain heap [`CsrGraph`].
     pub fn to_csr_graph(&self) -> CsrGraph {
         self.to_csr()
@@ -410,6 +428,25 @@ mod tests {
             Err(GraphError::Format(msg)) => assert!(msg.contains("v2"), "{msg}"),
             other => panic!("expected Format error, got {:?}", other.map(|_| ())),
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn residency_is_bounded_by_mapping_and_feeds_gauges() {
+        let (path, _) = save_sample("resid.bin", false);
+        let view = MmapCsr::open(&path).unwrap();
+        let (resident, mapped) = view.residency();
+        assert_eq!(mapped, view.file_bytes());
+        assert!(resident <= mapped, "resident {resident} > mapped {mapped}");
+
+        let session = graphct_trace::Session::start(std::sync::Arc::new(graphct_trace::NullSink));
+        // Touch everything, then sample: the whole mapping is resident.
+        let _ = view.to_csr_graph();
+        let (resident, mapped) = view.sample_residency();
+        assert_eq!(resident, mapped, "fully touched mapping must be resident");
+        assert_eq!(crate::memory::MMAP_RESIDENT_BYTES.value(), resident as u64);
+        assert_eq!(crate::memory::MMAP_MAPPED_BYTES.value(), mapped as u64);
+        session.finish();
         std::fs::remove_file(&path).ok();
     }
 

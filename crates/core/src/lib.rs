@@ -37,6 +37,7 @@ pub mod edge_list;
 pub mod error;
 pub mod io;
 pub mod labels;
+pub mod memory;
 pub mod reorder;
 pub mod subgraph;
 pub mod types;
@@ -49,6 +50,7 @@ pub use edge_list::EdgeList;
 pub use error::{GraphError, Result};
 pub use io::mmap::MmapCsr;
 pub use labels::VertexLabels;
+pub use memory::MemoryProbe;
 pub use reorder::{Permutation, ReorderKind, ReorderedView};
 pub use types::{VertexId, INVALID_VERTEX};
 pub use view::GraphView;

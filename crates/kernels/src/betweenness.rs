@@ -440,8 +440,9 @@ pub fn accumulate_source_with_levels(
 /// load per source.
 #[cold]
 #[inline(never)]
-fn report_source(source: VertexId, visited: usize) {
+fn report_source(source: VertexId, visited: usize, elapsed: std::time::Duration) {
     crate::telemetry::BC_SOURCES_PROCESSED.incr();
+    crate::telemetry::BC_SOURCE_NS.record_duration(elapsed);
     graphct_trace::event!("bc_source", src = source, visited = visited);
 }
 
@@ -552,6 +553,7 @@ pub(crate) fn accumulate_for_sources(graph: &CsrGraph, sources: &[VertexId]) -> 
     let mut ws = Workspace::new(n);
     let mut scores = vec![0.0; n];
     for &s in sources {
+        let t = graphct_trace::enabled().then(std::time::Instant::now);
         accumulate_source(
             graph,
             predecessors,
@@ -561,8 +563,8 @@ pub(crate) fn accumulate_for_sources(graph: &CsrGraph, sources: &[VertexId]) -> 
             &mut ws,
             &mut scores,
         );
-        if graphct_trace::enabled() {
-            report_source(s, ws.order.len());
+        if let Some(t) = t {
+            report_source(s, ws.order.len(), t.elapsed());
         }
     }
     scores
@@ -633,9 +635,10 @@ pub fn betweenness_centrality(
                 let mut ws = Workspace::new(n);
                 let mut local = vec![0.0f64; n];
                 for (&s, lv) in chunk_sources.iter().zip(chunk_levels) {
+                    let t = graphct_trace::enabled().then(std::time::Instant::now);
                     accumulate_source_with_levels(predecessors, s, lv, &mut ws, &mut local);
-                    if graphct_trace::enabled() {
-                        report_source(s, ws.order.len());
+                    if let Some(t) = t {
+                        report_source(s, ws.order.len(), t.elapsed());
                     }
                 }
                 local
@@ -654,6 +657,7 @@ pub fn betweenness_centrality(
                 let mut ws = Workspace::new(n);
                 let mut local = vec![0.0f64; n];
                 for &s in chunk_sources {
+                    let t = graphct_trace::enabled().then(std::time::Instant::now);
                     accumulate_source(
                         graph,
                         predecessors,
@@ -663,8 +667,8 @@ pub fn betweenness_centrality(
                         &mut ws,
                         &mut local,
                     );
-                    if graphct_trace::enabled() {
-                        report_source(s, ws.order.len());
+                    if let Some(t) = t {
+                        report_source(s, ws.order.len(), t.elapsed());
                     }
                 }
                 local

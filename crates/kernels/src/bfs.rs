@@ -387,6 +387,7 @@ impl<'g, G: GraphView> HybridBfs<'g, G> {
                 n,
             );
             directions.push(direction);
+            let wave_start = graphct_trace::enabled().then(std::time::Instant::now);
             let level_inspected;
             let next = match direction {
                 Direction::Push => {
@@ -402,6 +403,9 @@ impl<'g, G: GraphView> HybridBfs<'g, G> {
                     next
                 }
             };
+            if let Some(t) = wave_start {
+                crate::telemetry::BFS_WAVE_NS.record_duration(t.elapsed());
+            }
             edges_inspected += level_inspected;
             let record = LevelRecord {
                 level: depth,

@@ -162,6 +162,7 @@ impl<'a, 'g, G: GraphView> MsBfs<'a, 'g, G> {
             let active = queue
                 .iter()
                 .fold(0u64, |acc, &v| acc | frontier.load(v as usize));
+            let wave_start = graphct_trace::enabled().then(std::time::Instant::now);
             let (next_queue, inspected) = match direction {
                 Direction::Push => {
                     let nq = push_wave(graph, &queue, &frontier, &seen, &next);
@@ -197,6 +198,9 @@ impl<'a, 'g, G: GraphView> MsBfs<'a, 'g, G> {
                     }
                 }
             };
+            if let Some(t) = wave_start {
+                crate::telemetry::MSBFS_WAVE_NS.record_duration(t.elapsed());
+            }
             let record = WaveRecord {
                 depth,
                 direction,

@@ -6,7 +6,25 @@
 //! records, the summary's `metrics:` block, or Prometheus gauge/counter
 //! lines prefixed `graphct_`).
 
-use graphct_trace::Counter;
+use graphct_trace::{Counter, Histogram};
+
+/// Wall-clock nanoseconds per hybrid-BFS level expansion.
+pub static BFS_WAVE_NS: Histogram = Histogram::new(
+    "bfs_wave_ns",
+    "Nanoseconds per hybrid BFS level expansion (push or pull)",
+);
+
+/// Wall-clock nanoseconds per multi-source BFS wave.
+pub static MSBFS_WAVE_NS: Histogram = Histogram::new(
+    "msbfs_wave_ns",
+    "Nanoseconds per multi-source BFS wave (batched level expansion)",
+);
+
+/// Wall-clock nanoseconds per Brandes source iteration.
+pub static BC_SOURCE_NS: Histogram = Histogram::new(
+    "bc_source_ns",
+    "Nanoseconds per Brandes betweenness source iteration",
+);
 
 /// Edges inspected by top-down (push) BFS levels.
 pub static BFS_EDGES_SCANNED_PUSH: Counter = Counter::new(

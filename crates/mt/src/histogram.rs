@@ -93,59 +93,11 @@ impl Histogram {
     }
 }
 
-/// Bin index of value `v > 0` under logarithmic binning: the `i` with
-/// `base^i <= v < base^(i+1)`.
-///
-/// Computed by float log then corrected against the edges, because the
-/// log alone mis-bins exact bin boundaries: `(1000f64).log(10.0)` is
-/// `2.999…96`, which floors to bin 2 even though 1000 starts bin 3.
-fn log_bin_index(v: usize, base: f64) -> usize {
-    debug_assert!(v > 0);
-    let mut bin = (v as f64).log(base).floor() as usize;
-    while base.powi(bin as i32 + 1) <= v as f64 {
-        bin += 1;
-    }
-    while bin > 0 && base.powi(bin as i32) > v as f64 {
-        bin -= 1;
-    }
-    bin
-}
-
-/// Logarithmically binned counts of positive integer observations —
-/// the right presentation for heavy-tailed degree distributions (paper
-/// Fig. 2 is a log-log degree plot).
-///
-/// Bin `i` covers degrees in `[base^i, base^(i+1))`; returns
-/// `(bin_lower_edges, counts)` trimmed to the last non-empty bin.
-pub fn log_binned_counts(values: &[usize], base: f64) -> (Vec<usize>, Vec<usize>) {
-    assert!(base > 1.0, "log binning requires base > 1");
-    let max = values.par_iter().copied().max().unwrap_or(0);
-    if max == 0 {
-        return (Vec::new(), Vec::new());
-    }
-    let nbins = log_bin_index(max, base) + 1;
-    let counts = values
-        .par_iter()
-        .filter(|&&v| v > 0)
-        .fold(
-            || vec![0usize; nbins],
-            |mut local, &v| {
-                local[log_bin_index(v, base).min(nbins - 1)] += 1;
-                local
-            },
-        )
-        .reduce(
-            || vec![0usize; nbins],
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(b) {
-                    *x += y;
-                }
-                a
-            },
-        );
-    let edges = (0..nbins).map(|i| base.powi(i as i32) as usize).collect();
-    (edges, counts)
-}
+// The log-binning helpers moved to `graphct_trace::histogram` so the
+// one-off degree-distribution binning and the registry `Histogram`
+// metric share a single implementation; re-exported here to keep the
+// historical `graphct_mt::histogram::log_binned_counts` path working.
+pub use graphct_trace::histogram::{log_bin_index, log_binned_counts};
 
 #[cfg(test)]
 mod tests {

@@ -15,16 +15,22 @@
 //!   window, exporting ingest watermark / throughput / lag / window
 //!   gauges, with graceful SIGINT drain.
 //!
-//! Endpoints: `/metrics` (Prometheus text exposition, live mid-session),
-//! `/healthz` (`200 ok` serving, `503 draining` during shutdown), and
-//! `/progress` (JSON: span stacks, kernel progress, ETAs).
+//! Endpoints: `/metrics` (Prometheus text exposition, live mid-session,
+//! including the watchdog's `graphct_staleness_seconds` /
+//! `graphct_stall_seconds_total` lines), `/healthz` (`200 ok` serving,
+//! `503 stalled: ...` when the ingest watchdog trips, `503 draining`
+//! during shutdown), `/progress` (JSON: span stacks, kernel progress,
+//! ETAs), and `/pause` + `/resume` (freeze ingest between batches —
+//! the stall-injection hook the watchdog tests lean on).
 
 pub mod http;
 pub mod progress;
 pub mod serve;
+pub mod watchdog;
 
 pub use http::{HttpServer, Response};
 pub use progress::ProgressTracker;
 pub use serve::{
     install_sigint_handler, sigint_received, start, IngestStats, ServeConfig, ServeHandle,
 };
+pub use watchdog::{Watchdog, WatchdogStatus};

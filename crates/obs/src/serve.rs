@@ -21,12 +21,20 @@ use std::time::{Duration, Instant};
 use graphct_core::{VertexId, VertexLabels};
 use graphct_stream::telemetry as ingest_metrics;
 use graphct_stream::{IncrementalComponents, StreamingGraph};
-use graphct_trace::{render_prometheus, JsonLinesSink, Registry, Session, Sink};
+use graphct_trace::{render_prometheus, Histogram, JsonLinesSink, Registry, Session, Sink};
 use graphct_twitter::parse::mentions;
 use graphct_twitter::{generate_stream, DatasetProfile};
 
 use crate::http::{HttpServer, Response};
 use crate::progress::ProgressTracker;
+use crate::watchdog::Watchdog;
+
+/// Wall-clock nanoseconds spent rendering each `/metrics` scrape
+/// (registry snapshot + Prometheus exposition + watchdog lines).
+static SCRAPE_NS: Histogram = Histogram::new(
+    "scrape_ns",
+    "Nanoseconds to render one /metrics scrape (snapshot + exposition)",
+);
 
 /// Configuration for one serve run.
 #[derive(Debug, Clone)]
@@ -48,6 +56,10 @@ pub struct ServeConfig {
     pub window_batches: usize,
     /// Optional JSON-lines trace tee.
     pub trace_out: Option<PathBuf>,
+    /// Watchdog deadline: if no batch completes within this many
+    /// milliseconds, `/healthz` degrades to `503 stalled` until ingest
+    /// resumes (`0` disables the watchdog).
+    pub stall_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +73,7 @@ impl Default for ServeConfig {
             interval_ms: 50,
             window_batches: 256,
             trace_out: None,
+            stall_timeout_ms: 10_000,
         }
     }
 }
@@ -87,7 +100,9 @@ pub struct ServeHandle {
     http: HttpServer,
     shutdown: Arc<AtomicBool>,
     draining: Arc<AtomicBool>,
+    paused: Arc<AtomicBool>,
     ingest: Option<JoinHandle<IngestStats>>,
+    heartbeat: Option<JoinHandle<()>>,
 }
 
 impl ServeHandle {
@@ -110,15 +125,33 @@ impl ServeHandle {
         self.ingest.as_ref().is_none_or(JoinHandle::is_finished)
     }
 
+    /// Freeze the ingest loop between batches (the watchdog keeps
+    /// running, so a long enough pause trips the stall deadline).  Also
+    /// reachable over HTTP as `GET /pause` for stall-injection tests.
+    pub fn pause(&self) {
+        self.paused.store(true, Ordering::Relaxed);
+    }
+
+    /// Resume a paused ingest loop (`GET /resume` over HTTP).
+    pub fn resume(&self) {
+        self.paused.store(false, Ordering::Relaxed);
+    }
+
     /// Phase two: join the ingest loop (drains the session and any
     /// `--trace-out` sink), then stop the HTTP server.
     pub fn wait(mut self) -> IngestStats {
         self.begin_shutdown();
+        // A paused loop would never observe the shutdown flag's batch
+        // boundary; release it so drain always completes.
+        self.resume();
         let stats = self
             .ingest
             .take()
             .and_then(|h| h.join().ok())
             .unwrap_or_default();
+        if let Some(h) = self.heartbeat.take() {
+            let _ = h.join();
+        }
         self.http.stop();
         stats
     }
@@ -136,16 +169,38 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServeHandle> {
     ));
     let shutdown = Arc::new(AtomicBool::new(false));
     let draining = Arc::new(AtomicBool::new(false));
+    let paused = Arc::new(AtomicBool::new(false));
+    // `0` disables the deadline: Duration::MAX staleness is unreachable.
+    let timeout = if config.stall_timeout_ms == 0 {
+        Duration::MAX
+    } else {
+        Duration::from_millis(config.stall_timeout_ms)
+    };
+    let watchdog = Arc::new(Watchdog::new(timeout, Instant::now()));
 
     let handler = {
         let registry = Arc::clone(&registry);
         let progress = Arc::clone(&progress);
         let draining = Arc::clone(&draining);
+        let paused = Arc::clone(&paused);
+        let watchdog = Arc::clone(&watchdog);
         Arc::new(move |path: &str| match path {
-            "/metrics" => Response::metrics(render_prometheus(&registry.snapshot())),
+            "/metrics" => {
+                let scrape_start = graphct_trace::enabled().then(Instant::now);
+                let mut body = render_prometheus(&registry.snapshot());
+                append_watchdog_exposition(&mut body, &watchdog.tick(Instant::now()));
+                if let Some(t) = scrape_start {
+                    SCRAPE_NS.record_duration(t.elapsed());
+                }
+                Response::metrics(body)
+            }
             "/healthz" => {
                 if draining.load(Ordering::Relaxed) {
-                    Response::text(503, "draining\n")
+                    return Response::text(503, "draining\n");
+                }
+                let status = watchdog.tick(Instant::now());
+                if status.stalled {
+                    Response::text(503, status.stall_reason())
                 } else {
                     Response::text(200, "ok\n")
                 }
@@ -153,10 +208,20 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServeHandle> {
             "/progress" => {
                 let health = if draining.load(Ordering::Relaxed) {
                     "draining"
+                } else if watchdog.tick(Instant::now()).stalled {
+                    "stalled"
                 } else {
                     "ok"
                 };
                 Response::json(progress.render_json(health))
+            }
+            "/pause" => {
+                paused.store(true, Ordering::Relaxed);
+                Response::text(200, "paused\n")
+            }
+            "/resume" => {
+                paused.store(false, Ordering::Relaxed);
+                Response::text(200, "resumed\n")
             }
             _ => Response::not_found(),
         })
@@ -166,17 +231,64 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServeHandle> {
     let ingest = {
         let shutdown = Arc::clone(&shutdown);
         let draining = Arc::clone(&draining);
+        let paused = Arc::clone(&paused);
+        let watchdog = Arc::clone(&watchdog);
         std::thread::Builder::new()
             .name("graphct-obs-ingest".into())
-            .spawn(move || ingest_loop(config, progress, shutdown, draining))?
+            .spawn(move || ingest_loop(config, progress, shutdown, draining, paused, watchdog))?
+    };
+
+    // Heartbeat: re-evaluate the deadline every 200ms so stall
+    // transitions are observed (and traced) even when nobody scrapes.
+    let heartbeat = {
+        let shutdown = Arc::clone(&shutdown);
+        let watchdog = Arc::clone(&watchdog);
+        std::thread::Builder::new()
+            .name("graphct-obs-watchdog".into())
+            .spawn(move || {
+                let mut was_stalled = false;
+                while !shutdown.load(Ordering::Relaxed) {
+                    let status = watchdog.tick(Instant::now());
+                    if status.stalled != was_stalled {
+                        was_stalled = status.stalled;
+                        let staleness_ms = status.staleness.as_millis().min(u128::from(u64::MAX));
+                        graphct_trace::event!(
+                            "watchdog",
+                            stalled = u64::from(status.stalled),
+                            staleness_ms = staleness_ms as u64,
+                        );
+                    }
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+            })?
     };
 
     Ok(ServeHandle {
         http,
         shutdown,
         draining,
+        paused,
         ingest: Some(ingest),
+        heartbeat: Some(heartbeat),
     })
+}
+
+/// Append the watchdog's hand-rendered exposition lines: these series
+/// are fractional seconds derived from `Instant`s at scrape time, not
+/// integer registry metrics, so they bypass the `u64` snapshot plumbing.
+fn append_watchdog_exposition(body: &mut String, status: &crate::watchdog::WatchdogStatus) {
+    use std::fmt::Write;
+    let _ = write!(
+        body,
+        "# HELP graphct_staleness_seconds Seconds since the newest fully ingested batch (now - watermark)\n\
+         # TYPE graphct_staleness_seconds gauge\n\
+         graphct_staleness_seconds {:.3}\n\
+         # HELP graphct_stall_seconds_total Seconds spent past the ingest stall deadline\n\
+         # TYPE graphct_stall_seconds_total counter\n\
+         graphct_stall_seconds_total {:.3}\n",
+        status.staleness.as_secs_f64(),
+        status.stall_total.as_secs_f64(),
+    );
 }
 
 /// Expand one corpus pass into (author, mention) screen-name pairs.
@@ -211,9 +323,12 @@ fn ingest_loop(
     sink: Arc<ProgressTracker>,
     shutdown: Arc<AtomicBool>,
     draining: Arc<AtomicBool>,
+    paused: Arc<AtomicBool>,
+    watchdog: Arc<Watchdog>,
 ) -> IngestStats {
     let session = Session::start(sink as Arc<dyn Sink>);
     ingest_metrics::register_ingest_metrics();
+    SCRAPE_NS.touch();
 
     let mut labels = VertexLabels::new();
     let mut graph = StreamingGraph::new(0);
@@ -230,6 +345,15 @@ fn ingest_loop(
     let mut stats = IngestStats::default();
 
     while !shutdown.load(Ordering::Relaxed) && (cfg.batches == 0 || stats.batches < cfg.batches) {
+        // Stall injection / operator freeze: hold between batches while
+        // paused.  The watermark stops advancing, so the watchdog trips
+        // once the pause outlives the deadline.
+        while paused.load(Ordering::Relaxed) && !shutdown.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if shutdown.load(Ordering::Relaxed) {
+            break;
+        }
         let batch = stats.batches;
         // Pacing: batch `i` starts no earlier than `i * interval`.
         if cfg.interval_ms > 0 {
@@ -307,7 +431,9 @@ fn ingest_loop(
         ingest_metrics::INGEST_DUPLICATES.add(duplicates);
         ingest_metrics::INGEST_ERRORS.add(errors);
         ingest_metrics::INGEST_WATERMARK_BATCH.set(stats.batches);
-        let batch_secs = batch_start.elapsed().as_secs_f64();
+        let batch_elapsed = batch_start.elapsed();
+        ingest_metrics::INGEST_BATCH_NS.record_duration(batch_elapsed);
+        let batch_secs = batch_elapsed.as_secs_f64();
         if batch_secs > 0.0 {
             ingest_metrics::INGEST_EDGES_PER_SEC.set((processed as f64 / batch_secs) as u64);
         }
@@ -336,6 +462,7 @@ fn ingest_loop(
             window_edges = graph.num_edges(),
             lag_us = lag_us,
         );
+        watchdog.note_batch(Instant::now());
     }
 
     // Drain: flip health first so scrapes observe the transition, then

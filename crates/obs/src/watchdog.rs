@@ -1,0 +1,192 @@
+//! Ingest stall detection for `graphct serve`.
+//!
+//! The watchdog tracks the last time the ingest loop completed a batch
+//! (the *watermark*).  When no batch lands within the configured
+//! deadline the serve instance is **stalled**: `/healthz` degrades to
+//! 503 with a reason, and the scrape grows a monotone
+//! `graphct_stall_seconds_total` counter plus a
+//! `graphct_staleness_seconds` gauge (now − watermark).
+//!
+//! All state transitions are driven by explicit `Instant`s so tests can
+//! replay schedules deterministically; the serve heartbeat thread just
+//! calls [`Watchdog::tick`] with the current time every few hundred
+//! milliseconds.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A point-in-time view of the watchdog, as reported to `/healthz` and
+/// the `/metrics` scrape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogStatus {
+    /// Is the ingest loop past its deadline?
+    pub stalled: bool,
+    /// Seconds since the last fully ingested batch (now − watermark).
+    /// Before the first batch this measures from watchdog creation.
+    pub staleness: Duration,
+    /// Total time spent past the deadline, across every stall so far
+    /// (monotone; keeps growing while a stall is open).
+    pub stall_total: Duration,
+}
+
+struct Inner {
+    /// Watermark: when the newest batch finished (creation time before
+    /// the first batch, so an ingest loop that never starts still
+    /// trips the deadline).
+    last_progress: Instant,
+    /// Closed stall intervals, summed.  The currently open stall (if
+    /// any) is derived from `last_progress` at query time.
+    closed_stall: Duration,
+}
+
+/// Deadline-based stall detector shared between the ingest loop, the
+/// heartbeat thread, and the HTTP handler.
+pub struct Watchdog {
+    timeout: Duration,
+    inner: Mutex<Inner>,
+}
+
+impl Watchdog {
+    /// A watchdog whose deadline starts counting from `now`.
+    pub fn new(timeout: Duration, now: Instant) -> Self {
+        Self {
+            timeout,
+            inner: Mutex::new(Inner {
+                last_progress: now,
+                closed_stall: Duration::ZERO,
+            }),
+        }
+    }
+
+    /// The configured stall deadline.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Record that a batch finished at `now`: advances the watermark
+    /// and, if a stall was open, closes it (folding the elapsed excess
+    /// into the monotone total).
+    pub fn note_batch(&self, now: Instant) {
+        let mut inner = self.inner.lock().expect("watchdog lock");
+        let staleness = now.saturating_duration_since(inner.last_progress);
+        if staleness > self.timeout {
+            inner.closed_stall += staleness - self.timeout;
+        }
+        inner.last_progress = now;
+    }
+
+    /// Evaluate the deadline at `now`.  Pure read — the heartbeat calls
+    /// this periodically, and `/healthz` / `/metrics` call it per
+    /// request, so status never lags the wall clock.
+    pub fn tick(&self, now: Instant) -> WatchdogStatus {
+        let inner = self.inner.lock().expect("watchdog lock");
+        let staleness = now.saturating_duration_since(inner.last_progress);
+        let open = staleness.saturating_sub(self.timeout);
+        WatchdogStatus {
+            stalled: staleness > self.timeout,
+            staleness,
+            stall_total: inner.closed_stall + open,
+        }
+    }
+}
+
+impl WatchdogStatus {
+    /// The `/healthz` body for a stalled instance.
+    pub fn stall_reason(&self) -> String {
+        format!(
+            "stalled: no ingest batch for {:.1}s\n",
+            self.staleness.as_secs_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(base: Instant, ms: u64) -> Instant {
+        base + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn fresh_watchdog_is_healthy() {
+        let t0 = Instant::now();
+        let dog = Watchdog::new(Duration::from_millis(100), t0);
+        let s = dog.tick(at(t0, 50));
+        assert!(!s.stalled);
+        assert_eq!(s.staleness, Duration::from_millis(50));
+        assert_eq!(s.stall_total, Duration::ZERO);
+    }
+
+    #[test]
+    fn deadline_overrun_stalls_and_recovers() {
+        let t0 = Instant::now();
+        let dog = Watchdog::new(Duration::from_millis(100), t0);
+        dog.note_batch(at(t0, 40));
+
+        // 150ms after the last batch: 50ms past deadline.
+        let s = dog.tick(at(t0, 190));
+        assert!(s.stalled, "past deadline must stall");
+        assert_eq!(s.staleness, Duration::from_millis(150));
+        assert_eq!(s.stall_total, Duration::from_millis(50));
+
+        // A batch lands: stall closes, watermark advances, healthy again.
+        dog.note_batch(at(t0, 240));
+        let s = dog.tick(at(t0, 250));
+        assert!(!s.stalled, "fresh batch must clear the stall");
+        assert_eq!(s.staleness, Duration::from_millis(10));
+        assert_eq!(
+            s.stall_total,
+            Duration::from_millis(100),
+            "closed stall keeps the full excess (240 - 40 - 100)"
+        );
+    }
+
+    #[test]
+    fn staleness_is_monotone_between_batches() {
+        let t0 = Instant::now();
+        let dog = Watchdog::new(Duration::from_millis(100), t0);
+        dog.note_batch(at(t0, 10));
+        let mut prev = Duration::ZERO;
+        for ms in [20, 50, 90, 111, 200, 500] {
+            let s = dog.tick(at(t0, ms));
+            assert!(
+                s.staleness >= prev,
+                "staleness must not decrease without a batch ({ms}ms)"
+            );
+            prev = s.staleness;
+        }
+        // A batch resets staleness — the only event allowed to.
+        dog.note_batch(at(t0, 600));
+        assert!(dog.tick(at(t0, 601)).staleness < prev);
+    }
+
+    #[test]
+    fn stall_total_is_monotone_across_stalls() {
+        let t0 = Instant::now();
+        let dog = Watchdog::new(Duration::from_millis(100), t0);
+        let mut prev = Duration::ZERO;
+        // Two stalls separated by a recovery; the counter never drops.
+        for ms in [150, 180, 250, 260, 420, 500] {
+            if ms == 250 || ms == 420 {
+                dog.note_batch(at(t0, ms));
+            }
+            let s = dog.tick(at(t0, ms));
+            assert!(s.stall_total >= prev, "stall total must be monotone");
+            prev = s.stall_total;
+        }
+        // First stall opened at creation, closed by the batch at 250ms
+        // (150ms excess); second closed at 420ms (170ms staleness, 70ms
+        // excess).
+        assert_eq!(prev, Duration::from_millis(220));
+    }
+
+    #[test]
+    fn stall_reason_names_the_staleness() {
+        let t0 = Instant::now();
+        let dog = Watchdog::new(Duration::from_millis(100), t0);
+        let s = dog.tick(at(t0, 1500));
+        assert!(s.stalled);
+        assert_eq!(s.stall_reason(), "stalled: no ingest batch for 1.5s\n");
+    }
+}

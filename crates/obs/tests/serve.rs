@@ -69,6 +69,7 @@ fn mid_ingest_scrapes_increase_and_healthz_flips_on_drain() {
         interval_ms: 2,
         window_batches: 64,
         trace_out: Some(trace_out.clone()),
+        stall_timeout_ms: 0, // watchdog exercised by its own test
     })
     .expect("serve starts");
     let addr = handle.local_addr();
@@ -93,6 +94,24 @@ fn mid_ingest_scrapes_increase_and_healthz_flips_on_drain() {
             "missing required series {series}:\n{first}"
         );
     }
+
+    // --- native histogram family + watchdog lines ride the scrape ---
+    assert!(
+        first.contains("# TYPE graphct_ingest_batch_ns histogram"),
+        "scrape must expose a native histogram family:\n{first}"
+    );
+    assert!(
+        first.contains("graphct_ingest_batch_ns_bucket{le=\"+Inf\"}"),
+        "histogram family must close with the +Inf bucket:\n{first}"
+    );
+    assert!(
+        metric_value(&first, "graphct_staleness_seconds").is_some(),
+        "missing staleness gauge:\n{first}"
+    );
+    assert!(
+        metric_value(&first, "graphct_stall_seconds_total").is_some(),
+        "missing stall counter:\n{first}"
+    );
 
     // --- healthy while serving ---
     let (status, body) = http_get(addr, "/healthz");
@@ -149,5 +168,90 @@ fn mid_ingest_scrapes_increase_and_healthz_flips_on_drain() {
         trace.contains("ingest_batches_total"),
         "trace has final counter totals"
     );
+    assert!(
+        trace.contains("\"ingest_batch_ns\""),
+        "trace has the batch-latency histogram record"
+    );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn watchdog_stall_injection_degrades_healthz_and_recovers() {
+    let handle = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        profile: DatasetProfile::atlflood().scaled(0.05),
+        seed: 11,
+        batch_size: 16,
+        batches: 0,
+        interval_ms: 1,
+        window_batches: 32,
+        trace_out: None,
+        stall_timeout_ms: 250,
+    })
+    .expect("serve starts");
+    let addr = handle.local_addr();
+    wait_for_first_batch(addr);
+
+    // Healthy while batches flow.
+    assert_eq!(http_get(addr, "/healthz").0, 200);
+
+    // Freeze ingest over HTTP (the CI stall injection uses curl against
+    // the same endpoint), then poll until the deadline trips.
+    let (status, body) = http_get(addr, "/pause");
+    assert_eq!((status, body.trim()), (200, "paused"));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let stall_body = loop {
+        let (status, body) = http_get(addr, "/healthz");
+        if status == 503 {
+            break body;
+        }
+        assert!(Instant::now() < deadline, "healthz never flipped to 503");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(
+        stall_body.starts_with("stalled: no ingest batch for"),
+        "503 body must carry the stall reason, got {stall_body:?}"
+    );
+
+    // The scrape carries a growing staleness gauge and the stall counter.
+    let (status, metrics) = http_get(addr, "/metrics");
+    assert_eq!(status, 200, "metrics must keep answering while stalled");
+    validate_exposition(&metrics).unwrap_or_else(|(line, e)| panic!("line {line}: {e}\n{metrics}"));
+    assert!(
+        metric_value(&metrics, "graphct_staleness_seconds").unwrap() > 0.25,
+        "staleness must exceed the 250ms deadline:\n{metrics}"
+    );
+    assert!(
+        metric_value(&metrics, "graphct_stall_seconds_total").unwrap() > 0.0,
+        "stall counter must accumulate during a stall:\n{metrics}"
+    );
+
+    // /progress reports the degraded health string.
+    let (_, progress) = http_get(addr, "/progress");
+    let v = graphct_trace::json::parse(&progress).expect("progress is JSON");
+    assert_eq!(v.get("health").and_then(|h| h.as_str()), Some("stalled"));
+
+    // Recovery: resume ingest, wait for a fresh batch to clear the stall.
+    let (status, body) = http_get(addr, "/resume");
+    assert_eq!((status, body.trim()), (200, "resumed"));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, body) = http_get(addr, "/healthz");
+        if status == 200 {
+            assert_eq!(body.trim(), "ok");
+            break;
+        }
+        assert!(Instant::now() < deadline, "healthz never recovered");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // The stall total survives recovery (monotone counter).
+    let (_, metrics) = http_get(addr, "/metrics");
+    assert!(
+        metric_value(&metrics, "graphct_stall_seconds_total").unwrap() > 0.0,
+        "stall total must persist after recovery:\n{metrics}"
+    );
+
+    let stats = handle.wait();
+    assert!(stats.batches > 0);
 }

@@ -5,7 +5,14 @@
 //! `graphct-trace` statics — near-free when no session is active, and
 //! scrapeable mid-session through `graphct_trace::Registry::snapshot`.
 
-use graphct_trace::{Counter, Gauge};
+use graphct_trace::{Counter, Gauge, Histogram};
+
+/// Wall-clock nanoseconds spent ingesting each batch (parse + graph
+/// insert + window maintenance, excluding pacing sleep).
+pub static INGEST_BATCH_NS: Histogram = Histogram::new(
+    "ingest_batch_ns",
+    "Nanoseconds per ingest batch (parse, insert, and window expiry; pacing sleep excluded)",
+);
 
 /// Batches ingested since the session started.
 pub static INGEST_BATCHES: Counter = Counter::new(
@@ -106,6 +113,7 @@ pub fn register_ingest_metrics() {
     ] {
         g.set(g.value());
     }
+    INGEST_BATCH_NS.touch();
 }
 
 #[cfg(test)]
@@ -135,6 +143,7 @@ mod tests {
             "window_vertices",
             "window_edges",
             "window_components",
+            "ingest_batch_ns",
         ] {
             assert!(names.contains(&want), "missing {want} in {names:?}");
         }

@@ -431,6 +431,82 @@ pub fn diff_counters(a: &[Rec], b: &[Rec]) -> Vec<CounterDiffRow> {
         .collect()
 }
 
+/// One named histogram aggregated out of a trace's `histogram` records
+/// (both end-of-session [`Histogram`](crate::Histogram) metric dumps and
+/// pre-binned [`crate::histogram()`] events).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoReport {
+    /// Histogram / metric name.
+    pub name: String,
+    /// Bin lower edges (ascending, starting at 0).
+    pub edges: Vec<u64>,
+    /// Per-bin observation counts.
+    pub counts: Vec<u64>,
+    /// Sum of raw observations (0 when the records carried no sum).
+    pub sum: u64,
+    /// Trace records merged into this report.
+    pub records: u64,
+}
+
+impl HistoReport {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Approximate quantile (see
+    /// [`quantile_from_bins`](crate::histogram::quantile_from_bins)).
+    pub fn quantile(&self, q: f64) -> f64 {
+        crate::histogram::quantile_from_bins(&self.edges, &self.counts, q)
+    }
+}
+
+/// Aggregate every `histogram` record in a trace by name, sorted by
+/// name.  Records whose bin edges match are summed; a record with a
+/// *different* edge layout replaces the accumulation (latest layout
+/// wins — the same policy the summary sink applies live).
+pub fn collect_histograms(recs: &[Rec]) -> Vec<HistoReport> {
+    let mut by_name: BTreeMap<String, HistoReport> = BTreeMap::new();
+    for r in recs.iter().filter(|r| r.kind == "histogram") {
+        let nums = |key: &str| -> Vec<u64> {
+            r.fields
+                .get(key)
+                .and_then(Json::as_arr)
+                .map(|items| items.iter().filter_map(Json::as_u64).collect())
+                .unwrap_or_default()
+        };
+        let edges = nums("edges");
+        let counts = nums("counts");
+        if edges.is_empty() || edges.len() != counts.len() {
+            continue;
+        }
+        let sum = r.field_u64("sum").unwrap_or(0);
+        match by_name.get_mut(&r.name) {
+            Some(agg) if agg.edges == edges => {
+                for (a, c) in agg.counts.iter_mut().zip(&counts) {
+                    *a += c;
+                }
+                agg.sum += sum;
+                agg.records += 1;
+            }
+            _ => {
+                // First sighting, or an edge-layout change: (re)start.
+                by_name.insert(
+                    r.name.clone(),
+                    HistoReport {
+                        name: r.name.clone(),
+                        edges,
+                        counts,
+                        sum,
+                        records: 1,
+                    },
+                );
+            }
+        }
+    }
+    by_name.into_values().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -505,6 +581,57 @@ mod tests {
         ]
         .join("\n");
         read_trace(&text).unwrap()
+    }
+
+    #[test]
+    fn collect_histograms_merges_matching_edges_and_restarts_on_mismatch() {
+        let text = [
+            line(
+                "histogram",
+                "bfs_wave_ns",
+                0,
+                0,
+                None,
+                "{\"edges\":[0,1,2],\"counts\":[1,2,3],\"sum\":10}",
+            ),
+            line(
+                "histogram",
+                "bfs_wave_ns",
+                0,
+                0,
+                None,
+                "{\"edges\":[0,1,2],\"counts\":[1,0,1],\"sum\":5}",
+            ),
+            line(
+                "histogram",
+                "degree",
+                0,
+                0,
+                None,
+                "{\"edges\":[0,1],\"counts\":[4,4]}",
+            ),
+            line(
+                "histogram",
+                "degree",
+                0,
+                0,
+                None,
+                "{\"edges\":[0,1,2],\"counts\":[1,1,1]}",
+            ),
+        ]
+        .join("\n");
+        let recs = read_trace(&text).unwrap();
+        let reports = collect_histograms(&recs);
+        assert_eq!(reports.len(), 2);
+
+        let waves = &reports[0];
+        assert_eq!(waves.name, "bfs_wave_ns");
+        assert_eq!(waves.counts, vec![2, 2, 4], "matching edges accumulate");
+        assert_eq!((waves.sum, waves.records, waves.count()), (15, 2, 8));
+
+        let degree = &reports[1];
+        assert_eq!(degree.edges.len(), 3, "edge-layout change restarts");
+        assert_eq!((degree.records, degree.count()), (1, 3));
     }
 
     #[test]

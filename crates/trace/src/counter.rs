@@ -183,16 +183,25 @@ impl Gauge {
     }
 }
 
-/// A registered metric (counters and gauges share one list).
+/// A registered metric (counters, gauges, and histograms share one list).
 #[derive(Clone, Copy)]
 enum Metric {
     Counter(&'static Counter),
     Gauge(&'static Gauge),
+    Histogram(&'static crate::histogram::Histogram),
 }
 
 fn registry() -> &'static Mutex<Vec<Metric>> {
     static REGISTRY: Mutex<Vec<Metric>> = Mutex::new(Vec::new());
     &REGISTRY
+}
+
+/// Register a histogram static (called once from its cold path).
+pub(crate) fn register_histogram(h: &'static crate::histogram::Histogram) {
+    registry()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(Metric::Histogram(h));
 }
 
 /// Point-in-time value of one registered metric, as handed to sinks when
@@ -203,10 +212,13 @@ pub struct MetricSnapshot {
     pub name: &'static str,
     /// HELP text.
     pub help: &'static str,
-    /// Total (counter) or last/max observation (gauge).
+    /// Total (counter), last/max observation (gauge), or observation
+    /// count (histogram).
     pub value: u64,
     /// `true` for gauges (Prometheus TYPE line differs).
     pub is_gauge: bool,
+    /// Bin totals when the metric is a histogram; `None` otherwise.
+    pub histogram: Option<crate::histogram::HistogramSnapshot>,
 }
 
 /// Snapshot every metric that has registered so far, sorted by name.
@@ -220,13 +232,25 @@ pub fn snapshot_metrics() -> Vec<MetricSnapshot> {
                 help: c.help,
                 value: c.value(),
                 is_gauge: false,
+                histogram: None,
             },
             Metric::Gauge(g) => MetricSnapshot {
                 name: g.name,
                 help: g.help,
                 value: g.value(),
                 is_gauge: true,
+                histogram: None,
             },
+            Metric::Histogram(h) => {
+                let snap = h.snapshot();
+                MetricSnapshot {
+                    name: h.name(),
+                    help: h.help(),
+                    value: snap.count(),
+                    is_gauge: false,
+                    histogram: Some(snap),
+                }
+            }
         })
         .collect();
     out.sort_by_key(|s| s.name);
@@ -244,6 +268,7 @@ pub(crate) fn reset_metrics() {
         match m {
             Metric::Counter(c) => c.reset(),
             Metric::Gauge(g) => g.reset(),
+            Metric::Histogram(h) => h.reset(),
         }
     }
 }

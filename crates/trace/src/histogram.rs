@@ -1,0 +1,384 @@
+//! Lock-free sharded latency/size histograms, plus the sequential
+//! log-binning helpers shared with `graphct-mt`.
+//!
+//! A [`Histogram`] is the third registry citizen next to
+//! [`Counter`](crate::Counter) and [`Gauge`](crate::Gauge): a plain
+//! `static` that kernels feed with raw `u64` observations (nanoseconds,
+//! frontier sizes, batch byte counts).  The disabled path is the same
+//! single relaxed load as a counter; the enabled path is two relaxed
+//! fetch-adds into a thread-striped shard — no locks, no allocation.
+//!
+//! # Bin scheme
+//!
+//! Bins are powers of two by *bit length*: observation `v` lands in bin
+//! `64 - v.leading_zeros()`, so bin 0 holds exactly `v == 0` and bin
+//! `b >= 1` covers `[2^(b-1), 2^b - 1]`.  That gives 65 fixed bins, a
+//! branch-free integer bin function (no floats on the hot path), and
+//! ~2x resolution per decade — enough for p50/p90/p99/p999 with
+//! interpolation, cheap enough to stripe per thread.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::counter::thread_ordinal;
+
+/// Number of bit-length bins: one for zero plus one per bit of a `u64`.
+pub const BINS: usize = 65;
+
+/// Shards per histogram.  Fewer than [`Counter`](crate::Counter)'s 16
+/// because each shard carries a full bin array (~520 B); four shards
+/// bound false sharing at ~2 KiB per histogram static.
+const HIST_SHARDS: usize = 4;
+
+/// Bit-length bin index of `v`: 0 for 0, else `floor(log2 v) + 1`.
+#[inline]
+pub fn bit_bin_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive lower edge of bit-length bin `b`.
+#[inline]
+pub fn bin_lower_edge(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+#[repr(align(64))]
+struct HistShard {
+    bins: [AtomicU64; BINS],
+    sum: AtomicU64,
+}
+
+impl HistShard {
+    const fn new() -> Self {
+        Self {
+            bins: [const { AtomicU64::new(0) }; BINS],
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A lock-free sharded histogram metric.
+///
+/// Declare as a `static` and feed with [`Histogram::record`]; the
+/// snapshot taken at session end (or live scrape) carries per-bin
+/// counts, the observation sum, and derived quantiles.  Like counters,
+/// histograms reset when a session installs and lazily register on
+/// first enabled use.
+pub struct Histogram {
+    name: &'static str,
+    help: &'static str,
+    shards: [HistShard; HIST_SHARDS],
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// A new histogram (const — usable in `static` position).
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            shards: [const { HistShard::new() }; HIST_SHARDS],
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Metric name (snake_case, no prefix).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description (Prometheus HELP text).
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+
+    /// Record one observation when tracing is enabled; near-free no-op
+    /// otherwise (one relaxed load, same as `Counter::add`).
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register();
+        }
+        let shard = &self.shards[thread_ordinal() % HIST_SHARDS];
+        shard.bins[bit_bin_index(v)].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record an elapsed duration in nanoseconds (saturating at `u64`).
+    #[inline]
+    pub fn record_duration(&'static self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Force registration without recording an observation, so the
+    /// (empty) family appears in scrapes before the first observation.
+    /// No-op when tracing is disabled.
+    pub fn touch(&'static self) {
+        if crate::enabled() && !self.registered.load(Ordering::Relaxed) {
+            self.register();
+        }
+    }
+
+    /// Point-in-time bin totals, trimmed to the last non-empty bin.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut bins = [0u64; BINS];
+        let mut sum = 0u64;
+        for shard in &self.shards {
+            for (acc, bin) in bins.iter_mut().zip(&shard.bins) {
+                *acc += bin.load(Ordering::Relaxed);
+            }
+            sum += shard.sum.load(Ordering::Relaxed);
+        }
+        let last = bins.iter().rposition(|&c| c > 0);
+        let n = last.map_or(0, |i| i + 1);
+        HistogramSnapshot {
+            edges: (0..n).map(bin_lower_edge).collect(),
+            counts: bins[..n].to_vec(),
+            sum,
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        for shard in &self.shards {
+            for bin in &shard.bins {
+                bin.store(0, Ordering::Relaxed);
+            }
+            shard.sum.store(0, Ordering::Relaxed);
+        }
+    }
+
+    #[cold]
+    fn register(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            crate::counter::register_histogram(self);
+        }
+    }
+}
+
+/// Point-in-time bin totals of one [`Histogram`], carried on
+/// [`MetricSnapshot`](crate::MetricSnapshot) so every sink can render
+/// buckets and derived quantiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive lower bound of each bin.
+    pub edges: Vec<u64>,
+    /// Per-bin observation counts (not cumulative).
+    pub counts: Vec<u64>,
+    /// Sum of all raw observations.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`) with linear interpolation
+    /// inside the containing bin.  Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_bins(&self.edges, &self.counts, q)
+    }
+}
+
+/// Estimated `q`-quantile of a pre-binned histogram where `edges[i]` is
+/// the inclusive lower bound of bin `i` (the shape both [`Histogram`]
+/// snapshots and JSONL `histogram` records use).  The upper bound of
+/// bin `i` is taken as `edges[i+1]`; the open-ended last bin is treated
+/// as one edge-width wide (`2 * edges.last()` for log bins).
+pub fn quantile_from_bins(edges: &[u64], counts: &[u64], q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 || edges.is_empty() {
+        return 0.0;
+    }
+    let rank = q.clamp(0.0, 1.0) * total as f64;
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let next_cum = cum + c;
+        if next_cum as f64 >= rank {
+            let lower = edges[i] as f64;
+            let upper = edges
+                .get(i + 1)
+                .map(|&e| e as f64)
+                .unwrap_or_else(|| (edges[i].max(1) * 2) as f64);
+            let frac = ((rank - cum as f64) / c as f64).clamp(0.0, 1.0);
+            return lower + frac * (upper - lower);
+        }
+        cum = next_cum;
+    }
+    edges.last().map(|&e| e as f64).unwrap_or(0.0)
+}
+
+/// Bin index of value `v > 0` under logarithmic binning: the `i` with
+/// `base^i <= v < base^(i+1)`.
+///
+/// Computed by float log then corrected against the edges, because the
+/// log alone mis-bins exact bin boundaries: `(1000f64).log(10.0)` is
+/// `2.999…96`, which floors to bin 2 even though 1000 starts bin 3.
+pub fn log_bin_index(v: usize, base: f64) -> usize {
+    debug_assert!(v > 0);
+    let mut bin = (v as f64).log(base).floor() as usize;
+    while base.powi(bin as i32 + 1) <= v as f64 {
+        bin += 1;
+    }
+    while bin > 0 && base.powi(bin as i32) > v as f64 {
+        bin -= 1;
+    }
+    bin
+}
+
+/// Logarithmically binned counts of positive integer observations —
+/// the right presentation for heavy-tailed degree distributions (paper
+/// Fig. 2 is a log-log degree plot).
+///
+/// Bin `i` covers degrees in `[base^i, base^(i+1))`; returns
+/// `(bin_lower_edges, counts)` trimmed to the last non-empty bin.
+/// Sequential (this crate is dependency-free); binning is a binary
+/// search over the precomputed float edges, so it matches
+/// [`log_bin_index`] exactly without a per-element log.
+pub fn log_binned_counts(values: &[usize], base: f64) -> (Vec<usize>, Vec<usize>) {
+    assert!(base > 1.0, "log binning requires base > 1");
+    let max = values.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let nbins = log_bin_index(max, base) + 1;
+    let float_edges: Vec<f64> = (0..nbins).map(|i| base.powi(i as i32)).collect();
+    let mut counts = vec![0usize; nbins];
+    for &v in values.iter().filter(|&&v| v > 0) {
+        let bin = float_edges.partition_point(|&e| e <= v as f64).max(1) - 1;
+        counts[bin.min(nbins - 1)] += 1;
+    }
+    let edges = float_edges.iter().map(|&e| e as usize).collect();
+    (edges, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NullSink, Session};
+    use std::sync::Arc;
+
+    static TEST_HIST: Histogram = Histogram::new("trace_test_hist_ns", "test histogram");
+
+    #[test]
+    fn bit_bins_cover_the_u64_range() {
+        assert_eq!(bit_bin_index(0), 0);
+        assert_eq!(bit_bin_index(1), 1);
+        assert_eq!(bit_bin_index(2), 2);
+        assert_eq!(bit_bin_index(3), 2);
+        assert_eq!(bit_bin_index(4), 3);
+        assert_eq!(bit_bin_index(u64::MAX), 64);
+        for b in 1..BINS {
+            let lo = bin_lower_edge(b);
+            assert_eq!(bit_bin_index(lo), b, "lower edge of bin {b}");
+            assert_eq!(bit_bin_index(lo - 1), b - 1, "below lower edge of bin {b}");
+        }
+    }
+
+    #[test]
+    fn disabled_records_are_dropped() {
+        let session = Session::start(Arc::new(NullSink));
+        session.finish(); // tracing now off, histogram reset
+        TEST_HIST.record(42);
+        let session = Session::start(Arc::new(NullSink));
+        assert_eq!(TEST_HIST.snapshot().count(), 0);
+        session.finish();
+    }
+
+    #[test]
+    fn records_accumulate_and_reset_per_session() {
+        let session = Session::start(Arc::new(NullSink));
+        for v in [0u64, 1, 3, 900, 1024] {
+            TEST_HIST.record(v);
+        }
+        let snap = TEST_HIST.snapshot();
+        assert_eq!(snap.count(), 5);
+        assert_eq!(snap.sum, 1 + 3 + 900 + 1024);
+        // 1024 = 2^10 lands in bin 11 -> 12 trimmed bins.
+        assert_eq!(snap.edges.len(), 12);
+        assert_eq!(snap.counts[0], 1, "zero bin");
+        assert_eq!(snap.counts[1], 1, "v=1");
+        assert_eq!(snap.counts[2], 1, "v=3 in [2,3]");
+        assert_eq!(snap.counts[10], 1, "v=900 in [512,1023]");
+        assert_eq!(snap.counts[11], 1, "v=1024 opens bin 11");
+        assert_eq!(snap.edges[11], 1024);
+        session.finish();
+
+        let session = Session::start(Arc::new(NullSink));
+        assert_eq!(TEST_HIST.snapshot().count(), 0, "sessions reset bins");
+        session.finish();
+    }
+
+    #[test]
+    fn histograms_flow_into_metric_snapshots() {
+        let session = Session::start(Arc::new(NullSink));
+        TEST_HIST.record(7);
+        TEST_HIST.record(9);
+        let metrics = crate::snapshot_metrics();
+        let m = metrics
+            .iter()
+            .find(|m| m.name == "trace_test_hist_ns")
+            .expect("histogram registered");
+        assert!(!m.is_gauge);
+        assert_eq!(m.value, 2, "value is the observation count");
+        let h = m.histogram.as_ref().expect("carries bins");
+        assert_eq!(h.sum, 16);
+        session.finish();
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_bins() {
+        // 100 observations in bin [8,16), uniform assumption.
+        let edges = vec![0, 1, 2, 4, 8];
+        let counts = vec![0, 0, 0, 0, 100];
+        let p50 = quantile_from_bins(&edges, &counts, 0.5);
+        assert!((8.0..=16.0).contains(&p50), "{p50}");
+        assert!(quantile_from_bins(&edges, &counts, 0.0) >= 8.0);
+        // Empty histogram -> 0.
+        assert_eq!(quantile_from_bins(&[], &[], 0.5), 0.0);
+        // Split across two bins: half in [1,2), half in [2,4).
+        let p50 = quantile_from_bins(&[1, 2], &[50, 50], 0.5);
+        assert!((1.0..=2.0).contains(&p50), "{p50}");
+        let p99 = quantile_from_bins(&[1, 2], &[50, 50], 0.99);
+        assert!((2.0..=4.0).contains(&p99), "{p99}");
+    }
+
+    #[test]
+    fn log_binning_powers_of_two() {
+        let (edges, counts) = log_binned_counts(&[1, 1, 2, 3, 4, 8], 2.0);
+        assert_eq!(edges, vec![1, 2, 4, 8]);
+        assert_eq!(counts, vec![2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn log_binning_exact_bucket_edges() {
+        let (edges, counts) = log_binned_counts(&[1, 10, 100, 1000], 10.0);
+        assert_eq!(edges, vec![1, 10, 100, 1000]);
+        assert_eq!(counts, vec![1, 1, 1, 1]);
+        let (edges, counts) = log_binned_counts(&[99, 100, 101], 10.0);
+        assert_eq!(edges, vec![1, 10, 100]);
+        assert_eq!(counts, vec![0, 1, 2]);
+        let (edges, counts) = log_binned_counts(&[1024], 2.0);
+        assert_eq!(edges.len(), 11);
+        assert_eq!(*edges.last().unwrap(), 1024);
+        assert_eq!(counts[10], 1);
+    }
+
+    #[test]
+    fn log_binning_ignores_zeros_and_empty() {
+        let (edges, counts) = log_binned_counts(&[0, 0], 2.0);
+        assert!(edges.is_empty() && counts.is_empty());
+        let (_, counts) = log_binned_counts(&[0, 1, 0, 1], 2.0);
+        assert_eq!(counts, vec![2]);
+    }
+}

@@ -37,6 +37,7 @@ pub mod alloc;
 pub mod analyze;
 pub mod counter;
 pub mod event;
+pub mod histogram;
 pub mod json;
 pub mod live;
 pub mod schema;
@@ -47,6 +48,7 @@ pub mod value;
 pub use alloc::CountingAllocator;
 pub use counter::{snapshot_metrics, thread_ordinal, Counter, Gauge, MetricSnapshot};
 pub use event::{Event, EventKind};
+pub use histogram::{Histogram, HistogramSnapshot};
 pub use live::{render_prometheus, Registry, Snapshot, SpanTotal};
 pub use sink::{JsonLinesSink, NullSink, PrometheusSink, SharedBuffer, Sink, SummarySink};
 pub use span::{span_enter, SpanGuard};

@@ -46,9 +46,13 @@ pub struct Snapshot {
 pub fn render_prometheus(snap: &Snapshot) -> String {
     let mut text = String::new();
     for m in &snap.metrics {
-        let kind = if m.is_gauge { "gauge" } else { "counter" };
         let name = sanitize_metric_name(m.name);
         let help = escape_help_text(m.help);
+        if let Some(h) = &m.histogram {
+            render_histogram_family(&mut text, &name, &help, h);
+            continue;
+        }
+        let kind = if m.is_gauge { "gauge" } else { "counter" };
         text.push_str(&format!(
             "# HELP graphct_{name} {help}\n# TYPE graphct_{name} {kind}\ngraphct_{name} {value}\n",
             value = m.value,
@@ -75,6 +79,50 @@ pub fn render_prometheus(snap: &Snapshot) -> String {
         }
     }
     text
+}
+
+/// Render one histogram metric as a native Prometheus `histogram`
+/// family (`_bucket{le=...}` cumulative counts, `_sum`, `_count`) plus a
+/// derived `_quantile{q=...}` gauge family (p50/p90/p99/p999, linearly
+/// interpolated inside the containing bin).
+///
+/// Bins store integer observations with inclusive lower edges, so the
+/// upper bound of bin `i` is `edges[i+1] - 1` — exactly the `le`
+/// ("less or equal") boundary; the open-ended last bin becomes `+Inf`.
+fn render_histogram_family(
+    text: &mut String,
+    name: &str,
+    help: &str,
+    h: &crate::histogram::HistogramSnapshot,
+) {
+    text.push_str(&format!(
+        "# HELP graphct_{name} {help}\n# TYPE graphct_{name} histogram\n"
+    ));
+    let mut cum = 0u64;
+    for (i, &count) in h.counts.iter().enumerate() {
+        cum += count;
+        if i + 1 < h.edges.len() {
+            text.push_str(&format!(
+                "graphct_{name}_bucket{{le=\"{}\"}} {cum}\n",
+                h.edges[i + 1] - 1
+            ));
+        }
+    }
+    text.push_str(&format!("graphct_{name}_bucket{{le=\"+Inf\"}} {cum}\n"));
+    text.push_str(&format!("graphct_{name}_sum {}\n", h.sum));
+    text.push_str(&format!("graphct_{name}_count {cum}\n"));
+    if cum > 0 {
+        text.push_str(&format!(
+            "# HELP graphct_{name}_quantile Estimated quantiles of graphct_{name}\n\
+             # TYPE graphct_{name}_quantile gauge\n"
+        ));
+        for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99), ("0.999", 0.999)] {
+            text.push_str(&format!(
+                "graphct_{name}_quantile{{q=\"{label}\"}} {:.3}\n",
+                h.quantile(q)
+            ));
+        }
+    }
 }
 
 /// Sort a span-name → `(count, total_ns)` map into [`SpanTotal`]s.
@@ -213,6 +261,7 @@ mod tests {
                 help: "Edges relaxed in push direction",
                 value: 42,
                 is_gauge: false,
+                histogram: None,
             }],
             spans: vec![SpanTotal {
                 name: "bfs".into(),
@@ -225,6 +274,84 @@ mod tests {
         assert!(text.contains("graphct_edges_scanned_push 42"));
         assert!(text.contains("graphct_span_count{span=\"bfs\"} 1"));
         assert!(text.contains("graphct_span_seconds_total{span=\"bfs\"} 1.5"));
+        crate::schema::validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn render_emits_native_histogram_families() {
+        let snap = Snapshot {
+            ts_us: 0,
+            metrics: vec![MetricSnapshot {
+                name: "batch_ns",
+                help: "Batch latency",
+                value: 6,
+                is_gauge: false,
+                histogram: Some(crate::HistogramSnapshot {
+                    edges: vec![0, 1, 2, 4],
+                    counts: vec![1, 1, 2, 2],
+                    sum: 17,
+                }),
+            }],
+            spans: vec![],
+        };
+        let text = render_prometheus(&snap);
+        assert!(text.contains("# TYPE graphct_batch_ns histogram"), "{text}");
+        // Cumulative buckets: le is the inclusive upper bound of each bin.
+        assert!(
+            text.contains("graphct_batch_ns_bucket{le=\"0\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("graphct_batch_ns_bucket{le=\"1\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("graphct_batch_ns_bucket{le=\"3\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("graphct_batch_ns_bucket{le=\"+Inf\"} 6"),
+            "{text}"
+        );
+        assert!(text.contains("graphct_batch_ns_sum 17"), "{text}");
+        assert!(text.contains("graphct_batch_ns_count 6"), "{text}");
+        assert!(
+            text.contains("graphct_batch_ns_quantile{q=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("graphct_batch_ns_quantile{q=\"0.999\"}"),
+            "{text}"
+        );
+        let samples = crate::schema::validate_exposition(&text)
+            .unwrap_or_else(|(line, e)| panic!("line {line}: {e}\n{text}"));
+        // 4 buckets + sum + count + 4 quantiles.
+        assert_eq!(samples, 10, "{text}");
+    }
+
+    #[test]
+    fn render_handles_empty_histogram() {
+        let snap = Snapshot {
+            ts_us: 0,
+            metrics: vec![MetricSnapshot {
+                name: "idle_ns",
+                help: "never recorded",
+                value: 0,
+                is_gauge: false,
+                histogram: Some(crate::HistogramSnapshot {
+                    edges: vec![],
+                    counts: vec![],
+                    sum: 0,
+                }),
+            }],
+            spans: vec![],
+        };
+        let text = render_prometheus(&snap);
+        assert!(
+            text.contains("graphct_idle_ns_bucket{le=\"+Inf\"} 0"),
+            "{text}"
+        );
+        assert!(!text.contains("_quantile"), "no quantiles when empty");
         crate::schema::validate_exposition(&text).unwrap();
     }
 }

@@ -113,10 +113,31 @@ pub fn validate_jsonl(text: &str) -> Result<usize, (usize, String)> {
 /// `name{label="escaped value",...} value [timestamp]`.  Returns the
 /// number of sample lines, or `(line_number, error)` on the first
 /// violation (1-based).  Used by the sink conformance tests, the serve
-/// integration test, and CI's scrape schema check.
+/// integration test, and CI's scrape schema check (`promcheck`).
+///
+/// Families declared `# TYPE ... histogram` get the full histogram
+/// grammar: samples must be `<name>_bucket` (with an `le` label whose
+/// value is a float or `+Inf`, ascending, cumulative counts
+/// non-decreasing, ending in an `le="+Inf"` bucket), `<name>_sum`, or
+/// `<name>_count`; a bare `<name>` sample is rejected, and `_count`
+/// must agree with the `+Inf` bucket.
 pub fn validate_exposition(text: &str) -> Result<usize, (usize, String)> {
+    use std::collections::HashMap;
+
+    #[derive(Default)]
+    struct HistFamily {
+        type_line: usize,
+        bucket_line: usize,
+        last_le: Option<f64>,
+        last_cum: f64,
+        inf_value: Option<f64>,
+        count_value: Option<f64>,
+        saw_sample: bool,
+    }
+
     let mut samples = 0;
-    let mut typed: Vec<String> = Vec::new();
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut hist: HashMap<String, HistFamily> = HashMap::new();
     for (i, line) in text.lines().enumerate() {
         let at = |e: String| (i + 1, e);
         if line.is_empty() {
@@ -138,15 +159,99 @@ pub fn validate_exposition(text: &str) -> Result<usize, (usize, String)> {
             if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
                 return Err(at(format!("unknown metric type '{kind}'")));
             }
-            if typed.contains(&name.to_owned()) {
+            if types.insert(name.to_owned(), kind.to_owned()).is_some() {
                 return Err(at(format!("duplicate TYPE declaration for '{name}'")));
             }
-            typed.push(name.to_owned());
+            if kind == "histogram" {
+                hist.insert(
+                    name.to_owned(),
+                    HistFamily {
+                        type_line: i + 1,
+                        ..HistFamily::default()
+                    },
+                );
+            }
         } else if line.starts_with('#') {
             // Free-form comments are legal.
         } else {
-            validate_sample_line(line).map_err(at)?;
+            let sample = validate_sample_line(line).map_err(at)?;
             samples += 1;
+            if hist.contains_key(&sample.name) {
+                return Err(at(format!(
+                    "histogram family '{}' may only expose _bucket/_sum/_count samples",
+                    sample.name
+                )));
+            }
+            let (family, suffix) = match ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|s| sample.name.strip_suffix(s).map(|base| (base, *s)))
+            {
+                Some((base, s)) if hist.contains_key(base) => (base.to_owned(), s),
+                _ => continue,
+            };
+            let f = hist.get_mut(&family).unwrap();
+            f.saw_sample = true;
+            match suffix {
+                "_bucket" => {
+                    let le = sample.le.as_deref().ok_or_else(|| {
+                        at(format!(
+                            "histogram bucket '{}' has no le label",
+                            sample.name
+                        ))
+                    })?;
+                    let le = if le == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        le.parse::<f64>().map_err(|_| {
+                            at(format!("histogram bucket le '{le}' is not a float or +Inf"))
+                        })?
+                    };
+                    if f.last_le.is_some_and(|prev| le <= prev) {
+                        return Err(at(format!(
+                            "histogram '{family}' buckets not in ascending le order"
+                        )));
+                    }
+                    if sample.value < f.last_cum {
+                        return Err(at(format!(
+                            "histogram '{family}' cumulative bucket counts decreased"
+                        )));
+                    }
+                    f.last_le = Some(le);
+                    f.last_cum = sample.value;
+                    f.bucket_line = i + 1;
+                    if le.is_infinite() {
+                        f.inf_value = Some(sample.value);
+                    }
+                }
+                "_count" => f.count_value = Some(sample.value),
+                _ => {}
+            }
+        }
+    }
+    for (family, f) in &hist {
+        if !f.saw_sample {
+            continue;
+        }
+        let line = if f.bucket_line > 0 {
+            f.bucket_line
+        } else {
+            f.type_line
+        };
+        let inf = f.inf_value.ok_or_else(|| {
+            (
+                line,
+                format!("histogram '{family}' is missing an le=\"+Inf\" bucket"),
+            )
+        })?;
+        if let Some(count) = f.count_value {
+            if count != inf {
+                return Err((
+                    line,
+                    format!(
+                        "histogram '{family}' _count ({count}) disagrees with +Inf bucket ({inf})"
+                    ),
+                ));
+            }
         }
     }
     Ok(samples)
@@ -168,7 +273,15 @@ fn check_metric_name(name: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn validate_sample_line(line: &str) -> Result<(), String> {
+/// A parsed exposition sample: the metric name, the raw (unescaped)
+/// value of an `le` label if one is present, and the sample value.
+struct ParsedSample {
+    name: String,
+    le: Option<String>,
+    value: f64,
+}
+
+fn validate_sample_line(line: &str) -> Result<ParsedSample, String> {
     let bytes = line.as_bytes();
     let mut pos = 0usize;
     if bytes.is_empty() || !is_name_start(bytes[0]) {
@@ -177,10 +290,13 @@ fn validate_sample_line(line: &str) -> Result<(), String> {
     while pos < bytes.len() && is_name_char(bytes[pos]) {
         pos += 1;
     }
+    let name = line[..pos].to_owned();
+    let mut le = None;
     if bytes.get(pos) == Some(&b'{') {
         pos += 1;
         loop {
             // Label name.
+            let label_start = pos;
             match bytes.get(pos) {
                 Some(&b) if b.is_ascii_alphabetic() || b == b'_' => pos += 1,
                 _ => return Err(format!("expected label name at byte {pos}")),
@@ -188,6 +304,7 @@ fn validate_sample_line(line: &str) -> Result<(), String> {
             while matches!(bytes.get(pos), Some(&b) if b.is_ascii_alphanumeric() || b == b'_') {
                 pos += 1;
             }
+            let label = &line[label_start..pos];
             if bytes.get(pos) != Some(&b'=') {
                 return Err(format!("expected '=' at byte {pos}"));
             }
@@ -196,11 +313,15 @@ fn validate_sample_line(line: &str) -> Result<(), String> {
                 return Err(format!("expected '\"' at byte {pos}"));
             }
             pos += 1;
+            let value_start = pos;
             // Escaped label value: only \\, \", and \n escapes are legal.
             loop {
                 match bytes.get(pos) {
                     None => return Err("unterminated label value".into()),
                     Some(b'"') => {
+                        if label == "le" {
+                            le = Some(line[value_start..pos].to_owned());
+                        }
                         pos += 1;
                         break;
                     }
@@ -226,14 +347,14 @@ fn validate_sample_line(line: &str) -> Result<(), String> {
     }
     let mut rest = line[pos + 1..].splitn(2, ' ');
     let value = rest.next().unwrap_or("");
-    value
-        .parse::<f64>()
+    let value: f64 = value
+        .parse()
         .map_err(|_| format!("invalid sample value '{value}'"))?;
     if let Some(ts) = rest.next() {
         ts.parse::<i64>()
             .map_err(|_| format!("invalid timestamp '{ts}'"))?;
     }
-    Ok(())
+    Ok(ParsedSample { name, le, value })
 }
 
 #[cfg(test)]
@@ -275,6 +396,69 @@ mod tests {
         // Error reports the offending line number.
         let err = validate_exposition("graphct_ok 1\nbad name 1\n").unwrap_err();
         assert_eq!(err.0, 2);
+    }
+
+    #[test]
+    fn exposition_accepts_histogram_families() {
+        let text = "# HELP graphct_batch_ns Batch latency\n\
+                    # TYPE graphct_batch_ns histogram\n\
+                    graphct_batch_ns_bucket{le=\"1\"} 2\n\
+                    graphct_batch_ns_bucket{le=\"3\"} 5\n\
+                    graphct_batch_ns_bucket{le=\"+Inf\"} 7\n\
+                    graphct_batch_ns_sum 19\n\
+                    graphct_batch_ns_count 7\n";
+        assert_eq!(validate_exposition(text), Ok(5));
+    }
+
+    #[test]
+    fn exposition_rejects_histogram_violations() {
+        // Bucket without an le label.
+        assert!(validate_exposition(
+            "# TYPE graphct_h histogram\ngraphct_h_bucket 1\ngraphct_h_bucket{le=\"+Inf\"} 1\n"
+        )
+        .is_err());
+        // le value neither float nor +Inf.
+        assert!(validate_exposition(
+            "# TYPE graphct_h histogram\ngraphct_h_bucket{le=\"wide\"} 1\n"
+        )
+        .is_err());
+        // Missing the +Inf bucket entirely.
+        assert!(
+            validate_exposition("# TYPE graphct_h histogram\ngraphct_h_bucket{le=\"1\"} 1\n")
+                .is_err()
+        );
+        // Buckets out of ascending le order.
+        assert!(validate_exposition(
+            "# TYPE graphct_h histogram\n\
+             graphct_h_bucket{le=\"4\"} 1\n\
+             graphct_h_bucket{le=\"2\"} 2\n\
+             graphct_h_bucket{le=\"+Inf\"} 2\n"
+        )
+        .is_err());
+        // Cumulative counts decreasing.
+        assert!(validate_exposition(
+            "# TYPE graphct_h histogram\n\
+             graphct_h_bucket{le=\"2\"} 5\n\
+             graphct_h_bucket{le=\"+Inf\"} 3\n"
+        )
+        .is_err());
+        // _count disagreeing with the +Inf bucket.
+        assert!(validate_exposition(
+            "# TYPE graphct_h histogram\n\
+             graphct_h_bucket{le=\"+Inf\"} 3\n\
+             graphct_h_count 4\n"
+        )
+        .is_err());
+        // A bare sample under a histogram TYPE.
+        assert!(
+            validate_exposition("# TYPE graphct_h histogram\ngraphct_h 3\n").is_err(),
+            "histogram family must not expose a bare sample"
+        );
+        // An le label on an undeclared family stays legal (untyped).
+        assert_eq!(
+            validate_exposition("graphct_free_bucket{le=\"1\"} 1\n"),
+            Ok(1)
+        );
     }
 
     #[test]

@@ -157,6 +157,30 @@ impl Sink for JsonLinesSink {
 
     fn finish(&self, metrics: &[MetricSnapshot]) {
         for m in metrics {
+            // Histogram metrics become `histogram` records (same shape as
+            // the pre-binned `crate::histogram()` events, plus the
+            // observation sum); everything else becomes a `counter` line.
+            if let Some(h) = m.histogram.as_ref().filter(|h| !h.edges.is_empty()) {
+                let fields = [
+                    ("edges", Value::U64s(h.edges.clone())),
+                    ("counts", Value::U64s(h.counts.clone())),
+                    ("sum", Value::U64(h.sum)),
+                ];
+                let mut line = Event {
+                    ts_us: crate::now_us(),
+                    kind: EventKind::Histogram,
+                    name: m.name,
+                    span: 0,
+                    parent: 0,
+                    thread: crate::counter::thread_ordinal() as u64,
+                    elapsed_ns: None,
+                    fields: &fields,
+                }
+                .to_json();
+                line.push('\n');
+                self.write_line(&line);
+                continue;
+            }
             let fields = [
                 ("value", Value::U64(m.value)),
                 ("gauge", Value::Bool(m.is_gauge)),
@@ -295,6 +319,16 @@ impl SummarySink {
         if !metrics.is_empty() {
             text.push_str("metrics:\n");
             for m in metrics {
+                if let Some(h) = &m.histogram {
+                    text.push_str(&format!(
+                        "  {:<32} {:>14} (histogram p50={:.0} p99={:.0})\n",
+                        m.name,
+                        m.value,
+                        h.quantile(0.5),
+                        h.quantile(0.99),
+                    ));
+                    continue;
+                }
                 let kind = if m.is_gauge { "gauge" } else { "counter" };
                 text.push_str(&format!("  {:<32} {:>14} ({})\n", m.name, m.value, kind));
             }
@@ -527,6 +561,7 @@ mod tests {
             help: "Edges relaxed in push direction",
             value: 42,
             is_gauge: false,
+            histogram: None,
         }]);
         let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
         assert!(text.contains("# TYPE graphct_edges_scanned_push counter"));
@@ -573,12 +608,14 @@ mod tests {
                 help: "help with \"quotes\" and\nnewline",
                 value: 9,
                 is_gauge: false,
+                histogram: None,
             },
             MetricSnapshot {
                 name: "plain_gauge",
                 help: "a well-behaved gauge",
                 value: 3,
                 is_gauge: true,
+                histogram: None,
             },
         ]);
         let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
@@ -620,6 +657,7 @@ mod tests {
             help: "CAS retry count",
             value: 7,
             is_gauge: false,
+            histogram: None,
         }]);
         let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
         let line = text.lines().next().unwrap();
@@ -634,5 +672,50 @@ mod tests {
         );
         let f = v.get("fields").unwrap();
         assert_eq!(f.get("value").and_then(crate::json::Json::as_u64), Some(7));
+    }
+
+    #[test]
+    fn jsonl_histogram_metrics_become_histogram_records() {
+        let (sink, buffer) = JsonLinesSink::to_buffer();
+        sink.finish(&[MetricSnapshot {
+            name: "bfs_wave_ns",
+            help: "BFS wave latency",
+            value: 3,
+            is_gauge: false,
+            histogram: Some(crate::HistogramSnapshot {
+                edges: vec![0, 1, 2],
+                counts: vec![1, 0, 2],
+                sum: 9,
+            }),
+        }]);
+        let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        crate::schema::validate_jsonl(&text).unwrap_or_else(|(line, e)| panic!("line {line}: {e}"));
+        let v = crate::json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(
+            v.get("kind").and_then(crate::json::Json::as_str),
+            Some("histogram")
+        );
+        let f = v.get("fields").unwrap();
+        assert!(f.get("edges").is_some() && f.get("counts").is_some());
+        assert_eq!(f.get("sum").and_then(crate::json::Json::as_u64), Some(9));
+    }
+
+    #[test]
+    fn summary_renders_histogram_metrics_with_quantiles() {
+        let (sink, buffer) = SummarySink::to_buffer();
+        sink.finish(&[MetricSnapshot {
+            name: "bc_source_ns",
+            help: "BC source latency",
+            value: 4,
+            is_gauge: false,
+            histogram: Some(crate::HistogramSnapshot {
+                edges: vec![0, 1, 2, 4],
+                counts: vec![0, 1, 1, 2],
+                sum: 14,
+            }),
+        }]);
+        let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("bc_source_ns"), "{text}");
+        assert!(text.contains("histogram p50="), "{text}");
     }
 }
