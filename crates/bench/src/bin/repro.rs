@@ -100,7 +100,7 @@ impl Options {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <all|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|ablation-sampling|ablation-cc|ablation-bfs|reorder|msbfs|trace-bfs|obs-overhead|trace-validate FILE|check-regress> [--quick] [--full] [--seed N] [--reps N]");
+        eprintln!("usage: repro <all|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|ablation-sampling|ablation-cc|ablation-bfs|reorder|msbfs|trace-bfs|obs-overhead|prof-overhead|trace-validate FILE|check-regress> [--quick] [--full] [--seed N] [--reps N]");
         std::process::exit(2);
     }
     let cmd = args.remove(0);
@@ -136,6 +136,7 @@ fn main() {
         "msbfs" => msbfs_exhibit(opts),
         "trace-bfs" => trace_bfs(opts),
         "obs-overhead" => obs_overhead(opts),
+        "prof-overhead" => prof_overhead(opts),
         "trace-validate" => trace_validate(&args),
         "check-regress" => check_regress(),
         "all" => {
@@ -1068,7 +1069,6 @@ fn sample_quantile(samples: &[f64], q: f64) -> f64 {
 /// a mean (or, when a burst spans a whole arm, even a min).  Min and
 /// mean comparisons are computed alongside for the report.
 fn ab_overhead(reps: usize, seed_arm: &mut dyn FnMut(), inst_arm: &mut dyn FnMut()) -> AbOverhead {
-    use graphct_bench::timing::TimingSummary;
     use std::time::Instant;
 
     let time_one = |run: &mut dyn FnMut()| {
@@ -1087,14 +1087,25 @@ fn ab_overhead(reps: usize, seed_arm: &mut dyn FnMut(), inst_arm: &mut dyn FnMut
             seed_samples.push(time_one(seed_arm));
         }
     }
-    let seed = TimingSummary::from_samples(&seed_samples);
-    let inst = TimingSummary::from_samples(&inst_samples);
+    ab_from_samples(&seed_samples, &inst_samples)
+}
+
+/// Reduce two paired sample sets to the [`AbOverhead`] statistics (the
+/// tail of [`ab_overhead`], split out so exhibits that need arm setup
+/// outside the timed region — like the sampler start/stop in
+/// `prof-overhead` — can run their own pairing loop).
+fn ab_from_samples(seed_samples: &[f64], inst_samples: &[f64]) -> AbOverhead {
+    use graphct_bench::timing::TimingSummary;
+
+    let reps = seed_samples.len();
+    let seed = TimingSummary::from_samples(seed_samples);
+    let inst = TimingSummary::from_samples(inst_samples);
     let min_of = |s: &[f64]| s.iter().copied().fold(f64::INFINITY, f64::min);
-    let seed_min = min_of(&seed_samples);
-    let inst_min = min_of(&inst_samples);
+    let seed_min = min_of(seed_samples);
+    let inst_min = min_of(inst_samples);
     let mut ratios: Vec<f64> = seed_samples
         .iter()
-        .zip(&inst_samples)
+        .zip(inst_samples)
         .map(|(s, i)| i / s)
         .collect();
     ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -1107,17 +1118,48 @@ fn ab_overhead(reps: usize, seed_arm: &mut dyn FnMut(), inst_arm: &mut dyn FnMut
         inst,
         seed_min,
         inst_min,
-        seed_p50: sample_quantile(&seed_samples, 0.5),
-        seed_p99: sample_quantile(&seed_samples, 0.99),
-        inst_p50: sample_quantile(&inst_samples, 0.5),
-        inst_p99: sample_quantile(&inst_samples, 0.99),
+        seed_p50: sample_quantile(seed_samples, 0.5),
+        seed_p99: sample_quantile(seed_samples, 0.99),
+        inst_p50: sample_quantile(inst_samples, 0.5),
+        inst_p99: sample_quantile(inst_samples, 0.99),
         reps,
     }
 }
 
+/// Names for the two arms of an A/B comparison: table row labels, JSON
+/// object keys, and the word naming what the overhead *is* in the
+/// verdict line.
+struct ArmLabels {
+    a: &'static str,
+    b: &'static str,
+    json_a: &'static str,
+    json_b: &'static str,
+    what: &'static str,
+}
+
+/// `trace-bfs` / `obs-overhead`: uninstrumented seed kernels vs the
+/// instrumented kernels with tracing disabled.
+const DISABLED_ARMS: ArmLabels = ArmLabels {
+    a: "seed (uninstrumented)",
+    b: "instrumented, tracing off",
+    json_a: "seed_kernel",
+    json_b: "instrumented_disabled",
+    what: "disabled-path",
+};
+
+/// `prof-overhead`: instrumented kernels under a live session, sampler
+/// off vs sampler on.
+const SAMPLER_ARMS: ArmLabels = ArmLabels {
+    a: "session live, sampler off",
+    b: "session live, sampler on",
+    json_a: "sampler_off",
+    json_b: "sampler_on",
+    what: "sampler",
+};
+
 /// Print one kernel's A/B table + verdict line and return its JSON
-/// record for `BENCH_TRACE_OVERHEAD.json`.
-fn report_ab(kernel: &str, ab: &AbOverhead, budget_pct: f64) -> String {
+/// record for the exhibit's `BENCH_*_OVERHEAD.json`.
+fn report_ab(kernel: &str, ab: &AbOverhead, budget_pct: f64, arms: &ArmLabels) -> String {
     let mut t = Table::new(&[
         "kernel",
         "min s",
@@ -1128,7 +1170,7 @@ fn report_ab(kernel: &str, ab: &AbOverhead, budget_pct: f64) -> String {
         "ci90 s",
     ]);
     t.row(&[
-        format!("{kernel}: seed (uninstrumented)"),
+        format!("{kernel}: {}", arms.a),
         f(ab.seed_min, 6),
         f(ab.seed.mean, 6),
         f(ab.seed_p50, 6),
@@ -1137,7 +1179,7 @@ fn report_ab(kernel: &str, ab: &AbOverhead, budget_pct: f64) -> String {
         f(ab.seed.ci90, 6),
     ]);
     t.row(&[
-        format!("{kernel}: instrumented, tracing off"),
+        format!("{kernel}: {}", arms.b),
         f(ab.inst_min, 6),
         f(ab.inst.mean, 6),
         f(ab.inst_p50, 6),
@@ -1147,20 +1189,22 @@ fn report_ab(kernel: &str, ab: &AbOverhead, budget_pct: f64) -> String {
     ]);
     t.print();
     println!(
-        "{kernel} disabled-path overhead: {:+.2}% median-of-paired-ratios \
+        "{kernel} {} overhead: {:+.2}% median-of-paired-ratios \
          ({:+.2}% min-vs-min, {:+.2}% mean-vs-mean; budget {budget_pct}%) \
          over {} interleaved reps\n",
-        ab.overhead_pct, ab.min_overhead_pct, ab.mean_overhead_pct, ab.reps
+        arms.what, ab.overhead_pct, ab.min_overhead_pct, ab.mean_overhead_pct, ab.reps
     );
     format!(
-        "    {{\n      \"kernel\": \"{kernel}\",\n      \"reps\": {},\n      \"seed_kernel\": {{\"min_s\": {:.6}, \"mean_s\": {:.6}, \"p50_s\": {:.6}, \"p99_s\": {:.6}, \"std_dev_s\": {:.6}, \"ci90_s\": {:.6}}},\n      \"instrumented_disabled\": {{\"min_s\": {:.6}, \"mean_s\": {:.6}, \"p50_s\": {:.6}, \"p99_s\": {:.6}, \"std_dev_s\": {:.6}, \"ci90_s\": {:.6}}},\n      \"overhead_pct\": {:.4},\n      \"min_overhead_pct\": {:.4},\n      \"mean_overhead_pct\": {:.4},\n      \"within_budget\": {}\n    }}",
+        "    {{\n      \"kernel\": \"{kernel}\",\n      \"reps\": {},\n      \"{}\": {{\"min_s\": {:.6}, \"mean_s\": {:.6}, \"p50_s\": {:.6}, \"p99_s\": {:.6}, \"std_dev_s\": {:.6}, \"ci90_s\": {:.6}}},\n      \"{}\": {{\"min_s\": {:.6}, \"mean_s\": {:.6}, \"p50_s\": {:.6}, \"p99_s\": {:.6}, \"std_dev_s\": {:.6}, \"ci90_s\": {:.6}}},\n      \"overhead_pct\": {:.4},\n      \"min_overhead_pct\": {:.4},\n      \"mean_overhead_pct\": {:.4},\n      \"within_budget\": {}\n    }}",
         ab.reps,
+        arms.json_a,
         ab.seed_min,
         ab.seed.mean,
         ab.seed_p50,
         ab.seed_p99,
         ab.seed.std_dev,
         ab.seed.ci90,
+        arms.json_b,
         ab.inst_min,
         ab.inst.mean,
         ab.inst_p50,
@@ -1306,7 +1350,7 @@ fn trace_bfs(opts: Options) {
             }
         },
     );
-    let bfs_record = report_ab("bfs_hybrid", &bfs_ab, budget_pct);
+    let bfs_record = report_ab("bfs_hybrid", &bfs_ab, budget_pct, &DISABLED_ARMS);
 
     // Betweenness arm: sampled Brandes on the same graph, one full call
     // per sample (each call already batches its sources).
@@ -1335,7 +1379,7 @@ fn trace_bfs(opts: Options) {
             );
         },
     );
-    let bc_record = report_ab("bc_sampled_16src", &bc_ab, budget_pct);
+    let bc_record = report_ab("bc_sampled_16src", &bc_ab, budget_pct, &DISABLED_ARMS);
 
     record_history(
         opts,
@@ -1411,7 +1455,7 @@ fn obs_overhead(opts: Options) {
             }
         },
     );
-    let bfs_record = report_ab("bfs_hybrid", &bfs_ab, budget_pct);
+    let bfs_record = report_ab("bfs_hybrid", &bfs_ab, budget_pct, &DISABLED_ARMS);
 
     // Betweenness arm: the per-source histogram site sits in the sampled
     // Brandes accumulation loop.
@@ -1432,7 +1476,7 @@ fn obs_overhead(opts: Options) {
             std::hint::black_box(betweenness_centrality(&rmat, &bc_config).unwrap().scores);
         },
     );
-    let bc_record = report_ab("bc_sampled_16src", &bc_ab, budget_pct);
+    let bc_record = report_ab("bc_sampled_16src", &bc_ab, budget_pct, &DISABLED_ARMS);
 
     // Ledger records carry the per-arm sample quantiles so check-regress
     // can print its p50/p99 columns for these series.
@@ -1492,6 +1536,178 @@ fn obs_overhead(opts: Options) {
     }
     if !within_budget {
         eprintln!("disabled-path overhead exceeded the {budget_pct}% budget");
+        std::process::exit(1);
+    }
+}
+
+/// Paired sampler-on/off measurement: the *same* work closure in both
+/// arms, the continuous profiler started for the on-arm.  Start/stop
+/// (refcounted worker spawn/join) happen outside the timed region —
+/// they are lifecycle cost, not the steady-state cost the budget caps —
+/// and the arms alternate order per pair exactly like [`ab_overhead`].
+fn ab_sampler(reps: usize, hz: u32, work: &mut dyn FnMut()) -> AbOverhead {
+    use std::time::Instant;
+
+    let prof = graphct_trace::profiler();
+    let time_one = |run: &mut dyn FnMut()| {
+        let t = Instant::now();
+        run();
+        t.elapsed().as_secs_f64()
+    };
+    let mut off_samples = Vec::with_capacity(reps);
+    let mut on_samples = Vec::with_capacity(reps);
+    for r in 0..reps {
+        if r % 2 == 0 {
+            off_samples.push(time_one(work));
+            prof.start(hz);
+            on_samples.push(time_one(work));
+            prof.stop();
+        } else {
+            prof.start(hz);
+            on_samples.push(time_one(work));
+            prof.stop();
+            off_samples.push(time_one(work));
+        }
+    }
+    ab_from_samples(&off_samples, &on_samples)
+}
+
+/// `repro prof-overhead` — the continuous-profiler cost proof
+/// (`BENCH_PROF_OVERHEAD.json`, budget ≤ 2 %).
+///
+/// Unlike `trace-bfs`/`obs-overhead` (which prove the *disabled* path
+/// free), both arms here run the instrumented kernels under a live
+/// `NullSink` session, so spans maintain their shadow stacks in both;
+/// the B arm additionally runs the wall-clock sampler at its default
+/// 97 Hz.  The paired ratio therefore isolates exactly what always-on
+/// profiling adds to a hot kernel loop: the sampler core's registry
+/// walk plus the cache traffic of its seqlock reads against the worker
+/// threads' shadow stacks.
+fn prof_overhead(opts: Options) {
+    use graphct_bench::history;
+    use graphct_kernels::bfs::{BfsConfig, HybridBfs};
+    use std::sync::Arc;
+
+    banner("Prof — continuous profiler (97 Hz sampler) steady-state overhead proof");
+    let scale = if opts.quick { 12 } else { 16 };
+    let cfg = graphct_gen::RmatConfig::paper(scale, 16);
+    let rmat = build_undirected_simple(&graphct_gen::rmat_edges(&cfg, opts.seed)).unwrap();
+    let budget_pct = 2.0;
+    let hz = graphct_trace::profile::DEFAULT_HZ;
+
+    // Both arms need an enabled session: shadow stacks only carry
+    // frames while spans are live, and an empty registry would make the
+    // sampler artificially cheap.
+    let session = graphct_trace::Session::start(Arc::new(graphct_trace::NullSink));
+    let prof = graphct_trace::profiler();
+    prof.reset();
+
+    // BFS arm.  Batched sources so per-sample work dwarfs the timer
+    // quantum (same batch as the other overhead exhibits).
+    let config = BfsConfig::hybrid();
+    let engine = HybridBfs::with_config(&rmat, config);
+    let n = rmat.num_vertices() as u32;
+    std::hint::black_box(engine.levels(0));
+    let reps = opts.reps.max(50);
+    const BATCH: u32 = 8;
+    let bfs_ab = ab_sampler(reps, hz, &mut || {
+        for s in 0..BATCH {
+            std::hint::black_box(engine.levels((s * 37 + 11) % n));
+        }
+    });
+    let bfs_record = report_ab("bfs_hybrid", &bfs_ab, budget_pct, &SAMPLER_ARMS);
+
+    // Betweenness arm: sampled Brandes, one full call per sample.
+    let bc_config = BetweennessConfig {
+        sampling: SamplingSpec::count(16, opts.seed),
+        bfs: config,
+        ..BetweennessConfig::exact()
+    };
+    std::hint::black_box(betweenness_centrality(&rmat, &bc_config).unwrap().scores);
+    // Full-size BC has ~17% per-rep spread on a loaded box; the paired
+    // median needs more pairs there for the ratio's standard error to
+    // sit comfortably inside the 2% budget.
+    let bc_reps = opts.reps.max(if opts.quick { 30 } else { 50 });
+    let bc_ab = ab_sampler(bc_reps, hz, &mut || {
+        std::hint::black_box(betweenness_centrality(&rmat, &bc_config).unwrap().scores);
+    });
+    let bc_record = report_ab("bc_sampled_16src", &bc_ab, budget_pct, &SAMPLER_ARMS);
+
+    // The on-arms really sampled kernel stacks (a zero here would mean
+    // the B arm measured nothing).
+    let samples = prof.samples_total();
+    let kernel_stacks: u64 = prof
+        .fold()
+        .iter()
+        .filter(|(path, _)| path.contains(";bfs") || path.contains(";bc"))
+        .map(|(_, c)| c)
+        .sum();
+    println!(
+        "sampler evidence: {samples} samples across the on-arms, {kernel_stacks} on kernel spans"
+    );
+    if samples == 0 || kernel_stacks == 0 {
+        eprintln!("sampler took no kernel-span samples; the on-arm measured nothing");
+        std::process::exit(1);
+    }
+    prof.reset();
+    session.finish();
+
+    let entries: Vec<history::HistoryEntry> = [
+        (
+            "bfs_hybrid/sampler_off",
+            bfs_ab.seed.mean,
+            bfs_ab.seed_p50,
+            bfs_ab.seed_p99,
+        ),
+        (
+            "bfs_hybrid/sampler_on",
+            bfs_ab.inst.mean,
+            bfs_ab.inst_p50,
+            bfs_ab.inst_p99,
+        ),
+        (
+            "bc_sampled_16src/sampler_off",
+            bc_ab.seed.mean,
+            bc_ab.seed_p50,
+            bc_ab.seed_p99,
+        ),
+        (
+            "bc_sampled_16src/sampler_on",
+            bc_ab.inst.mean,
+            bc_ab.inst_p50,
+            bc_ab.inst_p99,
+        ),
+    ]
+    .iter()
+    .map(|(case, mean, p50, p99)| {
+        history::HistoryEntry::now("prof_overhead", case, opts.quick, *mean)
+            .with_quantiles(*p50, *p99)
+    })
+    .collect();
+    match history::append(std::path::Path::new(history::DEFAULT_PATH), &entries) {
+        Ok(()) => println!(
+            "appended {} records (with quantiles) to {}",
+            entries.len(),
+            history::DEFAULT_PATH
+        ),
+        Err(e) => eprintln!("could not append to {}: {e}", history::DEFAULT_PATH),
+    }
+
+    let within_budget = bfs_ab.overhead_pct <= budget_pct && bc_ab.overhead_pct <= budget_pct;
+    let json = format!(
+        "{{\n  \"bench\": \"prof_overhead\",\n  \"graph\": \"rmat scale {scale}\",\n  \"vertices\": {},\n  \"edges\": {},\n  \"frontier\": \"Hybrid\",\n  \"sampler_hz\": {hz},\n  \"overhead_metric\": \"median_of_paired_ratios\",\n  \"budget_pct\": {budget_pct},\n  \"results\": [\n{},\n{}\n  ],\n  \"within_budget\": {within_budget}\n}}\n",
+        rmat.num_vertices(),
+        rmat.num_edges(),
+        bfs_record,
+        bc_record,
+    );
+    let out = "BENCH_PROF_OVERHEAD.json";
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+    if !within_budget {
+        eprintln!("sampler overhead exceeded the {budget_pct}% budget");
         std::process::exit(1);
     }
 }

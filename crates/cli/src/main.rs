@@ -39,20 +39,24 @@ USAGE:
   graphct serve [--profile h1n1|atlflood|sep1] [--scale-pct P] [--seed N]
                 [--port P | --addr HOST:PORT] [--batch-size N] [--batches N]
                 [--interval-ms MS] [--window N] [--trace-out FILE]
-                [--stall-timeout-ms MS]        live monitoring plane: paced
+                [--stall-timeout-ms MS] [--profile-hz HZ]
+                                               live monitoring plane: paced
                                                tweet-stream ingest exporting
                                                /metrics /healthz /progress
-                                               (plus /pause /resume) over
-                                               HTTP; Ctrl-C drains; a stall
-                                               past the watchdog deadline
-                                               turns /healthz 503
+                                               /profile (plus /pause /resume)
+                                               over HTTP; Ctrl-C drains; a
+                                               stall past the watchdog
+                                               deadline turns /healthz 503
   graphct trace flame <trace.jsonl> [--out FILE]
                                                folded stacks (flamegraph input)
   graphct trace critical-path <trace.jsonl>    slowest span chains
   graphct trace imbalance <trace.jsonl>        per-level BFS push/pull spread
-  graphct trace histo <trace.jsonl> [--name H] latency/size histograms with
-                                               p50/p90/p99/p999
+  graphct trace histo <trace.jsonl> [--name H] list histograms (name, count,
+                                               p50/p99); --name H shows the
+                                               detailed ASCII chart
   graphct trace diff <a.jsonl> <b.jsonl>       A/B span + counter deltas
+  graphct trace profdiff <a.folded> <b.folded> compare two folded profile
+                                               dumps (signed self-time deltas)
   graphct trace promcheck <metrics.txt>        validate Prometheus exposition
   graphct help
 
@@ -89,6 +93,15 @@ JSON-lines events to FILE; --metrics-format json|prom|summary selects
 the export (json requires --trace-out; prom writes Prometheus text to
 --trace-out or stdout; summary writes to --trace-out when given, else
 stderr).
+
+Profiling (stats, components, bc): --profile turns on the continuous
+wall-clock sampler and prints an ASCII flamegraph to stderr at exit;
+--profile-hz HZ overrides the default 97 Hz rate; --profile-out FILE
+also writes the raw folded stacks (speedscope / flamegraph.pl /
+`trace profdiff` input) to FILE.  `graphct serve` samples continuously
+by default and exposes the live folded stacks at /profile (plain text
+for flamegraph.pl/speedscope; ?format=json, ?format=top variants);
+--profile-hz 0 disables.
 
 Graph files: *.bin = GraphCT binary CSR, *.gr/*.dimacs = DIMACS,
 anything else = 'src dst' edge-list text.";
@@ -221,6 +234,87 @@ fn start_trace(args: &mut Vec<String>) -> Result<Option<graphct_trace::Session>,
     Ok(Some(graphct_trace::Session::start(sink)))
 }
 
+/// Stops the continuous profiler when the command finishes and prints
+/// the ASCII flamegraph (stderr, like the `--trace` summary).  A Drop
+/// guard so early error returns still stop the sampler thread.
+struct ProfilerGuard {
+    out: Option<PathBuf>,
+    /// The fallback [`NullSink`](graphct_trace::NullSink) session when
+    /// the user profiled without `--trace`.  Held here so it outlives
+    /// the flamegraph print (Drop bodies run before fields drop).
+    _session: Option<graphct_trace::Session>,
+}
+
+impl Drop for ProfilerGuard {
+    fn drop(&mut self) {
+        let prof = graphct_trace::profiler();
+        prof.stop();
+        let folded = prof.fold();
+        eprintln!(
+            "continuous profile: {} samples at {} Hz ({} truncated)",
+            prof.samples_total(),
+            prof.hz(),
+            prof.truncated_total()
+        );
+        eprint!(
+            "{}",
+            graphct_trace::analyze::render_ascii_flame(&folded, 60)
+        );
+        if let Some(path) = &self.out {
+            let text = graphct_trace::profile::render_folded_counts(&folded);
+            match std::fs::write(path, &text) {
+                Ok(()) => eprintln!("wrote {} folded stacks to {}", folded.len(), path.display()),
+                Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+/// Consume the profiler flags (`--profile`, `--profile-hz`,
+/// `--profile-out`) and start the continuous wall-clock sampler when
+/// any of them asks for one.  Shadow stacks only record open spans
+/// while a trace session is enabled, so when the user asked for a
+/// profile without `--trace` the caller starts a [`NullSink`] session
+/// (counters and shadow frames, no event stream).
+fn start_profiler(
+    args: &mut Vec<String>,
+    have_session: bool,
+) -> Result<Option<ProfilerGuard>, String> {
+    let switch = if let Some(pos) = args.iter().position(|a| a == "--profile") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let hz: Option<u32> = match take_flag(args, "--profile-hz")? {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("invalid value for --profile-hz: {v}"))?,
+        ),
+    };
+    let out = take_flag(args, "--profile-out")?.map(PathBuf::from);
+    if !switch && hz.is_none() && out.is_none() {
+        return Ok(None);
+    }
+    let hz = hz.unwrap_or(graphct_trace::profile::DEFAULT_HZ);
+    if hz == 0 {
+        return Err("--profile-hz must be positive (omit --profile to disable)".into());
+    }
+    let session = if have_session {
+        None
+    } else {
+        Some(graphct_trace::Session::start(Arc::new(
+            graphct_trace::NullSink,
+        )))
+    };
+    graphct_trace::profiler().start(hz);
+    Ok(Some(ProfilerGuard {
+        out,
+        _session: session,
+    }))
+}
+
 /// Resolve a tweet dataset profile by name, with optional percentage
 /// scaling (shared by `tweets` and `serve`).
 fn parse_profile(name: &str, scale_pct: f64) -> Result<graphct_twitter::DatasetProfile, String> {
@@ -252,6 +346,7 @@ fn serve_cmd(args: &mut Vec<String>) -> Result<(), String> {
     let window_batches: usize = parse_flag(args, "--window", 256)?;
     let trace_out = take_flag(args, "--trace-out")?.map(PathBuf::from);
     let stall_timeout_ms: u64 = parse_flag(args, "--stall-timeout-ms", 10_000)?;
+    let profile_hz: u32 = parse_flag(args, "--profile-hz", graphct_trace::profile::DEFAULT_HZ)?;
 
     graphct_obs::install_sigint_handler();
     let handle = graphct_obs::start(graphct_obs::ServeConfig {
@@ -264,10 +359,11 @@ fn serve_cmd(args: &mut Vec<String>) -> Result<(), String> {
         window_batches,
         trace_out,
         stall_timeout_ms,
+        profile_hz,
     })
     .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
     println!(
-        "serving http://{}  endpoints: /metrics /healthz /progress /pause /resume",
+        "serving http://{}  endpoints: /metrics /healthz /progress /profile /pause /resume",
         handle.local_addr()
     );
     println!(
@@ -316,7 +412,8 @@ fn trace_cmd(args: &mut Vec<String>) -> Result<(), String> {
     use graphct_trace::analyze;
     if args.is_empty() {
         return Err(
-            "trace needs a subcommand (flame|critical-path|imbalance|histo|diff|promcheck)".into(),
+            "trace needs a subcommand (flame|critical-path|imbalance|histo|diff|profdiff|promcheck)"
+                .into(),
         );
     }
     let sub = args.remove(0);
@@ -397,6 +494,25 @@ fn trace_cmd(args: &mut Vec<String>) -> Result<(), String> {
                 println!("no histogram records in trace (run with --trace-out)");
                 return Ok(());
             }
+            if name.is_none() {
+                // Inventory view: one line per histogram family, so the
+                // reader learns what is in the trace before drilling in
+                // with --name.
+                println!(
+                    "{:<28} {:>10} {:>12} {:>12}",
+                    "histogram", "count", "p50", "p99"
+                );
+                for report in &reports {
+                    println!(
+                        "{:<28} {:>10} {:>12.0} {:>12.0}",
+                        report.name,
+                        report.count(),
+                        report.quantile(0.5),
+                        report.quantile(0.99)
+                    );
+                }
+                return Ok(());
+            }
             for report in &reports {
                 let count = report.count();
                 println!(
@@ -461,6 +577,41 @@ fn trace_cmd(args: &mut Vec<String>) -> Result<(), String> {
             }
             Ok(())
         }
+        "profdiff" => {
+            let a_path = next_path(args, "baseline folded dump")?;
+            let b_path = next_path(args, "comparison folded dump")?;
+            let load_folded = |path: &Path| -> Result<Vec<(String, u64)>, String> {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                analyze::parse_folded(&text).map_err(|e| format!("{}: {e}", path.display()))
+            };
+            let a = load_folded(&a_path)?;
+            let b = load_folded(&b_path)?;
+            let rows = analyze::diff_folded(&a, &b);
+            if rows.is_empty() {
+                println!("no samples in either dump");
+                return Ok(());
+            }
+            println!(
+                "{:<32} {:>10} {:>10} {:>10} {:>9}",
+                "frame (self samples)", "a", "b", "delta", "pct"
+            );
+            for row in &rows {
+                let pct = row
+                    .delta_pct()
+                    .map(|p| format!("{p:+.1}%"))
+                    .unwrap_or_else(|| "new".into());
+                println!(
+                    "{:<32} {:>10} {:>10} {:>+10} {:>9}",
+                    row.frame,
+                    row.a_count,
+                    row.b_count,
+                    row.delta(),
+                    pct
+                );
+            }
+            Ok(())
+        }
         "promcheck" => {
             let file = next_path(args, "exposition file")?;
             let text = std::fs::read_to_string(&file)
@@ -474,7 +625,8 @@ fn trace_cmd(args: &mut Vec<String>) -> Result<(), String> {
             }
         }
         other => Err(format!(
-            "unknown trace subcommand '{other}' (flame|critical-path|imbalance|histo|diff|promcheck)"
+            "unknown trace subcommand '{other}' \
+             (flame|critical-path|imbalance|histo|diff|profdiff|promcheck)"
         )),
     }
 }
@@ -667,6 +819,7 @@ fn run(args: &[String]) -> Result<(), String> {
         return trace_cmd(&mut args);
     }
     let _trace_session = start_trace(&mut args)?;
+    let _profiler_guard = start_profiler(&mut args, _trace_session.is_some())?;
     match cmd.as_str() {
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

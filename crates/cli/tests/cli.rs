@@ -400,3 +400,144 @@ fn gen_requires_out_flag() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
 }
+
+#[test]
+fn profile_flag_prints_flamegraph_and_writes_folded_dump() {
+    let dir = temp_dir("profile_flag");
+    let edges = dir.join("g.txt");
+    let folded = dir.join("prof.folded");
+
+    let out = graphct()
+        .args(["gen", "rmat", "--scale", "10", "--seed", "3", "--out"])
+        .arg(&edges)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // A high sampling rate keeps the run short while still guaranteeing
+    // samples land during the kernels.
+    let out = graphct()
+        .arg("stats")
+        .arg(&edges)
+        .args(["--profile", "--profile-hz", "997", "--profile-out"])
+        .arg(&folded)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("continuous profile:") && err.contains("Hz"),
+        "stderr must carry the profile header:\n{err}"
+    );
+    // The ASCII flame roots at the main thread with a percentage bar.
+    assert!(
+        err.contains("main") && err.contains("100.0%"),
+        "stderr must carry the flamegraph:\n{err}"
+    );
+    // The folded dump parses and is state-tagged.
+    let text = std::fs::read_to_string(&folded).unwrap();
+    let total: u64 = text
+        .lines()
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert!(total > 0, "dump must contain samples:\n{text}");
+    assert!(
+        text.lines().all(|l| l.contains(";[cpu] ")
+            || l.contains(";[idle] ")
+            || l.ends_with("[cpu]")
+            || l.ends_with("[idle]")),
+        "every stack carries an on/off-CPU leaf:\n{text}"
+    );
+}
+
+#[test]
+fn trace_profdiff_compares_folded_dumps() {
+    let dir = temp_dir("profdiff");
+    let a = dir.join("a.folded");
+    let b = dir.join("b.folded");
+    std::fs::write(&a, "main;bfs;[cpu] 10\nmain;bc;[cpu] 5\n").unwrap();
+    std::fs::write(
+        &b,
+        "main;bfs;[cpu] 4\nmain;bc;[cpu] 9\nmain;kcore;[idle] 2\n",
+    )
+    .unwrap();
+
+    let out = graphct()
+        .args(["trace", "profdiff"])
+        .arg(&a)
+        .arg(&b)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Self-time deltas are signed and per-leaf-frame; a frame present
+    // only in B reports "new".
+    let bfs = text.lines().find(|l| l.starts_with("bfs")).unwrap();
+    assert!(bfs.contains("-6") && bfs.contains("-60.0%"), "{text}");
+    let bc = text.lines().find(|l| l.starts_with("bc")).unwrap();
+    assert!(bc.contains("+4") && bc.contains("+80.0%"), "{text}");
+    let kcore = text.lines().find(|l| l.starts_with("kcore")).unwrap();
+    assert!(kcore.contains("new"), "{text}");
+}
+
+#[test]
+fn trace_histo_lists_all_histograms_without_name() {
+    let dir = temp_dir("histo_list");
+    let edges = dir.join("g.txt");
+    let trace = dir.join("t.jsonl");
+
+    let out = graphct()
+        .args(["gen", "rmat", "--scale", "8", "--seed", "5", "--out"])
+        .arg(&edges)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = graphct()
+        .arg("stats")
+        .arg(&edges)
+        .arg("--trace-out")
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Bare `trace histo` inventories every histogram in the trace.
+    let out = graphct()
+        .args(["trace", "histo"])
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("histogram") && text.contains("p50") && text.contains("p99"));
+    let listed: Vec<&str> = text
+        .lines()
+        .skip(1)
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    assert!(!listed.is_empty(), "no histograms listed:\n{text}");
+
+    // --name drills into the detailed chart for one of them.
+    let out = graphct()
+        .args(["trace", "histo"])
+        .arg(&trace)
+        .args(["--name", listed[0]])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let detail = String::from_utf8_lossy(&out.stdout);
+    assert!(detail.contains("observations over"), "{detail}");
+    assert!(detail.contains("p999"), "{detail}");
+}

@@ -606,6 +606,7 @@ pub fn betweenness_centrality(
             sources,
         });
     }
+    graphct_mt::register_profiling_threads();
     let _span = graphct_trace::span!("bc", vertices = n, sources = sources.len());
 
     // Directed graphs need in-neighborhoods for dependency accumulation;

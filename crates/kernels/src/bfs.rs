@@ -441,6 +441,7 @@ impl<'g, G: GraphView> HybridBfs<'g, G> {
     #[cold]
     #[inline(never)]
     fn open_bfs_span(&self, source: VertexId, n: usize) -> graphct_trace::SpanGuard {
+        graphct_mt::register_profiling_threads();
         graphct_trace::span!(
             "bfs",
             src = source,

@@ -33,6 +33,7 @@ pub fn connected_components<G: GraphView>(graph: &G) -> Vec<VertexId> {
     if n == 0 {
         return Vec::new();
     }
+    graphct_mt::register_profiling_threads();
     let _span = graphct_trace::span!("components", vertices = n);
     let colors = AtomicU32Array::filled(n, 0);
     (0..n)

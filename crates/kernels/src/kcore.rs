@@ -88,6 +88,7 @@ pub fn kcore_subgraph(graph: &CsrGraph, k: usize) -> Result<Subgraph, GraphError
         ));
     }
     let n = graph.num_vertices();
+    graphct_mt::register_profiling_threads();
     let _span = graphct_trace::span!("kcore", vertices = n, k = k);
     let alive: Vec<std::sync::atomic::AtomicBool> = (0..n)
         .map(|_| std::sync::atomic::AtomicBool::new(true))

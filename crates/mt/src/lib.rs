@@ -47,3 +47,21 @@ pub use bitmap::AtomicBitmap;
 pub use bitmat::AtomicBitMatrix;
 pub use frontier::Frontier;
 pub use full_empty::FullEmptyCell;
+
+/// Register the calling thread and every rayon worker with the
+/// continuous profiler's thread registry
+/// ([`graphct_trace::register_current_thread`]), so wall-clock samples
+/// taken while kernels run attribute to named kernel spans instead of
+/// an unregistered (never-sampled) thread.  Idempotent and cheap — a
+/// thread-local no-op after the first call per thread — so kernels call
+/// it at entry.
+pub fn register_profiling_threads() {
+    use rayon::prelude::*;
+    graphct_trace::register_current_thread();
+    // Touch each pool worker.  Under the vendored sequential rayon this
+    // runs on the calling thread (already registered); under a real
+    // work-stealing pool the per-item closures land on pool threads.
+    (0..rayon::current_num_threads().max(1))
+        .into_par_iter()
+        .for_each(|_| graphct_trace::register_current_thread());
+}

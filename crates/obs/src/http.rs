@@ -58,8 +58,9 @@ impl Response {
     }
 }
 
-/// The route handler: request path in, [`Response`] out.
-pub type Handler = dyn Fn(&str) -> Response + Send + Sync;
+/// The route handler: request path and raw query string (without the
+/// `?`, empty when absent) in, [`Response`] out.
+pub type Handler = dyn Fn(&str, &str) -> Response + Send + Sync;
 
 /// A background HTTP server; dropping (or [`stop`](HttpServer::stop)ping)
 /// it shuts the accept loop down and joins the thread.
@@ -80,22 +81,27 @@ impl HttpServer {
         let stop_flag = Arc::clone(&stop);
         let thread = std::thread::Builder::new()
             .name("graphct-obs-http".into())
-            .spawn(move || loop {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let _ = handle_connection(stream, &handler);
-                    }
-                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                        if stop_flag.load(Ordering::Relaxed) {
-                            break;
+            .spawn(move || {
+                // Register with the continuous profiler so its (mostly
+                // idle) time shows up under a named thread.
+                graphct_trace::register_current_thread();
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = handle_connection(stream, &handler);
                         }
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => {
-                        if stop_flag.load(Ordering::Relaxed) {
-                            break;
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            if stop_flag.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(5));
                         }
-                        std::thread::sleep(Duration::from_millis(5));
+                        Err(_) => {
+                            if stop_flag.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
                     }
                 }
             })?;
@@ -154,13 +160,16 @@ fn handle_connection(mut stream: TcpStream, handler: &Arc<Handler>) -> std::io::
     let mut parts = request_line.split(' ');
     let method = parts.next().unwrap_or_default();
     let target = parts.next().unwrap_or_default();
-    // Strip any query string; the endpoints take none.
-    let path = target.split('?').next().unwrap_or_default();
+    // Split the query string off the path (`/profile?format=json`).
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    };
 
     let response = if method != "GET" {
         Response::text(405, "method not allowed\n")
     } else {
-        handler(path)
+        handler(path, query)
     };
     write_response(&mut stream, &response)
 }
@@ -215,15 +224,20 @@ mod tests {
     fn serves_routes_and_404s() {
         let server = HttpServer::bind(
             "127.0.0.1:0",
-            Arc::new(|path: &str| match path {
-                "/hello" => Response::text(200, "hi\n"),
+            Arc::new(|path: &str, query: &str| match path {
+                "/hello" if query.is_empty() => Response::text(200, "hi\n"),
+                "/hello" => Response::text(200, format!("hi query={query}\n")),
                 _ => Response::not_found(),
             }),
         )
         .unwrap();
         let addr = server.local_addr();
         assert_eq!(get(addr, "/hello"), (200, "hi\n".to_owned()));
-        assert_eq!(get(addr, "/hello?x=1").0, 200, "query strings stripped");
+        assert_eq!(
+            get(addr, "/hello?x=1"),
+            (200, "hi query=x=1\n".to_owned()),
+            "query string reaches the handler"
+        );
         assert_eq!(get(addr, "/missing").0, 404);
         server.stop();
         // Port is released after stop.

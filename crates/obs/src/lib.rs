@@ -17,11 +17,14 @@
 //!
 //! Endpoints: `/metrics` (Prometheus text exposition, live mid-session,
 //! including the watchdog's `graphct_staleness_seconds` /
-//! `graphct_stall_seconds_total` lines), `/healthz` (`200 ok` serving,
-//! `503 stalled: ...` when the ingest watchdog trips, `503 draining`
-//! during shutdown), `/progress` (JSON: span stacks, kernel progress,
-//! ETAs), and `/pause` + `/resume` (freeze ingest between batches —
-//! the stall-injection hook the watchdog tests lean on).
+//! `graphct_stall_seconds_total` float gauges, published through the
+//! metric registry like every other series), `/healthz` (`200 ok`
+//! serving, `503 stalled: ...` when the ingest watchdog trips, `503
+//! draining` during shutdown), `/progress` (JSON: span stacks, kernel
+//! progress, ETAs), `/profile` (live folded stacks from the continuous
+//! wall-clock sampler; `?format=json` and `?format=top` variants), and
+//! `/pause` + `/resume` (freeze ingest between batches — the
+//! stall-injection hook the watchdog tests lean on).
 
 pub mod http;
 pub mod progress;

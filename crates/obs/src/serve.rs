@@ -60,6 +60,10 @@ pub struct ServeConfig {
     /// milliseconds, `/healthz` degrades to `503 stalled` until ingest
     /// resumes (`0` disables the watchdog).
     pub stall_timeout_ms: u64,
+    /// Continuous-profiler sampling rate for the `/profile` endpoint
+    /// (`0` disables the sampler).  Defaults to 97 Hz — prime, so the
+    /// sampler cannot beat against the 200 ms watchdog heartbeat.
+    pub profile_hz: u32,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +78,7 @@ impl Default for ServeConfig {
             window_batches: 256,
             trace_out: None,
             stall_timeout_ms: 10_000,
+            profile_hz: graphct_trace::profile::DEFAULT_HZ,
         }
     }
 }
@@ -103,6 +108,9 @@ pub struct ServeHandle {
     paused: Arc<AtomicBool>,
     ingest: Option<JoinHandle<IngestStats>>,
     heartbeat: Option<JoinHandle<()>>,
+    /// Did this serve instance issue a profiler start (to be undone on
+    /// `wait`)?
+    profiling: bool,
 }
 
 impl ServeHandle {
@@ -153,6 +161,10 @@ impl ServeHandle {
             let _ = h.join();
         }
         self.http.stop();
+        if self.profiling {
+            self.profiling = false;
+            graphct_trace::profiler().stop();
+        }
         stats
     }
 }
@@ -184,16 +196,19 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServeHandle> {
         let draining = Arc::clone(&draining);
         let paused = Arc::clone(&paused);
         let watchdog = Arc::clone(&watchdog);
-        Arc::new(move |path: &str| match path {
+        Arc::new(move |path: &str, query: &str| match path {
             "/metrics" => {
                 let scrape_start = graphct_trace::enabled().then(Instant::now);
-                let mut body = render_prometheus(&registry.snapshot());
-                append_watchdog_exposition(&mut body, &watchdog.tick(Instant::now()));
+                // Publish the watchdog's float series before snapshotting
+                // so the scrape sees them at wall-clock freshness.
+                watchdog.tick(Instant::now()).publish();
+                let body = render_prometheus(&registry.snapshot());
                 if let Some(t) = scrape_start {
                     SCRAPE_NS.record_duration(t.elapsed());
                 }
                 Response::metrics(body)
             }
+            "/profile" => profile_response(query),
             "/healthz" => {
                 if draining.load(Ordering::Relaxed) {
                     return Response::text(503, "draining\n");
@@ -228,6 +243,13 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServeHandle> {
     };
     let http = HttpServer::bind(&config.addr, handler)?;
 
+    // Start (or join) the continuous profiler so `/profile` has live
+    // folded stacks from the first scrape; undone in `wait`.
+    let profiling = config.profile_hz > 0;
+    if profiling {
+        graphct_trace::profiler().start(config.profile_hz);
+    }
+
     let ingest = {
         let shutdown = Arc::clone(&shutdown);
         let draining = Arc::clone(&draining);
@@ -246,9 +268,13 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServeHandle> {
         std::thread::Builder::new()
             .name("graphct-obs-watchdog".into())
             .spawn(move || {
+                // Named in the profiler's thread registry so its (mostly
+                // idle) samples attribute to "graphct-obs-watchdog".
+                graphct_trace::register_current_thread();
                 let mut was_stalled = false;
                 while !shutdown.load(Ordering::Relaxed) {
                     let status = watchdog.tick(Instant::now());
+                    status.publish();
                     if status.stalled != was_stalled {
                         was_stalled = status.stalled;
                         let staleness_ms = status.staleness.as_millis().min(u128::from(u64::MAX));
@@ -270,25 +296,73 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServeHandle> {
         paused,
         ingest: Some(ingest),
         heartbeat: Some(heartbeat),
+        profiling,
     })
 }
 
-/// Append the watchdog's hand-rendered exposition lines: these series
-/// are fractional seconds derived from `Instant`s at scrape time, not
-/// integer registry metrics, so they bypass the `u64` snapshot plumbing.
-fn append_watchdog_exposition(body: &mut String, status: &crate::watchdog::WatchdogStatus) {
-    use std::fmt::Write;
-    let _ = write!(
-        body,
-        "# HELP graphct_staleness_seconds Seconds since the newest fully ingested batch (now - watermark)\n\
-         # TYPE graphct_staleness_seconds gauge\n\
-         graphct_staleness_seconds {:.3}\n\
-         # HELP graphct_stall_seconds_total Seconds spent past the ingest stall deadline\n\
-         # TYPE graphct_stall_seconds_total counter\n\
-         graphct_stall_seconds_total {:.3}\n",
-        status.staleness.as_secs_f64(),
-        status.stall_total.as_secs_f64(),
-    );
+/// Render the `/profile` endpoint: folded-stack text by default (direct
+/// `flamegraph.pl`/speedscope input), `?format=json` for a structured
+/// dump with a self-time table, `?format=top` for the human-readable
+/// top-N self-time table.
+fn profile_response(query: &str) -> Response {
+    let prof = graphct_trace::profiler();
+    let folded = prof.fold();
+    let format = query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("format="))
+        .unwrap_or("folded");
+    match format {
+        "json" => Response::json(render_profile_json(prof, &folded)),
+        "top" => {
+            let mut body = format!(
+                "continuous profiler: {} Hz, {} samples, {} truncated\n\n{:<28} {:>10}\n",
+                prof.hz(),
+                prof.samples_total(),
+                prof.truncated_total(),
+                "frame (self, on-cpu)",
+                "samples",
+            );
+            for (frame, count) in graphct_trace::profile::self_time_top(&folded, 20) {
+                body.push_str(&format!("{frame:<28} {count:>10}\n"));
+            }
+            Response::text(200, body)
+        }
+        _ => Response::text(200, graphct_trace::profile::render_folded_counts(&folded)),
+    }
+}
+
+/// Hand-rolled JSON for the `/profile?format=json` variant (the
+/// workspace has no serializer dependency; names are span literals and
+/// thread names, escaped defensively).
+fn render_profile_json(prof: &graphct_trace::Profiler, folded: &[(String, u64)]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let stacks: Vec<String> = folded
+        .iter()
+        .map(|(path, count)| format!("{{\"stack\":\"{}\",\"count\":{count}}}", esc(path)))
+        .collect();
+    let top: Vec<String> = graphct_trace::profile::self_time_top(folded, 20)
+        .into_iter()
+        .map(|(frame, count)| format!("{{\"frame\":\"{}\",\"count\":{count}}}", esc(&frame)))
+        .collect();
+    format!(
+        "{{\"hz\":{},\"samples_total\":{},\"truncated_total\":{},\"stacks\":[{}],\"self\":[{}]}}",
+        prof.hz(),
+        prof.samples_total(),
+        prof.truncated_total(),
+        stacks.join(","),
+        top.join(","),
+    )
 }
 
 /// Expand one corpus pass into (author, mention) screen-name pairs.

@@ -15,6 +15,22 @@
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use graphct_trace::GaugeF64;
+
+/// Seconds since the newest fully ingested batch, published as a
+/// first-class float gauge so it flows through `Registry::snapshot()`
+/// and the validated exposition path.
+pub static STALENESS_SECONDS: GaugeF64 = GaugeF64::new(
+    "staleness_seconds",
+    "Seconds since the newest fully ingested batch (now - watermark)",
+);
+
+/// Monotone seconds spent past the ingest stall deadline.
+pub static STALL_SECONDS_TOTAL: GaugeF64 = GaugeF64::monotone(
+    "stall_seconds_total",
+    "Seconds spent past the ingest stall deadline",
+);
+
 /// A point-in-time view of the watchdog, as reported to `/healthz` and
 /// the `/metrics` scrape.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,6 +107,13 @@ impl Watchdog {
 }
 
 impl WatchdogStatus {
+    /// Publish this status into the registry's float metrics (no-op
+    /// while no trace session is active, like every metric write).
+    pub fn publish(&self) {
+        STALENESS_SECONDS.set(self.staleness.as_secs_f64());
+        STALL_SECONDS_TOTAL.set(self.stall_total.as_secs_f64());
+    }
+
     /// The `/healthz` body for a stalled instance.
     pub fn stall_reason(&self) -> String {
         format!(

@@ -70,6 +70,7 @@ fn mid_ingest_scrapes_increase_and_healthz_flips_on_drain() {
         window_batches: 64,
         trace_out: Some(trace_out.clone()),
         stall_timeout_ms: 0, // watchdog exercised by its own test
+        profile_hz: 97,
     })
     .expect("serve starts");
     let addr = handle.local_addr();
@@ -139,6 +140,49 @@ fn mid_ingest_scrapes_increase_and_healthz_flips_on_drain() {
         "{second}"
     );
 
+    // --- /profile returns live folded stacks mid-ingest ---
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let folded = loop {
+        let (status, body) = http_get(addr, "/profile");
+        assert_eq!(status, 200);
+        if body.lines().any(|l| l.contains("ingest_batch")) {
+            break body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "profiler never sampled an open ingest_batch span:\n{body}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    // The body is valid folded-stack (flamegraph.pl/speedscope) input
+    // rooted at the ingest thread, with an on/off-CPU state leaf.
+    let stacks = graphct_trace::analyze::parse_folded(&folded).expect("folded text parses");
+    let hit = stacks
+        .iter()
+        .find(|(path, _)| path.contains("ingest_batch"))
+        .unwrap();
+    assert!(hit.1 > 0, "sampled stack must have a positive count");
+    assert!(
+        hit.0.starts_with("graphct-obs-ingest;"),
+        "stack should be rooted at the ingest thread: {}",
+        hit.0
+    );
+    assert!(
+        hit.0.ends_with(";[cpu]") || hit.0.ends_with(";[idle]"),
+        "stack should be state-tagged: {}",
+        hit.0
+    );
+    // JSON variant parses and carries the sampler's self-observation.
+    let (status, json_body) = http_get(addr, "/profile?format=json");
+    assert_eq!(status, 200);
+    let v = graphct_trace::json::parse(&json_body).expect("profile json parses");
+    assert!(v.get("samples_total").and_then(|s| s.as_u64()).unwrap() > 0);
+    assert!(json_body.contains("ingest_batch"), "{json_body}");
+    // Top-N self-time table renders.
+    let (status, top) = http_get(addr, "/profile?format=top");
+    assert_eq!(status, 200);
+    assert!(top.contains("continuous profiler"), "{top}");
+
     // --- /progress is valid JSON with ingest progress ---
     let (status, progress) = http_get(addr, "/progress");
     assert_eq!(status, 200);
@@ -187,6 +231,7 @@ fn watchdog_stall_injection_degrades_healthz_and_recovers() {
         window_batches: 32,
         trace_out: None,
         stall_timeout_ms: 250,
+        profile_hz: 0, // profiler exercised by the mid-ingest test
     })
     .expect("serve starts");
     let addr = handle.local_addr();

@@ -86,7 +86,7 @@ pub fn read_trace(text: &str) -> Result<Vec<Rec>, String> {
 
 /// Make a span name safe as a folded-stack path segment (`;` separates
 /// segments, whitespace separates the count).
-fn fold_segment(name: &str) -> String {
+pub fn fold_segment(name: &str) -> String {
     name.chars()
         .map(|c| {
             if c == ';' || c.is_whitespace() {
@@ -184,6 +184,142 @@ pub fn parse_folded(text: &str) -> Result<Vec<(String, u64)>, String> {
         out.push((path.to_owned(), count));
     }
     Ok(out)
+}
+
+/// Merge several folded-stack dumps into one, summing counts per path.
+/// Associative and order-insensitive by construction (a `BTreeMap` sum),
+/// so partial folds from different threads or time windows can be
+/// combined in any grouping.
+pub fn merge_folded(dumps: &[Vec<(String, u64)>]) -> Vec<(String, u64)> {
+    let mut total: BTreeMap<String, u64> = BTreeMap::new();
+    for dump in dumps {
+        for (path, count) in dump {
+            *total.entry(path.clone()).or_insert(0) += count;
+        }
+    }
+    total.into_iter().collect()
+}
+
+/// One row of a folded-dump comparison: self-count per *leaf frame*
+/// (innermost path segment, `[cpu]`/`[idle]` state segments excluded)
+/// in each dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldedDiffRow {
+    /// Leaf frame name.
+    pub frame: String,
+    /// Self count in dump A.
+    pub a_count: u64,
+    /// Self count in dump B.
+    pub b_count: u64,
+}
+
+impl FoldedDiffRow {
+    /// Signed self-count delta, B minus A.
+    pub fn delta(&self) -> i64 {
+        self.b_count as i64 - self.a_count as i64
+    }
+
+    /// Relative delta in percent (`None` when A has no samples).
+    pub fn delta_pct(&self) -> Option<f64> {
+        if self.a_count == 0 {
+            None
+        } else {
+            Some(100.0 * self.delta() as f64 / self.a_count as f64)
+        }
+    }
+}
+
+fn leaf_self_counts(dump: &[(String, u64)]) -> BTreeMap<String, u64> {
+    let mut by_leaf: BTreeMap<String, u64> = BTreeMap::new();
+    for (path, count) in dump {
+        let leaf = path
+            .rsplit(';')
+            .find(|s| *s != "[cpu]" && *s != "[idle]")
+            .unwrap_or(path.as_str());
+        *by_leaf.entry(leaf.to_owned()).or_insert(0) += count;
+    }
+    by_leaf
+}
+
+/// Compare two folded dumps by per-frame self counts, sorted by
+/// absolute delta, largest first.  Frames present in only one dump
+/// appear with zero on the other side.
+pub fn diff_folded(a: &[(String, u64)], b: &[(String, u64)]) -> Vec<FoldedDiffRow> {
+    let leaf_a = leaf_self_counts(a);
+    let leaf_b = leaf_self_counts(b);
+    let mut frames: Vec<&String> = leaf_a.keys().chain(leaf_b.keys()).collect();
+    frames.sort();
+    frames.dedup();
+    let mut rows: Vec<FoldedDiffRow> = frames
+        .into_iter()
+        .map(|frame| FoldedDiffRow {
+            frame: frame.clone(),
+            a_count: leaf_a.get(frame).copied().unwrap_or(0),
+            b_count: leaf_b.get(frame).copied().unwrap_or(0),
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.delta().unsigned_abs()));
+    rows
+}
+
+/// Render folded stacks as an indented ASCII flamegraph: one line per
+/// path prefix, `#` bars proportional to *inclusive* count, widest
+/// branch first among siblings.
+pub fn render_ascii_flame(stacks: &[(String, u64)], width: usize) -> String {
+    // Inclusive count of every path prefix.
+    let mut inclusive: BTreeMap<String, u64> = BTreeMap::new();
+    for (path, count) in stacks {
+        let mut prefix = String::new();
+        for segment in path.split(';') {
+            if !prefix.is_empty() {
+                prefix.push(';');
+            }
+            prefix.push_str(segment);
+            *inclusive.entry(prefix.clone()).or_insert(0) += count;
+        }
+    }
+    let root_total: u64 = stacks.iter().map(|(_, c)| c).sum();
+    if root_total == 0 {
+        return String::from("(no samples)\n");
+    }
+    // Children of each prefix, widest first.
+    let mut children: BTreeMap<&str, Vec<(&str, u64)>> = BTreeMap::new();
+    let mut roots: Vec<(&str, u64)> = Vec::new();
+    for (path, &count) in &inclusive {
+        match path.rfind(';') {
+            Some(pos) => children
+                .entry(&path[..pos])
+                .or_default()
+                .push((path, count)),
+            None => roots.push((path, count)),
+        }
+    }
+    for list in children.values_mut() {
+        list.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    }
+    roots.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+
+    let bar_width = width.clamp(20, 200);
+    let mut out = String::new();
+    let mut pending: Vec<(&str, u64, usize)> =
+        roots.iter().rev().map(|&(p, c)| (p, c, 0)).collect();
+    while let Some((path, count, indent)) = pending.pop() {
+        let label = path.rsplit(';').next().unwrap_or(path);
+        let share = count as f64 / root_total as f64;
+        let bar = "#".repeat(((share * bar_width as f64).round() as usize).max(1));
+        out.push_str(&format!(
+            "{:indent$}{label:<28} {count:>8} {:>6.1}% |{bar}\n",
+            "",
+            100.0 * share,
+            indent = indent * 2,
+        ));
+        if let Some(kids) = children.get(path) {
+            for &(kid, kid_count) in kids.iter().rev() {
+                pending.push((kid, kid_count, indent + 1));
+            }
+        }
+    }
+    out
 }
 
 /// One hop on a critical path.

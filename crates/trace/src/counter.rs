@@ -183,11 +183,93 @@ impl Gauge {
     }
 }
 
+/// A float-valued metric (e.g. fractional seconds), stored as `f64`
+/// bits in an `AtomicU64`.  Same enable/registration discipline as
+/// [`Gauge`]; construct with [`new`](GaugeF64::new) for gauge semantics
+/// or [`monotone`](GaugeF64::monotone) for a counter-typed series whose
+/// value only grows (like `stall_seconds_total`).  Snapshots carry the
+/// exact float in [`MetricSnapshot::value_f64`] and a rounded integer in
+/// `value` so the JSONL counter-record schema stays integral.
+pub struct GaugeF64 {
+    name: &'static str,
+    help: &'static str,
+    bits: AtomicU64,
+    monotone: bool,
+    registered: AtomicBool,
+}
+
+impl GaugeF64 {
+    /// A new float gauge (const — usable in `static` position).
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            bits: AtomicU64::new(0),
+            monotone: false,
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// A float metric exposed with Prometheus TYPE `counter` (the caller
+    /// promises the value never decreases).
+    pub const fn monotone(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            bits: AtomicU64::new(0),
+            monotone: true,
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description.
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+
+    /// Overwrite the value when tracing is enabled.
+    #[inline]
+    pub fn set(&'static self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register();
+        }
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+
+    #[cold]
+    fn register(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry()
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(Metric::GaugeF64(self));
+        }
+    }
+}
+
 /// A registered metric (counters, gauges, and histograms share one list).
 #[derive(Clone, Copy)]
 enum Metric {
     Counter(&'static Counter),
     Gauge(&'static Gauge),
+    GaugeF64(&'static GaugeF64),
     Histogram(&'static crate::histogram::Histogram),
 }
 
@@ -206,15 +288,19 @@ pub(crate) fn register_histogram(h: &'static crate::histogram::Histogram) {
 
 /// Point-in-time value of one registered metric, as handed to sinks when
 /// a session finishes.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricSnapshot {
     /// Metric name.
     pub name: &'static str,
     /// HELP text.
     pub help: &'static str,
     /// Total (counter), last/max observation (gauge), or observation
-    /// count (histogram).
+    /// count (histogram).  Rounded for float metrics (see `value_f64`).
     pub value: u64,
+    /// Exact value of a float metric ([`GaugeF64`]); `None` for the
+    /// integer metric kinds.  Float-valued sinks (Prometheus exposition)
+    /// prefer this; integer sinks (JSONL counter records) use `value`.
+    pub value_f64: Option<f64>,
     /// `true` for gauges (Prometheus TYPE line differs).
     pub is_gauge: bool,
     /// Bin totals when the metric is a histogram; `None` otherwise.
@@ -231,6 +317,7 @@ pub fn snapshot_metrics() -> Vec<MetricSnapshot> {
                 name: c.name,
                 help: c.help,
                 value: c.value(),
+                value_f64: None,
                 is_gauge: false,
                 histogram: None,
             },
@@ -238,15 +325,32 @@ pub fn snapshot_metrics() -> Vec<MetricSnapshot> {
                 name: g.name,
                 help: g.help,
                 value: g.value(),
+                value_f64: None,
                 is_gauge: true,
                 histogram: None,
             },
+            Metric::GaugeF64(g) => {
+                let v = g.value();
+                MetricSnapshot {
+                    name: g.name,
+                    help: g.help,
+                    value: if v.is_finite() && v > 0.0 {
+                        v.round() as u64
+                    } else {
+                        0
+                    },
+                    value_f64: Some(v),
+                    is_gauge: !g.monotone,
+                    histogram: None,
+                }
+            }
             Metric::Histogram(h) => {
                 let snap = h.snapshot();
                 MetricSnapshot {
                     name: h.name(),
                     help: h.help(),
                     value: snap.count(),
+                    value_f64: None,
                     is_gauge: false,
                     histogram: Some(snap),
                 }
@@ -268,6 +372,7 @@ pub(crate) fn reset_metrics() {
         match m {
             Metric::Counter(c) => c.reset(),
             Metric::Gauge(g) => g.reset(),
+            Metric::GaugeF64(g) => g.reset(),
             Metric::Histogram(h) => h.reset(),
         }
     }

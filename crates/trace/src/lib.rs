@@ -40,16 +40,18 @@ pub mod event;
 pub mod histogram;
 pub mod json;
 pub mod live;
+pub mod profile;
 pub mod schema;
 pub mod sink;
 pub mod span;
 pub mod value;
 
 pub use alloc::CountingAllocator;
-pub use counter::{snapshot_metrics, thread_ordinal, Counter, Gauge, MetricSnapshot};
+pub use counter::{snapshot_metrics, thread_ordinal, Counter, Gauge, GaugeF64, MetricSnapshot};
 pub use event::{Event, EventKind};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use live::{render_prometheus, Registry, Snapshot, SpanTotal};
+pub use profile::{profiler, register_current_thread, Profiler};
 pub use sink::{JsonLinesSink, NullSink, PrometheusSink, SharedBuffer, Sink, SummarySink};
 pub use span::{span_enter, SpanGuard};
 pub use value::Value;

@@ -53,9 +53,12 @@ pub fn render_prometheus(snap: &Snapshot) -> String {
             continue;
         }
         let kind = if m.is_gauge { "gauge" } else { "counter" };
+        let value = match m.value_f64 {
+            Some(v) => format!("{v:.3}"),
+            None => m.value.to_string(),
+        };
         text.push_str(&format!(
             "# HELP graphct_{name} {help}\n# TYPE graphct_{name} {kind}\ngraphct_{name} {value}\n",
-            value = m.value,
         ));
     }
     if !snap.spans.is_empty() {
@@ -260,6 +263,7 @@ mod tests {
                 name: "edges_scanned_push",
                 help: "Edges relaxed in push direction",
                 value: 42,
+                value_f64: None,
                 is_gauge: false,
                 histogram: None,
             }],
@@ -285,6 +289,7 @@ mod tests {
                 name: "batch_ns",
                 help: "Batch latency",
                 value: 6,
+                value_f64: None,
                 is_gauge: false,
                 histogram: Some(crate::HistogramSnapshot {
                     edges: vec![0, 1, 2, 4],
@@ -329,6 +334,55 @@ mod tests {
         assert_eq!(samples, 10, "{text}");
     }
 
+    static LIVE_TEST_F64: crate::GaugeF64 =
+        crate::GaugeF64::new("live_test_staleness_seconds", "float gauge test");
+    static LIVE_TEST_F64_TOTAL: crate::GaugeF64 =
+        crate::GaugeF64::monotone("live_test_stall_seconds_total", "float counter test");
+
+    #[test]
+    fn f64_gauges_flow_through_snapshot_and_exposition() {
+        let registry = Arc::new(Registry::new());
+        let session = Session::start(registry.clone());
+        LIVE_TEST_F64.set(0.75);
+        LIVE_TEST_F64_TOTAL.set(12.25);
+        let snap = registry.snapshot();
+        let g = snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "live_test_staleness_seconds")
+            .expect("f64 gauge registered");
+        assert_eq!(g.value_f64, Some(0.75));
+        assert!(g.is_gauge);
+        assert_eq!(g.value, 1, "integer view rounds");
+        let c = snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "live_test_stall_seconds_total")
+            .unwrap();
+        assert_eq!(c.value_f64, Some(12.25));
+        assert!(!c.is_gauge, "monotone f64 exposes TYPE counter");
+        let text = render_prometheus(&snap);
+        assert!(
+            text.contains("# TYPE graphct_live_test_staleness_seconds gauge"),
+            "{text}"
+        );
+        assert!(
+            text.contains("graphct_live_test_staleness_seconds 0.750"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE graphct_live_test_stall_seconds_total counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("graphct_live_test_stall_seconds_total 12.250"),
+            "{text}"
+        );
+        crate::schema::validate_exposition(&text)
+            .unwrap_or_else(|(line, e)| panic!("line {line}: {e}\n{text}"));
+        session.finish();
+    }
+
     #[test]
     fn render_handles_empty_histogram() {
         let snap = Snapshot {
@@ -337,6 +391,7 @@ mod tests {
                 name: "idle_ns",
                 help: "never recorded",
                 value: 0,
+                value_f64: None,
                 is_gauge: false,
                 histogram: Some(crate::HistogramSnapshot {
                     edges: vec![],

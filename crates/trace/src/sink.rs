@@ -560,6 +560,7 @@ mod tests {
             name: "edges_scanned_push",
             help: "Edges relaxed in push direction",
             value: 42,
+            value_f64: None,
             is_gauge: false,
             histogram: None,
         }]);
@@ -607,6 +608,7 @@ mod tests {
                 name: "weird metric-name",
                 help: "help with \"quotes\" and\nnewline",
                 value: 9,
+                value_f64: None,
                 is_gauge: false,
                 histogram: None,
             },
@@ -614,6 +616,7 @@ mod tests {
                 name: "plain_gauge",
                 help: "a well-behaved gauge",
                 value: 3,
+                value_f64: None,
                 is_gauge: true,
                 histogram: None,
             },
@@ -656,6 +659,7 @@ mod tests {
             name: "cas_retries",
             help: "CAS retry count",
             value: 7,
+            value_f64: None,
             is_gauge: false,
             histogram: None,
         }]);
@@ -681,6 +685,7 @@ mod tests {
             name: "bfs_wave_ns",
             help: "BFS wave latency",
             value: 3,
+            value_f64: None,
             is_gauge: false,
             histogram: Some(crate::HistogramSnapshot {
                 edges: vec![0, 1, 2],
@@ -707,6 +712,7 @@ mod tests {
             name: "bc_source_ns",
             help: "BC source latency",
             value: 4,
+            value_f64: None,
             is_gauge: false,
             histogram: Some(crate::HistogramSnapshot {
                 edges: vec![0, 1, 2, 4],

@@ -75,6 +75,7 @@ pub fn span_enter(name: &'static str, fields: &[(&str, Value)]) -> SpanGuard {
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
     let parent = current_span();
     SPAN_STACK.with(|s| s.borrow_mut().push(id));
+    crate::profile::shadow_push(name);
     crate::emit(
         EventKind::SpanEnter,
         name,
@@ -96,6 +97,8 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let elapsed_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        // Every enabled span_enter pushed a shadow frame; mirror it.
+        crate::profile::shadow_pop();
         SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();
             // Guards drop in LIFO order under normal control flow, but be

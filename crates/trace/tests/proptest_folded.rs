@@ -1,0 +1,58 @@
+//! Property tests for folded-stack merging: the sampler, the `/profile`
+//! endpoint, and `trace profdiff` all assume that merging dumps is a
+//! plain commutative-monoid fold — merging is associative and does not
+//! care what order the dumps arrive in.
+
+use graphct_trace::analyze::merge_folded;
+use proptest::prelude::*;
+
+/// One synthetic folded dump: stack paths drawn from a tiny alphabet so
+/// dumps collide on keys (the interesting case), counts small enough
+/// that sums never overflow.
+fn dump_strategy() -> impl Strategy<Value = Vec<(String, u64)>> {
+    let path = prop::collection::vec(0usize..4, 1..4).prop_map(|segs| {
+        let names = ["main", "bfs", "bc", "ingest_batch"];
+        segs.iter().map(|&i| names[i]).collect::<Vec<_>>().join(";")
+    });
+    prop::collection::vec((path, 0u64..1000), 0..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_associative(
+        a in dump_strategy(),
+        b in dump_strategy(),
+        c in dump_strategy(),
+    ) {
+        // merge(merge(a, b), c) == merge(a, merge(b, c))
+        let left = merge_folded(&[merge_folded(&[a.clone(), b.clone()]), c.clone()]);
+        let right = merge_folded(&[a, merge_folded(&[b, c])]);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive(
+        a in dump_strategy(),
+        b in dump_strategy(),
+        c in dump_strategy(),
+    ) {
+        let forward = merge_folded(&[a.clone(), b.clone(), c.clone()]);
+        let reversed = merge_folded(&[c.clone(), b.clone(), a.clone()]);
+        let rotated = merge_folded(&[b, c, a]);
+        prop_assert_eq!(forward.clone(), reversed);
+        prop_assert_eq!(forward, rotated);
+    }
+
+    #[test]
+    fn merge_preserves_total_count(
+        a in dump_strategy(),
+        b in dump_strategy(),
+    ) {
+        let total_in: u64 = a.iter().chain(b.iter()).map(|(_, c)| c).sum();
+        let merged = merge_folded(&[a, b]);
+        let total_out: u64 = merged.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total_in, total_out);
+    }
+}
