@@ -23,6 +23,13 @@
 //!                            # histogram/watchdog-instrumented kernels vs the
 //!                            # uninstrumented seed, paired-ratio methodology,
 //!                            # budget 2 % (BENCH_OBS_OVERHEAD.json)
+//! repro serve-load           # query-plane load test: concurrent clients
+//!                            # hammer the /v1/* endpoints of an in-process
+//!                            # live-ingest serve instance, oracle-gated
+//!                            # against offline kernel recomputes on the same
+//!                            # frozen epoch; latency percentiles + snapshot-
+//!                            # refresh cost (BENCH_SERVE.json); the full run
+//!                            # must sustain >= 100 queries/sec
 //! repro trace-validate FILE  # check a JSON-lines trace against the schema
 //! repro check-regress        # compare the latest BENCH_HISTORY.jsonl run of
 //!                            # each case against the median of its earlier
@@ -100,7 +107,7 @@ impl Options {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <all|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|ablation-sampling|ablation-cc|ablation-bfs|reorder|msbfs|trace-bfs|obs-overhead|prof-overhead|trace-validate FILE|check-regress> [--quick] [--full] [--seed N] [--reps N]");
+        eprintln!("usage: repro <all|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|ablation-sampling|ablation-cc|ablation-bfs|reorder|msbfs|trace-bfs|obs-overhead|prof-overhead|serve-load|trace-validate FILE|check-regress> [--quick] [--full] [--seed N] [--reps N]");
         std::process::exit(2);
     }
     let cmd = args.remove(0);
@@ -137,6 +144,7 @@ fn main() {
         "trace-bfs" => trace_bfs(opts),
         "obs-overhead" => obs_overhead(opts),
         "prof-overhead" => prof_overhead(opts),
+        "serve-load" => serve_load(opts),
         "trace-validate" => trace_validate(&args),
         "check-regress" => check_regress(),
         "all" => {
@@ -2116,6 +2124,309 @@ fn msbfs_exhibit(opts: Options) {
     match std::fs::write(out, &json) {
         Ok(()) => println!("wrote {out}"),
         Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+}
+
+/// Raw-TCP GET against the in-process serve instance (the workspace has
+/// no HTTP client dependency; this mirrors the obs integration tests).
+fn serve_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: repro\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    let status: u16 = text
+        .lines()
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Parse a `/v1/*` envelope body, returning `(epoch, data)` and
+/// asserting the versioned shape.
+fn serve_envelope(body: &str) -> (u64, graphct_trace::json::Json) {
+    use graphct_trace::json::Json;
+    let v = graphct_trace::json::parse(body).unwrap_or_else(|e| panic!("{e}: {body}"));
+    assert_eq!(v.get("v").and_then(Json::as_u64), Some(1), "{body}");
+    let epoch = v.get("epoch").and_then(Json::as_u64).expect("epoch");
+    let data = v
+        .get("data")
+        .cloned()
+        .unwrap_or_else(|| panic!("no data member: {body}"));
+    (epoch, data)
+}
+
+/// `repro serve-load` — the query-plane load exhibit
+/// (`BENCH_SERVE.json`): concurrent clients hammer the `/v1/*` endpoints
+/// of an in-process serve instance while ingest keeps flowing
+/// underneath.
+///
+/// Before any timing, an oracle gate pauses ingest, waits for the epoch
+/// to stabilize, and demands the served top-k betweenness and component
+/// answers be **bit-identical** to the offline kernels run on the same
+/// frozen snapshot with the same epoch-derived seed — the load numbers
+/// are meaningless if the service computes something different from the
+/// paper's kernels.  The full (non-`--quick`) run must sustain at least
+/// 100 queries/sec across the mixed workload or the exhibit exits 1.
+fn serve_load(opts: Options) {
+    use graphct_bench::history;
+    use graphct_kernels::top_k_betweenness;
+    use graphct_obs::{bc_seed, query_bc_config, start, ServeConfig};
+    use graphct_trace::json::Json;
+    use std::time::{Duration, Instant};
+
+    banner("Serve — query-plane load test over a live ingest");
+    let clients = if opts.quick { 4 } else { 8 };
+    let per_client = if opts.quick { 50usize } else { 250 };
+    let qps_floor = 100.0;
+
+    let handle = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        profile: DatasetProfile::atlflood().scaled(if opts.quick { 0.05 } else { 0.1 }),
+        seed: opts.seed,
+        batch_size: 64,
+        batches: 0, // endless; the exhibit drives shutdown
+        interval_ms: 1,
+        window_batches: 256,
+        trace_out: None,
+        stall_timeout_ms: 0,
+        profile_hz: 0,
+        snapshot_every: 4,
+        query_threads: 4,
+        topk: 10,
+    })
+    .expect("serve starts");
+    let addr = handle.local_addr();
+
+    // Wait for the first real freeze so every query has a snapshot.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = serve_get(addr, "/v1/snapshot");
+        assert_eq!(status, 200, "{body}");
+        if serve_envelope(&body).0 > 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no snapshot within 30s");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // --- oracle gate: freeze the world, demand kernel identity ---
+    serve_get(addr, "/pause");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, a) = serve_get(addr, "/v1/snapshot");
+        std::thread::sleep(Duration::from_millis(50));
+        let (_, b) = serve_get(addr, "/v1/snapshot");
+        if serve_envelope(&a).0 == serve_envelope(&b).0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "epoch never stabilized");
+    }
+    let snap = handle.snapshot();
+    let nv = snap.graph.num_vertices();
+    assert!(nv > 0, "paused snapshot must be non-empty");
+
+    let (k, samples) = (10usize, 8usize);
+    let (status, body) = serve_get(addr, &format!("/v1/query/topk?k={k}&samples={samples}"));
+    assert_eq!(status, 200, "{body}");
+    let (epoch, data) = serve_envelope(&body);
+    assert_eq!(epoch, snap.epoch, "handle and HTTP must agree on epoch");
+    let config = query_bc_config(samples.min(nv), bc_seed(opts.seed, epoch));
+    let expect = top_k_betweenness(&snap.graph, &config, k).expect("offline recompute");
+    let served: Vec<(u64, f64)> = data
+        .get("top")
+        .and_then(Json::as_arr)
+        .expect("top array")
+        .iter()
+        .map(|e| {
+            (
+                e.get("vertex").and_then(Json::as_u64).unwrap(),
+                e.get("score").and_then(Json::as_f64).unwrap(),
+            )
+        })
+        .collect();
+    assert_eq!(served.len(), expect.len());
+    for (got, want) in served.iter().zip(&expect) {
+        assert_eq!(got.0, u64::from(want.0), "oracle ranking mismatch: {body}");
+        assert_eq!(
+            got.1.to_bits(),
+            want.1.to_bits(),
+            "oracle: served score {} != offline {}",
+            got.1,
+            want.1
+        );
+    }
+    let colors = connected_components(&*snap.graph);
+    let mut sizes = vec![0u64; nv];
+    for &c in &colors {
+        sizes[c as usize] += 1;
+    }
+    for v in [0usize, nv / 2, nv - 1] {
+        let (_, body) = serve_get(addr, &format!("/v1/query/component?vertex={v}"));
+        let (_, data) = serve_envelope(&body);
+        assert_eq!(
+            data.get("component").and_then(Json::as_u64).unwrap(),
+            u64::from(colors[v]),
+            "oracle component mismatch: {body}"
+        );
+        assert_eq!(
+            data.get("size").and_then(Json::as_u64).unwrap(),
+            sizes[colors[v] as usize],
+            "oracle component size mismatch: {body}"
+        );
+    }
+    println!(
+        "oracle gate: topk + components bit-identical to offline kernels on epoch {epoch} ({nv} vertices)"
+    );
+    serve_get(addr, "/resume");
+
+    // --- load phase: concurrent clients over a mixed endpoint set ---
+    const LABELS: [&str; 5] = ["topk", "component", "degree", "ego", "snapshot"];
+    let load_start = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut lat: [Vec<f64>; 5] = Default::default();
+                for j in 0..per_client {
+                    let v = (j * 7 + c) % 8;
+                    // Top-k (sampled BC on the freeze) is the expensive
+                    // query; keep it a 1-in-8 minority like a dashboard
+                    // would, with cheap per-vertex lookups as the bulk.
+                    let (idx, path) = if j % 8 == 0 {
+                        (0, "/v1/query/topk?k=10&samples=4".to_owned())
+                    } else {
+                        match j % 4 {
+                            0 => (1, format!("/v1/query/component?vertex={v}")),
+                            1 => (2, format!("/v1/query/degree?vertex={v}")),
+                            2 => (3, format!("/v1/query/ego?vertex={v}")),
+                            _ => (4, "/v1/snapshot".to_owned()),
+                        }
+                    };
+                    let t0 = Instant::now();
+                    let (status, body) = serve_get(addr, &path);
+                    let dt = t0.elapsed().as_secs_f64();
+                    assert_eq!(status, 200, "client {c} {path}: {body}");
+                    assert!(serve_envelope(&body).0 >= 1, "{body}");
+                    lat[idx].push(dt);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat: [Vec<f64>; 5] = Default::default();
+    for worker in workers {
+        let client = worker.join().expect("client thread");
+        for (acc, mut got) in lat.iter_mut().zip(client) {
+            acc.append(&mut got);
+        }
+    }
+    let wall_s = load_start.elapsed().as_secs_f64();
+    let total: usize = lat.iter().map(Vec::len).sum();
+    let qps = total as f64 / wall_s;
+
+    // Snapshot-refresh cost straight from the ingest loop's histogram
+    // (same process, live session).
+    let refresh = graphct_stream::telemetry::SNAPSHOT_REFRESH_NS.snapshot();
+    let refresh_count = refresh.count();
+    let refresh_mean_ms = if refresh_count > 0 {
+        refresh.sum as f64 / refresh_count as f64 / 1e6
+    } else {
+        0.0
+    };
+    let (refresh_p50_ms, refresh_p99_ms) =
+        (refresh.quantile(0.5) / 1e6, refresh.quantile(0.99) / 1e6);
+
+    let stats = handle.wait();
+    assert!(stats.batches > 0, "ingest must have flowed during the load");
+
+    let mut table = Table::new(&["endpoint", "count", "mean ms", "p50 ms", "p90 ms", "p99 ms"]);
+    let mut endpoint_json = Vec::new();
+    let mut ledger = Vec::new();
+    for (label, samples) in LABELS.iter().zip(&lat) {
+        let mean_s = samples.iter().sum::<f64>() / samples.len() as f64;
+        let (p50, p90, p99) = (
+            sample_quantile(samples, 0.50),
+            sample_quantile(samples, 0.90),
+            sample_quantile(samples, 0.99),
+        );
+        table.row(&[
+            (*label).to_owned(),
+            n(samples.len()),
+            f(mean_s * 1e3, 3),
+            f(p50 * 1e3, 3),
+            f(p90 * 1e3, 3),
+            f(p99 * 1e3, 3),
+        ]);
+        endpoint_json.push(format!(
+            "    {{\"endpoint\": \"{label}\", \"count\": {}, \"mean_ms\": {:.3}, \"p50_ms\": {:.3}, \"p90_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+            samples.len(),
+            mean_s * 1e3,
+            p50 * 1e3,
+            p90 * 1e3,
+            p99 * 1e3,
+        ));
+        ledger.push(
+            history::HistoryEntry::now("serve_load", label, opts.quick, mean_s)
+                .with_quantiles(p50, p99),
+        );
+    }
+    ledger.push(
+        history::HistoryEntry::now(
+            "serve_load",
+            "snapshot_refresh",
+            opts.quick,
+            refresh_mean_ms / 1e3,
+        )
+        .with_quantiles(refresh_p50_ms / 1e3, refresh_p99_ms / 1e3),
+    );
+    table.print();
+    println!(
+        "{total} queries from {clients} clients in {:.2}s -> {:.0} queries/sec (floor {qps_floor})",
+        wall_s, qps
+    );
+    println!(
+        "snapshot refresh: {refresh_count} freezes, mean {:.3} ms, p50 {:.3} ms, p99 {:.3} ms",
+        refresh_mean_ms, refresh_p50_ms, refresh_p99_ms
+    );
+    match history::append(std::path::Path::new(history::DEFAULT_PATH), &ledger) {
+        Ok(()) => println!(
+            "appended {} records (with quantiles) to {}",
+            ledger.len(),
+            history::DEFAULT_PATH
+        ),
+        Err(e) => eprintln!("could not append to {}: {e}", history::DEFAULT_PATH),
+    }
+
+    let sustained = qps >= qps_floor;
+    let json = format!(
+        "{{\n  \"bench\": \"serve_load\",\n  \"quick\": {},\n  \"seed\": {},\n  \"clients\": {clients},\n  \"queries_total\": {total},\n  \"wall_s\": {:.3},\n  \"queries_per_sec\": {:.1},\n  \"qps_floor\": {qps_floor},\n  \"sustained\": {sustained},\n  \"oracle\": \"topk + components bit-identical to offline kernels on frozen epoch {epoch}\",\n  \"endpoints\": [\n{}\n  ],\n  \"snapshot_refresh\": {{\"count\": {refresh_count}, \"mean_ms\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}\n}}\n",
+        opts.quick,
+        opts.seed,
+        wall_s,
+        qps,
+        endpoint_json.join(",\n"),
+        refresh_mean_ms,
+        refresh_p50_ms,
+        refresh_p99_ms,
+    );
+    let out = "BENCH_SERVE.json";
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+    if !opts.quick && !sustained {
+        eprintln!("sustained {qps:.0} queries/sec is below the {qps_floor} floor");
+        std::process::exit(1);
     }
 }
 

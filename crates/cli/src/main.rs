@@ -40,13 +40,14 @@ USAGE:
                 [--port P | --addr HOST:PORT] [--batch-size N] [--batches N]
                 [--interval-ms MS] [--window N] [--trace-out FILE]
                 [--stall-timeout-ms MS] [--profile-hz HZ]
-                                               live monitoring plane: paced
-                                               tweet-stream ingest exporting
-                                               /metrics /healthz /progress
-                                               /profile (plus /pause /resume)
-                                               over HTTP; Ctrl-C drains; a
-                                               stall past the watchdog
-                                               deadline turns /healthz 503
+                [--snapshot-every N] [--query-threads N] [--topk K]
+                                               live monitoring + query plane:
+                                               paced tweet-stream ingest with
+                                               epoch-tagged snapshot freezes
+                                               served over HTTP; Ctrl-C
+                                               drains; a stall past the
+                                               watchdog deadline turns
+                                               /healthz 503
   graphct trace flame <trace.jsonl> [--out FILE]
                                                folded stacks (flamegraph input)
   graphct trace critical-path <trace.jsonl>    slowest span chains
@@ -105,6 +106,39 @@ for flamegraph.pl/speedscope; ?format=json, ?format=top variants);
 
 Graph files: *.bin = GraphCT binary CSR, *.gr/*.dimacs = DIMACS,
 anything else = 'src dst' edge-list text.";
+
+/// Printed by `graphct serve --help` and appended to the global help.
+const SERVE_USAGE: &str = "graphct serve — live monitoring + query plane
+
+USAGE:
+  graphct serve [--profile h1n1|atlflood|sep1] [--scale-pct P] [--seed N]
+                [--port P | --addr HOST:PORT] [--batch-size N] [--batches N]
+                [--interval-ms MS] [--window N] [--trace-out FILE]
+                [--stall-timeout-ms MS] [--profile-hz HZ]
+                [--snapshot-every N] [--query-threads N] [--topk K]
+
+The ingest loop freezes an epoch-tagged CSR snapshot every
+--snapshot-every batches (default 8; 0 = on demand only); queries answer
+from the latest freeze on --query-threads workers (default 2) and wrap
+every response in the versioned envelope
+{\"v\":1,\"epoch\":E,\"staleness_s\":S,\"data\":...|\"error\":...}.
+
+  GET /metrics                        Prometheus exposition (live)
+  GET /healthz                        200 ok | 503 stalled/draining
+  GET /progress                       JSON span stacks, progress, ETAs
+  GET /profile[?format=json|top]      live folded stacks
+  GET /pause, /resume                 freeze/unfreeze ingest (stall test)
+  GET /v1/query/topk[?k=K&samples=N]  top-k influencers by sampled
+                                      betweenness on the frozen epoch
+                                      (k defaults to --topk)
+  GET /v1/query/component?vertex=V|user=NAME
+                                      component id + size
+  GET /v1/query/degree?vertex=V|user=NAME
+                                      degree and reach (component - 1)
+  GET /v1/query/ego?vertex=V|user=NAME
+                                      one-hop ego net, induced edges
+  GET /v1/snapshot                    current freeze metadata
+  GET /v1/snapshot/refresh            request a fresh freeze next batch";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -334,6 +368,13 @@ fn parse_profile(name: &str, scale_pct: f64) -> Result<graphct_twitter::DatasetP
 /// `graphct serve`: run the live monitoring plane until the batch budget
 /// is exhausted or SIGINT asks for a drain.
 fn serve_cmd(args: &mut Vec<String>) -> Result<(), String> {
+    if args
+        .iter()
+        .any(|a| a == "--help" || a == "-h" || a == "help")
+    {
+        println!("{SERVE_USAGE}");
+        return Ok(());
+    }
     let profile_name = take_flag(args, "--profile")?.unwrap_or_else(|| "atlflood".into());
     let scale_pct: f64 = parse_flag(args, "--scale-pct", 100.0)?;
     let profile = parse_profile(&profile_name, scale_pct)?;
@@ -347,6 +388,9 @@ fn serve_cmd(args: &mut Vec<String>) -> Result<(), String> {
     let trace_out = take_flag(args, "--trace-out")?.map(PathBuf::from);
     let stall_timeout_ms: u64 = parse_flag(args, "--stall-timeout-ms", 10_000)?;
     let profile_hz: u32 = parse_flag(args, "--profile-hz", graphct_trace::profile::DEFAULT_HZ)?;
+    let snapshot_every: u64 = parse_flag(args, "--snapshot-every", 8)?;
+    let query_threads: usize = parse_flag(args, "--query-threads", 2)?;
+    let topk: usize = parse_flag(args, "--topk", 10)?;
 
     graphct_obs::install_sigint_handler();
     let handle = graphct_obs::start(graphct_obs::ServeConfig {
@@ -360,10 +404,14 @@ fn serve_cmd(args: &mut Vec<String>) -> Result<(), String> {
         trace_out,
         stall_timeout_ms,
         profile_hz,
+        snapshot_every,
+        query_threads,
+        topk,
     })
     .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
     println!(
-        "serving http://{}  endpoints: /metrics /healthz /progress /profile /pause /resume",
+        "serving http://{}  endpoints: /metrics /healthz /progress /profile /pause /resume \
+         /v1/query/{{topk,component,degree,ego}} /v1/snapshot /v1/snapshot/refresh",
         handle.local_addr()
     );
     println!(
@@ -804,7 +852,7 @@ fn print_memory_line(detail: &str) {
 fn run(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     if args.is_empty() {
-        println!("{USAGE}");
+        println!("{USAGE}\n\n{SERVE_USAGE}");
         return Ok(());
     }
     let cmd = args.remove(0);
@@ -822,7 +870,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let _profiler_guard = start_profiler(&mut args, _trace_session.is_some())?;
     match cmd.as_str() {
         "help" | "--help" | "-h" => {
-            println!("{USAGE}");
+            println!("{USAGE}\n\n{SERVE_USAGE}");
             Ok(())
         }
         "script" => {

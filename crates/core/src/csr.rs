@@ -63,6 +63,43 @@ impl CsrGraph {
         })
     }
 
+    /// Assemble a graph from CSR arrays whose invariants the *caller*
+    /// guarantees — the zero-copy freeze path for producers that
+    /// maintain CSR structure incrementally (e.g. the streaming graph's
+    /// sorted adjacency).
+    ///
+    /// Unlike [`CsrGraph::from_raw_parts`], nothing is re-validated in
+    /// release builds, so the call allocates nothing and touches nothing
+    /// beyond the moved vectors.  Debug builds assert the full invariant
+    /// set (monotone offsets from 0 to `targets.len()`, in-range
+    /// targets), so a lying caller fails loudly under `cargo test`.
+    /// This is not `unsafe` — a violated invariant yields wrong query
+    /// answers or an index panic later, never memory unsafety.
+    pub fn from_sorted_parts(offsets: Vec<usize>, targets: Vec<VertexId>, directed: bool) -> Self {
+        debug_assert!(!offsets.is_empty(), "offsets array must be non-empty");
+        debug_assert_eq!(offsets[0], 0, "offsets must start at zero");
+        debug_assert_eq!(
+            *offsets.last().unwrap(),
+            targets.len(),
+            "last offset must match target count"
+        );
+        debug_assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        debug_assert!(
+            targets.iter().all(|&t| (t as usize) < offsets.len() - 1),
+            "every target must be in range"
+        );
+        let out = Self {
+            offsets,
+            targets,
+            directed,
+        };
+        debug_assert!(out.is_sorted(), "adjacency lists must arrive sorted");
+        out
+    }
+
     /// A graph with `n` vertices and no edges.
     pub fn empty(n: usize, directed: bool) -> Self {
         Self {

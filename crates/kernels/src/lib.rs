@@ -54,6 +54,7 @@ pub mod diameter;
 pub mod kbetweenness;
 pub mod kcore;
 pub mod msbfs;
+pub mod query;
 pub mod telemetry;
 
 pub use betweenness::{
@@ -72,3 +73,4 @@ pub use diameter::{estimate_diameter, estimate_diameter_batched, DiameterEstimat
 pub use kbetweenness::{k_betweenness_centrality, KBetweennessConfig};
 pub use kcore::{core_numbers, kcore_subgraph};
 pub use msbfs::{MsBfs, MsBfsRun, WaveRecord, DEFAULT_BATCH, MAX_BATCH};
+pub use query::{ego_net, top_k_betweenness, top_k_scores, EgoNet};

@@ -1,0 +1,186 @@
+//! Query-sized kernel entry points for the live serve plane.
+//!
+//! `graphct serve` answers point queries against a frozen snapshot while
+//! ingest continues (paper §I: "who matters right now" during H1N1 /
+//! #atlflood).  These wrappers adapt the batch kernels to that shape:
+//! a deterministic top-k cut over betweenness scores, and a one-hop ego
+//! net extraction.  Both are pure functions of the frozen graph, so the
+//! HTTP layer's oracle tests can recompute them offline and demand
+//! bit-identical answers for the same epoch and seed.
+
+use graphct_core::{CsrGraph, GraphError, VertexId};
+
+use crate::betweenness::{betweenness_centrality, BetweennessConfig};
+
+/// Deterministic top-k cut over a per-vertex score array: descending
+/// score, ties broken by ascending vertex id.  Scores must be finite
+/// (betweenness scores always are).
+pub fn top_k_scores(scores: &[f64], k: usize) -> Vec<(VertexId, f64)> {
+    let mut ranked: Vec<(VertexId, f64)> = scores
+        .iter()
+        .enumerate()
+        .map(|(v, &s)| (v as VertexId, s))
+        .collect();
+    ranked.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("scores must be finite")
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    ranked.truncate(k);
+    ranked
+}
+
+/// Top-k influencers by (sampled) betweenness centrality.
+///
+/// Runs [`betweenness_centrality`] with the caller's `config` — the
+/// serve plane passes a source-sampled spec with a per-epoch seed so
+/// repeated queries against the same snapshot are bit-identical — then
+/// applies the deterministic [`top_k_scores`] cut.
+pub fn top_k_betweenness(
+    graph: &CsrGraph,
+    config: &BetweennessConfig,
+    k: usize,
+) -> Result<Vec<(VertexId, f64)>, GraphError> {
+    let result = betweenness_centrality(graph, config)?;
+    Ok(top_k_scores(&result.scores, k))
+}
+
+/// A one-hop ego network: the center, its neighbors, and every edge of
+/// the host graph among those vertices (so neighbor-neighbor edges —
+/// the closed triangles around the ego — are included).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EgoNet {
+    /// The ego, as a host-graph vertex id.
+    pub center: VertexId,
+    /// Sorted host-graph ids of the ego net's vertices (center
+    /// included).  Local vertex `i` of [`graph`](Self::graph) is
+    /// `vertices[i]`.
+    pub vertices: Vec<VertexId>,
+    /// The induced subgraph, in local ids.
+    pub graph: CsrGraph,
+}
+
+/// Extract the one-hop ego net of `center`.
+///
+/// The member set is `{center} ∪ N(center)`; the result graph is the
+/// subgraph of `graph` induced on that set, relabeled to dense local
+/// ids.  Host adjacency is sorted, so each induced list is a sorted
+/// merge against the member set — `O(Σ deg(member))` total, no re-sort.
+///
+/// # Panics
+///
+/// If `center >= graph.num_vertices()` (out-of-range ids are call-site
+/// bugs; the HTTP layer bounds-checks before calling).
+pub fn ego_net(graph: &CsrGraph, center: VertexId) -> EgoNet {
+    assert!(
+        (center as usize) < graph.num_vertices(),
+        "ego center {center} out of range for {} vertices",
+        graph.num_vertices()
+    );
+    let mut vertices: Vec<VertexId> = Vec::with_capacity(graph.degree(center) + 1);
+    vertices.extend_from_slice(graph.neighbors(center));
+    match vertices.binary_search(&center) {
+        Ok(_) => {}
+        Err(pos) => vertices.insert(pos, center),
+    }
+
+    let mut offsets = Vec::with_capacity(vertices.len() + 1);
+    let mut targets = Vec::new();
+    offsets.push(0);
+    for &m in &vertices {
+        // Sorted-sorted intersection of N(m) with the member set; the
+        // matching members' *local* ids ascend with the merge, so the
+        // induced list needs no sort.
+        let mut nb = graph.neighbors(m).iter().peekable();
+        let mut idx = 0usize;
+        while let Some(&&t) = nb.peek() {
+            if idx == vertices.len() {
+                break;
+            }
+            match t.cmp(&vertices[idx]) {
+                std::cmp::Ordering::Less => {
+                    nb.next();
+                }
+                std::cmp::Ordering::Greater => idx += 1,
+                std::cmp::Ordering::Equal => {
+                    targets.push(idx as VertexId);
+                    nb.next();
+                    idx += 1;
+                }
+            }
+        }
+        offsets.push(targets.len());
+    }
+    let graph = CsrGraph::from_sorted_parts(offsets, targets, graph.is_directed());
+    EgoNet {
+        center,
+        vertices,
+        graph,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphct_core::builder::build_undirected_simple;
+    use graphct_core::EdgeList;
+
+    fn diamond_plus_tail() -> CsrGraph {
+        // 0-1, 0-2, 1-2, 1-3, 2-3 (diamond) plus 3-4-5 tail.
+        build_undirected_simple(&EdgeList::from_pairs(vec![
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+        ]))
+        .unwrap()
+    }
+
+    #[test]
+    fn top_k_is_deterministic_on_ties() {
+        let scores = [2.0, 5.0, 5.0, 1.0, 5.0];
+        assert_eq!(top_k_scores(&scores, 3), vec![(1, 5.0), (2, 5.0), (4, 5.0)]);
+        assert_eq!(top_k_scores(&scores, 0), vec![]);
+        assert_eq!(top_k_scores(&scores, 99).len(), 5, "k clamps to n");
+    }
+
+    #[test]
+    fn top_k_betweenness_finds_the_cut_vertex() {
+        let g = diamond_plus_tail();
+        let top = top_k_betweenness(&g, &BetweennessConfig::exact(), 2).unwrap();
+        // Vertex 3 separates the diamond from the tail; 4 separates 5.
+        assert_eq!(top[0].0, 3);
+        assert_eq!(top[1].0, 4);
+    }
+
+    #[test]
+    fn ego_net_includes_neighbor_neighbor_edges() {
+        let g = diamond_plus_tail();
+        let ego = ego_net(&g, 0);
+        assert_eq!(ego.center, 0);
+        assert_eq!(ego.vertices, vec![0, 1, 2]);
+        // Induced edges: 0-1, 0-2, and the closing 1-2.
+        assert_eq!(ego.graph.num_edges(), 3);
+        assert_eq!(ego.graph.neighbors(0), &[1, 2]);
+        assert_eq!(ego.graph.neighbors(1), &[0, 2]);
+        assert_eq!(ego.graph.neighbors(2), &[0, 1]);
+    }
+
+    #[test]
+    fn ego_net_of_leaf_and_isolate() {
+        let g = diamond_plus_tail();
+        let leaf = ego_net(&g, 5);
+        assert_eq!(leaf.vertices, vec![4, 5]);
+        assert_eq!(leaf.graph.num_edges(), 1);
+
+        // An isolated vertex's ego net is just itself.
+        let g2 = CsrGraph::from_sorted_parts(vec![0, 1, 2, 2], vec![1, 0], false);
+        let iso = ego_net(&g2, 2);
+        assert_eq!(iso.vertices, vec![2]);
+        assert_eq!(iso.graph.num_edges(), 0);
+        assert_eq!(iso.graph.num_vertices(), 1);
+    }
+}

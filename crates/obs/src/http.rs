@@ -1,16 +1,22 @@
 //! A minimal std-only HTTP/1.1 server.
 //!
-//! The shims-only policy rules out hyper/axum; the exporter needs exactly
-//! one thing — answering small `GET` requests with small text bodies — so
-//! a nonblocking accept loop on [`TcpListener`] plus per-request blocking
-//! I/O with short timeouts covers it.  One thread, one connection at a
-//! time: Prometheus scrapes are serial and tiny, and `/progress` readers
-//! are humans with `curl`.
+//! The shims-only policy rules out hyper/axum; the serve plane needs
+//! exactly one thing — answering small `GET` requests with small text
+//! bodies — so a nonblocking accept loop on [`TcpListener`] plus
+//! per-request blocking I/O with short timeouts covers it.
+//!
+//! The accept thread never runs handlers: accepted connections are
+//! handed to a small worker pool over a channel, so a slow query (a
+//! sampled betweenness run can take tens of milliseconds) cannot block
+//! the next `/metrics` scrape or `/healthz` probe.  Prometheus scrapes
+//! and `curl`ing humans shared one thread fine; concurrent `/v1/query/*`
+//! clients are the reason the pool exists.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -58,37 +64,80 @@ impl Response {
     }
 }
 
-/// The route handler: request path and raw query string (without the
-/// `?`, empty when absent) in, [`Response`] out.
-pub type Handler = dyn Fn(&str, &str) -> Response + Send + Sync;
+/// The route handler: request method, path, and raw query string
+/// (without the `?`, empty when absent) in, [`Response`] out.  Method
+/// handling (405s) lives here — in practice in the
+/// [`Router`](crate::router::Router) — not in the transport.
+pub type Handler = dyn Fn(&str, &str, &str) -> Response + Send + Sync;
 
 /// A background HTTP server; dropping (or [`stop`](HttpServer::stop)ping)
-/// it shuts the accept loop down and joins the thread.
+/// it shuts the accept loop down and joins all threads.
 pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    thread: Option<JoinHandle<()>>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl HttpServer {
-    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
-    /// requests through `handler` on a background thread.
+    /// Bind `addr` with a single worker (plenty for pure metrics
+    /// exporting; `graphct serve` uses [`bind_pooled`](Self::bind_pooled)).
     pub fn bind(addr: &str, handler: Arc<Handler>) -> std::io::Result<HttpServer> {
+        Self::bind_pooled(addr, handler, 1)
+    }
+
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
+    /// requests through `handler` on a pool of `workers` threads fed by
+    /// a dedicated accept thread.
+    pub fn bind_pooled(
+        addr: &str,
+        handler: Arc<Handler>,
+        workers: usize,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = std::sync::mpsc::channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut pool = Vec::with_capacity(workers.max(1));
+        for i in 0..workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let handler = Arc::clone(&handler);
+            pool.push(
+                std::thread::Builder::new()
+                    .name(format!("graphct-obs-http-{i}"))
+                    .spawn(move || {
+                        // Register with the continuous profiler so query
+                        // time shows up under a named thread.
+                        graphct_trace::register_current_thread();
+                        loop {
+                            // Hold the receiver lock only for the take;
+                            // handling runs unlocked so workers overlap.
+                            let next = rx.lock().expect("http receiver poisoned").recv();
+                            match next {
+                                Ok(stream) => {
+                                    let _ = handle_connection(stream, &handler);
+                                }
+                                Err(_) => break, // accept thread gone: drain done
+                            }
+                        }
+                    })?,
+            );
+        }
+
         let stop_flag = Arc::clone(&stop);
-        let thread = std::thread::Builder::new()
+        let accept = std::thread::Builder::new()
             .name("graphct-obs-http".into())
             .spawn(move || {
-                // Register with the continuous profiler so its (mostly
-                // idle) time shows up under a named thread.
                 graphct_trace::register_current_thread();
                 loop {
                     match listener.accept() {
                         Ok((stream, _)) => {
-                            let _ = handle_connection(stream, &handler);
+                            if tx.send(stream).is_err() {
+                                break; // no workers left
+                            }
                         }
                         Err(e) if e.kind() == ErrorKind::WouldBlock => {
                             if stop_flag.load(Ordering::Relaxed) {
@@ -104,11 +153,14 @@ impl HttpServer {
                         }
                     }
                 }
+                // Dropping `tx` here closes the channel: workers finish
+                // whatever was already accepted, then exit.
             })?;
         Ok(HttpServer {
             addr: local,
             stop,
-            thread: Some(thread),
+            accept: Some(accept),
+            workers: pool,
         })
     }
 
@@ -117,15 +169,19 @@ impl HttpServer {
         self.addr
     }
 
-    /// Stop accepting and join the server thread.
+    /// Stop accepting, drain in-flight connections, and join all
+    /// threads.
     pub fn stop(mut self) {
         self.shutdown();
     }
 
     fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        if let Some(thread) = self.thread.take() {
+        if let Some(thread) = self.accept.take() {
             let _ = thread.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
     }
 }
@@ -166,17 +222,14 @@ fn handle_connection(mut stream: TcpStream, handler: &Arc<Handler>) -> std::io::
         None => (target, ""),
     };
 
-    let response = if method != "GET" {
-        Response::text(405, "method not allowed\n")
-    } else {
-        handler(path, query)
-    };
+    let response = handler(method, path, query);
     write_response(&mut stream, &response)
 }
 
 fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
     let reason = match response.status {
         200 => "OK",
+        400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         503 => "Service Unavailable",
@@ -220,17 +273,20 @@ mod tests {
         (status, body)
     }
 
+    fn test_handler() -> Arc<Handler> {
+        Arc::new(
+            |method: &str, path: &str, query: &str| match (method, path) {
+                ("GET", "/hello") if query.is_empty() => Response::text(200, "hi\n"),
+                ("GET", "/hello") => Response::text(200, format!("hi query={query}\n")),
+                ("GET", _) => Response::not_found(),
+                _ => Response::text(405, "method not allowed\n"),
+            },
+        )
+    }
+
     #[test]
     fn serves_routes_and_404s() {
-        let server = HttpServer::bind(
-            "127.0.0.1:0",
-            Arc::new(|path: &str, query: &str| match path {
-                "/hello" if query.is_empty() => Response::text(200, "hi\n"),
-                "/hello" => Response::text(200, format!("hi query={query}\n")),
-                _ => Response::not_found(),
-            }),
-        )
-        .unwrap();
+        let server = HttpServer::bind("127.0.0.1:0", test_handler()).unwrap();
         let addr = server.local_addr();
         assert_eq!(get(addr, "/hello"), (200, "hi\n".to_owned()));
         assert_eq!(
@@ -241,6 +297,20 @@ mod tests {
         assert_eq!(get(addr, "/missing").0, 404);
         server.stop();
         // Port is released after stop.
+        assert!(TcpStream::connect(addr).is_err());
+    }
+
+    #[test]
+    fn pooled_workers_answer_concurrent_requests() {
+        let server = HttpServer::bind_pooled("127.0.0.1:0", test_handler(), 4).unwrap();
+        let addr = server.local_addr();
+        let threads: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(move || get(addr, "/hello")))
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap(), (200, "hi\n".to_owned()));
+        }
+        server.stop();
         assert!(TcpStream::connect(addr).is_err());
     }
 }

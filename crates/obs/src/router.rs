@@ -1,0 +1,266 @@
+//! Method + path-pattern routing for the serve plane.
+//!
+//! PRs 3–8 accreted endpoints as an ad-hoc `match` on the raw path,
+//! which was fine for four read-only pages but collapses once the query
+//! plane adds parameterized `/v1/...` routes.  This module is the small,
+//! uniform replacement: a [`Router`] maps `(method, path pattern)` to a
+//! boxed handler, patterns may carry `:param` segments, and handlers
+//! read positional params and `?key=value` query params off a
+//! [`RouteRequest`].
+//!
+//! Dispatch semantics preserve the pre-router wire behavior exactly
+//! (asserted by `tests/query.rs::legacy_wire_formats_are_unchanged`):
+//! an unknown path answers `404 not found`, and any non-`GET` method
+//! answers `405 method not allowed` whether or not the path exists.
+//!
+//! The module also owns the versioned JSON envelope every `/v1/*`
+//! response is wrapped in:
+//!
+//! ```json
+//! {"v":1,"epoch":12,"staleness_s":0.041,"data":{...}}
+//! {"v":1,"epoch":12,"staleness_s":0.041,"error":"no such vertex"}
+//! ```
+
+use crate::http::Response;
+
+/// One parsed request, as seen by a route handler.
+pub struct RouteRequest<'a> {
+    /// The request path (no query string).
+    pub path: &'a str,
+    /// Raw query string (without the `?`, empty when absent).
+    pub query: &'a str,
+    params: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> RouteRequest<'a> {
+    /// The value a `:name` pattern segment captured, if any.
+    pub fn param(&self, name: &str) -> Option<&'a str> {
+        self.params
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The first `name=value` pair of the query string, if any.
+    pub fn query_param(&self, name: &str) -> Option<&'a str> {
+        self.query
+            .split('&')
+            .find_map(|kv| kv.strip_prefix(name)?.strip_prefix('='))
+    }
+}
+
+/// A route handler.  Blanket-implemented for closures, so routes are
+/// registered as `router.get("/v1/query/topk", move |req| ...)`.
+pub trait RouteHandler: Send + Sync {
+    /// Answer `req`.
+    fn call(&self, req: &RouteRequest<'_>) -> Response;
+}
+
+impl<F> RouteHandler for F
+where
+    F: Fn(&RouteRequest<'_>) -> Response + Send + Sync,
+{
+    fn call(&self, req: &RouteRequest<'_>) -> Response {
+        self(req)
+    }
+}
+
+enum Segment {
+    Literal(String),
+    Param(String),
+}
+
+struct Route {
+    method: &'static str,
+    segments: Vec<Segment>,
+    handler: Box<dyn RouteHandler>,
+}
+
+impl Route {
+    /// Match `path` against the pattern, returning captured params
+    /// (names borrow the route, values borrow the path).
+    fn matches<'s, 'a>(&'s self, path: &'a str) -> Option<Vec<(&'s str, &'a str)>> {
+        let mut got = path.trim_start_matches('/').split('/');
+        let mut params = Vec::new();
+        for seg in &self.segments {
+            let part = got.next()?;
+            match seg {
+                Segment::Literal(lit) if lit == part => {}
+                Segment::Literal(_) => return None,
+                Segment::Param(name) if !part.is_empty() => {
+                    params.push((name.as_str(), part));
+                }
+                Segment::Param(_) => return None,
+            }
+        }
+        if got.next().is_some() {
+            return None; // path has extra segments
+        }
+        Some(params)
+    }
+}
+
+/// Method + path-pattern router.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    /// An empty router (dispatches everything to 404/405).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a `GET` route.  `pattern` is `/`-separated; segments
+    /// starting with `:` capture the matched path segment under that
+    /// name (e.g. `/v1/query/:kind`).
+    pub fn get(
+        mut self,
+        pattern: &str,
+        handler: impl Fn(&RouteRequest<'_>) -> Response + Send + Sync + 'static,
+    ) -> Self {
+        let segments = pattern
+            .trim_start_matches('/')
+            .split('/')
+            .map(|s| match s.strip_prefix(':') {
+                Some(name) => Segment::Param(name.to_owned()),
+                None => Segment::Literal(s.to_owned()),
+            })
+            .collect();
+        self.routes.push(Route {
+            method: "GET",
+            segments,
+            handler: Box::new(handler),
+        });
+        self
+    }
+
+    /// Route a request.  Unknown paths answer `404 not found`; any
+    /// non-`GET` method answers `405 method not allowed` (the serve
+    /// plane is read-only), matching the pre-router exporter's wire
+    /// behavior byte for byte.
+    pub fn dispatch(&self, method: &str, path: &str, query: &str) -> Response {
+        if method != "GET" {
+            return Response::text(405, "method not allowed\n");
+        }
+        for route in &self.routes {
+            if route.method != method {
+                continue;
+            }
+            if let Some(params) = route.matches(path) {
+                let req = RouteRequest {
+                    path,
+                    query,
+                    params,
+                };
+                return route.handler.call(&req);
+            }
+        }
+        Response::not_found()
+    }
+}
+
+/// Format a staleness duration as the envelope's `staleness_s` field
+/// (fractional seconds, millisecond precision — staleness is an
+/// operational signal, not an oracle-checked quantity).
+pub fn staleness_s(staleness: std::time::Duration) -> String {
+    format!("{:.3}", staleness.as_secs_f64())
+}
+
+/// The versioned success envelope: `data_json` must already be valid
+/// JSON (the handlers hand-format it; the workspace has no serializer).
+pub fn envelope_ok(epoch: u64, staleness: std::time::Duration, data_json: &str) -> Response {
+    Response::json(format!(
+        "{{\"v\":1,\"epoch\":{epoch},\"staleness_s\":{},\"data\":{data_json}}}",
+        staleness_s(staleness)
+    ))
+}
+
+/// The versioned error envelope, carried on a non-200 status.
+pub fn envelope_error(
+    status: u16,
+    epoch: u64,
+    staleness: std::time::Duration,
+    message: &str,
+) -> Response {
+    let mut escaped = String::with_capacity(message.len());
+    graphct_trace::value::write_json_string(message, &mut escaped);
+    Response {
+        status,
+        content_type: "application/json",
+        body: format!(
+            "{{\"v\":1,\"epoch\":{epoch},\"staleness_s\":{},\"error\":{escaped}}}",
+            staleness_s(staleness)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router() -> Router {
+        Router::new()
+            .get("/healthz", |_req| Response::text(200, "ok\n"))
+            .get("/v1/query/:kind", |req| {
+                Response::text(
+                    200,
+                    format!(
+                        "kind={} k={}\n",
+                        req.param("kind").unwrap_or("?"),
+                        req.query_param("k").unwrap_or("-")
+                    ),
+                )
+            })
+    }
+
+    #[test]
+    fn literal_and_param_routes_dispatch() {
+        let r = router();
+        assert_eq!(r.dispatch("GET", "/healthz", "").body, "ok\n");
+        assert_eq!(
+            r.dispatch("GET", "/v1/query/topk", "k=5&x=1").body,
+            "kind=topk k=5\n"
+        );
+        assert_eq!(
+            r.dispatch("GET", "/v1/query/ego", "").body,
+            "kind=ego k=-\n"
+        );
+    }
+
+    #[test]
+    fn unknown_paths_404_and_non_get_405() {
+        let r = router();
+        assert_eq!(r.dispatch("GET", "/nope", "").status, 404);
+        assert_eq!(r.dispatch("GET", "/v1/query", "").status, 404, "too short");
+        assert_eq!(
+            r.dispatch("GET", "/v1/query/topk/extra", "").status,
+            404,
+            "too long"
+        );
+        assert_eq!(r.dispatch("POST", "/healthz", "").status, 405);
+        assert_eq!(r.dispatch("POST", "/nope", "").status, 405);
+    }
+
+    #[test]
+    fn empty_param_segment_does_not_match() {
+        let r = router();
+        assert_eq!(r.dispatch("GET", "/v1/query/", "").status, 404);
+    }
+
+    #[test]
+    fn envelopes_are_well_formed() {
+        let ok = envelope_ok(3, std::time::Duration::from_millis(41), "{\"x\":1}");
+        assert_eq!(ok.status, 200);
+        assert_eq!(
+            ok.body,
+            "{\"v\":1,\"epoch\":3,\"staleness_s\":0.041,\"data\":{\"x\":1}}"
+        );
+        let err = envelope_error(404, 0, std::time::Duration::ZERO, "no such vertex \"@x\"");
+        assert_eq!(err.status, 404);
+        assert!(err.body.contains("\"error\":\"no such vertex \\\"@x\\\"\""));
+        graphct_trace::json::parse(&ok.body).unwrap();
+        graphct_trace::json::parse(&err.body).unwrap();
+    }
+}

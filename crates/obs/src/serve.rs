@@ -3,8 +3,12 @@
 //!
 //! One background thread runs the ingest loop (and owns the trace
 //! [`Session`] — sessions must start and finish on the same thread);
-//! the HTTP server answers `/metrics`, `/healthz`, and `/progress` from
-//! shared [`Registry`] / [`ProgressTracker`] handles.  Shutdown is
+//! the HTTP worker pool answers `/metrics`, `/healthz`, `/progress`,
+//! and the `/v1/*` query plane from shared [`Registry`] /
+//! [`ProgressTracker`] / [`SnapshotCell`] handles, dispatched through
+//! the [`Router`].  Every `--snapshot-every` batches (or on
+//! `/v1/snapshot/refresh` demand) the loop freezes the streaming graph
+//! into an epoch-tagged CSR snapshot for the query plane.  Shutdown is
 //! two-phase so health can be observed flipping: `begin_shutdown` marks
 //! the exporter as draining (healthz goes 503) and tells the ingest loop
 //! to stop; `wait` joins the loop — which finishes the session, flushing
@@ -14,19 +18,21 @@ use std::collections::{HashMap, VecDeque};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use graphct_core::{VertexId, VertexLabels};
 use graphct_stream::telemetry as ingest_metrics;
-use graphct_stream::{IncrementalComponents, StreamingGraph};
+use graphct_stream::{IncrementalComponents, Snapshot, SnapshotCell, StreamingGraph};
 use graphct_trace::{render_prometheus, Histogram, JsonLinesSink, Registry, Session, Sink};
 use graphct_twitter::parse::mentions;
 use graphct_twitter::{generate_stream, DatasetProfile};
 
 use crate::http::{HttpServer, Response};
 use crate::progress::ProgressTracker;
+use crate::query::QueryPlane;
+use crate::router::Router;
 use crate::watchdog::Watchdog;
 
 /// Wall-clock nanoseconds spent rendering each `/metrics` scrape
@@ -64,6 +70,13 @@ pub struct ServeConfig {
     /// (`0` disables the sampler).  Defaults to 97 Hz — prime, so the
     /// sampler cannot beat against the 200 ms watchdog heartbeat.
     pub profile_hz: u32,
+    /// Freeze a query-plane snapshot every this many batches (`0`
+    /// disables periodic freezes; `/v1/snapshot/refresh` still works).
+    pub snapshot_every: u64,
+    /// HTTP worker threads answering queries off the accept thread.
+    pub query_threads: usize,
+    /// Default `k` for `/v1/query/topk` when the client omits `k=`.
+    pub topk: usize,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +92,9 @@ impl Default for ServeConfig {
             trace_out: None,
             stall_timeout_ms: 10_000,
             profile_hz: graphct_trace::profile::DEFAULT_HZ,
+            snapshot_every: 8,
+            query_threads: 2,
+            topk: 10,
         }
     }
 }
@@ -106,6 +122,7 @@ pub struct ServeHandle {
     shutdown: Arc<AtomicBool>,
     draining: Arc<AtomicBool>,
     paused: Arc<AtomicBool>,
+    snapshots: Arc<SnapshotCell>,
     ingest: Option<JoinHandle<IngestStats>>,
     heartbeat: Option<JoinHandle<()>>,
     /// Did this serve instance issue a profiler start (to be undone on
@@ -117,6 +134,12 @@ impl ServeHandle {
     /// The bound HTTP address.
     pub fn local_addr(&self) -> SocketAddr {
         self.http.local_addr()
+    }
+
+    /// The current query-plane snapshot — the same freeze the `/v1/*`
+    /// endpoints answer from, for in-process oracle checks.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.snapshots.load()
     }
 
     /// Phase one of shutdown: flip `/healthz` to 503 draining and tell
@@ -190,58 +213,75 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServeHandle> {
     };
     let watchdog = Arc::new(Watchdog::new(timeout, Instant::now()));
 
-    let handler = {
-        let registry = Arc::clone(&registry);
-        let progress = Arc::clone(&progress);
-        let draining = Arc::clone(&draining);
-        let paused = Arc::clone(&paused);
-        let watchdog = Arc::clone(&watchdog);
-        Arc::new(move |path: &str, query: &str| match path {
-            "/metrics" => {
+    let snapshots = Arc::new(SnapshotCell::new());
+    let labels = Arc::new(RwLock::new(VertexLabels::new()));
+    let query_plane = Arc::new(QueryPlane::new(
+        Arc::clone(&snapshots),
+        Arc::clone(&labels),
+        config.seed,
+        config.topk,
+    ));
+
+    // Legacy routes keep their pre-router wire formats byte for byte
+    // (asserted by tests/query.rs); the query plane adds the versioned
+    // `/v1/*` envelope on top.
+    let router = {
+        let metrics_registry = Arc::clone(&registry);
+        let metrics_watchdog = Arc::clone(&watchdog);
+        let healthz_draining = Arc::clone(&draining);
+        let healthz_watchdog = Arc::clone(&watchdog);
+        let progress_tracker = Arc::clone(&progress);
+        let progress_draining = Arc::clone(&draining);
+        let progress_watchdog = Arc::clone(&watchdog);
+        let pause_flag = Arc::clone(&paused);
+        let resume_flag = Arc::clone(&paused);
+        let router = Router::new()
+            .get("/metrics", move |_req| {
                 let scrape_start = graphct_trace::enabled().then(Instant::now);
                 // Publish the watchdog's float series before snapshotting
                 // so the scrape sees them at wall-clock freshness.
-                watchdog.tick(Instant::now()).publish();
-                let body = render_prometheus(&registry.snapshot());
+                metrics_watchdog.tick(Instant::now()).publish();
+                let body = render_prometheus(&metrics_registry.snapshot());
                 if let Some(t) = scrape_start {
                     SCRAPE_NS.record_duration(t.elapsed());
                 }
                 Response::metrics(body)
-            }
-            "/profile" => profile_response(query),
-            "/healthz" => {
-                if draining.load(Ordering::Relaxed) {
+            })
+            .get("/profile", move |req| profile_response(req.query))
+            .get("/healthz", move |_req| {
+                if healthz_draining.load(Ordering::Relaxed) {
                     return Response::text(503, "draining\n");
                 }
-                let status = watchdog.tick(Instant::now());
+                let status = healthz_watchdog.tick(Instant::now());
                 if status.stalled {
                     Response::text(503, status.stall_reason())
                 } else {
                     Response::text(200, "ok\n")
                 }
-            }
-            "/progress" => {
-                let health = if draining.load(Ordering::Relaxed) {
+            })
+            .get("/progress", move |_req| {
+                let health = if progress_draining.load(Ordering::Relaxed) {
                     "draining"
-                } else if watchdog.tick(Instant::now()).stalled {
+                } else if progress_watchdog.tick(Instant::now()).stalled {
                     "stalled"
                 } else {
                     "ok"
                 };
-                Response::json(progress.render_json(health))
-            }
-            "/pause" => {
-                paused.store(true, Ordering::Relaxed);
+                Response::json(progress_tracker.render_json(health))
+            })
+            .get("/pause", move |_req| {
+                pause_flag.store(true, Ordering::Relaxed);
                 Response::text(200, "paused\n")
-            }
-            "/resume" => {
-                paused.store(false, Ordering::Relaxed);
+            })
+            .get("/resume", move |_req| {
+                resume_flag.store(false, Ordering::Relaxed);
                 Response::text(200, "resumed\n")
-            }
-            _ => Response::not_found(),
-        })
+            });
+        query_plane.routes(router)
     };
-    let http = HttpServer::bind(&config.addr, handler)?;
+    let handler: Arc<crate::http::Handler> =
+        Arc::new(move |method: &str, path: &str, query: &str| router.dispatch(method, path, query));
+    let http = HttpServer::bind_pooled(&config.addr, handler, config.query_threads.max(1))?;
 
     // Start (or join) the continuous profiler so `/profile` has live
     // folded stacks from the first scrape; undone in `wait`.
@@ -255,9 +295,15 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServeHandle> {
         let draining = Arc::clone(&draining);
         let paused = Arc::clone(&paused);
         let watchdog = Arc::clone(&watchdog);
+        let snapshots = Arc::clone(&snapshots);
+        let labels = Arc::clone(&labels);
         std::thread::Builder::new()
             .name("graphct-obs-ingest".into())
-            .spawn(move || ingest_loop(config, progress, shutdown, draining, paused, watchdog))?
+            .spawn(move || {
+                ingest_loop(
+                    config, progress, shutdown, draining, paused, watchdog, snapshots, labels,
+                )
+            })?
     };
 
     // Heartbeat: re-evaluate the deadline every 200ms so stall
@@ -294,6 +340,7 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServeHandle> {
         shutdown,
         draining,
         paused,
+        snapshots,
         ingest: Some(ingest),
         heartbeat: Some(heartbeat),
         profiling,
@@ -392,6 +439,7 @@ fn window_components(graph: &StreamingGraph) -> (u64, u64) {
     (active as u64, comps as u64)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn ingest_loop(
     cfg: ServeConfig,
     sink: Arc<ProgressTracker>,
@@ -399,12 +447,14 @@ fn ingest_loop(
     draining: Arc<AtomicBool>,
     paused: Arc<AtomicBool>,
     watchdog: Arc<Watchdog>,
+    snapshots: Arc<SnapshotCell>,
+    labels: Arc<RwLock<VertexLabels>>,
 ) -> IngestStats {
     let session = Session::start(sink as Arc<dyn Sink>);
     ingest_metrics::register_ingest_metrics();
+    crate::query::register_query_metrics();
     SCRAPE_NS.touch();
 
-    let mut labels = VertexLabels::new();
     let mut graph = StreamingGraph::new(0);
     // Sliding window bookkeeping: every edge mention lands in the batch
     // that saw it; an edge is deleted when the last batch that mentioned
@@ -457,12 +507,21 @@ fn ingest_loop(
             let (author, mention) = &corpus[cursor];
             cursor += 1;
             processed += 1;
-            let u = labels.intern(author);
-            let v = labels.intern(mention);
+            // The directory is shared with the query plane (readers
+            // resolve `?user=` names); hold the write lock only for the
+            // two interns.
+            let (u, v, interned) = {
+                let mut directory = labels.write().expect("labels poisoned");
+                (
+                    directory.intern(author),
+                    directory.intern(mention),
+                    directory.len(),
+                )
+            };
             if u == v {
                 continue; // self-mention; the streaming graph is simple
             }
-            graph.ensure_vertices(labels.len());
+            graph.ensure_vertices(interned);
             // Only mentions the graph actually accepted (fresh insert or
             // live duplicate) enter the sliding window: tracking a
             // rejected pair would later schedule a delete_edge for an
@@ -537,6 +596,27 @@ fn ingest_loop(
             lag_us = lag_us,
         );
         watchdog.note_batch(Instant::now());
+
+        // Query-plane freeze: every --snapshot-every batches, or sooner
+        // when a client asked via /v1/snapshot/refresh.  The freeze sits
+        // at the batch boundary, so a snapshot always reflects whole
+        // batches (its watermark is exact).
+        let periodic_due = cfg.snapshot_every > 0 && stats.batches % cfg.snapshot_every == 0;
+        if periodic_due || snapshots.take_refresh_request() {
+            let freeze_start = Instant::now();
+            let frozen = graph.snapshot();
+            let (vertices, edges) = (frozen.num_vertices(), frozen.num_edges());
+            let epoch = snapshots.publish(frozen, stats.batches);
+            ingest_metrics::SNAPSHOT_REFRESH_NS.record_duration(freeze_start.elapsed());
+            ingest_metrics::SNAPSHOT_EPOCH.set(epoch);
+            graphct_trace::event!(
+                "snapshot_freeze",
+                epoch = epoch,
+                batch = stats.batches,
+                vertices = vertices,
+                edges = edges,
+            );
+        }
     }
 
     // Drain: flip health first so scrapes observe the transition, then

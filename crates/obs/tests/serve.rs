@@ -71,6 +71,7 @@ fn mid_ingest_scrapes_increase_and_healthz_flips_on_drain() {
         trace_out: Some(trace_out.clone()),
         stall_timeout_ms: 0, // watchdog exercised by its own test
         profile_hz: 97,
+        ..ServeConfig::default()
     })
     .expect("serve starts");
     let addr = handle.local_addr();
@@ -232,6 +233,7 @@ fn watchdog_stall_injection_degrades_healthz_and_recovers() {
         trace_out: None,
         stall_timeout_ms: 250,
         profile_hz: 0, // profiler exercised by the mid-ingest test
+        ..ServeConfig::default()
     })
     .expect("serve starts");
     let addr = handle.local_addr();

@@ -137,6 +137,13 @@ impl StreamingGraph {
     }
 
     /// Snapshot the current structure as a static [`CsrGraph`].
+    ///
+    /// This is the query plane's freeze path, so it is kept cheap: the
+    /// adjacency lists are maintained sorted by every update, and the
+    /// flat copy preserves that order, so the CSR is assembled through
+    /// [`CsrGraph::from_sorted_parts`] — no re-sort, no re-validation
+    /// scan, and no transient allocation beyond the exact-sized result
+    /// buffers themselves (asserted by `tests/snapshot_memory.rs`).
     pub fn snapshot(&self) -> CsrGraph {
         let mut offsets = Vec::with_capacity(self.adjacency.len() + 1);
         let mut targets = Vec::with_capacity(2 * self.num_edges);
@@ -145,7 +152,7 @@ impl StreamingGraph {
             targets.extend_from_slice(nb);
             offsets.push(targets.len());
         }
-        CsrGraph::from_raw_parts(offsets, targets, false).expect("invariants hold by construction")
+        CsrGraph::from_sorted_parts(offsets, targets, false)
     }
 
     /// Snapshot as an edge list (`u < v` canonical orientation).

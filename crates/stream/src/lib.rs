@@ -23,8 +23,10 @@
 pub mod clustering;
 pub mod components;
 pub mod graph;
+pub mod snapshot;
 pub mod telemetry;
 
 pub use clustering::IncrementalClustering;
 pub use components::IncrementalComponents;
 pub use graph::{EdgeUpdate, StreamingGraph};
+pub use snapshot::{Snapshot, SnapshotCell};

@@ -88,6 +88,19 @@ pub static WINDOW_COMPONENTS: Gauge = Gauge::new(
     "Connected components among window-active vertices",
 );
 
+/// Wall-clock nanoseconds spent freezing the streaming graph into a CSR
+/// snapshot and publishing it to the query plane.
+pub static SNAPSHOT_REFRESH_NS: Histogram = Histogram::new(
+    "snapshot_refresh_ns",
+    "Nanoseconds per snapshot freeze (StreamingGraph -> CsrGraph + publish)",
+);
+
+/// Epoch of the most recently published query-plane snapshot.
+pub static SNAPSHOT_EPOCH: Gauge = Gauge::new(
+    "snapshot_epoch",
+    "Epoch of the most recently published query-plane snapshot",
+);
+
 /// Touch every ingest metric so it registers (and therefore appears in
 /// the very first `/metrics` scrape, before any batch completes).  Must
 /// run inside an active session — registration is lazy and gated on the
@@ -110,10 +123,12 @@ pub fn register_ingest_metrics() {
         &WINDOW_VERTICES,
         &WINDOW_EDGES,
         &WINDOW_COMPONENTS,
+        &SNAPSHOT_EPOCH,
     ] {
         g.set(g.value());
     }
     INGEST_BATCH_NS.touch();
+    SNAPSHOT_REFRESH_NS.touch();
 }
 
 #[cfg(test)]
@@ -144,6 +159,8 @@ mod tests {
             "window_edges",
             "window_components",
             "ingest_batch_ns",
+            "snapshot_refresh_ns",
+            "snapshot_epoch",
         ] {
             assert!(names.contains(&want), "missing {want} in {names:?}");
         }

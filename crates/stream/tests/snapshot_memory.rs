@@ -1,0 +1,78 @@
+//! Peak-memory regression guard for `StreamingGraph::snapshot`.
+//!
+//! The freeze used to hand its flat copy to the validating CSR
+//! constructor, which re-checked sortedness and bounds (and, worse,
+//! could be swapped for a sorting build that allocated scratch).  The
+//! snapshot is the query plane's hot path — it runs every N batches
+//! while ingest continues — so it now goes through
+//! `CsrGraph::from_sorted_parts` and must allocate nothing beyond the
+//! exact-sized offsets and targets buffers it returns.
+
+use graphct_core::VertexId;
+use graphct_stream::StreamingGraph;
+use graphct_trace::CountingAllocator;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Deterministic streaming graph with `n` vertices and ~`n * deg / 2`
+/// undirected edges, built through the real update path.
+fn dense_streaming(n: u32, deg: u32) -> StreamingGraph {
+    let mut g = StreamingGraph::new(n as usize);
+    let mut state = 0x9e37_79b9_u32;
+    for u in 0..n {
+        for _ in 0..deg {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            let v = state % n;
+            if u != v {
+                g.insert_edge(u, v).unwrap();
+            }
+        }
+    }
+    g
+}
+
+#[test]
+fn snapshot_peak_is_one_targets_buffer() {
+    let n = 2048u32;
+    let deg = 32u32;
+    let g = dense_streaming(n, deg);
+    let targets_len = 2 * g.num_edges();
+    let targets_bytes = targets_len * std::mem::size_of::<VertexId>();
+    let offsets_bytes = (n as usize + 1) * std::mem::size_of::<usize>();
+
+    // Warm up any lazy global state so the measured window contains
+    // only the snapshot's own allocations.
+    let warm = g.snapshot();
+    assert_eq!(warm.num_edges(), g.num_edges());
+    drop(warm);
+
+    let live_before = graphct_trace::alloc::live_bytes();
+    graphct_trace::alloc::reset_peak();
+    let snap = g.snapshot();
+    let extra_peak = graphct_trace::alloc::peak_bytes().saturating_sub(live_before);
+
+    // Budget: exactly the returned offsets + targets buffers, plus a
+    // small slack for allocator rounding.  A validation pass that
+    // clones or re-sorts targets — or a re-sorting rebuild — would peak
+    // at >= 2x targets_bytes and must fail this bound.
+    let budget = (targets_bytes + offsets_bytes + 16 * 1024) as u64;
+    assert!(
+        extra_peak < budget,
+        "snapshot peaked {extra_peak} extra bytes; budget {budget} \
+         (targets buffer is {targets_bytes} bytes, offsets {offsets_bytes})"
+    );
+    assert!(
+        extra_peak < 2 * targets_bytes as u64,
+        "snapshot peak {extra_peak} suggests a transient second targets buffer \
+         ({targets_bytes} bytes) is back"
+    );
+
+    // Sanity: the freeze is faithful — same degrees, same (sorted)
+    // neighbor lists as the streaming adjacency.
+    assert_eq!(snap.num_vertices(), n as usize);
+    assert_eq!(snap.num_edges(), g.num_edges());
+    for v in 0..n {
+        assert_eq!(snap.neighbors(v), g.neighbors(v));
+    }
+}
