@@ -13,6 +13,11 @@
 //! repro reorder              # locality-engine exhibit: kernel timings under
 //!                            # degree / RCM / shuffle vertex reorderings
 //!                            # (BENCH_REORDER.json)
+//! repro triangles            # triadic-engine exhibit: forward merge counter
+//!                            # oracle-gated bit-identical against the naive
+//!                            # sorted-intersection counter, then timed across
+//!                            # degree / RCM / shuffle orderings; edges/sec
+//!                            # throughput (BENCH_TRIANGLES.json)
 //! repro msbfs                # bit-parallel multi-source BFS exhibit: batch
 //!                            # 1/8/64 eccentricity sweeps vs the per-source
 //!                            # rayon baseline, oracle-checked before timing
@@ -107,7 +112,7 @@ impl Options {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <all|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|ablation-sampling|ablation-cc|ablation-bfs|reorder|msbfs|trace-bfs|obs-overhead|prof-overhead|serve-load|trace-validate FILE|check-regress> [--quick] [--full] [--seed N] [--reps N]");
+        eprintln!("usage: repro <all|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|ablation-sampling|ablation-cc|ablation-bfs|reorder|triangles|msbfs|trace-bfs|obs-overhead|prof-overhead|serve-load|trace-validate FILE|check-regress> [--quick] [--full] [--seed N] [--reps N]");
         std::process::exit(2);
     }
     let cmd = args.remove(0);
@@ -140,6 +145,7 @@ fn main() {
         "ablation-cc" => ablation_cc(opts),
         "ablation-bfs" => ablation_bfs(opts),
         "reorder" => reorder_exhibit(opts),
+        "triangles" => triangles_exhibit(opts),
         "msbfs" => msbfs_exhibit(opts),
         "trace-bfs" => trace_bfs(opts),
         "obs-overhead" => obs_overhead(opts),
@@ -160,6 +166,7 @@ fn main() {
             ablation_cc(opts);
             ablation_bfs(opts);
             reorder_exhibit(opts);
+            triangles_exhibit(opts);
             msbfs_exhibit(opts);
         }
         other => {
@@ -1942,6 +1949,211 @@ fn reorder_exhibit(opts: Options) {
         best.speedup >= 1.10,
     );
     let out = "BENCH_REORDER.json";
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+}
+
+/// `repro triangles` — the triadic-engine exhibit (`BENCH_TRIANGLES.json`).
+///
+/// The forward merge counter is oracle-gated against the naive
+/// sorted-intersection counter — bit-identical per-vertex counts, on
+/// every graph and under every reordering (restored to original ids) —
+/// *before* anything is timed.  Then both counters are timed at natural
+/// order (the algorithmic headline: forward does `O(Σ d_lower²)` work
+/// instead of `O(Σ d(u)+d(v)) per edge`), and the forward counter is
+/// timed under each relabeling pass (the locality headline: degree
+/// ordering tightens the low-id prefix the merge walks, so it should
+/// lead none/shuffle).  Throughput is reported as edges/second.
+fn triangles_exhibit(opts: Options) {
+    use graphct_core::{ReorderKind, ReorderedView};
+    use graphct_kernels::{forward_triangle_counts, naive_triangle_counts};
+
+    banner("Triangles — forward merge counter vs naive oracle, across orderings");
+    let scale = if opts.quick { 12 } else { 16 };
+    let cfg = graphct_gen::RmatConfig::paper(scale, 16);
+    let rmat = build_undirected_simple(&graphct_gen::rmat_edges(&cfg, opts.seed)).unwrap();
+    let hub_cfg = graphct_gen::broadcast::BroadcastConfig {
+        hubs: 1,
+        fanout: if opts.quick { 2_000 } else { 20_000 },
+        decay: 0.001,
+        max_depth: 4,
+    };
+    let (hub_edges, _) = graphct_gen::broadcast::broadcast_forest(&hub_cfg, opts.seed);
+    let hub = build_undirected_simple(&hub_edges).unwrap();
+    let rmat_name = format!("rmat scale {scale}");
+    let graphs: [(&str, &CsrGraph); 2] = [(&rmat_name, &rmat), ("broadcast-hub", &hub)];
+    let reps = opts.reps.max(3);
+
+    let mut cells: Vec<ReorderCell> = Vec::new();
+    let mut forward_vs_naive: Vec<(String, f64)> = Vec::new();
+    let mut t = Table::new(&[
+        "graph", "counter", "ordering", "median s", "ci90 s", "Medges/s", "speedup",
+    ]);
+    for (gname, graph) in graphs {
+        // Oracle gate: a triangle count is either right or wrong; no
+        // timing until the engines agree bit-identically.
+        let oracle = naive_triangle_counts(graph).unwrap();
+        assert_eq!(
+            forward_triangle_counts(graph).unwrap(),
+            oracle,
+            "{gname}: forward counter diverges from the naive oracle"
+        );
+        let total: usize = oracle.iter().sum::<usize>() / 3;
+        println!(
+            "{gname}: {} vertices, {} edges, {} triangles (forward == naive, gate passed)",
+            graph.num_vertices(),
+            graph.num_edges(),
+            total
+        );
+        let edges = graph.num_edges() as f64;
+
+        let naive_samples = time_samples(reps, || {
+            std::hint::black_box(naive_triangle_counts(graph).unwrap());
+        });
+        let naive_median = median_of(&naive_samples);
+        let mut natural_forward = f64::NAN;
+        for ordering in ReorderKind::ALL {
+            let view = ReorderedView::apply(graph, ordering, opts.seed);
+            let work = view.as_ref().map_or(graph, |v| v.graph());
+            if let Some(view) = &view {
+                assert_eq!(
+                    view.restore(&forward_triangle_counts(work).unwrap()),
+                    oracle,
+                    "{gname}/{ordering}: counts diverge after restore"
+                );
+            }
+            let samples = time_samples(reps, || {
+                std::hint::black_box(forward_triangle_counts(work).unwrap());
+            });
+            let median_s = median_of(&samples);
+            if ordering == ReorderKind::None {
+                natural_forward = median_s;
+            }
+            let speedup = natural_forward / median_s.max(1e-12);
+            let summary = graphct_bench::timing::TimingSummary::from_samples(&samples);
+            t.row(&[
+                gname.to_string(),
+                "forward".to_string(),
+                ordering.to_string(),
+                f(median_s, 5),
+                f(summary.ci90, 5),
+                f(edges / median_s.max(1e-12) / 1e6, 2),
+                format!("{speedup:.3}x"),
+            ]);
+            cells.push(ReorderCell {
+                graph: gname.to_string(),
+                kernel: "tri_forward",
+                ordering,
+                summary,
+                median_s,
+                speedup,
+            });
+        }
+        // The naive row last, so its speedup column reads as "fraction
+        // of natural-order forward" (< 1 when forward wins).
+        let naive_summary = graphct_bench::timing::TimingSummary::from_samples(&naive_samples);
+        t.row(&[
+            gname.to_string(),
+            "naive".to_string(),
+            "none".to_string(),
+            f(naive_median, 5),
+            f(naive_summary.ci90, 5),
+            f(edges / naive_median.max(1e-12) / 1e6, 2),
+            format!("{:.3}x", natural_forward / naive_median.max(1e-12)),
+        ]);
+        cells.push(ReorderCell {
+            graph: gname.to_string(),
+            kernel: "tri_naive",
+            ordering: ReorderKind::None,
+            summary: naive_summary,
+            median_s: naive_median,
+            speedup: natural_forward / naive_median.max(1e-12),
+        });
+        forward_vs_naive.push((gname.to_string(), naive_median / natural_forward.max(1e-12)));
+    }
+    t.print();
+
+    for (gname, ratio) in &forward_vs_naive {
+        println!("{gname}: forward counter {ratio:.3}x vs naive at natural order");
+    }
+    let degree_speedup = |gname: &str| {
+        cells
+            .iter()
+            .find(|c| {
+                c.graph == gname && c.kernel == "tri_forward" && c.ordering == ReorderKind::Degree
+            })
+            .map_or(f64::NAN, |c| c.speedup)
+    };
+    println!(
+        "degree ordering: {:.3}x on {rmat_name}, {:.3}x on broadcast-hub (vs natural order)",
+        degree_speedup(&rmat_name),
+        degree_speedup("broadcast-hub")
+    );
+
+    let history: Vec<(String, f64)> = cells
+        .iter()
+        .map(|c| {
+            (
+                format!("{}/{}/{}", c.graph, c.kernel, c.ordering),
+                c.summary.mean,
+            )
+        })
+        .collect();
+    record_history(opts, "triangles", &history);
+
+    let results: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            let edges = if c.graph == rmat_name {
+                rmat.num_edges()
+            } else {
+                hub.num_edges()
+            } as f64;
+            format!(
+                "    {{\"graph\": \"{}\", \"counter\": \"{}\", \"ordering\": \"{}\", \
+                 \"median_s\": {:.6}, \"mean_s\": {:.6}, \"std_dev_s\": {:.6}, \
+                 \"ci90_s\": {:.6}, \"edges_per_s\": {:.1}, \"speedup_vs_natural\": {:.4}}}",
+                c.graph,
+                c.kernel,
+                c.ordering,
+                c.median_s,
+                c.summary.mean,
+                c.summary.std_dev,
+                c.summary.ci90,
+                edges / c.median_s.max(1e-12),
+                c.speedup
+            )
+        })
+        .collect();
+    let rmat_ratio = forward_vs_naive[0].1;
+    let json = format!(
+        "{{\n  \"bench\": \"triangles\",\n  \"quick\": {},\n  \"seed\": {},\n  \"reps\": {reps},\n  \
+         \"oracle\": \"forward == naive per-vertex, bit-identical, before timing\",\n  \
+         \"orderings\": [\"none\", \"degree\", \"rcm\", \"shuffle\"],\n  \
+         \"graphs\": [\n    {{\"name\": \"{rmat_name}\", \"vertices\": {}, \"edges\": {}}},\n    \
+         {{\"name\": \"broadcast-hub\", \"vertices\": {}, \"edges\": {}}}\n  ],\n  \
+         \"results\": [\n{}\n  ],\n  \
+         \"forward_vs_naive\": [\n    {{\"graph\": \"{}\", \"speedup\": {:.4}}},\n    \
+         {{\"graph\": \"{}\", \"speedup\": {:.4}}}\n  ],\n  \
+         \"forward_beats_naive_on_rmat\": {},\n  \
+         \"degree_ahead_of_natural_on_rmat\": {}\n}}\n",
+        opts.quick,
+        opts.seed,
+        rmat.num_vertices(),
+        rmat.num_edges(),
+        hub.num_vertices(),
+        hub.num_edges(),
+        results.join(",\n"),
+        forward_vs_naive[0].0,
+        forward_vs_naive[0].1,
+        forward_vs_naive[1].0,
+        forward_vs_naive[1].1,
+        rmat_ratio > 1.0,
+        degree_speedup(&rmat_name) >= 1.0,
+    );
+    let out = "BENCH_TRIANGLES.json";
     match std::fs::write(out, &json) {
         Ok(()) => println!("wrote {out}"),
         Err(e) => eprintln!("could not write {out}: {e}"),

@@ -205,6 +205,74 @@ fn script_subcommand_runs_paper_script() {
 }
 
 /// Write a tiny edge-list graph and return its path.
+#[test]
+fn triangles_counts_and_census() {
+    let dir = temp_dir("triangles");
+    let edges = dir.join("diamond.txt");
+    // Diamond 0-1-2-3 with chord 1-2, plus a 3-4-5 tail: two triangles.
+    std::fs::write(&edges, "0 1\n0 2\n1 2\n1 3\n2 3\n3 4\n4 5\n").unwrap();
+
+    let out = graphct()
+        .arg("triangles")
+        .arg(&edges)
+        .args(["--top", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("triangles 2  wedges 11  transitivity 0.545455"));
+    assert_eq!(text.lines().filter(|l| l.contains("vertex")).count(), 2);
+
+    // Relabeling must not change the report (counts restore to the
+    // original ids), only the timing/annotation lines.
+    let reordered = graphct()
+        .arg("triangles")
+        .arg(&edges)
+        .args(["--top", "2", "--reorder", "degree"])
+        .output()
+        .unwrap();
+    assert!(reordered.status.success());
+    let reordered = String::from_utf8_lossy(&reordered.stdout);
+    assert!(reordered.contains("reorder: degree pass applied"));
+    let ranked = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| l.contains("vertex"))
+            .map(|l| l.to_string())
+            .collect()
+    };
+    assert_eq!(ranked(&text), ranked(&reordered));
+
+    // The census reads the same file as directed arcs: one 030T per
+    // chordal triangle, and C(6,3) = 20 triples partitioned in total.
+    let census = graphct()
+        .arg("triangles")
+        .arg(&edges)
+        .arg("--census")
+        .output()
+        .unwrap();
+    assert!(
+        census.status.success(),
+        "{}",
+        String::from_utf8_lossy(&census.stderr)
+    );
+    let census = String::from_utf8_lossy(&census.stdout);
+    assert!(census.contains("triples 20"));
+    assert!(census.contains("030T  2"));
+
+    let bad = graphct()
+        .arg("triangles")
+        .arg(&edges)
+        .args(["--census", "--reorder", "degree"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("id-invariant"));
+}
+
 fn small_graph(dir: &Path) -> PathBuf {
     let path = dir.join("small.txt");
     std::fs::write(&path, "0 1\n1 2\n2 3\n3 0\n4 5\n").unwrap();

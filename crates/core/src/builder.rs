@@ -165,6 +165,14 @@ impl GraphBuilder {
 
         let mut graph = CsrGraph::from_raw_parts(offsets, targets, self.directed)?;
         graph.sort_adjacency();
+        if matches!(self.duplicates, DuplicatePolicy::Dedup)
+            && matches!(self.self_loops, SelfLoopPolicy::Drop)
+        {
+            // Dedup + Drop guarantees a simple graph, and the lists were
+            // just sorted: seed the sorted-simple witness so clustering
+            // and triangle kernels skip their validation scan.
+            graph.mark_sorted_simple();
+        }
         Ok(graph)
     }
 }

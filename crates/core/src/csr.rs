@@ -3,6 +3,61 @@
 use crate::error::{GraphError, Result};
 use crate::types::VertexId;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Cached verdict of the "strictly ascending adjacency, no self-loops"
+/// scan the triangle/clustering kernels require (a *sorted-simple
+/// witness*).  Three states: unknown (never scanned), known-yes, and
+/// known-no.  Provenance-trusted constructors (the simple-policy
+/// builder, [`CsrGraph::from_simple_sorted_parts`], relabeling a
+/// witnessed graph) pre-set known-yes so kernels skip the O(V+E)
+/// validation entirely; [`CsrGraph::from_raw_parts`] graphs stay
+/// unknown and are scanned — once — on first use.
+///
+/// The cell is deliberately excluded from equality: it is memoized
+/// knowledge *about* the structure, not part of it.
+struct SimpleWitness(AtomicU8);
+
+const SIMPLE_UNKNOWN: u8 = 0;
+const SIMPLE_YES: u8 = 1;
+const SIMPLE_NO: u8 = 2;
+
+impl SimpleWitness {
+    const fn unknown() -> Self {
+        Self(AtomicU8::new(SIMPLE_UNKNOWN))
+    }
+
+    const fn yes() -> Self {
+        Self(AtomicU8::new(SIMPLE_YES))
+    }
+
+    fn get(&self) -> Option<bool> {
+        match self.0.load(Ordering::Relaxed) {
+            SIMPLE_YES => Some(true),
+            SIMPLE_NO => Some(false),
+            _ => None,
+        }
+    }
+
+    fn set(&self, simple: bool) {
+        let state = if simple { SIMPLE_YES } else { SIMPLE_NO };
+        self.0.store(state, Ordering::Relaxed);
+    }
+}
+
+impl Clone for SimpleWitness {
+    fn clone(&self) -> Self {
+        // The structure a clone copies is immutable, so the verdict
+        // transfers with it.
+        Self(AtomicU8::new(self.0.load(Ordering::Relaxed)))
+    }
+}
+
+impl std::fmt::Debug for SimpleWitness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SimpleWitness({:?})", self.get())
+    }
+}
 
 /// A static graph in compressed-sparse-row form (paper §IV-A).
 ///
@@ -14,12 +69,25 @@ use rayon::prelude::*;
 /// The structure is immutable after construction ("the size of the
 /// allocated graph is fixed"), which is what lets every kernel share it
 /// concurrently without locks.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct CsrGraph {
     offsets: Vec<usize>,
     targets: Vec<VertexId>,
     directed: bool,
+    simple: SimpleWitness,
 }
+
+impl PartialEq for CsrGraph {
+    fn eq(&self, other: &Self) -> bool {
+        // The witness is memoized knowledge, not structure: two equal
+        // graphs stay equal whether or not one has been scanned.
+        self.offsets == other.offsets
+            && self.targets == other.targets
+            && self.directed == other.directed
+    }
+}
+
+impl Eq for CsrGraph {}
 
 impl CsrGraph {
     /// Assemble a graph from raw CSR arrays.
@@ -60,6 +128,7 @@ impl CsrGraph {
             offsets,
             targets,
             directed,
+            simple: SimpleWitness::unknown(),
         })
     }
 
@@ -95,8 +164,33 @@ impl CsrGraph {
             offsets,
             targets,
             directed,
+            simple: SimpleWitness::unknown(),
         };
         debug_assert!(out.is_sorted(), "adjacency lists must arrive sorted");
+        out
+    }
+
+    /// [`CsrGraph::from_sorted_parts`] with a stronger caller contract:
+    /// every adjacency list is *strictly* ascending (no duplicate arcs)
+    /// and free of self-loops — a simple graph.  Producers that maintain
+    /// that invariant incrementally (the streaming graph's sorted
+    /// adjacency) use this so the frozen snapshot carries a known-good
+    /// sorted-simple witness and the clustering/triangle kernels skip
+    /// their O(V+E) revalidation scan entirely.
+    ///
+    /// Same validation discipline as `from_sorted_parts`: nothing is
+    /// checked in release builds, debug builds assert the full contract.
+    pub fn from_simple_sorted_parts(
+        offsets: Vec<usize>,
+        targets: Vec<VertexId>,
+        directed: bool,
+    ) -> Self {
+        let out = Self::from_sorted_parts(offsets, targets, directed);
+        debug_assert!(
+            out.scan_sorted_simple_seq(),
+            "adjacency lists must arrive strictly ascending with no self-loops"
+        );
+        out.simple.set(true);
         out
     }
 
@@ -106,6 +200,7 @@ impl CsrGraph {
             offsets: vec![0; n + 1],
             targets: Vec::new(),
             directed,
+            simple: SimpleWitness::yes(),
         }
     }
 
@@ -192,6 +287,64 @@ impl CsrGraph {
             .all(|v| self.neighbors(v).windows(2).all(|w| w[0] <= w[1]))
     }
 
+    /// `true` when every adjacency list is strictly ascending (no
+    /// duplicate arcs) and free of self-loops — the precondition of the
+    /// clustering/triangle kernels.
+    ///
+    /// The verdict is cached: provenance-trusted constructors (the
+    /// simple-policy builder, [`CsrGraph::from_simple_sorted_parts`],
+    /// relabeling or transposing an already-witnessed graph) pre-seed
+    /// it, so for those graphs this is one relaxed atomic load.  A
+    /// [`CsrGraph::from_raw_parts`] graph pays the parallel O(V+E) scan
+    /// exactly once, then remembers the answer — the structure is
+    /// immutable, so the verdict can never go stale.
+    pub fn is_sorted_simple(&self) -> bool {
+        if let Some(known) = self.simple.get() {
+            return known;
+        }
+        let verdict = self.scan_sorted_simple();
+        self.simple.set(verdict);
+        verdict
+    }
+
+    /// The cached sorted-simple verdict without triggering a scan:
+    /// `Some(_)` once known (pre-seeded by a trusted constructor or
+    /// memoized by [`CsrGraph::is_sorted_simple`]), `None` when this
+    /// graph has never been validated.
+    pub fn sorted_simple_hint(&self) -> Option<bool> {
+        self.simple.get()
+    }
+
+    /// Record that this graph is known sorted-simple through provenance
+    /// (crate-internal: callers must actually guarantee it).
+    pub(crate) fn mark_sorted_simple(&self) {
+        debug_assert!(
+            self.scan_sorted_simple_seq(),
+            "mark_sorted_simple on a graph that is not sorted-simple"
+        );
+        self.simple.set(true);
+    }
+
+    /// The uncached full scan behind [`CsrGraph::is_sorted_simple`].
+    fn scan_sorted_simple(&self) -> bool {
+        (0..self.num_vertices() as VertexId)
+            .into_par_iter()
+            .all(|v| {
+                let nbrs = self.neighbors(v);
+                nbrs.windows(2).all(|w| w[0] < w[1]) && !nbrs.contains(&v)
+            })
+    }
+
+    /// Sequential, allocation-free variant of the scan for use in
+    /// `debug_assert!`s on paths whose tests meter heap allocation
+    /// (the streaming snapshot's memory-budget test).
+    fn scan_sorted_simple_seq(&self) -> bool {
+        (0..self.num_vertices() as VertexId).all(|v| {
+            let nbrs = self.neighbors(v);
+            nbrs.windows(2).all(|w| w[0] < w[1]) && !nbrs.contains(&v)
+        })
+    }
+
     /// `true` when the stored arcs are symmetric (`u→v` implies `v→u`) —
     /// the structural invariant of an undirected graph.
     pub fn is_symmetric(&self) -> bool {
@@ -215,7 +368,13 @@ impl CsrGraph {
     /// scattered straight into the output through per-vertex cursors
     /// rather than staged in an atomic shadow copy.
     pub fn transpose(&self) -> CsrGraph {
-        transpose_of(self)
+        let out = transpose_of(self);
+        // Reversing arcs preserves simplicity: loops map to loops and
+        // duplicate arcs to duplicate arcs, and `transpose_of` re-sorts.
+        if self.sorted_simple_hint() == Some(true) {
+            out.simple.set(true);
+        }
+        out
     }
 
     /// Sort every adjacency list ascending (parallel over vertices).
@@ -291,6 +450,7 @@ pub(crate) fn transpose_of<G: crate::view::GraphView + ?Sized>(graph: &G) -> Csr
         offsets,
         targets,
         directed: graph.is_directed(),
+        simple: SimpleWitness::unknown(),
     };
     out.sort_adjacency();
     out
@@ -387,5 +547,58 @@ mod tests {
             g.memory_bytes(),
             4 * std::mem::size_of::<usize>() + 6 * std::mem::size_of::<VertexId>()
         );
+    }
+
+    #[test]
+    fn raw_parts_witness_starts_unknown_and_memoizes() {
+        let g = CsrGraph::from_raw_parts(vec![0, 2, 3, 4], vec![1, 2, 2, 1], false).unwrap();
+        assert_eq!(g.sorted_simple_hint(), None, "no scan has happened yet");
+        assert!(g.is_sorted_simple());
+        assert_eq!(g.sorted_simple_hint(), Some(true), "verdict memoized");
+    }
+
+    #[test]
+    fn non_simple_verdict_is_cached_too() {
+        // Self-loop at vertex 0.
+        let with_loop = CsrGraph::from_raw_parts(vec![0, 2, 3], vec![0, 1, 0], false).unwrap();
+        assert!(!with_loop.is_sorted_simple());
+        assert_eq!(with_loop.sorted_simple_hint(), Some(false));
+        // Duplicate arc 0→1 (sorted but not strictly ascending).
+        let with_dup = CsrGraph::from_raw_parts(vec![0, 2, 2], vec![1, 1], true).unwrap();
+        assert!(!with_dup.is_sorted_simple());
+    }
+
+    #[test]
+    fn trusted_constructors_preseed_the_witness() {
+        assert_eq!(
+            CsrGraph::empty(4, false).sorted_simple_hint(),
+            Some(true),
+            "empty graph is vacuously simple"
+        );
+        let g = CsrGraph::from_simple_sorted_parts(vec![0, 1, 2], vec![1, 0], false);
+        assert_eq!(g.sorted_simple_hint(), Some(true));
+    }
+
+    #[test]
+    fn witness_survives_clone_and_transpose() {
+        let g = CsrGraph::from_simple_sorted_parts(vec![0, 2, 3, 4], vec![1, 2, 0, 0], true);
+        assert_eq!(g.clone().sorted_simple_hint(), Some(true));
+        assert_eq!(
+            g.transpose().sorted_simple_hint(),
+            Some(true),
+            "transposing a simple graph keeps it simple"
+        );
+        // An unwitnessed source stays unwitnessed through transpose.
+        let raw = CsrGraph::from_raw_parts(vec![0, 1, 2], vec![1, 0], false).unwrap();
+        assert_eq!(raw.transpose().sorted_simple_hint(), None);
+    }
+
+    #[test]
+    fn equality_ignores_the_witness() {
+        let seeded = CsrGraph::from_simple_sorted_parts(vec![0, 1, 2], vec![1, 0], false);
+        let raw = CsrGraph::from_raw_parts(vec![0, 1, 2], vec![1, 0], false).unwrap();
+        assert_eq!(seeded.sorted_simple_hint(), Some(true));
+        assert_eq!(raw.sorted_simple_hint(), None);
+        assert_eq!(seeded, raw, "memoized knowledge is not structure");
     }
 }

@@ -230,6 +230,13 @@ impl CsrGraph {
         let mut out = CsrGraph::from_raw_parts(offsets, targets, self.is_directed())
             .expect("relabeled CSR arrays are valid by construction");
         out.sort_adjacency();
+        // A bijective relabel of a simple graph is simple (no arc can
+        // become a loop or collide with another), and the lists were
+        // just sorted — carry the sorted-simple witness across so the
+        // reordered copy skips kernel revalidation too.
+        if self.sorted_simple_hint() == Some(true) {
+            out.mark_sorted_simple();
+        }
         out
     }
 }

@@ -109,6 +109,31 @@ pub trait GraphView: Sync {
     fn transpose_csr(&self) -> CsrGraph {
         crate::csr::transpose_of(self)
     }
+
+    /// `true` when every adjacency list is strictly ascending with no
+    /// self-loops — the structural precondition of the clustering and
+    /// triangle kernels.  The default runs a parallel O(V+E) scan;
+    /// [`CsrGraph`] overrides it with a provenance-seeded, memoized
+    /// witness so trusted graphs answer in one atomic load.
+    fn is_sorted_simple(&self) -> bool {
+        (0..self.num_vertices() as VertexId)
+            .into_par_iter()
+            .all(|v| {
+                let mut prev: Option<VertexId> = None;
+                for t in self.neighbors_iter(v) {
+                    if t == v {
+                        return false;
+                    }
+                    if let Some(p) = prev {
+                        if t <= p {
+                            return false;
+                        }
+                    }
+                    prev = Some(t);
+                }
+                true
+            })
+    }
 }
 
 impl GraphView for CsrGraph {
@@ -150,6 +175,10 @@ impl GraphView for CsrGraph {
     fn transpose_csr(&self) -> CsrGraph {
         self.transpose()
     }
+
+    fn is_sorted_simple(&self) -> bool {
+        CsrGraph::is_sorted_simple(self)
+    }
 }
 
 impl GraphView for ReorderedView {
@@ -190,6 +219,12 @@ impl GraphView for ReorderedView {
 
     fn transpose_csr(&self) -> CsrGraph {
         self.graph().transpose()
+    }
+
+    fn is_sorted_simple(&self) -> bool {
+        // The relabeled CSR inherits its witness from the source graph
+        // at construction, so this is usually a cached answer.
+        self.graph().is_sorted_simple()
     }
 }
 

@@ -10,12 +10,20 @@
 //! C(v) = 2 · tri(v) / (deg(v) · (deg(v) − 1))
 //! ```
 //!
-//! Triangles are counted by sorted-adjacency intersection, parallel over
-//! vertices.  Requires an undirected **simple** graph with strictly
-//! ascending adjacency lists — the intersection walk silently undercounts
-//! on unsorted lists and overcounts wedges through self-loops, so the
-//! kernels validate the adjacency structure up front and reject bad
+//! Triangles are counted by the forward oriented-merge kernel in
+//! [`crate::triangles`] (each triangle found exactly once); the original
+//! sorted-intersection counter survives as
+//! [`naive_triangle_counts`] — the oracle the forward kernel is gated
+//! against.  All of it requires an undirected **simple** graph with
+//! strictly ascending adjacency lists — the merge walks silently
+//! undercount on unsorted lists and overcount wedges through self-loops
+//! — so the kernels validate up front (one cached-witness load for
+//! builder/snapshot graphs, one memoized scan otherwise) and reject bad
 //! input with a [`GraphError`] instead of returning wrong numbers.
+//!
+//! Callers that need coefficients *and* transitivity should use
+//! [`clustering_summary`], which derives both from a single counting
+//! pass instead of repeating the traversal per statistic.
 
 use graphct_core::{GraphError, GraphView, VertexId};
 use rayon::prelude::*;
@@ -40,29 +48,18 @@ fn intersection_size<I: Iterator<Item = VertexId>>(a: &[VertexId], b: I) -> usiz
     count
 }
 
-/// Reject adjacency structures the triangle kernel would silently
+/// Reject adjacency structures the triangle kernels would silently
 /// miscount: self-loops and lists that are not strictly ascending
 /// (which also catches duplicate arcs).  Such graphs are constructible
 /// through `CsrGraph::from_raw_parts`, which validates offsets and
 /// target ranges but not neighbor ordering.
-fn validate_sorted_simple<G: GraphView>(graph: &G) -> Result<(), GraphError> {
-    let n = graph.num_vertices();
-    let ok = (0..n as VertexId).into_par_iter().all(|v| {
-        let mut prev: Option<VertexId> = None;
-        for t in graph.neighbors_iter(v) {
-            if t == v {
-                return false;
-            }
-            if let Some(p) = prev {
-                if t <= p {
-                    return false;
-                }
-            }
-            prev = Some(t);
-        }
-        true
-    });
-    if ok {
+///
+/// The check itself is [`GraphView::is_sorted_simple`]: one relaxed
+/// atomic load for graphs whose provenance already witnessed the
+/// invariant (builder output, streaming snapshots, relabeled views),
+/// one memoized parallel scan for everything else.
+pub(crate) fn validate_sorted_simple<G: GraphView>(graph: &G) -> Result<(), GraphError> {
+    if graph.is_sorted_simple() {
         Ok(())
     } else {
         Err(GraphError::InvalidArgument(
@@ -75,19 +72,32 @@ fn validate_sorted_simple<G: GraphView>(graph: &G) -> Result<(), GraphError> {
 
 /// Triangles incident to each vertex (each triangle counted once per
 /// member vertex).
+///
+/// Delegates to the forward oriented-merge kernel
+/// ([`crate::triangles::forward_triangle_counts`]), which discovers
+/// each triangle exactly once instead of six times.
 pub fn triangle_counts<G: GraphView>(graph: &G) -> Result<Vec<usize>, GraphError> {
+    crate::triangles::forward_triangle_counts(graph)
+}
+
+/// The original sorted-intersection triangle counter: every triangle
+/// `v-a-b` is found at each member vertex twice (once via `a`, once via
+/// `b`).  Kept as the reference oracle the forward kernel is gated
+/// against (`repro triangles` refuses to time until both agree
+/// bit-identically) and as the baseline it is benchmarked over.
+pub fn naive_triangle_counts<G: GraphView>(graph: &G) -> Result<Vec<usize>, GraphError> {
     if graph.is_directed() {
         return Err(GraphError::InvalidArgument(
             "triangle counting requires an undirected graph".into(),
         ));
     }
     validate_sorted_simple(graph)?;
+    crate::telemetry::TRIANGLE_PASSES.incr();
     let n = graph.num_vertices();
     Ok((0..n as VertexId)
         .into_par_iter()
         .map(|v| {
             let nv: Vec<VertexId> = graph.neighbors_iter(v).collect();
-            // Each triangle v-a-b is found twice (once via a, once via b).
             let double: usize = nv
                 .iter()
                 .map(|&u| intersection_size(&nv, graph.neighbors_iter(u)))
@@ -97,14 +107,11 @@ pub fn triangle_counts<G: GraphView>(graph: &G) -> Result<Vec<usize>, GraphError
         .collect())
 }
 
-/// Per-vertex local clustering coefficients. Vertices of degree < 2 get
-/// coefficient 0.
-pub fn clustering_coefficients<G: GraphView>(graph: &G) -> Result<Vec<f64>, GraphError> {
-    let tri = triangle_counts(graph)?;
-    Ok(tri
-        .into_par_iter()
+/// Coefficients derived from a per-vertex triangle vector.
+fn coefficients_from<G: GraphView>(graph: &G, tri: &[usize]) -> Vec<f64> {
+    tri.par_iter()
         .enumerate()
-        .map(|(v, t)| {
+        .map(|(v, &t)| {
             let d = graph.degree(v as VertexId);
             if d < 2 {
                 0.0
@@ -112,13 +119,11 @@ pub fn clustering_coefficients<G: GraphView>(graph: &G) -> Result<Vec<f64>, Grap
                 2.0 * t as f64 / (d * (d - 1)) as f64
             }
         })
-        .collect())
+        .collect()
 }
 
-/// Global clustering coefficient (transitivity):
-/// `3 · #triangles / #open-or-closed wedges`.
-pub fn global_clustering<G: GraphView>(graph: &G) -> Result<f64, GraphError> {
-    let tri = triangle_counts(graph)?;
+/// Transitivity derived from a per-vertex triangle vector.
+fn transitivity_from<G: GraphView>(graph: &G, tri: &[usize]) -> f64 {
     // Per-vertex triangle incidences sum to 3 · #triangles.
     let closed: usize = tri.par_iter().sum();
     let wedges: usize = (0..graph.num_vertices() as VertexId)
@@ -128,11 +133,52 @@ pub fn global_clustering<G: GraphView>(graph: &G) -> Result<f64, GraphError> {
             d * d.saturating_sub(1) / 2
         })
         .sum();
-    Ok(if wedges == 0 {
+    if wedges == 0 {
         0.0
     } else {
         closed as f64 / wedges as f64
+    }
+}
+
+/// Per-vertex triangles, local coefficients, and global transitivity
+/// from **one** counting pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusteringSummary {
+    /// Triangles incident to each vertex.
+    pub triangles: Vec<usize>,
+    /// Local clustering coefficient per vertex (0 for degree < 2).
+    pub coefficients: Vec<f64>,
+    /// Global clustering coefficient (transitivity).
+    pub global: f64,
+}
+
+/// Compute the full clustering summary with a single triangle-counting
+/// pass.  Numerically identical to calling [`clustering_coefficients`]
+/// and [`global_clustering`] separately, at half the traversal cost —
+/// the fix for the old pattern where each statistic re-ran the counter.
+pub fn clustering_summary<G: GraphView>(graph: &G) -> Result<ClusteringSummary, GraphError> {
+    let triangles = triangle_counts(graph)?;
+    let coefficients = coefficients_from(graph, &triangles);
+    let global = transitivity_from(graph, &triangles);
+    Ok(ClusteringSummary {
+        triangles,
+        coefficients,
+        global,
     })
+}
+
+/// Per-vertex local clustering coefficients. Vertices of degree < 2 get
+/// coefficient 0.
+pub fn clustering_coefficients<G: GraphView>(graph: &G) -> Result<Vec<f64>, GraphError> {
+    let tri = triangle_counts(graph)?;
+    Ok(coefficients_from(graph, &tri))
+}
+
+/// Global clustering coefficient (transitivity):
+/// `3 · #triangles / #open-or-closed wedges`.
+pub fn global_clustering<G: GraphView>(graph: &G) -> Result<f64, GraphError> {
+    let tri = triangle_counts(graph)?;
+    Ok(transitivity_from(graph, &tri))
 }
 
 #[cfg(test)]
@@ -253,5 +299,94 @@ mod tests {
         assert_eq!(intersection_size(&[1, 3, 5], [2, 3, 5, 7].into_iter()), 2);
         assert_eq!(intersection_size(&[], [1].into_iter()), 0);
         assert_eq!(intersection_size(&[1, 2], [3, 4].into_iter()), 0);
+    }
+
+    #[test]
+    fn naive_and_forward_agree() {
+        let g = graph(&[(0, 1), (1, 2), (0, 2), (2, 3), (3, 0), (1, 3), (3, 4)]);
+        assert_eq!(
+            naive_triangle_counts(&g).unwrap(),
+            triangle_counts(&g).unwrap()
+        );
+        let d = graphct_core::builder::build_directed_simple(&EdgeList::from_pairs(vec![(0, 1)]))
+            .unwrap();
+        assert!(naive_triangle_counts(&d).is_err());
+    }
+
+    #[test]
+    fn summary_matches_separate_kernels() {
+        let g = graph(&[(0, 1), (1, 2), (0, 2), (0, 3), (3, 4), (4, 0)]);
+        let summary = clustering_summary(&g).unwrap();
+        assert_eq!(summary.triangles, triangle_counts(&g).unwrap());
+        assert_eq!(summary.coefficients, clustering_coefficients(&g).unwrap());
+        assert_eq!(summary.global, global_clustering(&g).unwrap());
+    }
+
+    /// A [`GraphView`] shim that meters adjacency traffic: every
+    /// `neighbors_iter` call is one probe.  Deterministic regardless of
+    /// thread count, unlike asserting on the global trace counters.
+    struct MeteredView<'g> {
+        inner: &'g CsrGraph,
+        probes: std::sync::atomic::AtomicUsize,
+    }
+
+    impl<'g> MeteredView<'g> {
+        fn new(inner: &'g CsrGraph) -> Self {
+            Self {
+                inner,
+                probes: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+
+        fn probes(&self) -> usize {
+            self.probes.load(std::sync::atomic::Ordering::Relaxed)
+        }
+    }
+
+    impl GraphView for MeteredView<'_> {
+        type Neighbors<'a>
+            = std::iter::Copied<std::slice::Iter<'a, VertexId>>
+        where
+            Self: 'a;
+        fn num_vertices(&self) -> usize {
+            self.inner.num_vertices()
+        }
+        fn num_arcs(&self) -> usize {
+            self.inner.num_arcs()
+        }
+        fn is_directed(&self) -> bool {
+            self.inner.is_directed()
+        }
+        fn degree(&self, v: VertexId) -> usize {
+            self.inner.degree(v)
+        }
+        fn neighbors_iter(&self, v: VertexId) -> Self::Neighbors<'_> {
+            self.probes
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.neighbors(v).iter().copied()
+        }
+    }
+
+    #[test]
+    fn summary_runs_exactly_one_counting_pass() {
+        // The waste bug this guards against: computing coefficients and
+        // transitivity by separate kernel calls runs the triangle
+        // counter twice.  The summary must cost exactly one pass — i.e.
+        // half the adjacency probes of the two-call pattern.
+        let g = graph(&[(0, 1), (1, 2), (0, 2), (2, 3), (3, 0), (1, 3), (3, 4)]);
+
+        let metered = MeteredView::new(&g);
+        let summary = clustering_summary(&metered).unwrap();
+        let one_pass = metered.probes();
+        assert!(one_pass > 0, "the counting pass must touch adjacency");
+
+        let metered = MeteredView::new(&g);
+        let coefficients = clustering_coefficients(&metered).unwrap();
+        let global = global_clustering(&metered).unwrap();
+        let two_pass = metered.probes();
+
+        assert_eq!(two_pass, 2 * one_pass, "summary must halve the traversal");
+        assert_eq!(summary.coefficients, coefficients);
+        assert_eq!(summary.global, global);
     }
 }

@@ -28,8 +28,7 @@
 //! * **Infallible kernels return their result bare.**  A kernel whose
 //!   only preconditions are structural invariants the [`CsrGraph`]
 //!   builder already guarantees (valid offsets, in-range targets) cannot
-//!   fail at runtime — [`connected_components`], [`core_numbers`],
-//!   [`clustering_coefficients`], [`degree_statistics`],
+//!   fail at runtime — [`connected_components`], [`core_numbers`], [`degree_statistics`],
 //!   [`HybridBfs::levels`], and friends return `Vec`/struct directly.
 //! * **Kernels with *configuration* preconditions return
 //!   `Result<_, GraphError>`.**  Anything that validates a caller-supplied
@@ -56,6 +55,7 @@ pub mod kcore;
 pub mod msbfs;
 pub mod query;
 pub mod telemetry;
+pub mod triangles;
 
 pub use betweenness::{
     betweenness_centrality, BetweennessConfig, BetweennessResult, SamplingSpec, SamplingStrategy,
@@ -65,7 +65,10 @@ pub use bfs::{
     bfs_levels, decide_direction, parallel_bfs_levels, parallel_bfs_with, sequential_bfs_levels,
     BfsConfig, Direction, FrontierKind, HybridBfs, LevelRecord, UNREACHED,
 };
-pub use clustering::{clustering_coefficients, global_clustering, triangle_counts};
+pub use clustering::{
+    clustering_coefficients, clustering_summary, global_clustering, naive_triangle_counts,
+    triangle_counts, ClusteringSummary,
+};
 pub use components::{connected_components, ComponentSummary};
 pub use confidence::{betweenness_with_confidence, BetweennessCi};
 pub use degree::{degree_statistics, DegreeStats};
@@ -74,3 +77,7 @@ pub use kbetweenness::{k_betweenness_centrality, KBetweennessConfig};
 pub use kcore::{core_numbers, kcore_subgraph};
 pub use msbfs::{MsBfs, MsBfsRun, WaveRecord, DEFAULT_BATCH, MAX_BATCH};
 pub use query::{ego_net, top_k_betweenness, top_k_scores, EgoNet};
+pub use triangles::{
+    forward_triangle_counts, triad_census, triad_census_brute, triangle_stats, TriangleStats,
+    TRIAD_CLASSES,
+};

@@ -13,19 +13,23 @@ use graphct_core::{CsrGraph, GraphError, VertexId};
 use crate::betweenness::{betweenness_centrality, BetweennessConfig};
 
 /// Deterministic top-k cut over a per-vertex score array: descending
-/// score, ties broken by ascending vertex id.  Scores must be finite
-/// (betweenness scores always are).
+/// score, ties broken by ascending vertex id.
+///
+/// Ordering is [`f64::total_cmp`], so the cut is total even over
+/// non-finite scores: `NaN` ranks above `+∞` in the descending order
+/// (surfacing poisoned scores at the top instead of hiding them), and
+/// the function never panics.  An earlier version used `partial_cmp`
+/// with an `expect("scores must be finite")` — on a `NaN` that panic
+/// tore down the serving worker mid-request.  For the finite scores the
+/// betweenness kernels produce (all `>= 0.0`, never `-0.0`), the
+/// ranking is identical to the old one.
 pub fn top_k_scores(scores: &[f64], k: usize) -> Vec<(VertexId, f64)> {
     let mut ranked: Vec<(VertexId, f64)> = scores
         .iter()
         .enumerate()
         .map(|(v, &s)| (v as VertexId, s))
         .collect();
-    ranked.sort_unstable_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("scores must be finite")
-            .then_with(|| a.0.cmp(&b.0))
-    });
+    ranked.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     ranked.truncate(k);
     ranked
 }
@@ -111,11 +115,19 @@ pub fn ego_net(graph: &CsrGraph, center: VertexId) -> EgoNet {
         }
         offsets.push(targets.len());
     }
-    let graph = CsrGraph::from_sorted_parts(offsets, targets, graph.is_directed());
+    let induced = if graph.sorted_simple_hint() == Some(true) {
+        // Inducing on a witnessed-simple host preserves simplicity, so
+        // the ego graph inherits the witness and downstream triangle
+        // queries (the serve plane's local clustering field) skip their
+        // validation scan.
+        CsrGraph::from_simple_sorted_parts(offsets, targets, graph.is_directed())
+    } else {
+        CsrGraph::from_sorted_parts(offsets, targets, graph.is_directed())
+    };
     EgoNet {
         center,
         vertices,
-        graph,
+        graph: induced,
     }
 }
 
@@ -167,6 +179,30 @@ mod tests {
         assert_eq!(ego.graph.neighbors(0), &[1, 2]);
         assert_eq!(ego.graph.neighbors(1), &[0, 2]);
         assert_eq!(ego.graph.neighbors(2), &[0, 1]);
+    }
+
+    #[test]
+    fn top_k_survives_non_finite_scores() {
+        // The crash this guards against: partial_cmp + expect panicked
+        // the serving worker on any NaN score.  total_cmp ranks NaN
+        // above +inf in the descending cut, so poisoned scores surface
+        // first instead of killing the request.
+        let scores = [1.0, f64::NAN, f64::INFINITY, 0.0, f64::NEG_INFINITY];
+        let top = top_k_scores(&scores, 5);
+        assert_eq!(top[0].0, 1);
+        assert!(top[0].1.is_nan());
+        assert_eq!(top[1], (2, f64::INFINITY));
+        assert_eq!(top[2], (0, 1.0));
+        assert_eq!(top[3], (3, 0.0));
+        assert_eq!(top[4], (4, f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn ego_net_inherits_the_host_witness() {
+        let g = diamond_plus_tail();
+        assert_eq!(g.sorted_simple_hint(), Some(true));
+        let ego = ego_net(&g, 0);
+        assert_eq!(ego.graph.sorted_simple_hint(), Some(true));
     }
 
     #[test]

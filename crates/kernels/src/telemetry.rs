@@ -85,3 +85,23 @@ pub static COMPONENTS_ITERATIONS: Counter = Counter::new(
 /// Peeling rounds taken by the k-core kernel.
 pub static KCORE_PEEL_ROUNDS: Counter =
     Counter::new("kcore_peel_rounds", "Peeling rounds in k-core extraction");
+
+/// Full triangle-counting passes executed (forward or naive — one bump
+/// per whole-graph count, the unit the single-pass clustering summary
+/// is asserted against).
+pub static TRIANGLE_PASSES: Counter = Counter::new(
+    "triangle_passes",
+    "Whole-graph triangle-counting passes executed (forward or naive)",
+);
+
+/// Unique triangles found by counting passes.
+pub static TRIANGLES_FOUND: Counter = Counter::new(
+    "triangles_found",
+    "Unique triangles found by triangle-counting passes",
+);
+
+/// Directed triad census passes executed.
+pub static TRIAD_CENSUS_PASSES: Counter = Counter::new(
+    "triad_census_passes",
+    "Directed Holland-Leinhardt triad census passes executed",
+);

@@ -1,0 +1,158 @@
+//! Triadic engine equivalence suite.
+//!
+//! The forward oriented-merge counter must agree **bit-identically**
+//! with the naive sorted-intersection oracle on every topology — there
+//! is no tolerance, a triangle count is either right or wrong.  The
+//! linked-pair triad census must agree with the brute-force `O(n³)`
+//! enumeration and always partition `C(n, 3)`.
+
+use graphct_core::builder::{build_directed_simple, build_undirected_simple};
+use graphct_core::reorder::{ReorderKind, ReorderedView};
+use graphct_core::{CsrGraph, EdgeList};
+use graphct_gen::broadcast::{broadcast_forest, BroadcastConfig};
+use graphct_gen::classic;
+use graphct_gen::rmat::{rmat_edges, RmatConfig};
+use graphct_kernels::{
+    clustering_summary, forward_triangle_counts, naive_triangle_counts, triad_census,
+    triad_census_brute, triangle_stats, TRIAD_CLASSES,
+};
+use proptest::prelude::*;
+
+fn assert_triangle_engines_agree(graph: &CsrGraph, label: &str) {
+    let naive = naive_triangle_counts(graph).unwrap();
+    let forward = forward_triangle_counts(graph).unwrap();
+    assert_eq!(naive, forward, "{label}: forward vs naive per-vertex");
+
+    let stats = triangle_stats(graph).unwrap();
+    assert_eq!(stats.per_vertex, naive, "{label}: stats per-vertex");
+    assert_eq!(
+        stats.per_vertex.iter().sum::<usize>(),
+        3 * stats.total,
+        "{label}: incidences must sum to 3 × total"
+    );
+    // Each triangle at v crosses exactly two of v's arcs, and the two
+    // arcs of an edge carry the same count.
+    let offsets = graph.offsets();
+    for v in 0..graph.num_vertices() {
+        let arc_sum: usize = stats.per_arc[offsets[v]..offsets[v + 1]].iter().sum();
+        assert_eq!(arc_sum, 2 * stats.per_vertex[v], "{label}: vertex {v}");
+    }
+    for v in 0..graph.num_vertices() as u32 {
+        for (i, &t) in graph.neighbors(v).iter().enumerate() {
+            let here = stats.per_arc[offsets[v as usize] + i];
+            let pos = graph.neighbors(t).binary_search(&v).unwrap();
+            assert_eq!(
+                here,
+                stats.per_arc[offsets[t as usize] + pos],
+                "{label}: arc {v}<->{t} mirror"
+            );
+        }
+    }
+
+    // The one-pass summary is consistent with the stats view.
+    let summary = clustering_summary(graph).unwrap();
+    assert_eq!(summary.triangles, stats.per_vertex, "{label}: summary");
+    assert!(
+        (summary.global - stats.transitivity()).abs() < 1e-12,
+        "{label}: transitivity {} vs {}",
+        summary.global,
+        stats.transitivity()
+    );
+}
+
+#[test]
+fn classic_topologies_agree() {
+    for (edges, label) in [
+        (classic::path(64), "path"),
+        (classic::cycle(65), "cycle"),
+        (classic::star(80), "star"),
+        (classic::complete(24), "complete"),
+        (classic::grid(9, 11), "grid"),
+        (classic::balanced_tree(3, 4), "tree"),
+    ] {
+        let g = build_undirected_simple(&edges).unwrap();
+        assert_triangle_engines_agree(&g, label);
+    }
+}
+
+#[test]
+fn rmat_agrees_across_reorderings() {
+    let g = build_undirected_simple(&rmat_edges(&RmatConfig::paper(10, 8), 42)).unwrap();
+    assert_triangle_engines_agree(&g, "rmat-10");
+    let baseline = forward_triangle_counts(&g).unwrap();
+    for kind in [ReorderKind::Degree, ReorderKind::Rcm, ReorderKind::Shuffle] {
+        let view = ReorderedView::apply(&g, kind, 7).unwrap();
+        let relabeled = forward_triangle_counts(view.graph()).unwrap();
+        assert_eq!(
+            view.restore(&relabeled),
+            baseline,
+            "{kind:?}: counts must be invariant under relabeling"
+        );
+    }
+}
+
+#[test]
+fn broadcast_hub_agrees() {
+    let (edges, _) = broadcast_forest(
+        &BroadcastConfig {
+            hubs: 2,
+            fanout: 300,
+            decay: 0.01,
+            max_depth: 3,
+        },
+        11,
+    );
+    let g = build_undirected_simple(&edges).unwrap();
+    assert_triangle_engines_agree(&g, "broadcast-hub");
+}
+
+#[test]
+fn rmat_directed_census_partitions_all_triples() {
+    let g = build_directed_simple(&rmat_edges(&RmatConfig::paper(8, 8), 3)).unwrap();
+    let census = triad_census(&g).unwrap();
+    let n = g.num_vertices() as u64;
+    assert_eq!(census.iter().sum::<u64>(), n * (n - 1) * (n - 2) / 6);
+    // An RMAT graph has arcs, so not everything is the empty triad.
+    assert!(census[0] < n * (n - 1) * (n - 2) / 6);
+    assert_eq!(TRIAD_CLASSES.len(), census.len());
+}
+
+fn undirected_pairs(n: u32, max_len: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn forward_equals_naive_on_random_graphs(pairs in undirected_pairs(48, 400)) {
+        let g = build_undirected_simple(&EdgeList::from_pairs(pairs)).unwrap();
+        prop_assert_eq!(
+            forward_triangle_counts(&g).unwrap(),
+            naive_triangle_counts(&g).unwrap()
+        );
+    }
+
+    #[test]
+    fn stats_invariants_on_random_graphs(pairs in undirected_pairs(32, 220)) {
+        let g = build_undirected_simple(&EdgeList::from_pairs(pairs)).unwrap();
+        let stats = triangle_stats(&g).unwrap();
+        prop_assert_eq!(stats.per_vertex.iter().sum::<usize>(), 3 * stats.total);
+        let offsets = g.offsets();
+        for v in 0..g.num_vertices() {
+            let arc_sum: usize = stats.per_arc[offsets[v]..offsets[v + 1]].iter().sum();
+            prop_assert_eq!(arc_sum, 2 * stats.per_vertex[v]);
+        }
+    }
+
+    #[test]
+    fn census_equals_brute_force(pairs in undirected_pairs(14, 90)) {
+        let g = build_directed_simple(&EdgeList::from_pairs(pairs)).unwrap();
+        let fast = triad_census(&g).unwrap();
+        let brute = triad_census_brute(&g).unwrap();
+        prop_assert_eq!(fast, brute);
+        let n = g.num_vertices() as u64;
+        let triples = if n < 3 { 0 } else { n * (n - 1) * (n - 2) / 6 };
+        prop_assert_eq!(fast.iter().sum::<u64>(), triples);
+    }
+}

@@ -26,7 +26,11 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use graphct_core::{VertexId, VertexLabels};
-use graphct_kernels::{connected_components, ego_net, top_k_betweenness, BetweennessConfig};
+use graphct_kernels::telemetry::{TRIANGLES_FOUND, TRIANGLE_PASSES};
+use graphct_kernels::{
+    betweenness_centrality, connected_components, ego_net, forward_triangle_counts, top_k_scores,
+    BetweennessConfig,
+};
 use graphct_stream::{Snapshot, SnapshotCell};
 use graphct_trace::Histogram;
 
@@ -70,6 +74,10 @@ pub fn register_query_metrics() {
     ] {
         h.touch();
     }
+    // The ego endpoint drives the triadic kernels; a zero-add registers
+    // their counters so the first scrape already exposes them.
+    TRIANGLE_PASSES.add(0);
+    TRIANGLES_FOUND.add(0);
 }
 
 /// The deterministic per-epoch seed for sampled betweenness: queries
@@ -177,15 +185,48 @@ impl QueryPlane {
         };
         let n = snap.graph.num_vertices();
         let seed = bc_seed(self.serve_seed, snap.epoch);
-        let top = if n == 0 || samples == 0 {
-            Vec::new()
+        let resp = if n == 0 || samples == 0 {
+            self.render_topk(&snap, &[], k, samples, seed)
         } else {
             let config = query_bc_config(samples.min(n), seed);
-            match top_k_betweenness(&snap.graph, &config, k) {
-                Ok(top) => top,
+            match betweenness_centrality(&snap.graph, &config) {
+                Ok(result) => self.render_topk(&snap, &result.scores, k, samples, seed),
                 Err(e) => return envelope_error(400, snap.epoch, snap.staleness(), &e.to_string()),
             }
         };
+        if let Some(t) = timer {
+            QUERY_TOPK_NS.record_duration(t.elapsed());
+        }
+        resp
+    }
+
+    /// Rank a per-vertex score array and render the `/v1/query/topk`
+    /// payload for `snap`.
+    ///
+    /// Split from the HTTP handler so the non-finite guard is testable
+    /// in isolation: the betweenness kernels only produce finite scores,
+    /// but a poisoned array must degrade to a `500` error envelope —
+    /// never the worker-killing panic the old `partial_cmp` ranking hid
+    /// here.  [`top_k_scores`] itself is total over NaN, so ranking
+    /// cannot panic either way; the guard keeps garbage from being
+    /// served as influence data.
+    pub fn render_topk(
+        &self,
+        snap: &Snapshot,
+        scores: &[f64],
+        k: usize,
+        samples: usize,
+        seed: u64,
+    ) -> Response {
+        if let Some(v) = scores.iter().position(|s| !s.is_finite()) {
+            return envelope_error(
+                500,
+                snap.epoch,
+                snap.staleness(),
+                &format!("internal error: non-finite betweenness score for vertex {v}"),
+            );
+        }
+        let top = top_k_scores(scores, k);
         let labels = self.labels.read().expect("labels poisoned");
         let entries: Vec<String> = top
             .iter()
@@ -201,9 +242,6 @@ impl QueryPlane {
             "{{\"k\":{k},\"samples\":{samples},\"seed\":{seed},\"top\":[{}]}}",
             entries.join(",")
         );
-        if let Some(t) = timer {
-            QUERY_TOPK_NS.record_duration(t.elapsed());
-        }
         envelope_ok(snap.epoch, snap.staleness(), &data)
     }
 
@@ -261,6 +299,33 @@ impl QueryPlane {
             Err(resp) => return resp,
         };
         let net = ego_net(&snap.graph, center);
+        // Local triadic structure of the freeze around the ego: the
+        // forward counter runs on the induced net, which inherits the
+        // snapshot's sorted-simple witness, so no validation scan.
+        let (triangles, clustering) = match forward_triangle_counts(&net.graph) {
+            Ok(per_vertex) => {
+                let local = net
+                    .vertices
+                    .binary_search(&center)
+                    .expect("center is an ego-net member");
+                let t = per_vertex[local];
+                let d = net.graph.degree(local as VertexId);
+                let c = if d < 2 {
+                    0.0
+                } else {
+                    2.0 * t as f64 / (d * (d - 1)) as f64
+                };
+                (t, c)
+            }
+            Err(e) => {
+                return envelope_error(
+                    500,
+                    snap.epoch,
+                    snap.staleness(),
+                    &format!("internal error: ego triangle count failed: {e}"),
+                )
+            }
+        };
         let labels = self.labels.read().expect("labels poisoned");
         let members: Vec<String> = net
             .vertices
@@ -281,7 +346,8 @@ impl QueryPlane {
             }
         }
         let data = format!(
-            "{{\"center\":{center},\"members\":[{}],\"edges\":[{}]}}",
+            "{{\"center\":{center},\"triangles\":{triangles},\"clustering\":{clustering},\
+             \"members\":[{}],\"edges\":[{}]}}",
             members.join(","),
             edges.join(",")
         );
@@ -463,6 +529,48 @@ mod tests {
             "{}",
             resp.body
         );
+        // The ego sits on one closed triangle: coefficient 1.
+        assert!(
+            resp.body.contains("\"triangles\":1") && resp.body.contains("\"clustering\":1"),
+            "{}",
+            resp.body
+        );
+        graphct_trace::json::parse(&resp.body).unwrap();
+    }
+
+    #[test]
+    fn ego_of_low_degree_vertex_reports_zero_clustering() {
+        let (_plane, router) = plane_with(&[(0, 1)], &["@a", "@b"]);
+        let resp = router.dispatch("GET", "/v1/query/ego", "vertex=1");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(
+            resp.body.contains("\"triangles\":0") && resp.body.contains("\"clustering\":0"),
+            "{}",
+            resp.body
+        );
+    }
+
+    #[test]
+    fn poisoned_topk_scores_become_an_error_envelope() {
+        // The serving crash this guards against: a NaN anywhere in the
+        // score array used to panic the worker thread inside the
+        // ranking sort.  It must degrade to a versioned 500 envelope.
+        let (plane, _router) = plane_with(&[(0, 1), (1, 2)], &["@a", "@b", "@c"]);
+        let snap = plane.snapshots.load();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let resp = plane.render_topk(&snap, &[0.5, bad, 1.0], 3, 2, 7);
+            assert_eq!(resp.status, 500);
+            assert!(
+                resp.body.contains("\"error\"") && resp.body.contains("non-finite"),
+                "{}",
+                resp.body
+            );
+            graphct_trace::json::parse(&resp.body).expect("error envelope must stay JSON");
+        }
+        // Finite scores through the same seam still rank.
+        let resp = plane.render_topk(&snap, &[0.5, 2.0, 1.0], 2, 2, 7);
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"vertex\":1"), "{}", resp.body);
     }
 
     #[test]

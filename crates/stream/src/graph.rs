@@ -40,6 +40,18 @@ impl StreamingGraph {
                 "streaming graph is undirected".into(),
             ));
         }
+        // The update path enforces simplicity incrementally (sorted
+        // lists, no loops, no duplicates); seeding from a graph that
+        // violates it would silently corrupt the edge accounting and
+        // every later binary-search update.  The check is the cached
+        // sorted-simple witness — free for builder/snapshot graphs.
+        if !graph.is_sorted_simple() {
+            return Err(GraphError::InvalidArgument(
+                "streaming graph requires a simple graph with sorted adjacency \
+                 (strictly ascending neighbor lists, no self-loops)"
+                    .into(),
+            ));
+        }
         let n = graph.num_vertices();
         let adjacency: Vec<Vec<VertexId>> = (0..n as VertexId)
             .map(|v| graph.neighbors(v).to_vec())
@@ -139,10 +151,12 @@ impl StreamingGraph {
     /// Snapshot the current structure as a static [`CsrGraph`].
     ///
     /// This is the query plane's freeze path, so it is kept cheap: the
-    /// adjacency lists are maintained sorted by every update, and the
-    /// flat copy preserves that order, so the CSR is assembled through
-    /// [`CsrGraph::from_sorted_parts`] — no re-sort, no re-validation
-    /// scan, and no transient allocation beyond the exact-sized result
+    /// adjacency lists are maintained sorted and loop/duplicate-free by
+    /// every update, and the flat copy preserves that order, so the CSR
+    /// is assembled through [`CsrGraph::from_simple_sorted_parts`] — no
+    /// re-sort, no re-validation scan (the snapshot carries a pre-seeded
+    /// sorted-simple witness, so clustering/triangle queries skip theirs
+    /// too), and no transient allocation beyond the exact-sized result
     /// buffers themselves (asserted by `tests/snapshot_memory.rs`).
     pub fn snapshot(&self) -> CsrGraph {
         let mut offsets = Vec::with_capacity(self.adjacency.len() + 1);
@@ -152,7 +166,7 @@ impl StreamingGraph {
             targets.extend_from_slice(nb);
             offsets.push(targets.len());
         }
-        CsrGraph::from_sorted_parts(offsets, targets, false)
+        CsrGraph::from_simple_sorted_parts(offsets, targets, false)
     }
 
     /// Snapshot as an edge list (`u < v` canonical orientation).
